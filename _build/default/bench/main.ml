@@ -1,0 +1,230 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (the macro part), then times the machinery behind each experiment with
+   Bechamel (the micro part — one Test.make per table/figure).
+
+   Environment knobs:
+     FERRITE_BENCH_SCALE  fraction of the paper's campaign sizes (default 0.15,
+                          ~17,500 injections; 1.0 reproduces the full
+                          115,000-injection study)
+     FERRITE_BENCH_SEED   campaign seed (default 0x2004)
+     FERRITE_SKIP_MICRO   set to skip the Bechamel micro-benchmarks *)
+
+open Bechamel
+module Image = Ferrite_kir.Image
+module System = Ferrite_kernel.System
+module Boot = Ferrite_kernel.Boot
+module Campaign = Ferrite_injection.Campaign
+module Target = Ferrite_injection.Target
+module Engine = Ferrite_injection.Engine
+module Collector = Ferrite_injection.Collector
+module Crash_cause = Ferrite_injection.Crash_cause
+module Workload = Ferrite_workload.Workload
+module Runner = Ferrite_workload.Runner
+
+let scale =
+  match Sys.getenv_opt "FERRITE_BENCH_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 0.15)
+  | None -> 0.15
+
+let seed =
+  match Sys.getenv_opt "FERRITE_BENCH_SEED" with
+  | Some s -> (try Int64.of_string s with _ -> 0x2004L)
+  | None -> 0x2004L
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Macro part: regenerate the paper                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_suites () =
+  let progress name arch ~done_ ~total =
+    if done_ mod 200 = 0 || done_ = total then
+      Printf.eprintf "\r[%s %-6s] %6d/%-6d%!" arch name done_ total
+  in
+  let t0 = Unix.gettimeofday () in
+  let p4 =
+    Ferrite.Suite.run ~seed
+      ~progress:(fun n -> progress n "P4")
+      ~scale:(Ferrite.Suite.scaled Image.Cisc scale)
+      Image.Cisc
+  in
+  Printf.eprintf "\n%!";
+  let g4 =
+    Ferrite.Suite.run ~seed
+      ~progress:(fun n -> progress n "G4")
+      ~scale:(Ferrite.Suite.scaled Image.Risc scale)
+      Image.Risc
+  in
+  Printf.eprintf "\n%!";
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "Campaigns: %d injections on P4, %d on G4 (scale %.3f of the paper's counts) in %.1f s\n"
+    (Ferrite.Suite.total_injections p4)
+    (Ferrite.Suite.total_injections g4)
+    scale dt;
+  (p4, g4)
+
+(* ------------------------------------------------------------------ *)
+(* Micro part: one Bechamel test per table/figure                      *)
+(* ------------------------------------------------------------------ *)
+
+let one_injection arch kind =
+  (* a self-contained single injection, including the reboot — the unit of
+     work behind every row of Tables 5 and 6 *)
+  let image = Boot.build_image arch in
+  let rng = Ferrite_machine.Rng.create ~seed:42L in
+  let collector = Collector.create ~seed:7L () in
+  let hot = [ ("kmemcpy", 0.5); ("schedule", 0.3); ("getblk", 0.2) ] in
+  Staged.stage (fun () ->
+      let sys = Boot.boot ~image arch in
+      let wl = Workload.mix ~ops:12 () in
+      let runner = Runner.create sys ~ops:(wl.Workload.wl_ops rng) in
+      let target = Target.generate sys kind ~hot rng in
+      ignore (Engine.run_one ~sys ~runner ~target ~collector Engine.default_config))
+
+let boot_test arch =
+  let image = Boot.build_image arch in
+  Staged.stage (fun () -> ignore (Boot.boot ~image arch))
+
+let classify_test arch =
+  let image = Boot.build_image arch in
+  let sys = Boot.boot ~image arch in
+  let fault =
+    match arch with
+    | Image.Cisc ->
+      System.Cisc_fault (Ferrite_cisc.Exn.Page_fault { addr = 0x1234; write = false; fetch = false })
+    | Image.Risc ->
+      System.Risc_fault (Ferrite_risc.Exn.Dsi { addr = 0x1234; write = false; protection = false })
+  in
+  Staged.stage (fun () -> ignore (Crash_cause.classify sys fault))
+
+let target_gen_test arch kind =
+  let image = Boot.build_image arch in
+  let sys = Boot.boot ~image arch in
+  let rng = Ferrite_machine.Rng.create ~seed:11L in
+  let hot = [ ("kmemcpy", 0.5); ("schedule", 0.3); ("getblk", 0.2) ] in
+  Staged.stage (fun () -> ignore (Target.generate sys kind ~hot rng))
+
+let decode_test arch =
+  match arch with
+  | Image.Risc ->
+    let rng = Ferrite_machine.Rng.create ~seed:3L in
+    Staged.stage (fun () ->
+        match Ferrite_risc.Decode.word (Ferrite_machine.Rng.bits32 rng) with
+        | _ -> ()
+        | exception Ferrite_risc.Decode.Undefined_opcode -> ())
+  | Image.Cisc ->
+    let bytes = "\x8b\x73\x18\x8d\x65\xf4\x5b\x5e\x5f\x5d\xc3\x90\x90\x90\x90" in
+    Staged.stage (fun () ->
+        ignore (Ferrite_cisc.Decode.decode ~fetch:(fun i -> Char.code bytes.[i mod 15]) 0))
+
+let latency_hist_test () =
+  let rng = Ferrite_machine.Rng.create ~seed:5L in
+  let samples = List.init 512 (fun _ -> Ferrite_machine.Rng.int rng 2_000_000_000) in
+  Staged.stage (fun () -> ignore (Ferrite_stats.Latency_histogram.of_list samples))
+
+let step_test arch =
+  let image = Boot.build_image arch in
+  let sys = Boot.boot ~image arch in
+  Staged.stage (fun () ->
+      for _ = 1 to 100 do
+        ignore (System.step sys)
+      done)
+
+let micro_tests =
+  [
+    (* Table 1: platform bring-up *)
+    Test.make ~name:"table1/boot-p4" (boot_test Image.Cisc);
+    Test.make ~name:"table1/boot-g4" (boot_test Image.Risc);
+    (* Tables 3/4: hardware->category classification *)
+    Test.make ~name:"table3/classify-p4" (classify_test Image.Cisc);
+    Test.make ~name:"table4/classify-g4" (classify_test Image.Risc);
+    (* Table 5 rows: one full injection (boot + workload + injection) each *)
+    Test.make ~name:"table5/stack-injection-p4" (one_injection Image.Cisc Target.Stack);
+    Test.make ~name:"table5/sysreg-injection-p4" (one_injection Image.Cisc Target.Register);
+    Test.make ~name:"table5/data-injection-p4" (one_injection Image.Cisc Target.Data);
+    Test.make ~name:"table5/code-injection-p4" (one_injection Image.Cisc Target.Code);
+    (* Table 6 rows *)
+    Test.make ~name:"table6/stack-injection-g4" (one_injection Image.Risc Target.Stack);
+    Test.make ~name:"table6/sysreg-injection-g4" (one_injection Image.Risc Target.Register);
+    Test.make ~name:"table6/data-injection-g4" (one_injection Image.Risc Target.Data);
+    Test.make ~name:"table6/code-injection-g4" (one_injection Image.Risc Target.Code);
+    (* Figures 4/5 feed off the same crash streams; the decode paths are the
+       mechanism behind the Invalid/Illegal Instruction splits (Fig. 11) *)
+    Test.make ~name:"fig11/decode-cisc" (decode_test Image.Cisc);
+    Test.make ~name:"fig11/decode-risc" (decode_test Image.Risc);
+    (* Figures 6/10/12: target generation per campaign *)
+    Test.make ~name:"fig6/gen-stack-target" (target_gen_test Image.Cisc Target.Stack);
+    Test.make ~name:"fig10/gen-register-target" (target_gen_test Image.Risc Target.Register);
+    Test.make ~name:"fig12/gen-data-target" (target_gen_test Image.Cisc Target.Data);
+    (* Figure 16: latency histogram construction *)
+    Test.make ~name:"fig16/latency-histogram" (latency_hist_test ());
+    (* simulator throughput underlying everything *)
+    Test.make ~name:"simulator/steps-x100-p4" (step_test Image.Cisc);
+    Test.make ~name:"simulator/steps-x100-g4" (step_test Image.Risc);
+  ]
+
+let run_micro () =
+  section "Micro-benchmarks (Bechamel, one test per table/figure)";
+  let cfg = Benchmark.cfg ~limit:60 ~quota:(Time.second 0.4) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Printf.printf "%-32s %16s\n" "benchmark" "time/run";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let result = Benchmark.run cfg instances elt in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock result in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] ->
+            let pretty =
+              if ns > 1e9 then Printf.sprintf "%8.2f s" (ns /. 1e9)
+              else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+              else Printf.sprintf "%8.0f ns" ns
+            in
+            Printf.printf "%-32s %16s\n%!" (Test.Elt.name elt) pretty
+          | _ -> Printf.printf "%-32s %16s\n%!" (Test.Elt.name elt) "n/a")
+        (Test.elements test))
+    micro_tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  section "Ferrite benchmark harness — DSN 2004 error-sensitivity reproduction";
+  let p4, g4 = run_suites () in
+  section "Tables";
+  print_endline (Ferrite.Report.table1 ());
+  print_newline ();
+  print_endline (Ferrite.Report.table2 ());
+  print_newline ();
+  print_endline (Ferrite.Report.table3 ());
+  print_newline ();
+  print_endline (Ferrite.Report.table4 ());
+  print_newline ();
+  print_endline (Ferrite.Report.table5 p4);
+  print_newline ();
+  print_endline (Ferrite.Report.table6 g4);
+  section "Figures";
+  print_endline (Ferrite.Report.fig4 p4);
+  print_endline (Ferrite.Report.fig5 g4);
+  print_endline (Ferrite.Report.fig6 ~p4 ~g4);
+  print_endline (Ferrite.Report.fig10 ~p4 ~g4);
+  print_endline (Ferrite.Report.fig11 ~p4 ~g4);
+  print_endline (Ferrite.Report.fig12 ~p4 ~g4);
+  print_endline (Ferrite.Report.fig16 ~p4 ~g4);
+  print_newline ();
+  print_endline (Ferrite.Report.data_geometry ());
+  section "Shape checks";
+  print_endline (Ferrite.Report.render_checks (Ferrite.Report.shape_checks ~p4 ~g4));
+  if Sys.getenv_opt "FERRITE_ABLATIONS" <> None then begin
+    section "Ablations";
+    let outcomes = List.map (fun s -> Ferrite.Ablation.run s) Ferrite.Ablation.all in
+    print_endline (Ferrite.Ablation.report outcomes)
+  end;
+  if Sys.getenv_opt "FERRITE_SKIP_MICRO" = None then run_micro ()

@@ -1,0 +1,336 @@
+(* ferrite — command-line front end.
+
+   Subcommands:
+     boot      boot a kernel and print a health summary
+     profile   profile the kernel under the workload (paper §3.5 "Location")
+     inject    run a single injection campaign and print its statistics
+     suite     run all four campaigns on one platform (Table 5 / Table 6)
+     report    run both platforms and print every table and figure
+     ablate    rebuild with one mechanism changed and measure the effect
+     oops      inject until a crash, then print the kernel crash dump
+     disasm    disassemble a kernel function on either platform *)
+
+open Cmdliner
+module Image = Ferrite_kir.Image
+module System = Ferrite_kernel.System
+module Boot = Ferrite_kernel.Boot
+module Campaign = Ferrite_injection.Campaign
+module Target = Ferrite_injection.Target
+module Crash_cause = Ferrite_injection.Crash_cause
+
+let arch_conv =
+  let parse = function
+    | "p4" | "P4" | "cisc" -> Ok Image.Cisc
+    | "g4" | "G4" | "risc" -> Ok Image.Risc
+    | s -> Error (`Msg (Printf.sprintf "unknown architecture %S (use p4 or g4)" s))
+  in
+  let print fmt a =
+    Format.pp_print_string fmt (match a with Image.Cisc -> "p4" | Image.Risc -> "g4")
+  in
+  Arg.conv (parse, print)
+
+let arch_arg =
+  let doc = "Target platform: p4 (CISC) or g4 (RISC)." in
+  Arg.(value & opt arch_conv Image.Cisc & info [ "a"; "arch" ] ~docv:"ARCH" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed for the campaign RNG." in
+  Arg.(value & opt int 0x2004 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let progress_arg =
+  let doc = "Print progress to stderr." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+(* --- boot --- *)
+
+let boot_cmd =
+  let run arch =
+    let t0 = Unix.gettimeofday () in
+    let sys = Boot.boot arch in
+    let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let c = System.counters sys in
+    Printf.printf "%s kernel booted in %.1f ms\n" (System.arch_name sys) dt;
+    Printf.printf "  text: %d bytes, %d functions\n"
+      (Image.text_size sys.System.image)
+      (Array.length sys.System.image.Image.img_funcs);
+    Printf.printf "  data: %d bytes\n" sys.System.image.Image.img_data.Ferrite_kir.Layout.ds_size;
+    Printf.printf "  boot instructions: %d (cycles %d)\n" c.Ferrite_machine.Counters.instructions
+      c.Ferrite_machine.Counters.cycles;
+    Printf.printf "  jiffies: %d\n" (System.global sys "jiffies")
+  in
+  Cmd.v (Cmd.info "boot" ~doc:"Boot a kernel and print a health summary")
+    Term.(const run $ arch_arg)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let run arch =
+    let sys = Boot.boot arch in
+    let samples = Ferrite_workload.Profiler.profile sys in
+    Printf.printf "Kernel profile under the UnixBench-like mix (%s):\n" (System.arch_name sys);
+    List.iter
+      (fun (s : Ferrite_workload.Profiler.sample) ->
+        Printf.printf "  %-22s %6d samples  %5.1f%%\n" s.Ferrite_workload.Profiler.fn_name
+          s.Ferrite_workload.Profiler.samples
+          (100.0 *. s.Ferrite_workload.Profiler.fraction))
+      samples;
+    let hot = Ferrite_workload.Profiler.hot_functions samples in
+    Printf.printf "95%% coverage set (%d functions): %s\n" (List.length hot)
+      (String.concat ", " hot)
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Profile kernel functions under the workload (the paper's target selection)")
+    Term.(const run $ arch_arg)
+
+(* --- inject --- *)
+
+let kind_conv =
+  let parse = function
+    | "stack" -> Ok Target.Stack
+    | "data" -> Ok Target.Data
+    | "code" -> Ok Target.Code
+    | "register" | "sysreg" -> Ok Target.Register
+    | s -> Error (`Msg (Printf.sprintf "unknown campaign kind %S" s))
+  in
+  let print fmt k =
+    Format.pp_print_string fmt
+      (match k with
+      | Target.Stack -> "stack"
+      | Target.Data -> "data"
+      | Target.Code -> "code"
+      | Target.Register -> "register")
+  in
+  Arg.conv (parse, print)
+
+let kind_arg =
+  let doc = "Campaign kind: stack, data, code or register." in
+  Arg.(value & opt kind_conv Target.Stack & info [ "k"; "kind" ] ~docv:"KIND" ~doc)
+
+let count_arg =
+  let doc = "Number of error injections." in
+  Arg.(value & opt int 500 & info [ "n" ] ~docv:"N" ~doc)
+
+let print_campaign (res : Campaign.result) =
+  let s = Campaign.summarize res in
+  let d =
+    if s.Campaign.activation_known then max 1 s.Campaign.activated else max 1 s.Campaign.injected
+  in
+  let pct n = 100.0 *. float_of_int n /. float_of_int d in
+  Printf.printf "injected:        %d\n" s.Campaign.injected;
+  if s.Campaign.activation_known then
+    Printf.printf "activated:       %d (%.1f%%)\n" s.Campaign.activated
+      (100.0 *. float_of_int s.Campaign.activated /. float_of_int (max 1 s.Campaign.injected))
+  else Printf.printf "activated:       N/A (register campaign)\n";
+  Printf.printf "not manifested:  %d (%.1f%%)\n" s.Campaign.not_manifested (pct s.Campaign.not_manifested);
+  Printf.printf "fail silence:    %d (%.1f%%)\n" s.Campaign.fsv (pct s.Campaign.fsv);
+  Printf.printf "known crash:     %d (%.1f%%)\n" s.Campaign.known_crash (pct s.Campaign.known_crash);
+  Printf.printf "hang/unknown:    %d (%.1f%%)\n" s.Campaign.hang_or_unknown (pct s.Campaign.hang_or_unknown);
+  Printf.printf "reboots:         %d\n" res.Campaign.reboots;
+  let causes = Campaign.crash_causes res in
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 causes in
+  if total > 0 then begin
+    Printf.printf "crash causes (known crashes, %d):\n" total;
+    List.iter
+      (fun (c, n) ->
+        Printf.printf "  %-26s %4d (%.1f%%)\n" (Crash_cause.label c) n
+          (100.0 *. float_of_int n /. float_of_int total))
+      causes
+  end
+
+let inject_cmd =
+  let run arch kind n seed progress =
+    let cfg =
+      { (Campaign.default ~arch ~kind ~injections:n) with Campaign.seed = Int64.of_int seed }
+    in
+    let progress_fn ~done_ ~total =
+      if progress && (done_ mod 100 = 0 || done_ = total) then
+        Printf.eprintf "\r%d/%d%!" done_ total
+    in
+    let res = Campaign.run ~progress:progress_fn cfg in
+    if progress then Printf.eprintf "\n";
+    print_campaign res
+  in
+  Cmd.v (Cmd.info "inject" ~doc:"Run one error-injection campaign")
+    Term.(const run $ arch_arg $ kind_arg $ count_arg $ seed_arg $ progress_arg)
+
+(* --- suite / report --- *)
+
+let scale_arg =
+  let doc =
+    "Scale factor applied to the paper's campaign sizes (1.0 = the full \
+     115,000-injection study)."
+  in
+  Arg.(value & opt float 0.02 & info [ "scale" ] ~docv:"S" ~doc)
+
+let progress_fn progress arch =
+  if progress then (fun name ~done_ ~total ->
+    if done_ mod 100 = 0 || done_ = total then
+      Printf.eprintf "\r%-4s %-8s %6d/%d%!"
+        (match arch with Image.Cisc -> "P4" | Image.Risc -> "G4")
+        name done_ total)
+  else fun _ ~done_:_ ~total:_ -> ()
+
+let suite_cmd =
+  let run arch scale seed progress =
+    let sc = Ferrite.Suite.scaled arch scale in
+    let suite =
+      Ferrite.Suite.run ~seed:(Int64.of_int seed) ~progress:(progress_fn progress arch) ~scale:sc arch
+    in
+    if progress then Printf.eprintf "\n";
+    print_string
+      (match arch with
+      | Image.Cisc -> Ferrite.Report.table5 suite
+      | Image.Risc -> Ferrite.Report.table6 suite);
+    print_newline ()
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"Run the four campaigns of Table 5/6 for one platform")
+    Term.(const run $ arch_arg $ scale_arg $ seed_arg $ progress_arg)
+
+let report_cmd =
+  let run scale seed progress =
+    let seed = Int64.of_int seed in
+    let p4 =
+      Ferrite.Suite.run ~seed ~progress:(progress_fn progress Image.Cisc)
+        ~scale:(Ferrite.Suite.scaled Image.Cisc scale) Image.Cisc
+    in
+    if progress then Printf.eprintf "\n";
+    let g4 =
+      Ferrite.Suite.run ~seed ~progress:(progress_fn progress Image.Risc)
+        ~scale:(Ferrite.Suite.scaled Image.Risc scale) Image.Risc
+    in
+    if progress then Printf.eprintf "\n";
+    print_string (Ferrite.Report.full_report ~p4 ~g4);
+    print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run both platforms and regenerate every table and figure of the paper")
+    Term.(const run $ scale_arg $ seed_arg $ progress_arg)
+
+(* --- oops --- *)
+
+let oops_cmd =
+  let run arch kind seed =
+    (* inject until something crashes, then print the kernel's crash dump *)
+    let image = Boot.build_image arch in
+    let rng = Ferrite_machine.Rng.create ~seed:(Int64.of_int seed) in
+    let hot = [ ("kmemcpy", 0.4); ("schedule", 0.3); ("getblk", 0.3) ] in
+    let rec attempt n =
+      if n = 0 then prerr_endline "no crash in 200 injections; try another seed"
+      else begin
+        let sys = Boot.boot ~image arch in
+        let wl = Ferrite_workload.Workload.mix ~ops:12 () in
+        let runner =
+          Ferrite_workload.Runner.create sys
+            ~ops:(wl.Ferrite_workload.Workload.wl_ops rng)
+        in
+        let target = Target.generate sys kind ~hot rng in
+        let collector = Ferrite_injection.Collector.create ~loss_rate:0.0 ~seed:1L () in
+        (* drive manually so the faulted machine state is still in hand *)
+        let record =
+          Ferrite_injection.Engine.run_one ~sys ~runner ~target ~collector
+            Ferrite_injection.Engine.default_config
+        in
+        match record.Ferrite_injection.Outcome.r_outcome with
+        | Ferrite_injection.Outcome.Known_crash { ci_cause; ci_latency; _ } ->
+          Printf.printf "injection: %s\n" (Target.describe target);
+          Printf.printf "reported cause: %s (cycles-to-crash %d)\n\n"
+            (Crash_cause.label ci_cause) ci_latency;
+          (* the machine is still at the crash point: render its dump *)
+          print_endline (Ferrite_injection.Oops.registers sys);
+          print_newline ();
+          print_endline (Ferrite_injection.Oops.code_window sys);
+          print_newline ();
+          print_endline (Ferrite_injection.Oops.stack_dump sys);
+          if Ferrite_injection.Oops.stack_overflow_signature sys then
+            print_endline "Note: repeating return-address pattern - stack overflow suspected"
+        | _ -> attempt (n - 1)
+      end
+    in
+    attempt 200
+  in
+  Cmd.v
+    (Cmd.info "oops" ~doc:"Inject errors until one crashes, then print the kernel crash dump")
+    Term.(const run $ arch_arg $ kind_arg $ seed_arg)
+
+(* --- ablate --- *)
+
+let ablate_cmd =
+  let study_arg =
+    let doc = "Run only the named study (default: all)." in
+    Arg.(value & opt (some string) None & info [ "study" ] ~docv:"NAME" ~doc)
+  in
+  let n_arg =
+    let doc = "Override the per-arm injection count." in
+    Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let run study n =
+    let studies =
+      match study with
+      | None -> Ferrite.Ablation.all
+      | Some name ->
+        (match List.find_opt (fun s -> s.Ferrite.Ablation.ab_name = name) Ferrite.Ablation.all with
+        | Some s -> [ s ]
+        | None ->
+          Printf.eprintf "unknown study %S; available: %s\n" name
+            (String.concat ", "
+               (List.map (fun s -> s.Ferrite.Ablation.ab_name) Ferrite.Ablation.all));
+          exit 2)
+    in
+    let outcomes =
+      List.map
+        (fun s ->
+          Printf.eprintf "running %s...\n%!" s.Ferrite.Ablation.ab_name;
+          Ferrite.Ablation.run ?injections:n s)
+        studies
+    in
+    print_endline (Ferrite.Ablation.report outcomes)
+  in
+  Cmd.v
+    (Cmd.info "ablate"
+       ~doc:"Rebuild the kernel with one mechanism changed and measure the effect")
+    Term.(const run $ study_arg $ n_arg)
+
+(* --- disasm --- *)
+
+let disasm_cmd =
+  let fn_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FUNCTION" ~doc:"Kernel function name.")
+  in
+  let run arch fn =
+    let image = Boot.build_image arch in
+    let f = Image.find_func image fn in
+    let mem = Ferrite_machine.Memory.create () in
+    Ferrite_machine.Memory.map mem ~addr:image.Image.img_text_base
+      ~size:(max 4096 (Image.text_size image))
+      ~perm:Ferrite_machine.Memory.perm_rwx;
+    Ferrite_machine.Memory.blit_string mem ~addr:image.Image.img_text_base image.Image.img_text;
+    Printf.printf "%s: %s (%d bytes at %08x)\n" fn
+      (match arch with Image.Cisc -> "P4" | Image.Risc -> "G4")
+      f.Image.fs_size f.Image.fs_addr;
+    (match arch with
+    | Image.Cisc ->
+      let rec go addr =
+        if addr < f.Image.fs_addr + f.Image.fs_size then begin
+          match Ferrite_cisc.Disasm.window ~count:1 ~mem addr with
+          | [ (a, len, text) ] ->
+            Printf.printf "  %08x: %s\n" a text;
+            go (a + len)
+          | _ -> ()
+        end
+      in
+      go f.Image.fs_addr
+    | Image.Risc ->
+      List.iter
+        (fun (a, text) -> Printf.printf "  %08x: %s\n" a text)
+        (Ferrite_risc.Disasm.window ~count:(f.Image.fs_size / 4) ~mem f.Image.fs_addr))
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a kernel function") Term.(const run $ arch_arg $ fn_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "ferrite" ~version:"1.0.0"
+      ~doc:"Error sensitivity of a miniature kernel on CISC/RISC simulators (DSN 2004 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ boot_cmd; profile_cmd; inject_cmd; suite_cmd; report_cmd; ablate_cmd; oops_cmd; disasm_cmd ]))

@@ -1,0 +1,1 @@
+examples/latency_study.ml: Array Ferrite_injection Ferrite_kir Ferrite_stats List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ferrite_injection Ferrite_kernel Ferrite_kir Ferrite_workload List Printf

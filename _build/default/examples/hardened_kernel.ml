@@ -1,0 +1,51 @@
+(* The paper's §6 suggestion, implemented and measured:
+
+     "To prevent crashes due to data corruption and to reduce error latency,
+      assertions can be added to protect critical data structures."
+
+   This example runs the same data-error campaign against the stock kernel
+   and against a hardened build whose scheduler, buffer cache, network queue
+   and allocator assert their invariants — then compares detection latency
+   and outcome mix.
+
+     dune exec examples/hardened_kernel.exe *)
+
+module Image = Ferrite_kir.Image
+module Boot = Ferrite_kernel.Boot
+module Campaign = Ferrite_injection.Campaign
+module Target = Ferrite_injection.Target
+module Crash_cause = Ferrite_injection.Crash_cause
+module Hist = Ferrite_stats.Latency_histogram
+
+let campaign ~hardened =
+  let cfg = Campaign.default ~arch:Image.Cisc ~kind:Target.Data ~injections:6000 in
+  let cfg =
+    if hardened then
+      { cfg with Campaign.variant = { Boot.standard with Boot.v_assertions = true } }
+    else cfg
+  in
+  Campaign.run cfg
+
+let describe name result =
+  let s = Campaign.summarize result in
+  let h = Hist.of_list (Campaign.latencies result) in
+  Printf.printf "%s kernel:\n" name;
+  Printf.printf "  activated %d, crashes %d, hangs/unknown %d, fail-silence %d\n"
+    s.Campaign.activated s.Campaign.known_crash s.Campaign.hang_or_unknown s.Campaign.fsv;
+  Printf.printf "  crashes detected within 10k cycles: %.0f%%\n"
+    (100.0 *. Hist.fraction_below h ~cycles:10_000);
+  let panics =
+    List.fold_left
+      (fun acc (c, n) -> if Crash_cause.label c = "Kernel Panic" then acc + n else acc)
+      0 (Campaign.crash_causes result)
+  in
+  Printf.printf "  OS-detected (Kernel Panic) share of crashes: %d of %d\n\n" panics
+    s.Campaign.known_crash
+
+let () =
+  Printf.printf "Injecting 6,000 kernel-data bit flips into each build (P4)...\n\n%!";
+  describe "Stock" (campaign ~hardened:false);
+  describe "Hardened (assertions on critical data)" (campaign ~hardened:true);
+  print_endline
+    "The hardened build converts silent corruption into early, attributable\n\
+     panics - the latency reduction the paper's section 6 anticipates."

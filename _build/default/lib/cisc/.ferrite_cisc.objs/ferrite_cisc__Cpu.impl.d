@@ -1,0 +1,1 @@
+lib/cisc/cpu.ml: Array Counters Debug_regs Decode Exn Ferrite_machine Insn Int32 Int64 Memory Printf Word

@@ -1,0 +1,1 @@
+lib/cisc/cpu.mli: Exn Ferrite_machine

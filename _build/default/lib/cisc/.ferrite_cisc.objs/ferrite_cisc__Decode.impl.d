@@ -1,0 +1,1 @@
+lib/cisc/decode.ml: Ferrite_machine Insn

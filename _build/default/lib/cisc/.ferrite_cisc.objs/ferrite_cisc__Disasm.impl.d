@@ -1,0 +1,1 @@
+lib/cisc/disasm.ml: Array Buffer Decode Ferrite_machine Insn List Printf

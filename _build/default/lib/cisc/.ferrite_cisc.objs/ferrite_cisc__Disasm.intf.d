@@ -1,0 +1,1 @@
+lib/cisc/disasm.mli: Ferrite_machine Insn

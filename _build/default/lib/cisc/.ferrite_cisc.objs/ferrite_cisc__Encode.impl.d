@@ -1,0 +1,1 @@
+lib/cisc/encode.ml: Buffer Char Ferrite_machine Insn String

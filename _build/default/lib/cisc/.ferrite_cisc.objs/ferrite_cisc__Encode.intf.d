@@ -1,0 +1,1 @@
+lib/cisc/encode.mli: Insn

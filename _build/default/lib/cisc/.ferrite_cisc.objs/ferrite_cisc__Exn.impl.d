@@ -1,0 +1,1 @@
+lib/cisc/exn.ml: Ferrite_machine Format

@@ -1,0 +1,816 @@
+open Ferrite_machine
+open Insn
+
+type t = {
+  mem : Memory.t;
+  regs : int array;
+  mutable eip : int;
+  mutable eflags : int;
+  mutable fs : int;
+  mutable gs : int;
+  mutable cr0 : int;
+  mutable cr2 : int;
+  mutable cr3 : int;
+  mutable gdtr : int;
+  mutable idtr : int;
+  mutable ldtr : int;
+  mutable tr : int;
+  mutable dr_shadow : int array;
+  mutable msr_shadow : int array;
+      (* CR4, TSC, SYSENTER_CS/ESP/EIP: present and injectable, but not
+         consulted by a 2.4 int80 kernel — benign state, as on real hardware *)
+  dr : Debug_regs.t;
+  counters : Counters.t;
+  stop_addr : int;
+  mutable tlb_poisoned : bool;
+  mutable pending_hit : Debug_regs.data_hit option;
+  mutable stopped : bool;
+  mutable last_store_addr : int;
+  idtr0 : int;
+  cr3_0 : int;
+}
+
+let eax = 0
+let ecx = 1
+let edx = 2
+let ebx = 3
+let esp = 4
+let ebp = 5
+let esi = 6
+let edi = 7
+
+let flag_cf = 0
+let flag_pf = 2
+let flag_zf = 6
+let flag_sf = 7
+let flag_if = 9
+let flag_df = 10
+let flag_of = 11
+let flag_nt = 14
+
+let selector_kernel_cs = 0x10
+let selector_kernel_ds = 0x18
+let selector_user_cs = 0x23
+let selector_user_ds = 0x2B
+let selector_percpu = 0x38
+
+let gdtr_reset = 0xC0090000
+let idtr_reset = 0xC0092000
+let cr3_reset = 0x00101000
+
+let exception_dispatch_cycles = 1250
+
+let create ~mem ~stop_addr =
+  {
+    mem;
+    regs = Array.make 8 0;
+    eip = 0;
+    eflags = 0x202;  (* IF set, reserved bit 1 *)
+    fs = selector_percpu;
+    gs = selector_user_ds;
+    cr0 = 0x8005003B;  (* PG | WP | PE and friends *)
+    cr2 = 0;
+    cr3 = cr3_reset;
+    gdtr = gdtr_reset;
+    idtr = idtr_reset;
+    ldtr = 0;
+    tr = 0x30;
+    dr_shadow = Array.make 6 0;
+    msr_shadow = [| 0x000006D0; 0; 0; 0; 0 |];
+    dr = Debug_regs.create ();
+    counters = Counters.create ();
+    stop_addr;
+    tlb_poisoned = false;
+    pending_hit = None;
+    stopped = false;
+    last_store_addr = 0;
+    idtr0 = idtr_reset;
+    cr3_0 = cr3_reset;
+  }
+
+let getf t bit = t.eflags land (1 lsl bit) <> 0
+let setf t bit v = t.eflags <- (if v then t.eflags lor (1 lsl bit) else t.eflags land lnot (1 lsl bit)) land 0xFFFFFFFF
+
+(* Internal fault signal; [step] converts it into a [Faulted] result. *)
+exception Cpu_fault of Exn.t
+
+let gp ?addr () = raise (Cpu_fault (Exn.General_protection { addr }))
+let pf addr ~write = raise (Cpu_fault (Exn.Page_fault { addr; write; fetch = false }))
+
+(* Selector validity ignores the RPL bits (0-1): they pick a privilege level,
+   not a descriptor, so flipping them does not reference a bad GDT entry. *)
+let valid_data_selector s =
+  let idx = s land 0xFFFC in
+  idx = selector_kernel_ds land 0xFFFC
+  || idx = selector_user_ds land 0xFFFC
+  || idx = selector_percpu land 0xFFFC
+  || idx = 0
+
+let valid_code_selector s =
+  let idx = s land 0xFFFC in
+  idx = selector_kernel_cs land 0xFFFC || idx = selector_user_cs land 0xFFFC
+
+(* --- memory access, with translation poisoning and watchpoints ---------- *)
+
+let[@inline] poison_check t addr write =
+  if t.tlb_poisoned then
+    (* A corrupted CR3 makes the next translation resolve through garbage
+       page tables: the access faults at a scrambled linear address (the
+       paper's "noise on the address bus" analogy, §3.5). *)
+    pf (Word.mask (addr lxor 0x5A5A5000)) ~write
+
+let[@inline] note_data t addr len write =
+  if t.pending_hit = None then
+    match Debug_regs.check_data t.dr ~addr ~len ~is_write:write with
+    | Some h -> t.pending_hit <- Some h
+    | None -> ()
+
+let len_of = function S8 -> 1 | S16 -> 2 | S32 -> 4
+
+let data_read t size addr =
+  poison_check t addr false;
+  let v =
+    try
+      match size with
+      | S8 -> Memory.load8 t.mem addr
+      | S16 -> Memory.load16_le t.mem addr
+      | S32 -> Memory.load32_le t.mem addr
+    with
+    | Memory.Fault { addr; kind = Memory.Unmapped; _ } ->
+      t.cr2 <- addr;
+      pf addr ~write:false
+    | Memory.Fault { addr; kind = Memory.Protection; _ } -> gp ~addr ()
+  in
+  note_data t addr (len_of size) false;
+  v
+
+let data_write t size addr v =
+  poison_check t addr true;
+  (try
+     match size with
+     | S8 -> Memory.store8 t.mem addr v
+     | S16 -> Memory.store16_le t.mem addr v
+     | S32 -> Memory.store32_le t.mem addr v
+   with
+  | Memory.Fault { addr; kind = Memory.Unmapped; _ } ->
+    t.cr2 <- addr;
+    pf addr ~write:true
+  | Memory.Fault { addr; kind = Memory.Protection; _ } -> gp ~addr ());
+  t.last_store_addr <- addr;
+  note_data t addr (len_of size) true
+
+(* --- effective addresses ------------------------------------------------ *)
+
+let check_override t = function
+  | Some FS -> if not (valid_data_selector t.fs) || t.fs = 0 then gp ()
+  | Some GS -> if not (valid_data_selector t.gs) || t.gs = 0 then gp ()
+  | Some (ES | CS | SS | DS) | None -> ()
+
+let ea t m =
+  check_override t m.seg;
+  let base = match m.base with Some r -> t.regs.(r) | None -> 0 in
+  let index = match m.index with Some (r, s) -> t.regs.(r) * s | None -> 0 in
+  Word.mask (base + index + m.disp)
+
+(* --- operand access ----------------------------------------------------- *)
+
+let read_reg t size r =
+  match size with
+  | S32 -> t.regs.(r)
+  | S16 -> t.regs.(r) land 0xFFFF
+  | S8 -> if r < 4 then t.regs.(r) land 0xFF else (t.regs.(r - 4) lsr 8) land 0xFF
+
+let write_reg t size r v =
+  match size with
+  | S32 -> t.regs.(r) <- Word.mask v
+  | S16 -> t.regs.(r) <- (t.regs.(r) land 0xFFFF0000) lor (v land 0xFFFF)
+  | S8 ->
+    if r < 4 then t.regs.(r) <- (t.regs.(r) land 0xFFFFFF00) lor (v land 0xFF)
+    else t.regs.(r - 4) <- (t.regs.(r - 4) land 0xFFFF00FF) lor ((v land 0xFF) lsl 8)
+
+let read_operand t size = function
+  | Reg r -> read_reg t size r
+  | Mem m -> data_read t size (ea t m)
+  | Imm v -> (match size with S8 -> v land 0xFF | S16 -> v land 0xFFFF | S32 -> Word.mask v)
+
+let write_operand t size op v =
+  match op with
+  | Reg r -> write_reg t size r v
+  | Mem m -> data_write t size (ea t m) v
+  | Imm _ -> gp ()
+
+(* --- flags -------------------------------------------------------------- *)
+
+let size_bits = function S8 -> 8 | S16 -> 16 | S32 -> 32
+let sign_bit size = 1 lsl (size_bits size - 1)
+let size_mask = function S8 -> 0xFF | S16 -> 0xFFFF | S32 -> 0xFFFFFFFF
+
+let parity_even v =
+  let v = v land 0xFF in
+  let v = v lxor (v lsr 4) in
+  let v = v lxor (v lsr 2) in
+  let v = v lxor (v lsr 1) in
+  v land 1 = 0
+
+let set_szp t size r =
+  setf t flag_zf (r land size_mask size = 0);
+  setf t flag_sf (r land sign_bit size <> 0);
+  setf t flag_pf (parity_even r)
+
+let flags_logic t size r =
+  setf t flag_cf false;
+  setf t flag_of false;
+  set_szp t size r
+
+let flags_add t size a b r =
+  setf t flag_cf (r > size_mask size);
+  let sb = sign_bit size in
+  setf t flag_of ((a land sb) = (b land sb) && (r land sb) <> (a land sb));
+  set_szp t size r
+
+let flags_sub t size a b r =
+  setf t flag_cf (a < b);
+  let sb = sign_bit size in
+  setf t flag_of ((a land sb) <> (b land sb) && (r land sb) <> (a land sb));
+  set_szp t size r
+
+let eval_cond t = function
+  | O -> getf t flag_of
+  | NO -> not (getf t flag_of)
+  | B -> getf t flag_cf
+  | AE -> not (getf t flag_cf)
+  | E -> getf t flag_zf
+  | NE -> not (getf t flag_zf)
+  | BE -> getf t flag_cf || getf t flag_zf
+  | A -> not (getf t flag_cf) && not (getf t flag_zf)
+  | S -> getf t flag_sf
+  | NS -> not (getf t flag_sf)
+  | P -> getf t flag_pf
+  | NP -> not (getf t flag_pf)
+  | L -> getf t flag_sf <> getf t flag_of
+  | GE -> getf t flag_sf = getf t flag_of
+  | LE -> getf t flag_zf || getf t flag_sf <> getf t flag_of
+  | G -> (not (getf t flag_zf)) && getf t flag_sf = getf t flag_of
+
+(* --- stack -------------------------------------------------------------- *)
+
+let push32 t v =
+  t.regs.(esp) <- Word.sub t.regs.(esp) 4;
+  data_write t S32 t.regs.(esp) v
+
+let pop32 t =
+  let v = data_read t S32 t.regs.(esp) in
+  t.regs.(esp) <- Word.add t.regs.(esp) 4;
+  v
+
+(* --- privileged paths ---------------------------------------------------- *)
+
+let check_pe t = if t.cr0 land 1 = 0 then gp ()
+
+let do_iret t =
+  check_pe t;
+  if getf t flag_nt then begin
+    (* Nested-task return: the simulated kernel never chains tasks, so a
+       corrupted NT bit sends IRET through an invalid TSS back-link (§5.2). *)
+    if t.tr <> 0x30 then raise (Cpu_fault Exn.Invalid_tss)
+    else raise (Cpu_fault Exn.Invalid_tss)
+  end;
+  let new_eip = pop32 t in
+  let new_cs = pop32 t in
+  let new_flags = pop32 t in
+  (* IRET reloads the CS descriptor (through the GDT) but does not touch
+     FS/GS — those are only validated when explicitly loaded. *)
+  if t.gdtr <> gdtr_reset then gp ();
+  if not (valid_code_selector (new_cs land 0xFFFF)) then gp ();
+  t.eflags <- (new_flags lor 2) land lnot ((1 lsl 3) lor (1 lsl 5) lor (1 lsl 15)) land 0xFFFFFFFF;
+  t.eip <- new_eip;
+  if new_eip = t.stop_addr then t.stopped <- true
+
+(* --- instruction execution ---------------------------------------------- *)
+
+(* Amortised cycle costs on a 1.5 GHz deep-pipeline part: memory operands
+   carry the averaged cache-miss penalty, which is what stretches the
+   P4's error-propagation windows into the paper's 3k-100k cycle band. *)
+let cycles_of_insn = function
+  | Mov (_, Mem _, _) | Mov (_, _, Mem _) -> 18
+  | Alu (_, _, Mem _, _) | Alu (_, _, _, Mem _) -> 18
+  | Movzx (_, _, Mem _) | Movsx (_, _, Mem _) -> 18
+  | Push _ | Pop _ -> 8
+  | Call_rel _ | Call_ind _ | Ret | Ret_imm _ | Leave -> 16
+  | Iret -> 40
+  | Jcc _ | Jmp_rel _ | Jmp_ind _ -> 4
+  | Grp3 ((Mul | Imul1), _, _) | Imul2 _ | Imul3 _ -> 15
+  | Grp3 ((Div | Idiv), _, _) -> 50
+  | Movs _ | Stos _ | Lods _ -> 8
+  | Pusha | Popa -> 24
+  | Hlt -> 2
+  | _ -> 3
+
+let exec_alu t op size dst src =
+  let a = read_operand t size dst in
+  let b = read_operand t size src in
+  let m = size_mask size in
+  match op with
+  | Add ->
+    let r = a + b in
+    flags_add t size a b r;
+    write_operand t size dst (r land m)
+  | Adc ->
+    let cin = if getf t flag_cf then 1 else 0 in
+    let r = a + b + cin in
+    flags_add t size a b r;
+    write_operand t size dst (r land m)
+  | Sub ->
+    let r = (a - b) land m in
+    flags_sub t size a b r;
+    write_operand t size dst r
+  | Sbb ->
+    let cin = if getf t flag_cf then 1 else 0 in
+    let r = (a - b - cin) land m in
+    flags_sub t size a b r;
+    write_operand t size dst r
+  | Cmp ->
+    let r = (a - b) land m in
+    flags_sub t size a b r
+  | And ->
+    let r = a land b in
+    flags_logic t size r;
+    write_operand t size dst r
+  | Or ->
+    let r = a lor b in
+    flags_logic t size r;
+    write_operand t size dst r
+  | Xor ->
+    let r = a lxor b in
+    flags_logic t size r;
+    write_operand t size dst r
+
+let exec_shift t op size dst count =
+  let n = (match count with Count_imm k -> k | Count_cl -> t.regs.(ecx)) land 31 in
+  if n <> 0 then begin
+    let a = read_operand t size dst in
+    let bits = size_bits size in
+    let m = size_mask size in
+    let r, cf =
+      match op with
+      | Shl | Sal -> ((a lsl n) land m, (a lsr (bits - n)) land 1 = 1)
+      | Shr -> (a lsr n, (a lsr (n - 1)) land 1 = 1)
+      | Sar ->
+        let signed = if a land sign_bit size <> 0 then a - (m + 1) else a in
+        ((signed asr n) land m, (signed asr (n - 1)) land 1 = 1)
+      | Rol ->
+        let n = n mod bits in
+        let r = ((a lsl n) lor (a lsr (bits - n))) land m in
+        (r, r land 1 = 1)
+      | Ror ->
+        let n = n mod bits in
+        let r = ((a lsr n) lor (a lsl (bits - n))) land m in
+        (r, r land sign_bit size <> 0)
+      | Rcl | Rcr ->
+        (* Rotate-through-carry: approximated as plain rotate; the carry
+           chain length is immaterial to fault behaviour. *)
+        let n = n mod bits in
+        let r = ((a lsl n) lor (a lsr (bits - n))) land m in
+        (r, r land 1 = 1)
+    in
+    setf t flag_cf cf;
+    set_szp t size r;
+    write_operand t size dst r
+  end
+
+let exec_muldiv t g size op1 =
+  let m = size_mask size in
+  match g with
+  | Test_imm v ->
+    let a = read_operand t size op1 in
+    flags_logic t size (a land v land m)
+  | Not ->
+    let a = read_operand t size op1 in
+    write_operand t size op1 (lnot a land m)
+  | Neg ->
+    let a = read_operand t size op1 in
+    let r = (- a) land m in
+    flags_sub t size 0 a r;
+    write_operand t size op1 r
+  | Mul ->
+    let a = read_operand t size op1 in
+    (match size with
+    | S32 ->
+      let p = Int64.mul (Int64.of_int t.regs.(eax)) (Int64.of_int a) in
+      let lo = Int64.to_int (Int64.logand p 0xFFFFFFFFL) in
+      let hi = Int64.to_int (Int64.shift_right_logical p 32) in
+      t.regs.(eax) <- lo;
+      t.regs.(edx) <- hi;
+      setf t flag_cf (hi <> 0);
+      setf t flag_of (hi <> 0)
+    | S16 | S8 ->
+      let p = read_reg t size eax * a in
+      write_reg t size eax p;
+      write_reg t size edx (p lsr size_bits size);
+      setf t flag_cf (p lsr size_bits size <> 0);
+      setf t flag_of (p lsr size_bits size <> 0))
+  | Imul1 ->
+    let a = read_operand t size op1 in
+    let sext v =
+      match size with
+      | S8 -> Word.signed (Word.sign_extend8 v)
+      | S16 -> Word.signed (Word.sign_extend16 v)
+      | S32 -> Word.signed v
+    in
+    (match size with
+    | S32 ->
+      let p = Int64.mul (Int64.of_int (sext t.regs.(eax))) (Int64.of_int (sext a)) in
+      t.regs.(eax) <- Int64.to_int (Int64.logand p 0xFFFFFFFFL);
+      t.regs.(edx) <- Int64.to_int (Int64.logand (Int64.shift_right p 32) 0xFFFFFFFFL);
+      let fits = Int64.equal p (Int64.of_int32 (Int64.to_int32 p)) in
+      setf t flag_cf (not fits);
+      setf t flag_of (not fits)
+    | S16 | S8 ->
+      let p = sext (read_reg t size eax) * sext a in
+      write_reg t size eax p;
+      write_reg t size edx (p asr size_bits size);
+      let fits = p >= - (sign_bit size) && p < sign_bit size in
+      setf t flag_cf (not fits);
+      setf t flag_of (not fits))
+  | Div ->
+    let d = read_operand t size op1 in
+    if d = 0 then raise (Cpu_fault Exn.Divide_error);
+    (match size with
+    | S32 ->
+      let dividend =
+        Int64.logor
+          (Int64.shift_left (Int64.of_int t.regs.(edx)) 32)
+          (Int64.of_int t.regs.(eax))
+      in
+      let dl = Int64.of_int d in
+      let q = Int64.unsigned_div dividend dl in
+      if Int64.unsigned_compare q 0xFFFFFFFFL > 0 then raise (Cpu_fault Exn.Divide_error);
+      t.regs.(eax) <- Int64.to_int q;
+      t.regs.(edx) <- Int64.to_int (Int64.unsigned_rem dividend dl)
+    | S16 | S8 ->
+      let bits = size_bits size in
+      let dividend = (read_reg t size edx lsl bits) lor read_reg t size eax in
+      let q = dividend / d in
+      if q > m then raise (Cpu_fault Exn.Divide_error);
+      write_reg t size eax q;
+      write_reg t size edx (dividend mod d))
+  | Idiv ->
+    let d = read_operand t size op1 in
+    if d = 0 then raise (Cpu_fault Exn.Divide_error);
+    (match size with
+    | S32 ->
+      let dividend =
+        Int64.logor
+          (Int64.shift_left (Int64.of_int t.regs.(edx)) 32)
+          (Int64.of_int t.regs.(eax))
+      in
+      let dl = Int64.of_int32 (Int32.of_int d) in
+      let q = Int64.div dividend dl in
+      if Int64.compare q 0x7FFFFFFFL > 0 || Int64.compare q (-0x80000000L) < 0 then
+        raise (Cpu_fault Exn.Divide_error);
+      t.regs.(eax) <- Int64.to_int (Int64.logand q 0xFFFFFFFFL);
+      t.regs.(edx) <- Int64.to_int (Int64.logand (Int64.rem dividend dl) 0xFFFFFFFFL)
+    | S16 | S8 ->
+      let bits = size_bits size in
+      let dividend = (read_reg t size edx lsl bits) lor read_reg t size eax in
+      let q = dividend / d in
+      write_reg t size eax (q land m);
+      write_reg t size edx (dividend mod d land m))
+
+let string_step t size ~src ~dst =
+  let bytes = len_of size in
+  let delta = if getf t flag_df then - bytes else bytes in
+  (match src, dst with
+  | true, true ->
+    let v = data_read t size t.regs.(esi) in
+    data_write t size t.regs.(edi) v;
+    t.regs.(esi) <- Word.add t.regs.(esi) delta;
+    t.regs.(edi) <- Word.add t.regs.(edi) delta
+  | false, true ->
+    data_write t size t.regs.(edi) (read_reg t size eax);
+    t.regs.(edi) <- Word.add t.regs.(edi) delta
+  | true, false ->
+    write_reg t size eax (data_read t size t.regs.(esi));
+    t.regs.(esi) <- Word.add t.regs.(esi) delta
+  | false, false -> ())
+
+(* Execute up to [budget] REP iterations; x86 string instructions are
+   restartable, so a partially completed REP leaves EIP on itself. *)
+let exec_rep t size ~src ~dst ~pc =
+  let budget = 64 in
+  let rec go n =
+    if t.regs.(ecx) = 0 then ()
+    else if n = 0 then t.eip <- pc  (* resume this instruction next step *)
+    else begin
+      string_step t size ~src ~dst;
+      t.regs.(ecx) <- Word.sub t.regs.(ecx) 1;
+      Counters.idle t.counters 3;
+      go (n - 1)
+    end
+  in
+  go budget
+
+let exec t pc (d : decoded) =
+  match d.insn with
+  | Alu (op, size, dst, src) -> exec_alu t op size dst src
+  | Test (size, a, b) ->
+    let x = read_operand t size a and y = read_operand t size b in
+    flags_logic t size (x land y)
+  | Mov (size, dst, src) ->
+    let v = read_operand t size src in
+    write_operand t size dst v
+  | Movzx (ssize, r, src) -> t.regs.(r) <- read_operand t ssize src
+  | Movsx (ssize, r, src) ->
+    let v = read_operand t ssize src in
+    t.regs.(r) <-
+      (match ssize with
+      | S8 -> Word.sign_extend8 v
+      | S16 -> Word.sign_extend16 v
+      | S32 -> v)
+  | Lea (r, m) ->
+    (* LEA performs no memory access and no segment validation. *)
+    let base = match m.base with Some b -> t.regs.(b) | None -> 0 in
+    let index = match m.index with Some (i, s) -> t.regs.(i) * s | None -> 0 in
+    t.regs.(r) <- Word.mask (base + index + m.disp)
+  | Xchg (size, op1, r) ->
+    let a = read_operand t size op1 in
+    let b = read_reg t size r in
+    write_operand t size op1 b;
+    write_reg t size r a
+  | Inc (size, op1) ->
+    let a = read_operand t size op1 in
+    let r = (a + 1) land size_mask size in
+    let cf = getf t flag_cf in
+    flags_add t size a 1 r;
+    setf t flag_cf cf;
+    write_operand t size op1 r
+  | Dec (size, op1) ->
+    let a = read_operand t size op1 in
+    let r = (a - 1) land size_mask size in
+    let cf = getf t flag_cf in
+    flags_sub t size a 1 r;
+    setf t flag_cf cf;
+    write_operand t size op1 r
+  | Push op1 -> push32 t (read_operand t S32 op1)
+  | Pop op1 ->
+    let v = pop32 t in
+    write_operand t S32 op1 v
+  | Pusha ->
+    let sp0 = t.regs.(esp) in
+    push32 t t.regs.(eax);
+    push32 t t.regs.(ecx);
+    push32 t t.regs.(edx);
+    push32 t t.regs.(ebx);
+    push32 t sp0;
+    push32 t t.regs.(ebp);
+    push32 t t.regs.(esi);
+    push32 t t.regs.(edi)
+  | Popa ->
+    t.regs.(edi) <- pop32 t;
+    t.regs.(esi) <- pop32 t;
+    t.regs.(ebp) <- pop32 t;
+    let _ = pop32 t in
+    t.regs.(ebx) <- pop32 t;
+    t.regs.(edx) <- pop32 t;
+    t.regs.(ecx) <- pop32 t;
+    t.regs.(eax) <- pop32 t
+  | Pushf -> push32 t t.eflags
+  | Popf -> t.eflags <- (pop32 t lor 2) land 0xFFFFFFFF
+  | Grp3 (g, size, op1) -> exec_muldiv t g size op1
+  | Imul2 (r, src) ->
+    let a = Word.signed t.regs.(r) and b = Word.signed (read_operand t S32 src) in
+    let p = a * b in
+    t.regs.(r) <- Word.mask p;
+    let fits = p >= -0x80000000 && p <= 0x7FFFFFFF in
+    setf t flag_cf (not fits);
+    setf t flag_of (not fits)
+  | Imul3 (r, src, k) ->
+    let a = Word.signed (read_operand t S32 src) and b = Word.signed (Word.mask k) in
+    let p = a * b in
+    t.regs.(r) <- Word.mask p;
+    let fits = p >= -0x80000000 && p <= 0x7FFFFFFF in
+    setf t flag_cf (not fits);
+    setf t flag_of (not fits)
+  | Shift (op, size, dst, count) -> exec_shift t op size dst count
+  | Jcc (c, rel) -> if eval_cond t c then t.eip <- Word.add t.eip rel
+  | Jmp_rel rel -> t.eip <- Word.add t.eip rel
+  | Jmp_ind op1 ->
+    let target = read_operand t S32 op1 in
+    t.eip <- target;
+    if target = t.stop_addr then t.stopped <- true
+  | Call_rel rel ->
+    push32 t t.eip;
+    t.eip <- Word.add t.eip rel
+  | Call_ind op1 ->
+    let target = read_operand t S32 op1 in
+    push32 t t.eip;
+    t.eip <- target
+  | Ret ->
+    let r = pop32 t in
+    t.eip <- r;
+    if r = t.stop_addr then t.stopped <- true
+  | Ret_imm k ->
+    let r = pop32 t in
+    t.regs.(esp) <- Word.add t.regs.(esp) k;
+    t.eip <- r;
+    if r = t.stop_addr then t.stopped <- true
+  | Leave ->
+    t.regs.(esp) <- t.regs.(ebp);
+    t.regs.(ebp) <- pop32 t
+  | Iret -> do_iret t
+  | Int _ -> gp ()
+  | Int3 -> raise (Cpu_fault Exn.Breakpoint_trap)
+  | Bound (r, m) ->
+    let addr = ea t m in
+    let lo = Word.signed (data_read t S32 addr) in
+    let hi = Word.signed (data_read t S32 (Word.add addr 4)) in
+    let v = Word.signed t.regs.(r) in
+    if v < lo || v > hi then raise (Cpu_fault Exn.Bounds)
+  | Cwde -> t.regs.(eax) <- Word.sign_extend16 (t.regs.(eax) land 0xFFFF)
+  | Cdq -> t.regs.(edx) <- (if t.regs.(eax) land 0x80000000 <> 0 then 0xFFFFFFFF else 0)
+  | Setcc (c, op1) -> write_operand t S8 op1 (if eval_cond t c then 1 else 0)
+  | Nop -> ()
+  | Hlt -> ()
+  | Cli -> setf t flag_if false
+  | Sti -> setf t flag_if true
+  | Clc -> setf t flag_cf false
+  | Stc -> setf t flag_cf true
+  | Cmc -> setf t flag_cf (not (getf t flag_cf))
+  | Cld -> setf t flag_df false
+  | Std -> setf t flag_df true
+  | Ud2 -> raise (Cpu_fault Exn.Invalid_opcode)
+  | Movs size ->
+    if d.rep then exec_rep t size ~src:true ~dst:true ~pc
+    else string_step t size ~src:true ~dst:true
+  | Stos size ->
+    if d.rep then exec_rep t size ~src:false ~dst:true ~pc
+    else string_step t size ~src:false ~dst:true
+  | Lods size ->
+    if d.rep then exec_rep t size ~src:true ~dst:false ~pc
+    else string_step t size ~src:true ~dst:false
+  | Mov_from_seg (op1, s) ->
+    let v = match s with ES -> selector_user_ds | CS -> selector_kernel_cs | SS -> selector_kernel_ds | DS -> selector_kernel_ds | FS -> t.fs | GS -> t.gs in
+    write_operand t S32 op1 v
+  | Mov_to_seg (s, op1) ->
+    let v = read_operand t S16 op1 in
+    if t.gdtr <> gdtr_reset then gp ();
+    if not (valid_data_selector v) then gp ();
+    (match s with
+    | FS -> t.fs <- v
+    | GS -> t.gs <- v
+    | ES | SS | DS -> ()
+    | CS -> gp ())
+  | Mov_from_cr (cr, r) ->
+    t.regs.(r) <-
+      (match cr with 0 -> t.cr0 | 2 -> t.cr2 | 3 -> t.cr3 | _ -> gp ())
+  | Mov_to_cr (cr, r) ->
+    let v = t.regs.(r) in
+    (match cr with
+    | 0 -> t.cr0 <- v; check_pe t
+    | 2 -> t.cr2 <- v
+    | 3 -> t.cr3 <- v; t.tlb_poisoned <- v <> t.cr3_0
+    | _ -> gp ())
+  | In_al -> write_reg t S8 eax 0
+  | Out_al -> ()
+  | Daa | Das | Aaa | Aas ->
+    (* BCD adjusts: correct AL per the decimal rules; flags approximated *)
+    let al = read_reg t S8 eax in
+    let al' = if al land 0x0F > 9 then (al + 6) land 0xFF else al in
+    write_reg t S8 eax al';
+    set_szp t S8 al'
+  | Aam k ->
+    if k = 0 then raise (Cpu_fault Exn.Divide_error);
+    let al = read_reg t S8 eax in
+    write_reg t S8 eax (al mod k);
+    write_reg t S8 (eax + 4) (al / k);  (* AH *)
+    set_szp t S8 (al mod k)
+  | Aad k ->
+    let al = read_reg t S8 eax and ah = read_reg t S8 (eax + 4) in
+    let v = (al + (ah * k)) land 0xFF in
+    write_reg t S8 eax v;
+    write_reg t S8 (eax + 4) 0;
+    set_szp t S8 v
+  | Salc -> write_reg t S8 eax (if getf t flag_cf then 0xFF else 0)
+  | Xlat ->
+    let addr = Word.add t.regs.(ebx) (read_reg t S8 eax) in
+    write_reg t S8 eax (data_read t S8 addr)
+  | Loop rel ->
+    t.regs.(ecx) <- Word.sub t.regs.(ecx) 1;
+    if t.regs.(ecx) <> 0 then t.eip <- Word.add t.eip rel
+  | Loope rel ->
+    t.regs.(ecx) <- Word.sub t.regs.(ecx) 1;
+    if t.regs.(ecx) <> 0 && getf t flag_zf then t.eip <- Word.add t.eip rel
+  | Loopne rel ->
+    t.regs.(ecx) <- Word.sub t.regs.(ecx) 1;
+    if t.regs.(ecx) <> 0 && not (getf t flag_zf) then t.eip <- Word.add t.eip rel
+  | Jcxz rel -> if t.regs.(ecx) = 0 then t.eip <- Word.add t.eip rel
+
+(* --- the step loop ------------------------------------------------------ *)
+
+type step_result =
+  | Retired
+  | Halted
+  | Hit_ibp
+  | Hit_dbp of Debug_regs.data_hit
+  | Stopped
+  | Faulted of Exn.t
+
+let ifetch t addr =
+  poison_check t addr false;
+  Memory.fetch8 t.mem addr
+
+let deliver_fault t pc e =
+  t.eip <- pc;
+  Counters.idle t.counters exception_dispatch_cycles;
+  (* A corrupted IDTR means the hardware cannot even find the handler: the
+     fault escalates to a double fault and no crash dump escapes. *)
+  if t.idtr <> t.idtr0 then Faulted Exn.Double_fault else Faulted e
+
+let step ?(skip_ibp = false) t =
+  let pc = t.eip in
+  if (not skip_ibp) && Debug_regs.check_exec t.dr pc then Hit_ibp
+  else begin
+    t.pending_hit <- None;
+    t.stopped <- false;
+    match Decode.decode ~fetch:(ifetch t) pc with
+    | exception Decode.Undefined_opcode -> deliver_fault t pc Exn.Invalid_opcode
+    | exception Invalid_argument _ -> deliver_fault t pc Exn.Invalid_opcode
+    | exception Memory.Fault { addr; kind = Memory.Unmapped; _ } ->
+      deliver_fault t pc (Exn.Page_fault { addr; write = false; fetch = true })
+    | exception Memory.Fault { addr; kind = Memory.Protection; _ } ->
+      deliver_fault t pc (Exn.General_protection { addr = Some addr })
+    | exception Cpu_fault e -> deliver_fault t pc e
+    | d ->
+      t.eip <- Word.add pc d.length;
+      (match exec t pc d with
+      | exception Cpu_fault e -> deliver_fault t pc e
+      | exception Memory.Fault { addr; kind = Memory.Unmapped; _ } ->
+        deliver_fault t pc (Exn.Page_fault { addr; write = false; fetch = false })
+      | exception Memory.Fault { addr; kind = Memory.Protection; _ } ->
+        deliver_fault t pc (Exn.General_protection { addr = Some addr })
+      | () ->
+        Counters.retire t.counters ~cost:(cycles_of_insn d.insn);
+        if t.stopped then Stopped
+        else if d.insn = Hlt then
+          if getf t flag_if then Halted
+          else begin
+            (* HLT with interrupts disabled never wakes: spin here so the
+               watchdog sees no progress and declares a hang. *)
+            t.eip <- pc;
+            Retired
+          end
+        else
+          match t.pending_hit with
+          | Some h -> Hit_dbp h
+          | None -> Retired)
+  end
+
+(* --- system registers (the P4 injection targets, §5.2) ------------------ *)
+
+type sysreg = {
+  sr_name : string;
+  sr_bits : int;
+  sr_get : t -> int;
+  sr_set : t -> int -> unit;
+}
+
+let system_registers =
+  let msr i name = {
+    sr_name = name;
+    sr_bits = 32;
+    sr_get = (fun t -> t.msr_shadow.(i));
+    sr_set = (fun t v -> t.msr_shadow.(i) <- v);
+  }
+  in
+  let dr i = {
+    sr_name = Printf.sprintf "DR%d" (if i >= 4 then i + 2 else i);
+    sr_bits = 32;
+    sr_get = (fun t -> t.dr_shadow.(i));
+    sr_set = (fun t v -> t.dr_shadow.(i) <- v);
+  }
+  in
+  [|
+    { sr_name = "EFLAGS"; sr_bits = 32; sr_get = (fun t -> t.eflags); sr_set = (fun t v -> t.eflags <- v) };
+    { sr_name = "ESP"; sr_bits = 32; sr_get = (fun t -> t.regs.(esp)); sr_set = (fun t v -> t.regs.(esp) <- v) };
+    { sr_name = "EIP"; sr_bits = 32; sr_get = (fun t -> t.eip); sr_set = (fun t v -> t.eip <- v) };
+    { sr_name = "CR0"; sr_bits = 32; sr_get = (fun t -> t.cr0); sr_set = (fun t v -> t.cr0 <- v) };
+    { sr_name = "CR2"; sr_bits = 32; sr_get = (fun t -> t.cr2); sr_set = (fun t v -> t.cr2 <- v) };
+    {
+      sr_name = "CR3";
+      sr_bits = 32;
+      (* A transient flip in CR3 is shielded by the TLB and by global kernel
+         mappings: kernel threads never reload the page-table base, so the
+         corruption stays latent for the run. An explicit MOV CR3 (a TLB
+         flush) does poison translation — see [Mov_to_cr]. *)
+      sr_get = (fun t -> t.cr3);
+      sr_set = (fun t v -> t.cr3 <- v);
+    };
+    { sr_name = "GDTR"; sr_bits = 32; sr_get = (fun t -> t.gdtr); sr_set = (fun t v -> t.gdtr <- v) };
+    { sr_name = "IDTR"; sr_bits = 32; sr_get = (fun t -> t.idtr); sr_set = (fun t v -> t.idtr <- v) };
+    { sr_name = "LDTR"; sr_bits = 16; sr_get = (fun t -> t.ldtr); sr_set = (fun t v -> t.ldtr <- v) };
+    { sr_name = "TR"; sr_bits = 16; sr_get = (fun t -> t.tr); sr_set = (fun t v -> t.tr <- v) };
+    { sr_name = "FS"; sr_bits = 16; sr_get = (fun t -> t.fs); sr_set = (fun t v -> t.fs <- v) };
+    { sr_name = "GS"; sr_bits = 16; sr_get = (fun t -> t.gs); sr_set = (fun t v -> t.gs <- v) };
+    dr 0; dr 1; dr 2; dr 3; dr 4; dr 5;
+    msr 0 "CR4"; msr 1 "TSC"; msr 2 "SYSENTER_CS"; msr 3 "SYSENTER_ESP"; msr 4 "SYSENTER_EIP";
+  |]

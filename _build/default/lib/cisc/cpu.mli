@@ -1,0 +1,110 @@
+(** The P4-like CPU: state, interpreter and system-register model.
+
+    The CPU executes kernel code in a flat Linux-2.4-style address space. It
+    is driven by a harness (the OS model in {!Ferrite_kernel}) through
+    {!step}; architectural exceptions are returned to the harness rather than
+    vectored into simulated handler code, mirroring how the paper's
+    kernel-embedded crash handler observes them.
+
+    System registers follow the paper's P4 campaign (§5.2): EFLAGS (system
+    bits), ESP, EIP, CR0/CR2/CR3, GDTR/IDTR/LDTR/TR, DR0–DR3/DR6/DR7 and the
+    FS/GS selectors — about twenty registers, of which only a handful can
+    crash the kernel. *)
+
+type t = {
+  mem : Ferrite_machine.Memory.t;
+  regs : int array;  (** EAX ECX EDX EBX ESP EBP ESI EDI *)
+  mutable eip : int;
+  mutable eflags : int;
+  mutable fs : int;
+  mutable gs : int;
+  mutable cr0 : int;
+  mutable cr2 : int;
+  mutable cr3 : int;
+  mutable gdtr : int;
+  mutable idtr : int;
+  mutable ldtr : int;
+  mutable tr : int;
+  mutable dr_shadow : int array;  (** DR0-3, DR6, DR7 as injectable state *)
+  mutable msr_shadow : int array;
+      (** CR4, TSC, SYSENTER_CS/ESP/EIP — injectable but unconsulted by a 2.4
+          int80 kernel *)
+  dr : Ferrite_machine.Debug_regs.t;
+  counters : Ferrite_machine.Counters.t;
+  stop_addr : int;
+  mutable tlb_poisoned : bool;
+  mutable pending_hit : Ferrite_machine.Debug_regs.data_hit option;
+  mutable stopped : bool;
+  mutable last_store_addr : int;  (** diagnostics for crash dumps *)
+  idtr0 : int;
+  cr3_0 : int;
+}
+
+(** Register indices. *)
+
+val eax : int
+val ecx : int
+val edx : int
+val ebx : int
+val esp : int
+val ebp : int
+val esi : int
+val edi : int
+
+(** EFLAGS bit positions. *)
+
+val flag_cf : int
+val flag_zf : int
+val flag_sf : int
+val flag_of : int
+val flag_if : int
+val flag_df : int
+val flag_nt : int
+
+val selector_kernel_cs : int
+val selector_kernel_ds : int
+val selector_user_cs : int
+val selector_user_ds : int
+val selector_percpu : int
+
+val create : mem:Ferrite_machine.Memory.t -> stop_addr:int -> t
+(** Fresh CPU in kernel mode with architectural reset values. *)
+
+val getf : t -> int -> bool
+(** [getf t bit] reads an EFLAGS bit. *)
+
+val setf : t -> int -> bool -> unit
+
+type step_result =
+  | Retired  (** one instruction completed *)
+  | Halted  (** HLT with interrupts enabled: CPU is idle *)
+  | Hit_ibp  (** armed instruction breakpoint at EIP; nothing was executed *)
+  | Hit_dbp of Ferrite_machine.Debug_regs.data_hit
+      (** instruction retired and touched a watched location *)
+  | Stopped  (** control returned to the harness (RET/IRET to the stop address) *)
+  | Faulted of Exn.t  (** architectural exception; EIP is the faulting address *)
+
+val step : ?skip_ibp:bool -> t -> step_result
+(** Execute (at most) one instruction. [skip_ibp] suppresses the
+    instruction-breakpoint check once, so the injector can resume after
+    servicing a hit. *)
+
+val push32 : t -> int -> unit
+(** Harness primitive: push a word on the current stack (bypasses nothing —
+    may raise {!Ferrite_machine.Memory.Fault} if ESP is unmapped). *)
+
+type sysreg = {
+  sr_name : string;
+  sr_bits : int;
+  sr_get : t -> int;
+  sr_set : t -> int -> unit;
+}
+
+val system_registers : sysreg array
+(** The P4 system-register injection targets. Setters model the architectural
+    side effects of corruption (e.g. a CR3 write poisons translation; CR0.PE
+    cleared trips #GP at the next privilege-sensitive point). *)
+
+val exception_dispatch_cycles : int
+(** Cycles charged for hardware exception dispatch (the paper's Fig. 3
+    stage 2: "more than 1000 CPU cycles"). *)

@@ -1,0 +1,361 @@
+open Insn
+
+exception Undefined_opcode
+
+type cursor = {
+  fetch : int -> int;
+  start : int;
+  mutable pos : int;
+  mutable seg : seg option;
+  mutable osize : size;  (* S32 or S16 under the 0x66 prefix *)
+  mutable rep : bool;
+}
+
+let max_length = 15
+
+let byte c =
+  if c.pos - c.start >= max_length then invalid_arg "Decode: instruction too long";
+  let b = c.fetch c.pos in
+  c.pos <- c.pos + 1;
+  b
+
+let imm8 c = byte c
+let imm8s c = Ferrite_machine.Word.sign_extend8 (byte c)
+
+let imm16 c =
+  let lo = byte c in
+  lo lor (byte c lsl 8)
+
+let imm32 c =
+  let b0 = byte c in
+  let b1 = byte c in
+  let b2 = byte c in
+  let b3 = byte c in
+  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+let imm_osize c = match c.osize with S16 -> imm16 c | _ -> imm32 c
+
+let rel8 c = Ferrite_machine.Word.sign_extend8 (byte c)
+let rel32 c = imm32 c
+
+(* ModRM / SIB --------------------------------------------------------- *)
+
+type modrm = { reg_field : int; rm : operand }
+
+let decode_sib c md =
+  let sib = byte c in
+  let scale = 1 lsl (sib lsr 6) in
+  let index_field = (sib lsr 3) land 7 in
+  let base_field = sib land 7 in
+  let index = if index_field = 4 then None else Some (index_field, scale) in
+  let base, disp0 =
+    if base_field = 5 && md = 0 then (None, imm32 c) else (Some base_field, 0)
+  in
+  (base, index, disp0)
+
+let decode_modrm c =
+  let m = byte c in
+  let md = m lsr 6 in
+  let reg_field = (m lsr 3) land 7 in
+  let rm_field = m land 7 in
+  if md = 3 then { reg_field; rm = Reg rm_field }
+  else begin
+    let base, index, disp0 =
+      if rm_field = 4 then decode_sib c md
+      else if rm_field = 5 && md = 0 then (None, None, imm32 c)
+      else (Some rm_field, None, 0)
+    in
+    let disp =
+      match md with
+      | 0 -> disp0
+      | 1 -> Ferrite_machine.Word.mask (disp0 + imm8s c)
+      | 2 -> Ferrite_machine.Word.mask (disp0 + imm32 c)
+      | _ -> assert false
+    in
+    { reg_field; rm = Mem { base; index; disp; seg = c.seg } }
+  end
+
+let cond_of_nibble = function
+  | 0 -> O | 1 -> NO | 2 -> B | 3 -> AE | 4 -> E | 5 -> NE | 6 -> BE | 7 -> A
+  | 8 -> S | 9 -> NS | 10 -> P | 11 -> NP | 12 -> L | 13 -> GE | 14 -> LE | _ -> G
+
+let alu_of_index = function
+  | 0 -> Add | 1 -> Or | 2 -> Adc | 3 -> Sbb | 4 -> And | 5 -> Sub | 6 -> Xor | _ -> Cmp
+
+let shift_of_index = function
+  | 0 -> Rol | 1 -> Ror | 2 -> Rcl | 3 -> Rcr | 4 -> Shl | 5 -> Shr | 6 -> Sal | _ -> Sar
+
+(* Two-byte opcodes (0F xx) -------------------------------------------- *)
+
+let decode_0f c =
+  let op = byte c in
+  match op with
+  | 0x0B -> Ud2
+  | 0x1F ->
+    (* long NOP *)
+    let _ = decode_modrm c in
+    Nop
+  | 0x20 ->
+    let m = byte c in
+    if m lsr 6 <> 3 then raise Undefined_opcode;
+    Mov_from_cr ((m lsr 3) land 7, m land 7)
+  | 0x22 ->
+    let m = byte c in
+    if m lsr 6 <> 3 then raise Undefined_opcode;
+    Mov_to_cr ((m lsr 3) land 7, m land 7)
+  | 0x31 -> Nop (* RDTSC modelled as a no-op; the harness reads counters *)
+  | 0xA2 -> Nop (* CPUID *)
+  | 0xAF ->
+    let { reg_field; rm } = decode_modrm c in
+    Imul2 (reg_field, rm)
+  | 0xB6 ->
+    let { reg_field; rm } = decode_modrm c in
+    Movzx (S8, reg_field, rm)
+  | 0xB7 ->
+    let { reg_field; rm } = decode_modrm c in
+    Movzx (S16, reg_field, rm)
+  | 0xBE ->
+    let { reg_field; rm } = decode_modrm c in
+    Movsx (S8, reg_field, rm)
+  | 0xBF ->
+    let { reg_field; rm } = decode_modrm c in
+    Movsx (S16, reg_field, rm)
+  | _ when op >= 0x80 && op <= 0x8F -> Jcc (cond_of_nibble (op land 0xF), rel32 c)
+  | _ when op >= 0x90 && op <= 0x9F ->
+    let { rm; _ } = decode_modrm c in
+    Setcc (cond_of_nibble (op land 0xF), rm)
+  | _ -> raise Undefined_opcode
+
+(* One-byte opcode dispatch -------------------------------------------- *)
+
+let rec decode_op c =
+  let op = byte c in
+  match op with
+  (* prefixes *)
+  | 0x26 -> c.seg <- Some ES; decode_op c
+  | 0x2E -> c.seg <- Some CS; decode_op c
+  | 0x36 -> c.seg <- Some SS; decode_op c
+  | 0x3E -> c.seg <- Some DS; decode_op c
+  | 0x64 -> c.seg <- Some FS; decode_op c
+  | 0x65 -> c.seg <- Some GS; decode_op c
+  | 0x66 -> c.osize <- S16; decode_op c
+  | 0xF0 -> decode_op c (* LOCK: atomicity is free on the simulator *)
+  | 0xF2 | 0xF3 -> c.rep <- true; decode_op c
+  | 0x0F -> decode_0f c
+  (* ALU: 8 ops x 6 forms *)
+  | _ when op < 0x40 && op land 7 < 6 ->
+    let alu = alu_of_index (op lsr 3) in
+    (match op land 7 with
+    | 0 ->
+      let { reg_field; rm } = decode_modrm c in
+      Alu (alu, S8, rm, Reg reg_field)
+    | 1 ->
+      let { reg_field; rm } = decode_modrm c in
+      Alu (alu, c.osize, rm, Reg reg_field)
+    | 2 ->
+      let { reg_field; rm } = decode_modrm c in
+      Alu (alu, S8, Reg reg_field, rm)
+    | 3 ->
+      let { reg_field; rm } = decode_modrm c in
+      Alu (alu, c.osize, Reg reg_field, rm)
+    | 4 -> Alu (alu, S8, Reg 0, Imm (imm8 c))
+    | 5 -> Alu (alu, c.osize, Reg 0, Imm (imm_osize c))
+    | _ -> assert false)
+  | _ when op >= 0x40 && op <= 0x47 -> Inc (c.osize, Reg (op land 7))
+  | _ when op >= 0x48 && op <= 0x4F -> Dec (c.osize, Reg (op land 7))
+  | _ when op >= 0x50 && op <= 0x57 -> Push (Reg (op land 7))
+  | _ when op >= 0x58 && op <= 0x5F -> Pop (Reg (op land 7))
+  | 0x27 -> Daa
+  | 0x2F -> Das
+  | 0x37 -> Aaa
+  | 0x3F -> Aas
+  | 0x60 -> Pusha
+  | 0x61 -> Popa
+  | 0x62 ->
+    let { reg_field; rm } = decode_modrm c in
+    (match rm with
+    | Mem m -> Bound (reg_field, m)
+    | Reg _ | Imm _ -> raise Undefined_opcode)
+  | 0x68 -> Push (Imm (imm32 c))
+  | 0x69 ->
+    let { reg_field; rm } = decode_modrm c in
+    let k = imm_osize c in
+    Imul3 (reg_field, rm, k)
+  | 0x6A -> Push (Imm (imm8s c))
+  | 0x6B ->
+    let { reg_field; rm } = decode_modrm c in
+    let k = imm8s c in
+    Imul3 (reg_field, rm, k)
+  | _ when op >= 0x70 && op <= 0x7F -> Jcc (cond_of_nibble (op land 0xF), rel8 c)
+  | 0x80 ->
+    let { reg_field; rm } = decode_modrm c in
+    Alu (alu_of_index reg_field, S8, rm, Imm (imm8 c))
+  | 0x81 ->
+    let { reg_field; rm } = decode_modrm c in
+    let sz = c.osize in
+    Alu (alu_of_index reg_field, sz, rm, Imm (imm_osize c))
+  | 0x82 ->
+    (* alias of 0x80 on real IA-32 *)
+    let { reg_field; rm } = decode_modrm c in
+    Alu (alu_of_index reg_field, S8, rm, Imm (imm8 c))
+  | 0x83 ->
+    let { reg_field; rm } = decode_modrm c in
+    Alu (alu_of_index reg_field, c.osize, rm, Imm (imm8s c))
+  | 0x84 ->
+    let { reg_field; rm } = decode_modrm c in
+    Test (S8, rm, Reg reg_field)
+  | 0x85 ->
+    let { reg_field; rm } = decode_modrm c in
+    Test (c.osize, rm, Reg reg_field)
+  | 0x86 ->
+    let { reg_field; rm } = decode_modrm c in
+    Xchg (S8, rm, reg_field)
+  | 0x87 ->
+    let { reg_field; rm } = decode_modrm c in
+    Xchg (c.osize, rm, reg_field)
+  | 0x88 ->
+    let { reg_field; rm } = decode_modrm c in
+    Mov (S8, rm, Reg reg_field)
+  | 0x89 ->
+    let { reg_field; rm } = decode_modrm c in
+    Mov (c.osize, rm, Reg reg_field)
+  | 0x8A ->
+    let { reg_field; rm } = decode_modrm c in
+    Mov (S8, Reg reg_field, rm)
+  | 0x8B ->
+    let { reg_field; rm } = decode_modrm c in
+    Mov (c.osize, Reg reg_field, rm)
+  | 0x8C ->
+    let { reg_field; rm } = decode_modrm c in
+    let s = match reg_field with 0 -> ES | 1 -> CS | 2 -> SS | 3 -> DS | 4 -> FS | 5 -> GS | _ -> raise Undefined_opcode in
+    Mov_from_seg (rm, s)
+  | 0x8D ->
+    let { reg_field; rm } = decode_modrm c in
+    (match rm with
+    | Mem m -> Lea (reg_field, m)
+    | Reg _ | Imm _ -> raise Undefined_opcode)
+  | 0x8E ->
+    let { reg_field; rm } = decode_modrm c in
+    let s = match reg_field with 0 -> ES | 2 -> SS | 3 -> DS | 4 -> FS | 5 -> GS | _ -> raise Undefined_opcode in
+    Mov_to_seg (s, rm)
+  | 0x8F ->
+    let { rm; _ } = decode_modrm c in
+    Pop rm
+  | 0x90 -> Nop
+  | _ when op >= 0x91 && op <= 0x97 -> Xchg (c.osize, Reg 0, op land 7)
+  | 0x98 -> Cwde
+  | 0x99 -> Cdq
+  | 0x9C -> Pushf
+  | 0x9D -> Popf
+  | 0xA4 -> Movs S8
+  | 0xA5 -> Movs c.osize
+  | 0xA8 -> Test (S8, Reg 0, Imm (imm8 c))
+  | 0xA9 -> Test (c.osize, Reg 0, Imm (imm_osize c))
+  | 0xAA -> Stos S8
+  | 0xAB -> Stos c.osize
+  | 0xAC -> Lods S8
+  | 0xAD -> Lods c.osize
+  | _ when op >= 0xB0 && op <= 0xB7 -> Mov (S8, Reg (op land 7), Imm (imm8 c))
+  | _ when op >= 0xB8 && op <= 0xBF -> Mov (c.osize, Reg (op land 7), Imm (imm_osize c))
+  | 0xC0 ->
+    let { reg_field; rm } = decode_modrm c in
+    Shift (shift_of_index reg_field, S8, rm, Count_imm (imm8 c))
+  | 0xC1 ->
+    let { reg_field; rm } = decode_modrm c in
+    Shift (shift_of_index reg_field, c.osize, rm, Count_imm (imm8 c))
+  | 0xC2 -> Ret_imm (imm16 c)
+  | 0xC3 -> Ret
+  | 0xC6 ->
+    let { reg_field; rm } = decode_modrm c in
+    if reg_field <> 0 then raise Undefined_opcode;
+    Mov (S8, rm, Imm (imm8 c))
+  | 0xC7 ->
+    let { reg_field; rm } = decode_modrm c in
+    if reg_field <> 0 then raise Undefined_opcode;
+    Mov (c.osize, rm, Imm (imm_osize c))
+  | 0xC9 -> Leave
+  | 0xCC -> Int3
+  | 0xCD -> Int (imm8 c)
+  | 0xCF -> Iret
+  | 0xD4 -> Aam (imm8 c)
+  | 0xD5 -> Aad (imm8 c)
+  | 0xD6 -> Salc
+  | 0xD7 -> Xlat
+  | 0xD0 ->
+    let { reg_field; rm } = decode_modrm c in
+    Shift (shift_of_index reg_field, S8, rm, Count_imm 1)
+  | 0xD1 ->
+    let { reg_field; rm } = decode_modrm c in
+    Shift (shift_of_index reg_field, c.osize, rm, Count_imm 1)
+  | 0xD2 ->
+    let { reg_field; rm } = decode_modrm c in
+    Shift (shift_of_index reg_field, S8, rm, Count_cl)
+  | 0xD3 ->
+    let { reg_field; rm } = decode_modrm c in
+    Shift (shift_of_index reg_field, c.osize, rm, Count_cl)
+  | 0xE0 -> Loopne (rel8 c)
+  | 0xE1 -> Loope (rel8 c)
+  | 0xE2 -> Loop (rel8 c)
+  | 0xE3 -> Jcxz (rel8 c)
+  | 0xE4 -> let _ = imm8 c in In_al
+  | 0xE6 -> let _ = imm8 c in Out_al
+  | 0xE8 -> Call_rel (rel32 c)
+  | 0xE9 -> Jmp_rel (rel32 c)
+  | 0xEB -> Jmp_rel (rel8 c)
+  | 0xEC -> In_al
+  | 0xEE -> Out_al
+  | 0xF4 -> Hlt
+  | 0xF5 -> Cmc
+  | 0xF6 ->
+    let { reg_field; rm } = decode_modrm c in
+    let g =
+      match reg_field with
+      | 0 | 1 -> Test_imm (imm8 c)
+      | 2 -> Not
+      | 3 -> Neg
+      | 4 -> Mul
+      | 5 -> Imul1
+      | 6 -> Div
+      | _ -> Idiv
+    in
+    Grp3 (g, S8, rm)
+  | 0xF7 ->
+    let { reg_field; rm } = decode_modrm c in
+    let g =
+      match reg_field with
+      | 0 | 1 -> Test_imm (imm_osize c)
+      | 2 -> Not
+      | 3 -> Neg
+      | 4 -> Mul
+      | 5 -> Imul1
+      | 6 -> Div
+      | _ -> Idiv
+    in
+    Grp3 (g, c.osize, rm)
+  | 0xF8 -> Clc
+  | 0xF9 -> Stc
+  | 0xFA -> Cli
+  | 0xFB -> Sti
+  | 0xFC -> Cld
+  | 0xFD -> Std
+  | 0xFE ->
+    let { reg_field; rm } = decode_modrm c in
+    (match reg_field with
+    | 0 -> Inc (S8, rm)
+    | 1 -> Dec (S8, rm)
+    | _ -> raise Undefined_opcode)
+  | 0xFF ->
+    let { reg_field; rm } = decode_modrm c in
+    (match reg_field with
+    | 0 -> Inc (c.osize, rm)
+    | 1 -> Dec (c.osize, rm)
+    | 2 -> Call_ind rm
+    | 4 -> Jmp_ind rm
+    | 6 -> Push rm
+    | _ -> raise Undefined_opcode)
+  | _ -> raise Undefined_opcode
+
+let decode ~fetch pc =
+  let c = { fetch; start = pc; pos = pc; seg = None; osize = S32; rep = false } in
+  let insn = decode_op c in
+  { insn; length = c.pos - c.start; rep = c.rep }

@@ -1,0 +1,17 @@
+(** Variable-length instruction decoder for the P4-like CPU.
+
+    The decoder consumes the {e actual} byte stream, so a single-bit error in
+    kernel text mechanically reproduces the paper's Figure 14 phenomenon: one
+    corrupted instruction re-synchronises into a different sequence of valid
+    (but semantically wrong) instructions, or — less often than on the RISC
+    machine — into an undefined opcode. *)
+
+exception Undefined_opcode
+(** The byte sequence does not encode an instruction of the ISA subset. *)
+
+val decode : fetch:(int -> int) -> int -> Insn.decoded
+(** [decode ~fetch pc] decodes the instruction starting at [pc]. [fetch] reads
+    one instruction byte and may raise {!Ferrite_machine.Memory.Fault}, which
+    propagates (instruction-fetch page fault). Raises {!Undefined_opcode} for
+    encodings outside the subset, and [Invalid_argument] if the instruction
+    exceeds the architectural 15-byte limit. *)

@@ -1,0 +1,156 @@
+open Insn
+
+let reg32_names = [| "%eax"; "%ecx"; "%edx"; "%ebx"; "%esp"; "%ebp"; "%esi"; "%edi" |]
+let reg16_names = [| "%ax"; "%cx"; "%dx"; "%bx"; "%sp"; "%bp"; "%si"; "%di" |]
+let reg8_names = [| "%al"; "%cl"; "%dl"; "%bl"; "%ah"; "%ch"; "%dh"; "%bh" |]
+
+let reg_name size r =
+  match size with S8 -> reg8_names.(r) | S16 -> reg16_names.(r) | S32 -> reg32_names.(r)
+
+let seg_name = function
+  | ES -> "%es" | CS -> "%cs" | SS -> "%ss" | DS -> "%ds" | FS -> "%fs" | GS -> "%gs"
+
+let hex v =
+  let v = Ferrite_machine.Word.mask v in
+  if v < 10 then string_of_int v else Printf.sprintf "0x%x" v
+
+let mem_str m =
+  let b = Buffer.create 16 in
+  (match m.seg with
+  | Some s -> Buffer.add_string b (seg_name s); Buffer.add_char b ':'
+  | None -> ());
+  if m.disp <> 0 || (m.base = None && m.index = None) then Buffer.add_string b (hex m.disp);
+  (match m.base, m.index with
+  | None, None -> ()
+  | base, index ->
+    Buffer.add_char b '(';
+    (match base with Some r -> Buffer.add_string b reg32_names.(r) | None -> ());
+    (match index with
+    | Some (r, s) ->
+      Buffer.add_char b ',';
+      Buffer.add_string b reg32_names.(r);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int s)
+    | None -> ());
+    Buffer.add_char b ')');
+  Buffer.contents b
+
+let operand size = function
+  | Reg r -> reg_name size r
+  | Mem m -> mem_str m
+  | Imm v -> "$" ^ hex v
+
+let two size a b = Printf.sprintf "%s,%s" (operand size b) (operand size a)
+
+let alu_name = function
+  | Add -> "add" | Or -> "or" | Adc -> "adc" | Sbb -> "sbb"
+  | And -> "and" | Sub -> "sub" | Xor -> "xor" | Cmp -> "cmp"
+
+let shift_name = function
+  | Rol -> "rol" | Ror -> "ror" | Rcl -> "rcl" | Rcr -> "rcr"
+  | Shl -> "shl" | Shr -> "shr" | Sal -> "sal" | Sar -> "sar"
+
+let cond_name = function
+  | O -> "o" | NO -> "no" | B -> "b" | AE -> "ae" | E -> "e" | NE -> "ne"
+  | BE -> "be" | A -> "a" | S -> "s" | NS -> "ns" | P -> "p" | NP -> "np"
+  | L -> "l" | GE -> "ge" | LE -> "le" | G -> "g"
+
+let size_suffix = function S8 -> "b" | S16 -> "w" | S32 -> "l"
+
+let rel_str rel = Printf.sprintf ".%+d" (Ferrite_machine.Word.signed (Ferrite_machine.Word.mask rel))
+
+let insn = function
+  | Alu (op, size, dst, src) -> Printf.sprintf "%s %s" (alu_name op) (two size dst src)
+  | Test (size, a, b) -> Printf.sprintf "test %s" (two size a b)
+  | Mov (size, dst, (Imm _ as src)) when (match dst with Mem _ -> true | _ -> false) ->
+    Printf.sprintf "mov%s %s" (size_suffix size) (two size dst src)
+  | Mov (size, dst, src) -> Printf.sprintf "mov %s" (two size dst src)
+  | Movzx (ssize, r, src) ->
+    Printf.sprintf "movz%sl %s,%s" (size_suffix ssize) (operand ssize src) reg32_names.(r)
+  | Movsx (ssize, r, src) ->
+    Printf.sprintf "movs%sl %s,%s" (size_suffix ssize) (operand ssize src) reg32_names.(r)
+  | Lea (r, m) -> Printf.sprintf "lea %s,%s" (mem_str m) reg32_names.(r)
+  | Xchg (size, op1, r) -> Printf.sprintf "xchg %s,%s" (reg_name size r) (operand size op1)
+  | Inc (size, op1) -> Printf.sprintf "inc%s %s" (size_suffix size) (operand size op1)
+  | Dec (size, op1) -> Printf.sprintf "dec%s %s" (size_suffix size) (operand size op1)
+  | Push op1 -> Printf.sprintf "push %s" (operand S32 op1)
+  | Pop op1 -> Printf.sprintf "pop %s" (operand S32 op1)
+  | Pusha -> "pusha"
+  | Popa -> "popa"
+  | Pushf -> "pushf"
+  | Popf -> "popf"
+  | Grp3 (g, size, op1) ->
+    let o = operand size op1 in
+    (match g with
+    | Test_imm v -> Printf.sprintf "test%s $%s,%s" (size_suffix size) (hex v) o
+    | Not -> "not " ^ o
+    | Neg -> "neg " ^ o
+    | Mul -> "mul " ^ o
+    | Imul1 -> "imul " ^ o
+    | Div -> "div " ^ o
+    | Idiv -> "idiv " ^ o)
+  | Imul2 (r, src) -> Printf.sprintf "imul %s,%s" (operand S32 src) reg32_names.(r)
+  | Imul3 (r, src, k) ->
+    Printf.sprintf "imul $%s,%s,%s" (hex k) (operand S32 src) reg32_names.(r)
+  | Shift (op, size, dst, count) ->
+    let c = match count with Count_imm k -> "$" ^ hex k | Count_cl -> "%cl" in
+    Printf.sprintf "%s %s,%s" (shift_name op) c (operand size dst)
+  | Jcc (c, rel) -> Printf.sprintf "j%s %s" (cond_name c) (rel_str rel)
+  | Jmp_rel rel -> Printf.sprintf "jmp %s" (rel_str rel)
+  | Jmp_ind op1 -> Printf.sprintf "jmp *%s" (operand S32 op1)
+  | Call_rel rel -> Printf.sprintf "call %s" (rel_str rel)
+  | Call_ind op1 -> Printf.sprintf "call *%s" (operand S32 op1)
+  | Ret -> "ret"
+  | Ret_imm k -> Printf.sprintf "ret $%s" (hex k)
+  | Leave -> "leave"
+  | Iret -> "iret"
+  | Int k -> Printf.sprintf "int $%s" (hex k)
+  | Int3 -> "int3"
+  | Bound (r, m) -> Printf.sprintf "bound %s,%s" (mem_str m) reg32_names.(r)
+  | Cwde -> "cwde"
+  | Cdq -> "cdq"
+  | Setcc (c, op1) -> Printf.sprintf "set%s %s" (cond_name c) (operand S8 op1)
+  | Nop -> "nop"
+  | Hlt -> "hlt"
+  | Cli -> "cli"
+  | Sti -> "sti"
+  | Clc -> "clc"
+  | Stc -> "stc"
+  | Cmc -> "cmc"
+  | Cld -> "cld"
+  | Std -> "std"
+  | Ud2 -> "ud2a"
+  | Movs size -> "movs" ^ size_suffix size
+  | Stos size -> "stos" ^ size_suffix size
+  | Lods size -> "lods" ^ size_suffix size
+  | Mov_from_seg (op1, s) -> Printf.sprintf "mov %s,%s" (seg_name s) (operand S32 op1)
+  | Mov_to_seg (s, op1) -> Printf.sprintf "mov %s,%s" (operand S16 op1) (seg_name s)
+  | Mov_from_cr (cr, r) -> Printf.sprintf "mov %%cr%d,%s" cr reg32_names.(r)
+  | Mov_to_cr (cr, r) -> Printf.sprintf "mov %s,%%cr%d" reg32_names.(r) cr
+  | In_al -> "in (%dx),%al"
+  | Daa -> "daa"
+  | Das -> "das"
+  | Aaa -> "aaa"
+  | Aas -> "aas"
+  | Aam k -> Printf.sprintf "aam $%s" (hex k)
+  | Aad k -> Printf.sprintf "aad $%s" (hex k)
+  | Salc -> "salc"
+  | Xlat -> "xlat"
+  | Out_al -> "out %al,(%dx)"
+  | Loop rel -> Printf.sprintf "loop %s" (rel_str rel)
+  | Loope rel -> Printf.sprintf "loope %s" (rel_str rel)
+  | Loopne rel -> Printf.sprintf "loopne %s" (rel_str rel)
+  | Jcxz rel -> Printf.sprintf "jcxz %s" (rel_str rel)
+
+let window ?(count = 8) ~mem pc =
+  let fetch addr = Ferrite_machine.Memory.peek8 mem addr in
+  let rec go pc n acc =
+    if n = 0 then List.rev acc
+    else
+      match Decode.decode ~fetch pc with
+      | d -> go (pc + d.length) (n - 1) ((pc, d.length, insn d.insn) :: acc)
+      | exception _ -> List.rev ((pc, 1, "(bad)") :: acc)
+  in
+  go pc count []
+
+let at ~mem pc = window ~count:8 ~mem pc

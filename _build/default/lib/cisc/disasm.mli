@@ -1,0 +1,17 @@
+(** AT&T-flavoured disassembler for crash dumps and examples.
+
+    Used by the crash handler's dump formatter and by the Figure 7/14
+    reproduction examples, which show how a single bit flip rewrites a P4
+    instruction stream. *)
+
+val insn : Insn.t -> string
+(** Render one decoded instruction, e.g. ["mov 0x18(%ebx),%esi"]. *)
+
+val at : mem:Ferrite_machine.Memory.t -> int -> (int * int * string) list
+(** [at ~mem pc] decodes up to [n] instructions starting at [pc] (default 8),
+    returning [(address, length, text)] triples. Undecodable bytes yield a
+    ["(bad)"] entry and decoding stops. *)
+
+val window :
+  ?count:int -> mem:Ferrite_machine.Memory.t -> int -> (int * int * string) list
+(** Like {!at} with an explicit instruction count. *)

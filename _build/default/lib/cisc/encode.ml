@@ -1,0 +1,337 @@
+open Insn
+
+let fits8s v =
+  let v = Ferrite_machine.Word.mask v in
+  Ferrite_machine.Word.sign_extend8 v = v
+
+let seg_prefix = function
+  | ES -> 0x26 | CS -> 0x2E | SS -> 0x36 | DS -> 0x3E | FS -> 0x64 | GS -> 0x65
+
+let add8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let add16 b v =
+  add8 b v;
+  add8 b (v lsr 8)
+
+let add32 b v =
+  add8 b v;
+  add8 b (v lsr 8);
+  add8 b (v lsr 16);
+  add8 b (v lsr 24)
+
+(* Emit any segment-override prefix required by a memory operand. *)
+let operand_prefix b = function
+  | Mem { seg = Some s; _ } -> add8 b (seg_prefix s)
+  | Mem { seg = None; _ } | Reg _ | Imm _ -> ()
+
+let modrm_byte md reg rm = (md lsl 6) lor ((reg land 7) lsl 3) lor (rm land 7)
+
+let scale_bits = function
+  | 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3
+  | _ -> invalid_arg "Encode: bad scale"
+
+let encode_modrm b reg_field operand =
+  match operand with
+  | Reg r -> add8 b (modrm_byte 3 reg_field r)
+  | Imm _ -> invalid_arg "Encode: immediate cannot be a ModRM operand"
+  | Mem { base; index; disp; seg = _ } ->
+    let disp = Ferrite_machine.Word.mask disp in
+    let needs_sib =
+      match base, index with
+      | _, Some _ -> true
+      | Some 4, _ -> true  (* ESP base requires SIB *)
+      | _ -> false
+    in
+    (match base, index, needs_sib with
+    | None, None, _ ->
+      add8 b (modrm_byte 0 reg_field 5);
+      add32 b disp
+    | Some base_reg, None, false ->
+      let md =
+        if disp = 0 && base_reg <> 5 then 0 else if fits8s disp then 1 else 2
+      in
+      add8 b (modrm_byte md reg_field base_reg);
+      if md = 1 then add8 b disp else if md = 2 then add32 b disp
+    | _, _, _ ->
+      let index_field, ss =
+        match index with
+        | None -> (4, 0)
+        | Some (4, _) -> invalid_arg "Encode: ESP cannot index"
+        | Some (r, scale) -> (r, scale_bits scale)
+      in
+      (match base with
+      | None ->
+        add8 b (modrm_byte 0 reg_field 4);
+        add8 b ((ss lsl 6) lor (index_field lsl 3) lor 5);
+        add32 b disp
+      | Some base_reg ->
+        let md =
+          if disp = 0 && base_reg <> 5 then 0 else if fits8s disp then 1 else 2
+        in
+        add8 b (modrm_byte md reg_field 4);
+        add8 b ((ss lsl 6) lor (index_field lsl 3) lor base_reg);
+        if md = 1 then add8 b disp else if md = 2 then add32 b disp))
+
+let alu_index = function
+  | Add -> 0 | Or -> 1 | Adc -> 2 | Sbb -> 3 | And -> 4 | Sub -> 5 | Xor -> 6 | Cmp -> 7
+
+let shift_index = function
+  | Rol -> 0 | Ror -> 1 | Rcl -> 2 | Rcr -> 3 | Shl -> 4 | Shr -> 5 | Sal -> 6 | Sar -> 7
+
+let cond_nibble = function
+  | O -> 0 | NO -> 1 | B -> 2 | AE -> 3 | E -> 4 | NE -> 5 | BE -> 6 | A -> 7
+  | S -> 8 | NS -> 9 | P -> 10 | NP -> 11 | L -> 12 | GE -> 13 | LE -> 14 | G -> 15
+
+let osize_prefix b = function
+  | S16 -> add8 b 0x66
+  | S8 | S32 -> ()
+
+let imm_for b size v =
+  match size with
+  | S8 -> add8 b v
+  | S16 -> add16 b v
+  | S32 -> add32 b v
+
+let encode ?(rep = false) i =
+  let b = Buffer.create 8 in
+  if rep then add8 b 0xF3;
+  (match i with
+  | Alu (op, size, dst, src) ->
+    operand_prefix b dst;
+    operand_prefix b src;
+    osize_prefix b size;
+    let base = alu_index op lsl 3 in
+    (match dst, src with
+    | dst, Reg r ->
+      (* op r/m, r *)
+      add8 b (base lor (match size with S8 -> 0 | _ -> 1));
+      encode_modrm b r dst
+    | Reg r, (Mem _ as m) ->
+      (* op r, r/m *)
+      add8 b (base lor (match size with S8 -> 2 | _ -> 3));
+      encode_modrm b r m
+    | dst, Imm v ->
+      (match size with
+      | S8 ->
+        add8 b 0x80;
+        encode_modrm b (alu_index op) dst;
+        add8 b v
+      | S16 | S32 ->
+        if fits8s v then begin
+          add8 b 0x83;
+          encode_modrm b (alu_index op) dst;
+          add8 b v
+        end
+        else begin
+          add8 b 0x81;
+          encode_modrm b (alu_index op) dst;
+          imm_for b size v
+        end)
+    | Mem _, Mem _ -> invalid_arg "Encode: alu mem, mem"
+    | Imm _, _ -> invalid_arg "Encode: alu into immediate")
+  | Test (size, dst, src) ->
+    operand_prefix b dst;
+    osize_prefix b size;
+    (match src with
+    | Reg r ->
+      add8 b (match size with S8 -> 0x84 | _ -> 0x85);
+      encode_modrm b r dst
+    | Imm v ->
+      (match dst with
+      | Reg 0 ->
+        add8 b (match size with S8 -> 0xA8 | _ -> 0xA9);
+        imm_for b size v
+      | _ ->
+        add8 b (match size with S8 -> 0xF6 | _ -> 0xF7);
+        encode_modrm b 0 dst;
+        imm_for b size v)
+    | Mem _ -> invalid_arg "Encode: test mem, mem")
+  | Mov (size, dst, src) ->
+    operand_prefix b dst;
+    operand_prefix b src;
+    osize_prefix b size;
+    (match dst, src with
+    | dst, Reg r ->
+      add8 b (match size with S8 -> 0x88 | _ -> 0x89);
+      encode_modrm b r dst
+    | Reg r, (Mem _ as m) ->
+      add8 b (match size with S8 -> 0x8A | _ -> 0x8B);
+      encode_modrm b r m
+    | Reg r, Imm v ->
+      (match size with
+      | S8 -> add8 b (0xB0 lor r); add8 b v
+      | S16 -> add8 b (0xB8 lor r); add16 b v
+      | S32 -> add8 b (0xB8 lor r); add32 b v)
+    | (Mem _ as m), Imm v ->
+      add8 b (match size with S8 -> 0xC6 | _ -> 0xC7);
+      encode_modrm b 0 m;
+      imm_for b size v
+    | _ -> invalid_arg "Encode: unsupported mov form")
+  | Movzx (src_size, r, src) ->
+    operand_prefix b src;
+    add8 b 0x0F;
+    add8 b (match src_size with S8 -> 0xB6 | S16 -> 0xB7 | S32 -> invalid_arg "Encode: movzx32");
+    encode_modrm b r src
+  | Movsx (src_size, r, src) ->
+    operand_prefix b src;
+    add8 b 0x0F;
+    add8 b (match src_size with S8 -> 0xBE | S16 -> 0xBF | S32 -> invalid_arg "Encode: movsx32");
+    encode_modrm b r src
+  | Lea (r, m) ->
+    operand_prefix b (Mem m);
+    add8 b 0x8D;
+    encode_modrm b r (Mem m)
+  | Xchg (size, op1, r) ->
+    operand_prefix b op1;
+    osize_prefix b size;
+    add8 b (match size with S8 -> 0x86 | _ -> 0x87);
+    encode_modrm b r op1
+  | Inc (size, op1) ->
+    operand_prefix b op1;
+    osize_prefix b size;
+    (match size, op1 with
+    | (S32 | S16), Reg r -> add8 b (0x40 lor r)
+    | S8, _ -> add8 b 0xFE; encode_modrm b 0 op1
+    | _, _ -> add8 b 0xFF; encode_modrm b 0 op1)
+  | Dec (size, op1) ->
+    operand_prefix b op1;
+    osize_prefix b size;
+    (match size, op1 with
+    | (S32 | S16), Reg r -> add8 b (0x48 lor r)
+    | S8, _ -> add8 b 0xFE; encode_modrm b 1 op1
+    | _, _ -> add8 b 0xFF; encode_modrm b 1 op1)
+  | Push (Reg r) -> add8 b (0x50 lor r)
+  | Push (Imm v) -> if fits8s v then (add8 b 0x6A; add8 b v) else (add8 b 0x68; add32 b v)
+  | Push (Mem _ as m) ->
+    operand_prefix b m;
+    add8 b 0xFF;
+    encode_modrm b 6 m
+  | Pop (Reg r) -> add8 b (0x58 lor r)
+  | Pop (Mem _ as m) ->
+    operand_prefix b m;
+    add8 b 0x8F;
+    encode_modrm b 0 m
+  | Pop (Imm _) -> invalid_arg "Encode: pop imm"
+  | Pusha -> add8 b 0x60
+  | Popa -> add8 b 0x61
+  | Pushf -> add8 b 0x9C
+  | Popf -> add8 b 0x9D
+  | Grp3 (g, size, op1) ->
+    operand_prefix b op1;
+    osize_prefix b size;
+    add8 b (match size with S8 -> 0xF6 | _ -> 0xF7);
+    (match g with
+    | Test_imm v -> encode_modrm b 0 op1; imm_for b size v
+    | Not -> encode_modrm b 2 op1
+    | Neg -> encode_modrm b 3 op1
+    | Mul -> encode_modrm b 4 op1
+    | Imul1 -> encode_modrm b 5 op1
+    | Div -> encode_modrm b 6 op1
+    | Idiv -> encode_modrm b 7 op1)
+  | Imul2 (r, src) ->
+    operand_prefix b src;
+    add8 b 0x0F;
+    add8 b 0xAF;
+    encode_modrm b r src
+  | Imul3 (r, src, k) ->
+    operand_prefix b src;
+    if fits8s k then (add8 b 0x6B; encode_modrm b r src; add8 b k)
+    else (add8 b 0x69; encode_modrm b r src; add32 b k)
+  | Shift (op, size, op1, count) ->
+    operand_prefix b op1;
+    osize_prefix b size;
+    (match count with
+    | Count_imm 1 ->
+      add8 b (match size with S8 -> 0xD0 | _ -> 0xD1);
+      encode_modrm b (shift_index op) op1
+    | Count_imm k ->
+      add8 b (match size with S8 -> 0xC0 | _ -> 0xC1);
+      encode_modrm b (shift_index op) op1;
+      add8 b k
+    | Count_cl ->
+      add8 b (match size with S8 -> 0xD2 | _ -> 0xD3);
+      encode_modrm b (shift_index op) op1)
+  | Jcc (c, rel) ->
+    add8 b 0x0F;
+    add8 b (0x80 lor cond_nibble c);
+    add32 b rel
+  | Jmp_rel rel -> add8 b 0xE9; add32 b rel
+  | Jmp_ind op1 ->
+    operand_prefix b op1;
+    add8 b 0xFF;
+    encode_modrm b 4 op1
+  | Call_rel rel -> add8 b 0xE8; add32 b rel
+  | Call_ind op1 ->
+    operand_prefix b op1;
+    add8 b 0xFF;
+    encode_modrm b 2 op1
+  | Ret -> add8 b 0xC3
+  | Ret_imm k -> add8 b 0xC2; add16 b k
+  | Leave -> add8 b 0xC9
+  | Iret -> add8 b 0xCF
+  | Int k -> add8 b 0xCD; add8 b k
+  | Int3 -> add8 b 0xCC
+  | Bound (r, m) ->
+    operand_prefix b (Mem m);
+    add8 b 0x62;
+    encode_modrm b r (Mem m)
+  | Cwde -> add8 b 0x98
+  | Cdq -> add8 b 0x99
+  | Setcc (c, op1) ->
+    operand_prefix b op1;
+    add8 b 0x0F;
+    add8 b (0x90 lor cond_nibble c);
+    encode_modrm b 0 op1
+  | Nop -> add8 b 0x90
+  | Hlt -> add8 b 0xF4
+  | Cli -> add8 b 0xFA
+  | Sti -> add8 b 0xFB
+  | Clc -> add8 b 0xF8
+  | Stc -> add8 b 0xF9
+  | Cmc -> add8 b 0xF5
+  | Cld -> add8 b 0xFC
+  | Std -> add8 b 0xFD
+  | Ud2 -> add8 b 0x0F; add8 b 0x0B
+  | Movs S8 -> add8 b 0xA4
+  | Movs _ -> add8 b 0xA5
+  | Stos S8 -> add8 b 0xAA
+  | Stos _ -> add8 b 0xAB
+  | Lods S8 -> add8 b 0xAC
+  | Lods _ -> add8 b 0xAD
+  | Mov_from_seg (op1, s) ->
+    operand_prefix b op1;
+    add8 b 0x8C;
+    let f = match s with ES -> 0 | CS -> 1 | SS -> 2 | DS -> 3 | FS -> 4 | GS -> 5 in
+    encode_modrm b f op1
+  | Mov_to_seg (s, op1) ->
+    operand_prefix b op1;
+    add8 b 0x8E;
+    let f = match s with ES -> 0 | CS -> invalid_arg "Encode: mov cs" | SS -> 2 | DS -> 3 | FS -> 4 | GS -> 5 in
+    encode_modrm b f op1
+  | Mov_from_cr (cr, r) ->
+    add8 b 0x0F;
+    add8 b 0x20;
+    add8 b (modrm_byte 3 cr r)
+  | Mov_to_cr (cr, r) ->
+    add8 b 0x0F;
+    add8 b 0x22;
+    add8 b (modrm_byte 3 cr r)
+  | In_al -> add8 b 0xEC
+  | Out_al -> add8 b 0xEE
+  | Daa -> add8 b 0x27
+  | Das -> add8 b 0x2F
+  | Aaa -> add8 b 0x37
+  | Aas -> add8 b 0x3F
+  | Aam k -> add8 b 0xD4; add8 b k
+  | Aad k -> add8 b 0xD5; add8 b k
+  | Salc -> add8 b 0xD6
+  | Xlat -> add8 b 0xD7
+  | Loop rel -> add8 b 0xE2; add8 b rel
+  | Loope rel -> add8 b 0xE1; add8 b rel
+  | Loopne rel -> add8 b 0xE0; add8 b rel
+  | Jcxz rel -> add8 b 0xE3; add8 b rel);
+  Buffer.contents b
+
+let insn ?rep i = encode ?rep i
+
+let length ?rep i = String.length (encode ?rep i)

@@ -1,0 +1,15 @@
+(** Instruction encoder (assembler) for the P4-like CPU.
+
+    Inverse of {!Decode} on the forms the kernel compiler backend emits.
+    Encodings follow the IA-32 conventions the decoder expects, including
+    shortest-displacement ModRM selection, so that
+    [Decode.decode (Encode.insn i) = i] (modulo immediate canonicalisation) —
+    a property the test suite checks with qcheck. *)
+
+val insn : ?rep:bool -> Insn.t -> string
+(** [insn i] returns the encoded bytes. Raises [Invalid_argument] for forms
+    the assembler does not support (the decoder accepts strictly more than the
+    assembler produces, as on real hardware). *)
+
+val length : ?rep:bool -> Insn.t -> int
+(** Encoded length in bytes. *)

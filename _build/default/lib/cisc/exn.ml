@@ -1,0 +1,40 @@
+(* Architectural exceptions of the P4-like CPU.
+
+   These are the hardware-level events; the simulated kernel's crash handler
+   maps them onto the paper's Table 3 crash categories
+   (see {!Ferrite_injection.Crash_cause}). *)
+
+type t =
+  | Divide_error  (* #DE *)
+  | Debug_trap  (* #DB — consumed by the injection framework, never a crash *)
+  | Breakpoint_trap  (* #BP, INT3 *)
+  | Bounds  (* #BR, BOUND out of range *)
+  | Invalid_opcode  (* #UD, including UD2 emitted by BUG() *)
+  | Double_fault  (* fault during exception dispatch: no crash dump escapes *)
+  | Invalid_tss  (* #TS, e.g. IRET with corrupted NT chain *)
+  | General_protection of { addr : int option }
+      (* #GP: protection violation, bad selector load, CR0.PE cleared *)
+  | Page_fault of { addr : int; write : bool; fetch : bool }
+      (* #PF with the CR2-style faulting linear address *)
+  | Software_panic of { message : string }
+      (* explicit panic() from kernel consistency checks *)
+
+let pp fmt = function
+  | Divide_error -> Format.pp_print_string fmt "#DE divide error"
+  | Debug_trap -> Format.pp_print_string fmt "#DB debug"
+  | Breakpoint_trap -> Format.pp_print_string fmt "#BP breakpoint"
+  | Bounds -> Format.pp_print_string fmt "#BR bound range exceeded"
+  | Invalid_opcode -> Format.pp_print_string fmt "#UD invalid opcode"
+  | Double_fault -> Format.pp_print_string fmt "#DF double fault"
+  | Invalid_tss -> Format.pp_print_string fmt "#TS invalid TSS"
+  | General_protection { addr } ->
+    (match addr with
+    | None -> Format.pp_print_string fmt "#GP general protection"
+    | Some a -> Format.fprintf fmt "#GP general protection at %s" (Ferrite_machine.Word.to_hex a))
+  | Page_fault { addr; write; fetch } ->
+    Format.fprintf fmt "#PF %s at %s"
+      (if fetch then "ifetch" else if write then "write" else "read")
+      (Ferrite_machine.Word.to_hex addr)
+  | Software_panic { message } -> Format.fprintf fmt "kernel panic: %s" message
+
+let to_string t = Format.asprintf "%a" pp t

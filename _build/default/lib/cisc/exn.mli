@@ -1,0 +1,23 @@
+(** Architectural exceptions of the P4-like CPU.
+
+    These are the hardware-level events; the simulated kernel's crash
+    handler maps them onto the paper's Table 3 crash categories (see
+    {!Ferrite_injection.Crash_cause}). *)
+
+type t =
+  | Divide_error  (** #DE *)
+  | Debug_trap  (** #DB — consumed by the injection framework *)
+  | Breakpoint_trap  (** #BP, INT3 *)
+  | Bounds  (** #BR, BOUND range exceeded *)
+  | Invalid_opcode  (** #UD, including BUG()'s ud2a (paper Fig. 13) *)
+  | Double_fault  (** fault during dispatch: no crash dump escapes *)
+  | Invalid_tss  (** #TS, e.g. IRET with a corrupted NT chain *)
+  | General_protection of { addr : int option }
+      (** #GP: protection violation, bad selector load, CR0.PE cleared *)
+  | Page_fault of { addr : int; write : bool; fetch : bool }
+      (** #PF with the CR2-style faulting linear address *)
+  | Software_panic of { message : string }
+      (** explicit panic() from kernel consistency checks *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,114 @@
+(* Decoded-instruction representation for the P4-like CISC simulator.
+
+   The subset mirrors the IA-32 integer core: variable-length encodings,
+   ModRM/SIB effective addresses, 8/16/32-bit operand sizes, the flag
+   register, string operations and the privileged instructions the paper's
+   register-injection campaign exercises (IRET/NT, segment loads, MOV CRn).
+
+   This type is shared by the decoder, the encoder (used by the kernel
+   compiler backend), the disassembler (used in crash dumps) and the
+   interpreter. *)
+
+type reg = int
+(* 0=EAX 1=ECX 2=EDX 3=EBX 4=ESP 5=EBP 6=ESI 7=EDI.
+   For 8-bit operands: 0=AL 1=CL 2=DL 3=BL 4=AH 5=CH 6=DH 7=BH. *)
+
+type seg = ES | CS | SS | DS | FS | GS
+
+type mem = {
+  base : reg option;
+  index : (reg * int) option;  (* register, scale in {1,2,4,8} *)
+  disp : int;
+  seg : seg option;  (* explicit override prefix, if any *)
+}
+
+type size = S8 | S16 | S32
+
+type operand = Reg of reg | Mem of mem | Imm of int
+
+type cond = O | NO | B | AE | E | NE | BE | A | S | NS | P | NP | L | GE | LE | G
+
+type alu = Add | Or | Adc | Sbb | And | Sub | Xor | Cmp
+
+type shift = Rol | Ror | Rcl | Rcr | Shl | Shr | Sal | Sar
+
+type shift_count = Count_imm of int | Count_cl
+
+type grp3 = Test_imm of int | Not | Neg | Mul | Imul1 | Div | Idiv
+
+type t =
+  | Alu of alu * size * operand * operand  (* dst, src *)
+  | Test of size * operand * operand
+  | Mov of size * operand * operand
+  | Movzx of size * reg * operand  (* source size, 32-bit dst *)
+  | Movsx of size * reg * operand
+  | Lea of reg * mem
+  | Xchg of size * operand * reg
+  | Inc of size * operand
+  | Dec of size * operand
+  | Push of operand
+  | Pop of operand
+  | Pusha
+  | Popa
+  | Pushf
+  | Popf
+  | Grp3 of grp3 * size * operand
+  | Imul2 of reg * operand  (* 0F AF *)
+  | Imul3 of reg * operand * int
+  | Shift of shift * size * operand * shift_count
+  | Jcc of cond * int  (* relative displacement *)
+  | Jmp_rel of int
+  | Jmp_ind of operand
+  | Call_rel of int
+  | Call_ind of operand
+  | Ret
+  | Ret_imm of int
+  | Leave
+  | Iret
+  | Int of int
+  | Int3
+  | Bound of reg * mem
+  | Cwde
+  | Cdq
+  | Setcc of cond * operand
+  | Nop
+  | Hlt
+  | Cli
+  | Sti
+  | Clc
+  | Stc
+  | Cmc
+  | Cld
+  | Std
+  | Ud2
+  | Movs of size
+  | Stos of size
+  | Lods of size
+  | Mov_from_seg of operand * seg  (* 8C: store selector *)
+  | Mov_to_seg of seg * operand  (* 8E: load selector, validated *)
+  | Mov_from_cr of int * reg  (* 0F 20 *)
+  | Mov_to_cr of int * reg  (* 0F 22 *)
+  | In_al
+  | Out_al
+  | Daa  (* BCD adjust family: rare but valid one-byte opcodes *)
+  | Das
+  | Aaa
+  | Aas
+  | Aam of int
+  | Aad of int
+  | Salc
+  | Xlat
+  | Loop of int
+  | Loope of int
+  | Loopne of int
+  | Jcxz of int
+
+type decoded = {
+  insn : t;
+  length : int;  (* total encoded length in bytes, including prefixes *)
+  rep : bool;  (* F3/F2 prefix present (meaningful on string ops) *)
+}
+
+let no_mem = { base = None; index = None; disp = 0; seg = None }
+
+let mem ?base ?index ?seg disp = { base; index; disp; seg }

@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Ferrite_injection Ferrite_kernel Ferrite_kir Ferrite_stats List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/ablation.mli: Ferrite_injection Ferrite_kernel Ferrite_kir

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Ferrite_injection Ferrite_kernel Ferrite_kir Ferrite_stats Hashtbl List Option Paper Printf String Suite

@@ -1,0 +1,1 @@
+lib/core/suite.ml: Ferrite_injection Ferrite_kir Int64 List

@@ -1,0 +1,1 @@
+lib/core/suite.mli: Ferrite_injection Ferrite_kir

@@ -1,0 +1,44 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Each study rebuilds the kernel with one mechanism changed and reruns a
+    campaign, showing that the paper's platform differences are produced by
+    those mechanisms rather than scripted:
+
+    - [g4-packed-data]: compile the G4 kernel with CISC-style packed data —
+      the padding that masks data errors disappears, so manifestation rises;
+    - [p4-widened-data]: compile the P4 kernel with RISC-style widened data —
+      manifestation falls;
+    - [p4-no-promotion]: give the P4 backend no register promotion at all —
+      even more values live on the stack, raising stack-error sensitivity;
+    - [g4-no-wrapper]: remove the G4 exception-entry stack wrapper — the
+      explicit Stack Overflow category disappears and those crashes degrade
+      into late Bad Area reports, P4-style;
+    - [p4-with-wrapper]: the extension the paper's section 7 proposes —
+      give the P4 kernel a stack-range check; stack errors are then caught
+      early, raising the fast-crash fraction. *)
+
+type study = {
+  ab_name : string;
+  ab_descr : string;
+  ab_arch : Ferrite_kir.Image.arch;
+  ab_kind : Ferrite_injection.Target.kind;
+  ab_variant : Ferrite_kernel.Boot.variant;
+  ab_metric : string;  (** what to watch *)
+  ab_injections : int;  (** default sample size per arm *)
+}
+
+val all : study list
+
+type outcome = {
+  ab_study : study;
+  baseline_manifestation : float;
+  ablated_manifestation : float;
+  baseline_stack_overflow_share : float;
+  ablated_stack_overflow_share : float;
+  baseline_fast_crash : float;  (** fraction of crashes under 10k cycles *)
+  ablated_fast_crash : float;
+}
+
+val run : ?injections:int -> ?seed:int64 -> study -> outcome
+
+val report : outcome list -> string

@@ -1,0 +1,139 @@
+(* The published numbers of Gu, Kalbarczyk & Iyer (DSN 2004), transcribed
+   from the paper. These are the reference values every regenerated table and
+   figure is printed against. *)
+
+type campaign_row = {
+  injected : int;
+  activated_pct : float option;  (* None = N/A (register campaigns) *)
+  not_manifested_pct : float;
+  fsv_pct : float;
+  known_crash_pct : float;
+  hang_unknown_pct : float;
+}
+
+(* Table 5 *)
+let p4_stack =
+  { injected = 10143; activated_pct = Some 29.3; not_manifested_pct = 43.9;
+    fsv_pct = 0.0; known_crash_pct = 38.2; hang_unknown_pct = 17.9 }
+
+let p4_sysreg =
+  { injected = 3866; activated_pct = None; not_manifested_pct = 89.5;
+    fsv_pct = 0.0; known_crash_pct = 7.9; hang_unknown_pct = 2.6 }
+
+let p4_data =
+  { injected = 46000; activated_pct = Some 0.5; not_manifested_pct = 34.1;
+    fsv_pct = 0.0; known_crash_pct = 42.5; hang_unknown_pct = 23.4 }
+
+let p4_code =
+  { injected = 1790; activated_pct = Some 54.9; not_manifested_pct = 31.4;
+    fsv_pct = 1.3; known_crash_pct = 46.3; hang_unknown_pct = 21.0 }
+
+(* Table 6 *)
+let g4_stack =
+  { injected = 3017; activated_pct = Some 39.9; not_manifested_pct = 78.9;
+    fsv_pct = 0.0; known_crash_pct = 14.3; hang_unknown_pct = 7.0 }
+
+let g4_sysreg =
+  { injected = 3967; activated_pct = None; not_manifested_pct = 95.1;
+    fsv_pct = 0.0; known_crash_pct = 1.7; hang_unknown_pct = 3.1 }
+
+let g4_data =
+  { injected = 46000; activated_pct = Some 1.5; not_manifested_pct = 78.3;
+    fsv_pct = 1.0; known_crash_pct = 7.8; hang_unknown_pct = 12.9 }
+
+let g4_code =
+  { injected = 2188; activated_pct = Some 64.7; not_manifested_pct = 41.0;
+    fsv_pct = 2.3; known_crash_pct = 40.7; hang_unknown_pct = 16.0 }
+
+(* Crash-cause distributions, in percent (label, pct). Labels match
+   Ferrite_injection.Crash_cause.label. *)
+
+(* Figure 4: overall P4 (total 1992) *)
+let fig4_p4_overall =
+  [
+    ("Bad Paging", 43.2); ("NULL Pointer", 27.5); ("Invalid Instruction", 16.0);
+    ("General Protection Fault", 12.1); ("Invalid TSS", 1.0); ("Kernel Panic", 0.1);
+    ("Divide Error", 0.1); ("Bounds Trap", 0.1);
+  ]
+
+(* Figure 5: overall G4 (total 872) *)
+let fig5_g4_overall =
+  [
+    ("Bad Area", 66.9); ("Illegal Instruction", 16.3); ("Stack Overflow", 12.7);
+    ("Alignment", 1.6); ("Machine Check", 1.4); ("Bus Error", 0.7);
+    ("Bad Trap", 0.4); ("Panic!!!", 0.1);
+  ]
+
+(* Figure 6: stack injections — P4 total 1136, G4 total 172 *)
+let fig6_p4_stack =
+  [
+    ("Bad Paging", 45.4); ("NULL Pointer", 31.5); ("Invalid Instruction", 15.9);
+    ("General Protection Fault", 5.5); ("Invalid TSS", 1.0); ("Kernel Panic", 0.4);
+    ("Divide Error", 0.2);
+  ]
+
+let fig6_g4_stack =
+  [
+    ("Bad Area", 53.5); ("Stack Overflow", 41.9); ("Illegal Instruction", 2.9);
+    ("Alignment", 1.2); ("Machine Check", 0.6);
+  ]
+
+(* Figure 10: system-register injections — P4 total 305, G4 total 69 *)
+let fig10_p4_sysreg =
+  [
+    ("Bad Paging", 37.4); ("General Protection Fault", 35.1); ("NULL Pointer", 18.4);
+    ("Invalid Instruction", 6.2); ("Invalid TSS", 3.0);
+  ]
+
+let fig10_g4_sysreg =
+  [
+    ("Bad Area", 75.4); ("Illegal Instruction", 11.6); ("Stack Overflow", 4.3);
+    ("Machine Check", 4.3); ("Alignment", 1.4); ("Bus Error", 1.4); ("Bad Trap", 1.4);
+  ]
+
+(* Figure 11: code injections — P4 total 455, G4 total 576 *)
+let fig11_p4_code =
+  [
+    ("Bad Paging", 38.0); ("NULL Pointer", 31.9); ("Invalid Instruction", 24.2);
+    ("General Protection Fault", 5.5); ("Divide Error", 0.2);
+  ]
+
+let fig11_g4_code =
+  [
+    ("Bad Area", 49.5); ("Illegal Instruction", 41.5); ("Stack Overflow", 4.7);
+    ("Alignment", 1.9); ("Bus Error", 1.2); ("Machine Check", 0.5); ("Panic!!!", 0.5);
+    ("Bad Trap", 0.2);
+  ]
+
+(* Figure 12: data injections — P4 total 96, G4 total 55 *)
+let fig12_p4_data =
+  [
+    ("Bad Paging", 52.1); ("NULL Pointer", 28.1); ("Invalid Instruction", 17.7);
+    ("General Protection Fault", 2.1);
+  ]
+
+let fig12_g4_data =
+  [ ("Bad Area", 89.1); ("Illegal Instruction", 9.1); ("Alignment", 1.8) ]
+
+(* Figure 16: the qualitative latency claims of §6. *)
+type latency_claim = {
+  lc_id : string;
+  lc_text : string;
+}
+
+let fig16_claims =
+  [
+    { lc_id = "16A-g4"; lc_text = "G4 stack: ~80% of crashes within 3,000 cycles" };
+    { lc_id = "16A-p4"; lc_text = "P4 stack: ~80% of crashes between 3,000 and 100,000 cycles" };
+    { lc_id = "16C-p4"; lc_text = "P4 code: ~70% of crashes within 10,000 cycles" };
+    { lc_id = "16C-g4"; lc_text = "G4 code: ~90% of crashes above 10,000 cycles" };
+    { lc_id = "16B"; lc_text = "register errors are relatively long-lived (>10,000 cycles)" };
+    { lc_id = "16D"; lc_text = "data-error latency distributions are similar on both platforms" };
+  ]
+
+(* Table 1: experiment setup. *)
+let table1 =
+  [
+    [ "Intel Pentium 4"; "1.5 GHz"; "256 MB"; "RedHat 9.0"; "2.4.22"; "GCC 3.2.2" ];
+    [ "Motorola MPC 7455"; "1.0 GHz"; "256 MB"; "YellowDog 3.0"; "2.4.22"; "GCC 3.2.2" ];
+  ]

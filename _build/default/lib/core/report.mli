@@ -1,0 +1,49 @@
+(** Regenerates every table and figure of the paper from campaign results,
+    printing the published values alongside, and evaluates the qualitative
+    "shape" claims the reproduction must preserve. *)
+
+val table1 : unit -> string
+(** Experiment setup — the paper's machines and the simulated stand-ins. *)
+
+val table2 : unit -> string
+(** Outcome categories. *)
+
+val table3 : unit -> string
+(** P4 crash-cause categories. *)
+
+val table4 : unit -> string
+(** G4 crash-cause categories. *)
+
+val table5 : Suite.t -> string
+(** P4 activation & failure distribution (expects a CISC suite). *)
+
+val table6 : Suite.t -> string
+(** G4 equivalent (expects a RISC suite). *)
+
+val fig4 : Suite.t -> string
+val fig5 : Suite.t -> string
+val fig6 : p4:Suite.t -> g4:Suite.t -> string
+val fig10 : p4:Suite.t -> g4:Suite.t -> string
+val fig11 : p4:Suite.t -> g4:Suite.t -> string
+val fig12 : p4:Suite.t -> g4:Suite.t -> string
+val fig16 : p4:Suite.t -> g4:Suite.t -> string
+
+val data_geometry : unit -> string
+(** Quantifies §5.5's sparseness claim: the same kernel content occupies more
+    bytes (with more never-accessed padding) in the G4's widened layout than
+    in the P4's packed one. *)
+
+type check = { ck_id : string; ck_claim : string; ck_pass : bool; ck_detail : string }
+
+val shape_checks : p4:Suite.t -> g4:Suite.t -> check list
+(** The paper's qualitative findings, evaluated against the measured data. *)
+
+val render_checks : check list -> string
+
+val full_report : p4:Suite.t -> g4:Suite.t -> string
+(** Everything: tables, figures, latency panels and shape checks. *)
+
+val cause_distribution :
+  Ferrite_injection.Campaign.result -> (string * int) list
+(** Known-crash causes by label, ordered by the architecture's table order
+    (exposed for tests and the bench). *)

@@ -1,0 +1,1 @@
+lib/injection/campaign.ml: Array Collector Engine Ferrite_kernel Ferrite_kir Ferrite_machine Ferrite_workload Hashtbl List Option Outcome Rng Target

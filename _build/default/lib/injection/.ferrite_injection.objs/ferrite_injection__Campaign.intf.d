@@ -1,0 +1,1 @@
+lib/injection/campaign.mli: Crash_cause Engine Ferrite_kernel Ferrite_kir Outcome Target

@@ -1,0 +1,1 @@
+lib/injection/collector.ml: Ferrite_machine

@@ -1,0 +1,1 @@
+lib/injection/crash_cause.ml: Ferrite_cisc Ferrite_kernel Ferrite_kir Ferrite_machine Ferrite_risc List Option

@@ -1,0 +1,1 @@
+lib/injection/crash_cause.mli: Ferrite_kernel Ferrite_kir

@@ -1,0 +1,1 @@
+lib/injection/engine.ml: Array Collector Counters Crash_cause Debug_regs Ferrite_kernel Ferrite_kir Ferrite_machine Ferrite_risc Ferrite_workload Memory Option Outcome Target Word

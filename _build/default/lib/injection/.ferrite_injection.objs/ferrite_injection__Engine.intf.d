@@ -1,0 +1,1 @@
+lib/injection/engine.mli: Collector Ferrite_kernel Ferrite_workload Outcome Target

@@ -1,0 +1,1 @@
+lib/injection/oops.ml: Array Buffer Ferrite_cisc Ferrite_kernel Ferrite_kir Ferrite_machine Ferrite_risc List Printf String

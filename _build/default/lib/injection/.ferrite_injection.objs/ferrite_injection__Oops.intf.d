@@ -1,0 +1,1 @@
+lib/injection/oops.mli: Ferrite_kernel

@@ -1,0 +1,1 @@
+lib/injection/outcome.ml: Crash_cause Target

@@ -1,0 +1,1 @@
+lib/injection/outcome.mli: Crash_cause Target

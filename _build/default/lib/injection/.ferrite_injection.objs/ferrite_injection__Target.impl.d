@@ -1,0 +1,1 @@
+lib/injection/target.ml: Array Ferrite_cisc Ferrite_kernel Ferrite_kir Ferrite_machine List Memory Printf Rng Word

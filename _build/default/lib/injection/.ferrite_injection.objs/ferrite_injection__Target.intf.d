@@ -1,0 +1,1 @@
+lib/injection/target.mli: Ferrite_kernel Ferrite_machine

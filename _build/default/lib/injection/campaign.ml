@@ -1,0 +1,136 @@
+open Ferrite_machine
+module System = Ferrite_kernel.System
+module Boot = Ferrite_kernel.Boot
+module Workload = Ferrite_workload.Workload
+module Runner = Ferrite_workload.Runner
+module Profiler = Ferrite_workload.Profiler
+module Image = Ferrite_kir.Image
+
+type config = {
+  arch : Image.arch;
+  kind : Target.kind;
+  injections : int;
+  seed : int64;
+  ops_per_run : int;
+  collector_loss : float;
+  engine : Engine.config;
+  variant : Boot.variant;  (* kernel build variant (ablations) *)
+}
+
+let default ~arch ~kind ~injections =
+  {
+    arch;
+    kind;
+    injections;
+    seed = 0xF3A11B17L;
+    ops_per_run = 12;
+    collector_loss = 0.12;
+    engine = Engine.default_config;
+    variant = Boot.standard;
+  }
+
+type result = {
+  cfg : config;
+  records : Outcome.record list;
+  hot_profile : (string * float) list;
+  reboots : int;
+}
+
+let hot_profile image arch =
+  let sys = Boot.boot ~image arch in
+  let samples = Profiler.profile sys in
+  let hot = Profiler.hot_functions ~coverage:0.95 samples in
+  List.filter_map
+    (fun (s : Profiler.sample) ->
+      if List.mem s.Profiler.fn_name hot then Some (s.Profiler.fn_name, s.Profiler.fraction)
+      else None)
+    samples
+
+let run ?(progress = fun ~done_:_ ~total:_ -> ()) cfg =
+  let image = Boot.build_image ~variant:cfg.variant cfg.arch in
+  let hot = hot_profile image cfg.arch in
+  let rng = Rng.create ~seed:cfg.seed in
+  let target_rng = Rng.split rng in
+  let workload_rng = Rng.split rng in
+  let collector = Collector.create ~loss_rate:cfg.collector_loss ~seed:(Rng.next64 rng) () in
+  let reboots = ref 0 in
+  let sys = ref None in
+  let get_system () =
+    match !sys with
+    | Some s -> s
+    | None ->
+      incr reboots;
+      let s = Boot.boot ~image cfg.arch in
+      sys := Some s;
+      s
+  in
+  let records = ref [] in
+  let programs = Array.of_list Workload.all in
+  for i = 1 to cfg.injections do
+    let s = get_system () in
+    (* Each injection runs ONE benchmark program (the paper rotates through
+       the UnixBench suite), while targets were profiled across the whole
+       mix — pre-generated breakpoints in subsystems the drawn program does
+       not exercise are what keeps activation partial (§3.2). *)
+    let wl = Rng.pick workload_rng programs in
+    let runner = Runner.create s ~ops:(wl.Workload.wl_ops workload_rng) in
+    let target = Target.generate s cfg.kind ~hot target_rng in
+    let record = Engine.run_one ~sys:s ~runner ~target ~collector cfg.engine in
+    records := record :: !records;
+    (* STEP 3: reboot unless the error was never activated (paper policy);
+       register runs always count as potentially dirty *)
+    (match record.Outcome.r_outcome with
+    | Outcome.Not_activated when cfg.kind <> Target.Register -> ()
+    | _ -> sys := None);
+    progress ~done_:i ~total:cfg.injections
+  done;
+  { cfg; records = List.rev !records; hot_profile = hot; reboots = !reboots }
+
+type summary = {
+  injected : int;
+  activated : int;
+  activation_known : bool;
+  not_manifested : int;
+  fsv : int;
+  known_crash : int;
+  hang_or_unknown : int;
+}
+
+let summarize result =
+  let records = result.records in
+  let count f = List.length (List.filter f records) in
+  {
+    injected = List.length records;
+    activated = count (fun r -> r.Outcome.r_activated);
+    activation_known = result.cfg.kind <> Target.Register;
+    not_manifested =
+      count (fun r -> r.Outcome.r_outcome = Outcome.Not_manifested);
+    fsv = count (fun r -> r.Outcome.r_outcome = Outcome.Fail_silence_violation);
+    known_crash =
+      count (fun r -> match r.Outcome.r_outcome with Outcome.Known_crash _ -> true | _ -> false);
+    hang_or_unknown =
+      count (fun r ->
+          match r.Outcome.r_outcome with
+          | Outcome.Hang | Outcome.Unknown_crash -> true
+          | _ -> false);
+  }
+
+let crash_causes result =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match r.Outcome.r_outcome with
+      | Outcome.Known_crash { ci_cause; _ } ->
+        Hashtbl.replace tbl ci_cause (1 + Option.value ~default:0 (Hashtbl.find_opt tbl ci_cause))
+      | _ -> ())
+    result.records;
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let latencies result =
+  List.filter_map
+    (fun r ->
+      match r.Outcome.r_outcome with
+      | Outcome.Known_crash { ci_latency; _ } -> Some ci_latency
+      | _ -> None)
+    result.records

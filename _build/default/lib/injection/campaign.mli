@@ -1,0 +1,49 @@
+(** Error-injection campaigns (the paper's §3.2 automation loop).
+
+    A campaign runs [injections] independent error injections of one kind
+    against one platform, rebooting the target after every manifested run and
+    reusing the (restored) system after non-activated ones — exactly the
+    paper's STEP 3 policy. Campaigns are deterministic in [seed]. *)
+
+type config = {
+  arch : Ferrite_kir.Image.arch;
+  kind : Target.kind;
+  injections : int;
+  seed : int64;
+  ops_per_run : int;  (** workload length per injection run *)
+  collector_loss : float;
+  engine : Engine.config;
+  variant : Ferrite_kernel.Boot.variant;  (** kernel build variant (ablations) *)
+}
+
+val default :
+  arch:Ferrite_kir.Image.arch -> kind:Target.kind -> injections:int -> config
+
+type result = {
+  cfg : config;
+  records : Outcome.record list;
+  hot_profile : (string * float) list;  (** the profiled function weights used *)
+  reboots : int;
+}
+
+val run : ?progress:(done_:int -> total:int -> unit) -> config -> result
+
+(** {2 Aggregate views (the rows of Tables 5/6)} *)
+
+type summary = {
+  injected : int;
+  activated : int;
+  activation_known : bool;  (** false for register campaigns (N/A) *)
+  not_manifested : int;
+  fsv : int;
+  known_crash : int;
+  hang_or_unknown : int;
+}
+
+val summarize : result -> summary
+
+val crash_causes : result -> (Crash_cause.t * int) list
+(** Known-crash cause counts, descending. *)
+
+val latencies : result -> int list
+(** Cycles-to-crash of every known crash. *)

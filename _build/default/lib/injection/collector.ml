@@ -1,0 +1,22 @@
+type t = {
+  rng : Ferrite_machine.Rng.t;
+  loss_rate : float;
+  mutable received : int;
+  mutable lost : int;
+}
+
+let create ?(loss_rate = 0.03) ~seed () =
+  { rng = Ferrite_machine.Rng.create ~seed; loss_rate; received = 0; lost = 0 }
+
+let send t info =
+  if Ferrite_machine.Rng.float t.rng < t.loss_rate then begin
+    t.lost <- t.lost + 1;
+    None
+  end
+  else begin
+    t.received <- t.received + 1;
+    Some info
+  end
+
+let received t = t.received
+let lost t = t.lost

@@ -1,0 +1,18 @@
+(** The remote crash-data collector.
+
+    The paper's crash handler bypasses the (possibly broken) file system and
+    hands UDP-like packets directly to the NIC driver; packets can still be
+    lost, and a crash whose dump never arrives is tallied under the
+    Hang/Unknown Crash column of Tables 5 and 6. This module simulates that
+    lossy channel. *)
+
+type t
+
+val create : ?loss_rate:float -> seed:int64 -> unit -> t
+(** Default loss rate 3%. *)
+
+val send : t -> Outcome.crash_info -> Outcome.crash_info option
+(** [None] when the packet is dropped. *)
+
+val received : t -> int
+val lost : t -> int

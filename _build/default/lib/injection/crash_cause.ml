@@ -1,0 +1,119 @@
+module System = Ferrite_kernel.System
+module Abi = Ferrite_kernel.Abi
+module CExn = Ferrite_cisc.Exn
+module RExn = Ferrite_risc.Exn
+
+type p4 =
+  | Null_pointer
+  | Bad_paging
+  | Invalid_instruction
+  | General_protection
+  | Kernel_panic
+  | Invalid_tss
+  | Divide_error
+  | Bounds_trap
+
+type g4 =
+  | Bad_area
+  | Illegal_instruction
+  | Stack_overflow
+  | Machine_check
+  | Alignment
+  | Panic
+  | Bus_error
+  | Bad_trap
+
+type t = P4 of p4 | G4 of g4
+
+let panic_code sys = try System.global sys "panic_code" with _ -> 0
+
+let classify_p4 sys (e : CExn.t) =
+  match e with
+  | CExn.Double_fault -> None
+  | CExn.Page_fault { addr; _ } ->
+    if Ferrite_machine.Layout.is_null_deref addr then Some Null_pointer else Some Bad_paging
+  | CExn.Invalid_opcode ->
+    (* BUG()'s ud2a and panic()'s marker both arrive here; only an explicit
+       panic code distinguishes them — otherwise the report reads "invalid
+       instruction" even when no instruction was invalid (Fig. 13). *)
+    if panic_code sys <> 0 then Some Kernel_panic else Some Invalid_instruction
+  | CExn.General_protection _ -> Some General_protection
+  | CExn.Invalid_tss -> Some Invalid_tss
+  | CExn.Divide_error -> Some Divide_error
+  | CExn.Bounds -> Some Bounds_trap
+  | CExn.Software_panic _ -> Some Kernel_panic
+  | CExn.Debug_trap | CExn.Breakpoint_trap -> Some Invalid_instruction
+
+(* The G4 exception-entry wrapper: an exception taken while the stack
+   pointer is outside every valid 8 KiB kernel stack is reported as an
+   explicit Stack Overflow (§6). The real wrapper derives thread_info from
+   r1 itself, so a pointer that lands inside some other task's stack still
+   passes the check. *)
+let g4_stack_overflow sys =
+  let sp = System.sp sys in
+  let in_some_stack = ref false in
+  for i = 0 to Abi.ntasks - 1 do
+    let lo, hi = System.task_stack_range sys i in
+    if sp >= lo && sp < hi then in_some_stack := true
+  done;
+  not !in_some_stack
+
+let wrapper_enabled sys =
+  sys.System.image.Ferrite_kir.Image.img_g4_wrapper
+
+let classify_g4 sys (e : RExn.t) =
+  match e with
+  | RExn.Software_panic _ -> None  (* checkstop: no dump *)
+  | _ when panic_code sys = Abi.panic_stack_overflow -> Some Stack_overflow
+  | _ when wrapper_enabled sys && g4_stack_overflow sys -> Some Stack_overflow
+  | RExn.Machine_check _ -> Some Machine_check
+  | RExn.Dsi { protection = true; _ } -> Some Bus_error
+  | RExn.Dsi _ -> Some Bad_area
+  | RExn.Isi _ -> Some Bad_area
+  | RExn.Alignment _ -> Some Alignment
+  | RExn.Program_illegal -> Some Illegal_instruction
+  | RExn.Program_trap -> Some Panic
+  | RExn.Program_privileged | RExn.Unexpected_syscall -> Some Bad_trap
+
+let classify sys fault =
+  match fault with
+  | System.Cisc_fault e -> Option.map (fun c -> P4 c) (classify_p4 sys e)
+  | System.Risc_fault e -> Option.map (fun c -> G4 c) (classify_g4 sys e)
+
+let p4_label = function
+  | Null_pointer -> "NULL Pointer"
+  | Bad_paging -> "Bad Paging"
+  | Invalid_instruction -> "Invalid Instruction"
+  | General_protection -> "General Protection Fault"
+  | Kernel_panic -> "Kernel Panic"
+  | Invalid_tss -> "Invalid TSS"
+  | Divide_error -> "Divide Error"
+  | Bounds_trap -> "Bounds Trap"
+
+let g4_label = function
+  | Bad_area -> "Bad Area"
+  | Illegal_instruction -> "Illegal Instruction"
+  | Stack_overflow -> "Stack Overflow"
+  | Machine_check -> "Machine Check"
+  | Alignment -> "Alignment"
+  | Panic -> "Panic!!!"
+  | Bus_error -> "Bus Error"
+  | Bad_trap -> "Bad Trap"
+
+let label = function P4 c -> p4_label c | G4 c -> g4_label c
+
+let p4_order =
+  [
+    Bad_paging; Null_pointer; Invalid_instruction; General_protection;
+    Kernel_panic; Invalid_tss; Divide_error; Bounds_trap;
+  ]
+
+let g4_order =
+  [
+    Bad_area; Illegal_instruction; Stack_overflow; Machine_check; Alignment;
+    Panic; Bus_error; Bad_trap;
+  ]
+
+let all_labels = function
+  | Ferrite_kir.Image.Cisc -> List.map p4_label p4_order
+  | Ferrite_kir.Image.Risc -> List.map g4_label g4_order

@@ -1,0 +1,43 @@
+(** Crash-cause taxonomies and classification (the paper's Tables 3 and 4).
+
+    The hardware raises architectural exceptions; this module plays the role
+    of the kernel-embedded crash handler, mapping them onto the categories the
+    paper reports — including the G4 exception-entry wrapper that reclassifies
+    any exception taken with a wild stack pointer as Stack Overflow, and the
+    P4's conflation of BUG()'s [ud2a] with genuine invalid instructions
+    (Figure 13). *)
+
+type p4 =
+  | Null_pointer
+  | Bad_paging
+  | Invalid_instruction
+  | General_protection
+  | Kernel_panic
+  | Invalid_tss
+  | Divide_error
+  | Bounds_trap
+
+type g4 =
+  | Bad_area
+  | Illegal_instruction
+  | Stack_overflow
+  | Machine_check
+  | Alignment
+  | Panic
+  | Bus_error
+  | Bad_trap
+
+type t = P4 of p4 | G4 of g4
+
+val classify : Ferrite_kernel.System.t -> Ferrite_kernel.System.fault -> t option
+(** [None] when no crash dump can escape (double fault / checkstop): the
+    campaign then counts the run under Hang/Unknown Crash. *)
+
+val label : t -> string
+
+val p4_order : p4 list
+(** Categories in the paper's Table 3 order. *)
+
+val g4_order : g4 list
+
+val all_labels : Ferrite_kir.Image.arch -> string list

@@ -1,0 +1,163 @@
+open Ferrite_machine
+module System = Ferrite_kernel.System
+module Runner = Ferrite_workload.Runner
+module Image = Ferrite_kir.Image
+
+type config = {
+  step_budget : int;
+  tick_interval : int;
+  handler_cycles_cisc : int;
+  handler_cycles_risc : int;
+}
+
+(* Fig. 3 stage 3: the software exception handler executes 150-200
+   instructions. On the P4 model that cold path costs ~3,500 cycles (deep
+   pipeline, cache-cold handler); on the G4 ~400 — which is why the G4 can
+   report stack errors inside the paper's <3k-cycle band while the P4 cannot. *)
+let default_config =
+  { step_budget = 1_500_000; tick_interval = 128;
+    handler_cycles_cisc = 3_500; handler_cycles_risc = 400 }
+
+(* Flip bit [bit] (0-31) of the 32-bit word at [addr], respecting the
+   architecture's byte order so that "bit 0" is the word's LSB on both. *)
+let flip_word_bit sys addr bit =
+  let byte_in_word = bit / 8 in
+  let byte_addr =
+    match sys.System.arch with
+    | Image.Cisc -> addr + byte_in_word
+    | Image.Risc -> addr + (3 - byte_in_word)
+  in
+  Memory.flip_bit sys.System.mem ~addr:byte_addr ~bit:(bit mod 8)
+
+let flip_code_bit sys addr bit = Memory.flip_bit sys.System.mem ~addr:(addr + (bit / 8)) ~bit:(bit mod 8)
+
+let symbolize sys pc =
+  Option.map (fun f -> f.Image.fs_name) (Image.function_at sys.System.image pc)
+
+type state = {
+  mutable activated : bool;
+  mutable activation_cycle : int;
+  mutable injected : bool;  (* register targets: has the flip happened yet *)
+}
+
+let run_one ~sys ~runner ~target ~collector config =
+  let counters = System.counters sys in
+  let dr = System.debug_regs sys in
+  let st = { activated = false; activation_cycle = 0; injected = false } in
+  (* STEP 2: arm the injection *)
+  (match target with
+  | Target.Code_target { addr; _ } -> Debug_regs.set_instruction_bp dr addr
+  | Target.Stack_target { addr; bit; _ } | Target.Data_target { addr; bit } ->
+    flip_word_bit sys addr bit;
+    Debug_regs.set_data_bp dr ~addr ~len:4
+  | Target.Reg_target _ -> ());
+  let reg_inject () =
+    match target with
+    | Target.Reg_target { index; bit; _ } ->
+      let r = (System.system_registers sys).(index) in
+      r.System.set (Word.flip_bit (r.System.get ()) bit);
+      st.injected <- true;
+      st.activated <- true;
+      st.activation_cycle <- counters.Counters.cycles
+    | _ -> ()
+  in
+  let finish outcome =
+    Debug_regs.clear_all dr;
+    {
+      Outcome.r_target = target;
+      r_outcome = outcome;
+      r_activated = st.activated;
+      r_activation_cycle = (if st.activated then Some st.activation_cycle else None);
+    }
+  in
+  let crash fault =
+    (* the embedded crash handler runs (Fig. 3 stage 3). The G4's
+       program-check handler first tries to emulate the offending word
+       (math-emu / 601-compat paths in the 2.4 PPC tree) before conceding an
+       oops, which is part of why G4 code-error latencies sit above 10k
+       cycles in Fig. 16(C). *)
+    (match fault with
+    | System.Risc_fault Ferrite_risc.Exn.Program_illegal -> System.idle_cycles sys 12_000
+    | _ -> ());
+    System.idle_cycles sys
+      (match fault with
+      | System.Cisc_fault _ -> config.handler_cycles_cisc
+      | System.Risc_fault _ -> config.handler_cycles_risc);
+    let base = if st.activated then st.activation_cycle else counters.Counters.cycles in
+    let latency = counters.Counters.cycles - base in
+    st.activated <- true;
+    if st.activation_cycle = 0 then st.activation_cycle <- base;
+    match Crash_cause.classify sys fault with
+    | None -> finish Outcome.Unknown_crash  (* no dump could be produced *)
+    | Some cause ->
+      let info =
+        {
+          Outcome.ci_cause = cause;
+          ci_latency = latency;
+          ci_pc = System.pc sys;
+          ci_function = symbolize sys (System.pc sys);
+        }
+      in
+      (* ...and ships the dump over the lossy UDP path *)
+      (match Collector.send collector info with
+      | Some info -> finish (Outcome.Known_crash info)
+      | None -> finish Outcome.Unknown_crash)
+  in
+  let workload_done () =
+    (* STEP 3: if the error never activated, undo it and count Not Activated *)
+    if not st.activated then begin
+      (match target with
+      | Target.Stack_target { addr; bit; _ } | Target.Data_target { addr; bit } ->
+        flip_word_bit sys addr bit
+      | Target.Code_target _ | Target.Reg_target _ -> ());
+      finish Outcome.Not_activated
+    end
+    else if Runner.fsv runner then finish Outcome.Fail_silence_violation
+    else finish Outcome.Not_manifested
+  in
+  let rec loop steps skip_ibp =
+    if steps >= config.step_budget then
+      if st.activated then finish Outcome.Hang
+      else workload_done () |> fun r -> { r with Outcome.r_outcome = Outcome.Hang }
+    else begin
+      if steps land (config.tick_interval - 1) = 0 then begin
+        (match target with
+        | Target.Reg_target { at_instr; _ }
+          when (not st.injected) && counters.Counters.instructions >= at_instr ->
+          reg_inject ()
+        | _ -> ());
+        if Runner.tick runner = Runner.Done then workload_done () else step_once steps skip_ibp
+      end
+      else step_once steps skip_ibp
+    end
+  and step_once steps skip_ibp =
+    match System.step ~skip_ibp sys with
+    | System.Retired | System.Halted -> loop (steps + 1) false
+    | System.Hit_ibp ->
+      (match target with
+      | Target.Code_target { addr; bit; _ } when System.pc sys = addr ->
+        flip_code_bit sys addr bit;
+        st.activated <- true;
+        st.activation_cycle <- counters.Counters.cycles;
+        Debug_regs.clear_all dr;
+        loop steps false
+      | _ ->
+        (* stray breakpoint (e.g. after wild control flow): step over it *)
+        loop steps true)
+    | System.Hit_dbp hit ->
+      (match target with
+      | Target.Stack_target { addr; bit; _ } | Target.Data_target { addr; bit } ->
+        if not st.activated then begin
+          st.activated <- true;
+          st.activation_cycle <- counters.Counters.cycles
+        end;
+        (* a write overwrote the error: re-inject it (§3.3) *)
+        if hit.Debug_regs.is_write then flip_word_bit sys addr bit
+      | Target.Code_target _ | Target.Reg_target _ -> ());
+      loop (steps + 1) false
+    | System.Stopped ->
+      (* wild control flow reached the harness sentinel: no dump, no progress *)
+      finish Outcome.Unknown_crash
+    | System.Faulted fault -> crash fault
+  in
+  loop 1 false

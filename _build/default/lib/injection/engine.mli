@@ -1,0 +1,32 @@
+(** Executes a single error injection against a booted system running a
+    workload — the paper's §3.2 STEP 2/3 automaton.
+
+    Faithful to the NFTAPE injector mechanics (§3.3):
+    - code errors are injected when an instruction breakpoint fires, {e before}
+      the target instruction executes; the corrupted bytes persist for the
+      rest of the run;
+    - stack/data errors are injected up front; a data watchpoint detects
+      activation {e after} the first access; write accesses overwrite the
+      error, so it is re-injected; if the watchpoint never fires, the original
+      value is restored and the error counts as not activated;
+    - register errors are injected at a pre-chosen instant; activation cannot
+      be observed (Tables 5/6 report N/A), so latency runs from injection. *)
+
+type config = {
+  step_budget : int;  (** watchdog: steps before the run is declared hung *)
+  tick_interval : int;  (** machine steps between runner polls *)
+  handler_cycles_cisc : int;
+      (** Fig. 3 stage-3 software-handler cost on the P4 model (cold-path
+          150-200 instructions on a deep pipeline) *)
+  handler_cycles_risc : int;  (** same on the G4 model *)
+}
+
+val default_config : config
+
+val run_one :
+  sys:Ferrite_kernel.System.t ->
+  runner:Ferrite_workload.Runner.t ->
+  target:Target.t ->
+  collector:Collector.t ->
+  config ->
+  Outcome.record

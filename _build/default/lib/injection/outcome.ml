@@ -1,0 +1,35 @@
+(* Outcome categories (the paper's Table 2) and the per-injection record. *)
+
+type crash_info = {
+  ci_cause : Crash_cause.t;
+  ci_latency : int;  (* cycles-to-crash, Fig. 3 definition *)
+  ci_pc : int;
+  ci_function : string option;
+}
+
+type t =
+  | Not_activated
+  | Not_manifested
+  | Fail_silence_violation
+  | Known_crash of crash_info
+  | Hang
+  | Unknown_crash  (* crashed, but no dump reached the collector *)
+
+type record = {
+  r_target : Target.t;
+  r_outcome : t;
+  r_activated : bool;
+  r_activation_cycle : int option;
+}
+
+let outcome_label = function
+  | Not_activated -> "Not Activated"
+  | Not_manifested -> "Not Manifested"
+  | Fail_silence_violation -> "Fail Silence Violation"
+  | Known_crash _ -> "Known Crash"
+  | Hang -> "Hang"
+  | Unknown_crash -> "Unknown Crash"
+
+let is_manifested = function
+  | Not_activated | Not_manifested -> false
+  | Fail_silence_violation | Known_crash _ | Hang | Unknown_crash -> true

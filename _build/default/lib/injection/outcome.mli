@@ -1,0 +1,29 @@
+(** Outcome categories (the paper's Table 2) and the per-injection record. *)
+
+type crash_info = {
+  ci_cause : Crash_cause.t;
+  ci_latency : int;  (** cycles-to-crash, per the Fig. 3 three-stage model *)
+  ci_pc : int;
+  ci_function : string option;  (** symbolised crash site *)
+}
+
+type t =
+  | Not_activated  (** the corrupted location was never executed/used *)
+  | Not_manifested  (** used, but no visible abnormal impact *)
+  | Fail_silence_violation
+      (** an error was erroneously reported, or bad data propagated out *)
+  | Known_crash of crash_info  (** crash whose dump reached the collector *)
+  | Hang  (** watchdog expired (deadlock / livelock / lost progress) *)
+  | Unknown_crash  (** crashed, but no dump escaped (double fault / UDP loss) *)
+
+type record = {
+  r_target : Target.t;
+  r_outcome : t;
+  r_activated : bool;
+  r_activation_cycle : int option;
+}
+
+val outcome_label : t -> string
+
+val is_manifested : t -> bool
+(** Everything except Not_activated / Not_manifested. *)

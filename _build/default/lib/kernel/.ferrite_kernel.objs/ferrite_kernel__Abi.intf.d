@@ -1,0 +1,1 @@
+lib/kernel/abi.mli: Ferrite_kir

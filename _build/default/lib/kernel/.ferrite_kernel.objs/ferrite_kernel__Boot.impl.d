@@ -1,0 +1,1 @@
+lib/kernel/boot.ml: Abi Array Ferrite_cisc Ferrite_kir Ferrite_machine Ferrite_risc Kmain Layout List Memory Printf String System Word

@@ -1,0 +1,1 @@
+lib/kernel/kmain.ml: Abi Ferrite_kir Fs Kmem Locks Mm Net Sched Syscalls Workers

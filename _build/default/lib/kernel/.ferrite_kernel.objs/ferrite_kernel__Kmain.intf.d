@@ -1,0 +1,1 @@
+lib/kernel/kmain.mli: Ferrite_kir

@@ -1,0 +1,1 @@
+lib/kernel/kmem.ml: Ferrite_kir

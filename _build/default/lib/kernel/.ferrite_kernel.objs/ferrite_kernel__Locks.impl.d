@@ -1,0 +1,1 @@
+lib/kernel/locks.ml: Abi Ferrite_kir

@@ -1,0 +1,1 @@
+lib/kernel/locks.mli: Ferrite_kir

@@ -1,0 +1,1 @@
+lib/kernel/mm.ml: Abi Ferrite_kir

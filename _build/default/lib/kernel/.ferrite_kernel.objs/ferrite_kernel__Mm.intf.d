@@ -1,0 +1,1 @@
+lib/kernel/mm.mli: Ferrite_kir

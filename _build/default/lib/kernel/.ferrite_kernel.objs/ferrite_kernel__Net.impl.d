@@ -1,0 +1,1 @@
+lib/kernel/net.ml: Abi Ferrite_kir

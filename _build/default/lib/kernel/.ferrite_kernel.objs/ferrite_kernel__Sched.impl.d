@@ -1,0 +1,1 @@
+lib/kernel/sched.ml: Abi Ferrite_kir

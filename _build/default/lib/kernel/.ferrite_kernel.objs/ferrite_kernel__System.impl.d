@@ -1,0 +1,1 @@
+lib/kernel/system.ml: Abi Array Counters Debug_regs Ferrite_cisc Ferrite_kir Ferrite_machine Ferrite_risc Memory

@@ -1,0 +1,1 @@
+lib/kernel/system.mli: Ferrite_cisc Ferrite_kir Ferrite_machine Ferrite_risc

@@ -1,0 +1,1 @@
+lib/kernel/workers.ml: Abi Ferrite_kir

@@ -1,0 +1,1 @@
+lib/kernel/workers.mli: Ferrite_kir

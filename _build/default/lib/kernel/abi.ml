@@ -1,0 +1,260 @@
+(* Kernel ABI: struct declarations, global data and constants shared by the
+   KIR kernel sources, the boot loader and the injection harness.
+
+   Field widths are deliberately mixed (u8 state bytes, u16 counters, u32
+   pointers) because the packed-vs-widened layout difference between the two
+   backends is the paper's central data-sensitivity mechanism. *)
+
+open Ferrite_kir.Ir
+
+(* --- task states (Linux 2.4 values; TASK_STOPPED = 8 as in the paper's
+       Figure 8 listing) --- *)
+let task_running = 0
+let task_interruptible = 1
+let task_stopped = 8
+
+let spinlock_magic = 0xDEAD4EAD
+
+(* --- system composition --- *)
+let ntasks = 7
+let nworkers = 4
+let first_worker = 3  (* tasks: 0 idle, 1 kupdate, 2 kjournald, 3.. workers *)
+
+let npages = 128
+let block_size = 256
+let nbufs = 64
+let buf_hash_size = 16
+let ninodes = 16
+let blocks_per_inode = 8
+let nskbs = 32
+let user_buf_size = 512
+
+(* --- syscall numbers --- *)
+let sys_getpid = 0
+let sys_open = 1
+let sys_read = 2
+let sys_write = 3
+let sys_send = 4
+let sys_recv = 5
+let sys_mem = 6
+let sys_checksum = 7
+let sys_nanosleep = 8
+let sys_yield = 9
+let sys_close = 10
+let sys_stat = 11
+let nsyscalls = 12
+
+(* --- request (mailbox) status --- *)
+let req_empty = 0
+let req_pending = 1
+let req_done = 2
+
+(* --- panic codes --- *)
+let panic_bad_page = 1
+let panic_buffer_leak = 2
+let panic_skb_corrupt = 3
+let panic_runqueue = 4
+let panic_stack_overflow = 5  (* raised by the G4 exception-entry wrapper *)
+let panic_assertion = 6  (* hardened-kernel consistency assertion (sec. 6 extension) *)
+
+(* ------------------------------------------------------------------ *)
+(* Struct declarations                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let task_struct =
+  struct_decl "task"
+    [
+      field "pid" U16;
+      field "state" U8;
+      field "counter" U8 ~init:4;
+      field "sigpending" U8;
+      field "policy" U8;
+      field "nice" U8;
+      field "cpus_allowed" U8 ~init:1;
+      field "flags" U16;
+      field "sp" U32;
+      field "stack_lo" U32;
+      field "next_run" U32;
+      field "timeout" U32;
+      field "mbox" U32;
+      field "nswitches" U32;
+    ]
+
+let request_struct =
+  struct_decl "request"
+    [
+      field "status" U32;
+      field "nr" U32;
+      field "a0" U32;
+      field "a1" U32;
+      field "a2" U32;
+      field "a3" U32;
+      field "ret" U32;
+    ]
+
+let spinlock_struct =
+  struct_decl "spinlock"
+    [ field "magic" U32 ~init:spinlock_magic; field "locked" U8; field "owner" U16 ]
+
+let page_struct =
+  struct_decl "page"
+    [
+      field "flags" U8;
+      field "order" U8;
+      field "count" U16;
+      field "next" U32;
+      field "vaddr" U32;
+    ]
+
+let bufhead_struct =
+  struct_decl "bufhead"
+    [
+      field "blocknr" U32;
+      field "state" U8;  (* bit0 uptodate, bit1 dirty *)
+      field "count" U16;
+      field "b_size" U16;
+      field "b_list" U8;
+      field "data" U32;
+      field "next_hash" U32;
+      field "next_dirty" U32;
+    ]
+
+let inode_struct =
+  struct_decl "inode"
+    [
+      field "ino" U16;
+      field "used" U8;
+      field "size" U32;
+      (* eight consecutive u32 block-number slots; stride 4 in both layouts *)
+      field "b0" U32; field "b1" U32; field "b2" U32; field "b3" U32;
+      field "b4" U32; field "b5" U32; field "b6" U32; field "b7" U32;
+    ]
+
+let transaction_struct =
+  struct_decl "transaction"
+    [
+      field "t_id" U32;
+      field "t_state" U8;
+      field "t_nbufs" U16;
+      field "t_expires" U32;
+    ]
+
+let journal_struct =
+  struct_decl "journal"
+    [ field "j_running" U32; field "j_commit_seq" U32; field "j_errno" U8 ]
+
+let skb_struct =
+  struct_decl "skb"
+    [
+      field "len" U16;
+      field "protocol" U16;
+      field "used" U8;
+      field "pkt_type" U8 ~init:1;
+      field "priority" U8;
+      field "data" U32;
+      field "csum" U32;
+      field "next" U32;
+    ]
+
+let skb_queue_struct =
+  struct_decl "skb_queue" [ field "qlen" U16; field "head" U32; field "tail" U32 ]
+
+let structs =
+  [
+    task_struct;
+    request_struct;
+    spinlock_struct;
+    page_struct;
+    bufhead_struct;
+    inode_struct;
+    transaction_struct;
+    journal_struct;
+    skb_struct;
+    skb_queue_struct;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Globals                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let globals =
+  [
+    (* core kernel state *)
+    Gwords ("jiffies", [| 0 |]);
+    Gwords ("current", [| 0 |]);
+    Gwords ("need_resched", [| 0 |]);
+    Gwords ("completed_count", [| 0 |]);
+    Gwords ("panic_code", [| 0 |]);
+    (* 0 in the stock build; the hardened variant links it as 1 (the paper's
+       sec. 6 suggestion: assertions on critical data to cut error latency) *)
+    Gwords ("assertions_enabled", [| 0 |]);
+    Gstruct ("kernel_flag", spinlock_struct);  (* the big kernel lock (Fig. 13) *)
+    Gstruct ("runqueue_lock", spinlock_struct);
+    (* NOTE: there is no task_table global. As in Linux 2.4, each
+       task_struct lives at the BOTTOM of its task's 8 KiB kernel stack
+       (task_addr below) — which is why the paper's stack-injection campaign
+       corrupts task fields (Figure 8) and its data campaign never does. *)
+    Garray ("mailbox", request_struct, nworkers);
+    Gwords ("syscall_table", Array.make nsyscalls 0);
+    (* mm *)
+    Garray ("mem_map", page_struct, npages);
+    Gwords ("free_area", Array.make 5 0);
+    Gwords ("kmalloc_heads", Array.make 6 0);
+    Gwords ("nr_free_pages", [| 0 |]);
+    Gstruct ("page_alloc_lock", spinlock_struct);
+    Gstruct ("kmalloc_lock", spinlock_struct);
+    (* fs *)
+    Garray ("buffer_heads", bufhead_struct, nbufs);
+    Gwords ("buffer_hash", Array.make buf_hash_size 0);
+    Gwords ("dirty_list", [| 0 |]);
+    Gwords ("nr_buffer_heads", [| 0 |]);
+    Gstruct ("buffer_lock", spinlock_struct);
+    Garray ("inode_table", inode_struct, ninodes);
+    Gstruct ("the_journal", journal_struct);
+    Gstruct ("running_transaction", transaction_struct);
+    Gbuffer ("disk", 64 * block_size);  (* the "disk": 64 blocks of backing store *)
+    (* net *)
+    Garray ("skb_pool", skb_struct, nskbs);
+    Gstruct ("rx_queue", skb_queue_struct);
+    Gstruct ("net_lock", spinlock_struct);
+    Gwords ("net_rx_packets", [| 0 |]);
+    Gwords ("net_tx_packets", [| 0 |]);
+    (* user-visible shared buffers, one per worker *)
+    Gbuffer ("user_buffers", nworkers * user_buf_size);
+    (* cold kernel data: tables that exist in any 2.4 kernel but are touched
+       rarely or only at boot. They give the data section its realistic
+       mostly-cold profile (the paper activates only ~0.5-1.5% of 46,000
+       data errors). *)
+    Gbuffer ("log_buf", 4096);
+    Gwords ("pid_hash", Array.make 256 0);
+    Gwords ("dentry_hashtable", Array.make 512 0);
+    Gwords ("inode_hashtable", Array.make 512 0);
+    Gwords ("irq_desc", Array.make 512 0);
+    Gwords ("timer_vec", Array.make 512 0);
+    Gwords ("console_drivers", Array.make 64 0);
+    Gwords ("swapper_space", Array.make 256 0);
+    Gbuffer ("boot_command_line", 1024);
+    Gwords ("cpu_data", Array.make 128 0);
+  ]
+
+(* Heap region managed by the page allocator. *)
+let heap_base = Ferrite_machine.Layout.heap_base
+let heap_size = npages * 4096
+
+(* Kernel stacks. *)
+let stack_base = Ferrite_machine.Layout.stack_base
+let stack_size = Ferrite_machine.Layout.kernel_stack_size
+
+let stack_lo_of_task i = stack_base + (i * stack_size)
+let stack_top_of_task i = stack_lo_of_task i + stack_size - 16
+
+(* The task_struct sits at the bottom of the task's kernel stack (2.4's
+   8 KiB union of task_struct and stack). *)
+let task_addr i = stack_lo_of_task i
+
+(* Entry-point function for each task. *)
+let task_entry = function
+  | 0 -> "idle_main"
+  | 1 -> "kupdate"
+  | 2 -> "kjournald"
+  | _ -> "worker_main"

@@ -1,0 +1,101 @@
+(** Kernel ABI: struct declarations, global data and constants shared by the
+    KIR kernel sources, the boot loader, the workload driver and the
+    injection harness.
+
+    Field widths are deliberately mixed (u8 state bytes, u16 counters, u32
+    pointers): the packed-vs-widened layout difference between the two
+    backends is the paper's central data-sensitivity mechanism. *)
+
+(** {2 Task states (Linux 2.4 values)} *)
+
+val task_running : int
+val task_interruptible : int
+val task_stopped : int
+(** 8, as in the paper's Figure 8 listing. *)
+
+val spinlock_magic : int
+(** 0xDEAD4EAD — the Figure 13 magic. *)
+
+(** {2 System composition} *)
+
+val ntasks : int
+val nworkers : int
+val first_worker : int
+(** Tasks: 0 idle, 1 kupdate, 2 kjournald, [first_worker..] workers. *)
+
+val npages : int
+val block_size : int
+val nbufs : int
+val buf_hash_size : int
+val ninodes : int
+val blocks_per_inode : int
+val nskbs : int
+val user_buf_size : int
+
+(** {2 Syscall numbers} *)
+
+val sys_getpid : int
+val sys_open : int
+val sys_read : int
+val sys_write : int
+val sys_send : int
+val sys_recv : int
+val sys_mem : int
+val sys_checksum : int
+val sys_nanosleep : int
+val sys_yield : int
+val sys_close : int
+val sys_stat : int
+val nsyscalls : int
+
+(** {2 Mailbox request status} *)
+
+val req_empty : int
+val req_pending : int
+val req_done : int
+
+(** {2 Panic codes} *)
+
+val panic_bad_page : int
+val panic_buffer_leak : int
+val panic_skb_corrupt : int
+val panic_runqueue : int
+val panic_stack_overflow : int
+(** Raised by the G4 exception-entry wrapper (and the optional P4 one). *)
+
+val panic_assertion : int
+(** Hardened-build consistency assertion (the paper's §6 extension). *)
+
+(** {2 Structs and globals} *)
+
+val task_struct : Ferrite_kir.Ir.struct_decl
+val request_struct : Ferrite_kir.Ir.struct_decl
+val spinlock_struct : Ferrite_kir.Ir.struct_decl
+val page_struct : Ferrite_kir.Ir.struct_decl
+val bufhead_struct : Ferrite_kir.Ir.struct_decl
+val inode_struct : Ferrite_kir.Ir.struct_decl
+val transaction_struct : Ferrite_kir.Ir.struct_decl
+val journal_struct : Ferrite_kir.Ir.struct_decl
+val skb_struct : Ferrite_kir.Ir.struct_decl
+val skb_queue_struct : Ferrite_kir.Ir.struct_decl
+
+val structs : Ferrite_kir.Ir.struct_decl list
+val globals : Ferrite_kir.Ir.global list
+
+(** {2 Memory geography} *)
+
+val heap_base : int
+val heap_size : int
+val stack_base : int
+val stack_size : int
+
+val stack_lo_of_task : int -> int
+val stack_top_of_task : int -> int
+
+val task_addr : int -> int
+(** The task_struct lives at the bottom of the task's kernel stack (2.4's
+    8 KiB task/stack union) — which is why stack injections can corrupt task
+    fields (Fig. 8) and data injections never do. *)
+
+val task_entry : int -> string
+(** Entry-point function name for each task. *)

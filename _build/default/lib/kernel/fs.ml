@@ -1,0 +1,319 @@
+(* The fs subsystem: a hashed buffer cache over a simulated disk, the
+   kupdate dirty-buffer flusher (the paper's Figure 8 example function) and a
+   minimal journalling layer with its kjournald thread (Figure 9), plus a
+   flat-file layer (inodes of eight 256-byte blocks) behind sys_read/write. *)
+
+open Ferrite_kir.Builder
+
+(* bufhead.state bits *)
+let st_uptodate = 1
+let st_dirty = 2
+
+let hash_bucket b blocknr =
+  add b (gaddr b "buffer_hash") (shl b (band b blocknr (c (Abi.buf_hash_size - 1))) (c 2))
+
+(* getblk(blocknr): find or allocate a buffer head for a block. *)
+let getblk =
+  func "getblk" ~nparams:1 (fun b ->
+      let blocknr = param b 0 in
+      let lock = gaddr b "buffer_lock" in
+      call0 b "spin_lock" [ lock ];
+      let bucket = hash_bucket b blocknr in
+      let cur = var b (load b I32 bucket 0) in
+      let found = var b (c 0) in
+      while_ b
+        (fun () ->
+          let go = var b (c 0) in
+          when_ b Ne (v cur) (c 0) (fun () ->
+              when_ b Eq (v found) (c 0) (fun () -> set b go (c 1)));
+          (Eq, v go, c 1))
+        (fun () ->
+          if_ b Eq (loadf b "bufhead" "blocknr" (v cur)) blocknr
+            (fun () -> set b found (v cur))
+            (fun () -> set b cur (loadf b "bufhead" "next_hash" (v cur))));
+      when_ b Ne (v found) (c 0) (fun () ->
+          let n = loadf b "bufhead" "count" (v found) in
+          (* hardened build: a runaway refcount or wild b_size means the
+             descriptor is corrupt *)
+          when_ b Ne (load b I32 (gaddr b "assertions_enabled") 0) (c 0) (fun () ->
+              when_ b Ugt n (c 1000) (fun () -> panic b Abi.panic_assertion);
+              when_ b Ugt (loadf b "bufhead" "b_size" (v found)) (c Abi.block_size)
+                (fun () -> panic b Abi.panic_assertion));
+          storef b "bufhead" "count" (v found) (add b n (c 1));
+          call0 b "spin_unlock" [ lock ];
+          ret b (v found));
+      (* miss: take an unused head from the pool (data = 0 means free) *)
+      let heads = gaddr b "buffer_heads" in
+      let bh = var b (c 0) in
+      loop_n b (c Abi.nbufs) (fun i ->
+          when_ b Eq (v bh) (c 0) (fun () ->
+              let cand = elemaddr b "bufhead" heads i in
+              when_ b Eq (loadf b "bufhead" "data" cand) (c 0) (fun () -> set b bh cand)));
+      (* pool exhausted: a buffer leak is a kernel bug *)
+      when_ b Eq (v bh) (c 0) (fun () ->
+          call0 b "spin_unlock" [ lock ];
+          panic b Abi.panic_buffer_leak);
+      call0 b "spin_unlock" [ lock ];
+      let data = call b "kmalloc" [ c Abi.block_size ] in
+      call0 b "spin_lock" [ lock ];
+      storef b "bufhead" "blocknr" (v bh) blocknr;
+      storef b "bufhead" "state" (v bh) (c 0);
+      storef b "bufhead" "count" (v bh) (c 1);
+      storef b "bufhead" "b_size" (v bh) (c Abi.block_size);
+      storef b "bufhead" "data" (v bh) data;
+      storef b "bufhead" "next_dirty" (v bh) (c 0);
+      storef b "bufhead" "next_hash" (v bh) (load b I32 bucket 0);
+      store b I32 bucket 0 (v bh);
+      let nbh = gaddr b "nr_buffer_heads" in
+      store b I32 nbh 0 (add b (load b I32 nbh 0) (c 1));
+      call0 b "spin_unlock" [ lock ];
+      ret b (v bh))
+
+let brelse =
+  func "brelse" ~nparams:1 (fun b ->
+      let bh = param b 0 in
+      let n = loadf b "bufhead" "count" bh in
+      (* releasing an unreferenced buffer is a kernel bug *)
+      when_ b Eq n (c 0) (fun () -> bug b);
+      storef b "bufhead" "count" bh (sub b n (c 1));
+      ret0 b)
+
+let disk_addr b blocknr = add b (gaddr b "disk") (mul b blocknr (c Abi.block_size))
+
+(* bread(blocknr): getblk + fill from the disk if not up to date. *)
+let bread =
+  func "bread" ~nparams:1 (fun b ->
+      let blocknr = param b 0 in
+      let bh = call b "getblk" [ blocknr ] in
+      let st = loadf b "bufhead" "state" bh in
+      when_ b Eq (band b st (c st_uptodate)) (c 0) (fun () ->
+          let data = loadf b "bufhead" "data" bh in
+          let size = loadf b "bufhead" "b_size" bh in
+          let _ = call b "kmemcpy" [ data; disk_addr b blocknr; size ] in
+          storef b "bufhead" "state" bh (bor b st (c st_uptodate)));
+      ret b bh)
+
+(* mark_buffer_dirty: thread onto the dirty list and into the running
+   journal transaction. *)
+let mark_buffer_dirty =
+  func "mark_buffer_dirty" ~nparams:1 (fun b ->
+      let bh = param b 0 in
+      let st = loadf b "bufhead" "state" bh in
+      when_ b Eq (band b st (c st_dirty)) (c 0) (fun () ->
+          storef b "bufhead" "state" bh (bor b st (c (st_dirty lor st_uptodate)));
+          let dl = gaddr b "dirty_list" in
+          storef b "bufhead" "next_dirty" bh (load b I32 dl 0);
+          store b I32 dl 0 bh;
+          call0 b "journal_add_buffer" []);
+      ret0 b)
+
+(* sync_old_buffers: write every dirty buffer back to the disk. *)
+let sync_old_buffers =
+  func "sync_old_buffers" ~nparams:0 (fun b ->
+      let lock = gaddr b "buffer_lock" in
+      call0 b "spin_lock" [ lock ];
+      let dl = gaddr b "dirty_list" in
+      let cur = var b (load b I32 dl 0) in
+      store b I32 dl 0 (c 0);
+      call0 b "spin_unlock" [ lock ];
+      while_ b
+        (fun () -> (Ne, v cur, c 0))
+        (fun () ->
+          let blocknr = loadf b "bufhead" "blocknr" (v cur) in
+          let data = loadf b "bufhead" "data" (v cur) in
+          let size = loadf b "bufhead" "b_size" (v cur) in
+          let _ = call b "kmemcpy" [ disk_addr b blocknr; data; size ] in
+          let st = loadf b "bufhead" "state" (v cur) in
+          storef b "bufhead" "state" (v cur) (band b st (c (lnot st_dirty land 0xFF)));
+          let next = loadf b "bufhead" "next_dirty" (v cur) in
+          storef b "bufhead" "next_dirty" (v cur) (c 0);
+          set b cur next);
+      ret0 b)
+
+(* kupdate: the paper's Figure 8 function — periodically flush dirty buffers,
+   checking for signals, with the tsk->state dance on the kernel stack. *)
+let kupdate =
+  func "kupdate" ~nparams:0 (fun b ->
+      let interval = var b (c 5) in
+      while_ b
+        (fun () -> (Eq, c 0, c 0))
+        (fun () ->
+          let tsk = var b (load b I32 (gaddr b "current") 0) in
+          if_ b Ne (v interval) (c 0)
+            (fun () ->
+              storef b "task" "state" (v tsk) (c Abi.task_interruptible);
+              let _ = call b "schedule_timeout" [ v interval ] in
+              ())
+            (fun () ->
+              storef b "task" "state" (v tsk) (c Abi.task_stopped);
+              call0 b "schedule" []);
+          (* check for sigstop *)
+          when_ b Ne (loadf b "task" "sigpending" (v tsk)) (c 0) (fun () ->
+              storef b "task" "sigpending" (v tsk) (c 0));
+          call0 b "sync_old_buffers" [];
+          call0 b "run_task_queue" []);
+      ret0 b)
+
+(* A stand-in for run_task_queue(&tq_disk): kick the journal. *)
+let run_task_queue =
+  func "run_task_queue" ~nparams:0 (fun b ->
+      let j = gaddr b "the_journal" in
+      let seq = loadf b "journal" "j_commit_seq" j in
+      storef b "journal" "j_errno" j (band b seq (c 0));
+      ret0 b)
+
+(* --- journalling ---------------------------------------------------- *)
+
+(* journal_add_buffer: ensure a running transaction and account the buffer. *)
+let journal_add_buffer =
+  func "journal_add_buffer" ~nparams:0 (fun b ->
+      let j = gaddr b "the_journal" in
+      let tr = var b (loadf b "journal" "j_running" j) in
+      when_ b Eq (v tr) (c 0) (fun () ->
+          let fresh = gaddr b "running_transaction" in
+          let seq = loadf b "journal" "j_commit_seq" j in
+          storef b "transaction" "t_id" fresh (add b seq (c 1));
+          storef b "transaction" "t_state" fresh (c 1);
+          storef b "transaction" "t_nbufs" fresh (c 0);
+          let jf = load b I32 (gaddr b "jiffies") 0 in
+          storef b "transaction" "t_expires" fresh (add b jf (c 8));
+          storef b "journal" "j_running" j fresh;
+          set b tr fresh);
+      let n = loadf b "transaction" "t_nbufs" (v tr) in
+      storef b "transaction" "t_nbufs" (v tr) (add b n (c 1));
+      ret0 b)
+
+(* kjournald: the paper's Figure 9 function — commit the running transaction
+   when it expires (transaction = journal->j_running; transaction->t_expires
+   is the access the G4 stack-error example corrupts). *)
+let kjournald =
+  func "kjournald" ~nparams:0 (fun b ->
+      while_ b
+        (fun () -> (Eq, c 0, c 0))
+        (fun () ->
+          let j = gaddr b "the_journal" in
+          let transaction = var b (loadf b "journal" "j_running" j) in
+          when_ b Ne (v transaction) (c 0) (fun () ->
+              let expires = loadf b "transaction" "t_expires" (v transaction) in
+              let jf = load b I32 (gaddr b "jiffies") 0 in
+              when_ b Ule expires jf (fun () ->
+                  (* commit *)
+                  storef b "transaction" "t_state" (v transaction) (c 2);
+                  let seq = loadf b "journal" "j_commit_seq" j in
+                  storef b "journal" "j_commit_seq" j (add b seq (c 1));
+                  storef b "journal" "j_running" j (c 0);
+                  call0 b "sync_old_buffers" []));
+          let _ = call b "schedule_timeout" [ c 4 ] in
+          ());
+      ret0 b)
+
+(* --- the flat-file layer -------------------------------------------- *)
+
+let inode_block b ino i =
+  (* the eight u32 block slots b0..b7 are consecutive in both layouts *)
+  load b I32 (add b (fieldaddr b "inode" "b0" ino) (shl b i (c 2))) 0
+
+let fs_init =
+  func "fs_init" ~nparams:0 (fun b ->
+      loop_n b (c Abi.buf_hash_size) (fun i ->
+          store b I32 (add b (gaddr b "buffer_hash") (shl b i (c 2))) 0 (c 0));
+      store b I32 (gaddr b "dirty_list") 0 (c 0);
+      let inodes = gaddr b "inode_table" in
+      loop_n b (c Abi.ninodes) (fun i ->
+          let ino = elemaddr b "inode" inodes i in
+          storef b "inode" "ino" ino i;
+          storef b "inode" "used" ino (c 0);
+          storef b "inode" "size" ino (c 0);
+          (* preassign block numbers: inode i owns blocks 8i .. 8i+7 *)
+          loop_n b (c Abi.blocks_per_inode) (fun k ->
+              store b I32
+                (add b (fieldaddr b "inode" "b0" ino) (shl b k (c 2)))
+                0
+                (add b (shl b i (c 3)) k)));
+      ret0 b)
+
+let sys_open =
+  func "sys_open" ~nparams:4 (fun b ->
+      let name = param b 0 in
+      when_ b Uge name (c Abi.ninodes) (fun () -> ret b (c 0xFFFFFFFF));
+      let ino = elemaddr b "inode" (gaddr b "inode_table") name in
+      storef b "inode" "used" ino (c 1);
+      ret b name)
+
+let sys_write =
+  func "sys_write" ~nparams:4 (fun b ->
+      let fd = param b 0 and buf = param b 1 and len = param b 2 in
+      when_ b Uge fd (c Abi.ninodes) (fun () -> ret b (c 0xFFFFFFFF));
+      let max = c (Abi.blocks_per_inode * Abi.block_size) in
+      let n = var b len in
+      when_ b Ugt (v n) max (fun () -> set b n max);
+      let ino = elemaddr b "inode" (gaddr b "inode_table") fd in
+      when_ b Eq (loadf b "inode" "used" ino) (c 0) (fun () -> ret b (c 0xFFFFFFFF));
+      let off = var b (c 0) in
+      let i = var b (c 0) in
+      while_ b
+        (fun () -> (Ult, v off, v n))
+        (fun () ->
+          let chunk = var b (sub b (v n) (v off)) in
+          when_ b Ugt (v chunk) (c Abi.block_size) (fun () -> set b chunk (c Abi.block_size));
+          let blocknr = inode_block b ino (v i) in
+          let bh = call b "getblk" [ blocknr ] in
+          let data = loadf b "bufhead" "data" bh in
+          let _ = call b "kmemcpy" [ data; add b buf (v off); v chunk ] in
+          call0 b "mark_buffer_dirty" [ bh ];
+          call0 b "brelse" [ bh ];
+          set b off (add b (v off) (v chunk));
+          set b i (add b (v i) (c 1)));
+      storef b "inode" "size" ino (v n);
+      ret b (v n))
+
+let sys_read =
+  func "sys_read" ~nparams:4 (fun b ->
+      let fd = param b 0 and buf = param b 1 and len = param b 2 in
+      when_ b Uge fd (c Abi.ninodes) (fun () -> ret b (c 0xFFFFFFFF));
+      let ino = elemaddr b "inode" (gaddr b "inode_table") fd in
+      when_ b Eq (loadf b "inode" "used" ino) (c 0) (fun () -> ret b (c 0xFFFFFFFF));
+      let size = loadf b "inode" "size" ino in
+      let n = var b len in
+      when_ b Ugt (v n) size (fun () -> set b n size);
+      let off = var b (c 0) in
+      let i = var b (c 0) in
+      while_ b
+        (fun () -> (Ult, v off, v n))
+        (fun () ->
+          let chunk = var b (sub b (v n) (v off)) in
+          when_ b Ugt (v chunk) (c Abi.block_size) (fun () -> set b chunk (c Abi.block_size));
+          let blocknr = inode_block b ino (v i) in
+          let bh = call b "bread" [ blocknr ] in
+          let data = loadf b "bufhead" "data" bh in
+          let _ = call b "kmemcpy" [ add b buf (v off); data; v chunk ] in
+          call0 b "brelse" [ bh ];
+          set b off (add b (v off) (v chunk));
+          set b i (add b (v i) (c 1)));
+      ret b (v n))
+
+(* sys_close(fd): drop the inode's user mark (contents persist, ramfs-style). *)
+let sys_close =
+  func "sys_close" ~nparams:4 (fun b ->
+      let fd = param b 0 in
+      when_ b Uge fd (c Abi.ninodes) (fun () -> ret b (c 0xFFFFFFFF));
+      let ino = elemaddr b "inode" (gaddr b "inode_table") fd in
+      when_ b Eq (loadf b "inode" "used" ino) (c 0) (fun () -> ret b (c 0xFFFFFFFF));
+      storef b "inode" "used" ino (c 0);
+      ret b (c 0))
+
+(* sys_stat(fd): the file's current size. *)
+let sys_stat =
+  func "sys_stat" ~nparams:4 (fun b ->
+      let fd = param b 0 in
+      when_ b Uge fd (c Abi.ninodes) (fun () -> ret b (c 0xFFFFFFFF));
+      let ino = elemaddr b "inode" (gaddr b "inode_table") fd in
+      when_ b Eq (loadf b "inode" "used" ino) (c 0) (fun () -> ret b (c 0xFFFFFFFF));
+      ret b (loadf b "inode" "size" ino))
+
+let funcs =
+  [
+    getblk; brelse; bread; mark_buffer_dirty; sync_old_buffers; kupdate;
+    run_task_queue; journal_add_buffer; kjournald; fs_init; sys_open; sys_write;
+    sys_read; sys_close; sys_stat;
+  ]

@@ -1,0 +1,25 @@
+(** The fs subsystem: hashed buffer cache over a simulated disk, the
+    kupdate flusher (paper Fig. 8), a minimal journal with kjournald
+    (paper Fig. 9), and a flat-file layer behind sys_read/sys_write. *)
+
+val getblk : Ferrite_kir.Ir.func
+val brelse : Ferrite_kir.Ir.func
+val bread : Ferrite_kir.Ir.func
+val mark_buffer_dirty : Ferrite_kir.Ir.func
+val sync_old_buffers : Ferrite_kir.Ir.func
+val kupdate : Ferrite_kir.Ir.func
+(** The kernel thread of the paper's Figure 8 (task state dance,
+    signal_pending check, periodic sync). *)
+
+val run_task_queue : Ferrite_kir.Ir.func
+val journal_add_buffer : Ferrite_kir.Ir.func
+val kjournald : Ferrite_kir.Ir.func
+(** The kernel thread of the paper's Figure 9 (transaction expiry commit). *)
+
+val fs_init : Ferrite_kir.Ir.func
+val sys_open : Ferrite_kir.Ir.func
+val sys_write : Ferrite_kir.Ir.func
+val sys_read : Ferrite_kir.Ir.func
+val sys_close : Ferrite_kir.Ir.func
+val sys_stat : Ferrite_kir.Ir.func
+val funcs : Ferrite_kir.Ir.func list

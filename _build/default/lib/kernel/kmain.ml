@@ -1,0 +1,26 @@
+(* start_kernel: subsystem initialisation in the 2.4 boot order, then the
+   boot CPU becomes the idle task. *)
+
+open Ferrite_kir.Builder
+
+let start_kernel =
+  func "start_kernel" ~nparams:0 (fun b ->
+      call0 b "sched_init" [];
+      call0 b "mm_init" [];
+      call0 b "fs_init" [];
+      call0 b "net_init" [];
+      call0 b "syscall_init" [];
+      call0 b "idle_main" [];
+      ret0 b)
+
+let funcs = [ start_kernel ]
+
+(* The complete kernel program. *)
+let program : Ferrite_kir.Ir.program =
+  {
+    Ferrite_kir.Ir.p_structs = Abi.structs;
+    p_globals = Abi.globals;
+    p_funcs =
+      Locks.funcs @ Kmem.funcs @ Mm.funcs @ Fs.funcs @ Net.funcs @ Sched.funcs
+      @ Syscalls.funcs @ Workers.funcs @ funcs;
+  }

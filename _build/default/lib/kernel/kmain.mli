@@ -1,0 +1,10 @@
+(** start_kernel and the assembled kernel program. *)
+
+val start_kernel : Ferrite_kir.Ir.func
+(** Subsystem initialisation in 2.4 boot order; the boot CPU then becomes
+    the idle task. *)
+
+val funcs : Ferrite_kir.Ir.func list
+
+val program : Ferrite_kir.Ir.program
+(** The complete kernel: all structs, globals and functions. *)

@@ -1,0 +1,64 @@
+(* Byte-level memory utilities: the kernel's memcpy/memset/checksum.
+
+   These loops are among the hottest kernel code under the file and network
+   workloads, so they attract a large share of the code-injection targets —
+   as string/copy routines did in the paper's profile. *)
+
+open Ferrite_kir.Builder
+
+let kmemcpy =
+  func "kmemcpy" ~nparams:3 (fun b ->
+      let dst = param b 0 and src = param b 1 and len = param b 2 in
+      let i = var b (c 0) in
+      while_ b
+        (fun () -> (Ult, v i, len))
+        (fun () ->
+          let byte = load b I8 (add b src (v i)) 0 in
+          store b I8 (add b dst (v i)) 0 byte;
+          set b i (add b (v i) (c 1)));
+      ret b dst)
+
+let kmemset =
+  func "kmemset" ~nparams:3 (fun b ->
+      let dst = param b 0 and value = param b 1 and len = param b 2 in
+      let i = var b (c 0) in
+      while_ b
+        (fun () -> (Ult, v i, len))
+        (fun () ->
+          store b I8 (add b dst (v i)) 0 value;
+          set b i (add b (v i) (c 1)));
+      ret b dst)
+
+let kmemcmp =
+  func "kmemcmp" ~nparams:3 (fun b ->
+      let p = param b 0 and q = param b 1 and len = param b 2 in
+      let i = var b (c 0) in
+      let diff = var b (c 0) in
+      while_ b
+        (fun () -> (Ult, v i, len))
+        (fun () ->
+          let x = load b I8 (add b p (v i)) 0 in
+          let y = load b I8 (add b q (v i)) 0 in
+          when_ b Ne x y (fun () ->
+              set b diff (sub b x y);
+              set b i len);
+          set b i (add b (v i) (c 1)));
+      ret b (v diff))
+
+(* A mixing checksum over a byte buffer (the network path's integrity check
+   and the workload's arithmetic kernel). *)
+let kchecksum =
+  func "kchecksum" ~nparams:2 (fun b ->
+      let buf = param b 0 and len = param b 1 in
+      let sum = var b (c 0x811C9DC5) in
+      let i = var b (c 0) in
+      while_ b
+        (fun () -> (Ult, v i, len))
+        (fun () ->
+          let byte = load b I8 (add b buf (v i)) 0 in
+          set b sum (bxor b (v sum) byte);
+          set b sum (mul b (v sum) (c 0x01000193));
+          set b i (add b (v i) (c 1)));
+      ret b (v sum))
+
+let funcs = [ kmemcpy; kmemset; kmemcmp; kchecksum ]

@@ -1,0 +1,17 @@
+(** Byte-level memory utilities — the kernel's hottest functions under the
+    file/network workloads, and therefore prime code-injection targets. *)
+
+val kmemcpy : Ferrite_kir.Ir.func
+(** [kmemcpy(dst, src, len)] — byte copy; returns [dst]. *)
+
+val kmemset : Ferrite_kir.Ir.func
+(** [kmemset(dst, byte, len)] — byte fill; returns [dst]. *)
+
+val kmemcmp : Ferrite_kir.Ir.func
+(** [kmemcmp(p, q, len)] — first-difference comparison (0 when equal). *)
+
+val kchecksum : Ferrite_kir.Ir.func
+(** [kchecksum(buf, len)] — 32-bit FNV-1a; must agree bit-for-bit with
+    {!Ferrite_workload.Golden.checksum}. *)
+
+val funcs : Ferrite_kir.Ir.func list

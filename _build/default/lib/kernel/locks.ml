@@ -1,0 +1,76 @@
+(* Spinlocks with the 2.4 SPINLOCK_DEBUG magic check.
+
+   This reproduces the mechanism of the paper's Figure 13: the lock word
+   lives in the kernel data section, and spin_lock/spin_unlock inspect the
+   magic value 0xDEAD4EAD on every use. A data error that corrupts the magic
+   is detected almost immediately — and raises BUG(), which the CISC kernel
+   reports as an Invalid Instruction (ud2a) even though no instruction was
+   ever invalid.
+
+   On this uniprocessor, non-preemptive kernel a lock can never be leged
+   contended; a lock observed held is therefore corruption, and the raw spin
+   below turns it into a detectable hang (Table 2's deadlock outcome). *)
+
+open Ferrite_kir.Builder
+
+let spin_lock =
+  func "spin_lock" ~nparams:1 (fun b ->
+      let lock = param b 0 in
+      let magic = loadf b "spinlock" "magic" lock in
+      when_ b Ne magic (c Abi.spinlock_magic) (fun () -> bug b);
+      while_ b
+        (fun () -> (Ne, loadf b "spinlock" "locked" lock, c 0))
+        (fun () -> ());
+      storef b "spinlock" "locked" lock (c 1);
+      let cur = load b I32 (gaddr b "current") 0 in
+      let pid = loadf b "task" "pid" cur in
+      storef b "spinlock" "owner" lock pid;
+      ret0 b)
+
+let spin_unlock =
+  func "spin_unlock" ~nparams:1 (fun b ->
+      let lock = param b 0 in
+      let magic = loadf b "spinlock" "magic" lock in
+      when_ b Ne magic (c Abi.spinlock_magic) (fun () -> bug b);
+      (* spin_is_locked check: unlocking a free lock is a kernel bug *)
+      when_ b Eq (loadf b "spinlock" "locked" lock) (c 0) (fun () -> bug b);
+      storef b "spinlock" "locked" lock (c 0);
+      ret0 b)
+
+(* The big kernel lock: unlike a raw spinlock it may be held across blocking
+   operations, so contenders yield instead of spinning (2.4's lock_kernel
+   semantics on this uniprocessor model). Same SPINLOCK_MAGIC debug check. *)
+let lock_kernel =
+  func "lock_kernel" ~nparams:0 (fun b ->
+      let lock = gaddr b "kernel_flag" in
+      let magic = loadf b "spinlock" "magic" lock in
+      when_ b Ne magic (c Abi.spinlock_magic) (fun () -> bug b);
+      while_ b
+        (fun () -> (Ne, loadf b "spinlock" "locked" lock, c 0))
+        (fun () -> call0 b "schedule" []);
+      storef b "spinlock" "locked" lock (c 1);
+      let cur = load b I32 (gaddr b "current") 0 in
+      storef b "spinlock" "owner" lock (loadf b "task" "pid" cur);
+      ret0 b)
+
+let unlock_kernel =
+  func "unlock_kernel" ~nparams:0 (fun b ->
+      let lock = gaddr b "kernel_flag" in
+      let magic = loadf b "spinlock" "magic" lock in
+      when_ b Ne magic (c Abi.spinlock_magic) (fun () -> bug b);
+      when_ b Eq (loadf b "spinlock" "locked" lock) (c 0) (fun () -> bug b);
+      storef b "spinlock" "locked" lock (c 0);
+      ret0 b)
+
+let spin_trylock =
+  func "spin_trylock" ~nparams:1 (fun b ->
+      let lock = param b 0 in
+      let magic = loadf b "spinlock" "magic" lock in
+      when_ b Ne magic (c Abi.spinlock_magic) (fun () -> bug b);
+      if_ b Eq (loadf b "spinlock" "locked" lock) (c 0)
+        (fun () ->
+          storef b "spinlock" "locked" lock (c 1);
+          ret b (c 1))
+        (fun () -> ret b (c 0)))
+
+let funcs = [ spin_lock; spin_unlock; lock_kernel; unlock_kernel; spin_trylock ]

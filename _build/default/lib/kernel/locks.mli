@@ -1,0 +1,23 @@
+(** Spinlocks with the 2.4 SPINLOCK_DEBUG magic check (paper Fig. 13), and
+    the big kernel lock.
+
+    On this uniprocessor, non-preemptive kernel a raw spinlock can never be
+    legitimately contended, so [spin_lock] busy-waits (a held lock is
+    corruption and becomes a detectable hang); the BKL ([lock_kernel]) may be
+    held across blocking syscalls and therefore yields while waiting. *)
+
+val spin_lock : Ferrite_kir.Ir.func
+(** [spin_lock(lock)] — BUG() on a corrupted magic; spins on [locked]. *)
+
+val spin_unlock : Ferrite_kir.Ir.func
+(** [spin_unlock(lock)] — BUG() on corrupted magic or double unlock. *)
+
+val lock_kernel : Ferrite_kir.Ir.func
+(** Acquire the BKL ([kernel_flag]); yields via [schedule] while contended. *)
+
+val unlock_kernel : Ferrite_kir.Ir.func
+
+val spin_trylock : Ferrite_kir.Ir.func
+(** Returns 1 on acquisition, 0 if held. *)
+
+val funcs : Ferrite_kir.Ir.func list

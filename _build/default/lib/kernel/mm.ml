@@ -1,0 +1,206 @@
+(* The mm subsystem: a buddy page allocator (alloc_pages / free_pages_ok —
+   the paper's Figure 7 corrupts exactly free_pages_ok) and a size-class
+   kmalloc carved out of order-0 pages. *)
+
+open Ferrite_kir.Builder
+
+let max_order = 4
+
+(* page index <-> struct address helpers are inlined at each site: the struct
+   stride differs between backends, so index math goes through page->vaddr. *)
+
+let mm_init =
+  func "mm_init" ~nparams:0 (fun b ->
+      let mem_map = gaddr b "mem_map" in
+      loop_n b (c Abi.npages) (fun i ->
+          let page = elemaddr b "page" mem_map i in
+          storef b "page" "flags" page (c 0);
+          storef b "page" "order" page (c 0);
+          storef b "page" "count" page (c 0);
+          storef b "page" "next" page (c 0);
+          storef b "page" "vaddr" page (add b (c Abi.heap_base) (shl b i (c 12))));
+      let free_area = gaddr b "free_area" in
+      loop_n b (c (max_order + 1)) (fun o -> store b I32 (add b free_area (shl b o (c 2))) 0 (c 0));
+      (* seed the buddy system with max-order blocks *)
+      let i = var b (c 0) in
+      while_ b
+        (fun () -> (Ult, v i, c Abi.npages))
+        (fun () ->
+          let page = elemaddr b "page" mem_map (v i) in
+          storef b "page" "order" page (c max_order);
+          let head = add b free_area (c (4 * max_order)) in
+          storef b "page" "next" page (load b I32 head 0);
+          store b I32 head 0 page;
+          set b i (add b (v i) (c (1 lsl max_order))));
+      store b I32 (gaddr b "nr_free_pages") 0 (c Abi.npages);
+      ret0 b)
+
+let alloc_pages =
+  func "alloc_pages" ~nparams:1 (fun b ->
+      let order = param b 0 in
+      let lock = gaddr b "page_alloc_lock" in
+      call0 b "spin_lock" [ lock ];
+      let free_area = gaddr b "free_area" in
+      let o = var b order in
+      while_ b
+        (fun () ->
+          let head_empty = var b (c 0) in
+          when_ b Ule (v o) (c max_order) (fun () ->
+              let head = load b I32 (add b free_area (shl b (v o) (c 2))) 0 in
+              when_ b Eq head (c 0) (fun () -> set b head_empty (c 1)));
+          (Eq, v head_empty, c 1))
+        (fun () -> set b o (add b (v o) (c 1)));
+      if_ b Ugt (v o) (c max_order)
+        (fun () ->
+          call0 b "spin_unlock" [ lock ];
+          ret b (c 0))
+        (fun () -> ());
+      let headp = add b free_area (shl b (v o) (c 2)) in
+      let page = var b (load b I32 headp 0) in
+      store b I32 headp 0 (loadf b "page" "next" (v page));
+      let vaddr = loadf b "page" "vaddr" (v page) in
+      let idx = shr b (sub b vaddr (c Abi.heap_base)) (c 12) in
+      (* split down to the requested order *)
+      let mem_map = gaddr b "mem_map" in
+      while_ b
+        (fun () -> (Ugt, v o, order))
+        (fun () ->
+          set b o (sub b (v o) (c 1));
+          let buddy_idx = add b idx (shl b (c 1) (v o)) in
+          let buddy = elemaddr b "page" mem_map buddy_idx in
+          storef b "page" "flags" buddy (c 0);
+          storef b "page" "order" buddy (v o);
+          let headp = add b free_area (shl b (v o) (c 2)) in
+          storef b "page" "next" buddy (load b I32 headp 0);
+          store b I32 headp 0 buddy);
+      storef b "page" "flags" (v page) (c 1);
+      storef b "page" "order" (v page) order;
+      storef b "page" "count" (v page) (c 1);
+      let nfp = gaddr b "nr_free_pages" in
+      store b I32 nfp 0 (sub b (load b I32 nfp 0) (shl b (c 1) order));
+      call0 b "spin_unlock" [ lock ];
+      ret b (loadf b "page" "vaddr" (v page)))
+
+let lnot_op b x = bxor b x (c 0xFFFFFFFF)
+
+let free_pages_ok =
+  func "free_pages_ok" ~nparams:2 (fun b ->
+      let vaddr = param b 0 and order = param b 1 in
+      let lock = gaddr b "page_alloc_lock" in
+      call0 b "spin_lock" [ lock ];
+      let mem_map = gaddr b "mem_map" in
+      let free_area = gaddr b "free_area" in
+      let idx = var b (shr b (sub b vaddr (c Abi.heap_base)) (c 12)) in
+      let page = elemaddr b "page" mem_map (v idx) in
+      (* double free / corrupted descriptor: BAD_PAGE panic *)
+      when_ b Eq (loadf b "page" "flags" page) (c 0) (fun () -> panic b Abi.panic_bad_page);
+      storef b "page" "flags" page (c 0);
+      let o = var b order in
+      let brk = var b (c 0) in
+      while_ b
+        (fun () -> (Eq, v brk, c 0))
+        (fun () ->
+          if_ b Uge (v o) (c max_order)
+            (fun () -> set b brk (c 1))
+            (fun () ->
+              let buddy_idx = bxor b (v idx) (shl b (c 1) (v o)) in
+              let buddy = elemaddr b "page" mem_map buddy_idx in
+              let buddy_free = var b (c 0) in
+              when_ b Eq (loadf b "page" "flags" buddy) (c 0) (fun () ->
+                  when_ b Eq (loadf b "page" "order" buddy) (v o) (fun () ->
+                      set b buddy_free (c 1)));
+              if_ b Eq (v buddy_free) (c 0)
+                (fun () -> set b brk (c 1))
+                (fun () ->
+                  (* unlink the buddy from free_area[o] *)
+                  let headp = add b free_area (shl b (v o) (c 2)) in
+                  let prev = var b (c 0) in
+                  let cur = var b (load b I32 headp 0) in
+                  while_ b
+                    (fun () ->
+                      let go = var b (c 0) in
+                      when_ b Ne (v cur) (c 0) (fun () ->
+                          when_ b Ne (v cur) buddy (fun () -> set b go (c 1)));
+                      (Eq, v go, c 1))
+                    (fun () ->
+                      set b prev (v cur);
+                      set b cur (loadf b "page" "next" (v cur)));
+                  if_ b Eq (v cur) (c 0)
+                    (fun () -> set b brk (c 1))  (* inconsistent: stop merging *)
+                    (fun () ->
+                      if_ b Eq (v prev) (c 0)
+                        (fun () -> store b I32 headp 0 (loadf b "page" "next" buddy))
+                        (fun () ->
+                          storef b "page" "next" (v prev) (loadf b "page" "next" buddy));
+                      set b idx (band b (v idx) (lnot_op b (shl b (c 1) (v o))));
+                      set b o (add b (v o) (c 1))))));
+      let final = elemaddr b "page" mem_map (v idx) in
+      storef b "page" "order" final (v o);
+      storef b "page" "vaddr" final (add b (c Abi.heap_base) (shl b (v idx) (c 12)));
+      let headp = add b free_area (shl b (v o) (c 2)) in
+      storef b "page" "next" final (load b I32 headp 0);
+      store b I32 headp 0 final;
+      let nfp = gaddr b "nr_free_pages" in
+      store b I32 nfp 0 (add b (load b I32 nfp 0) (shl b (c 1) order));
+      call0 b "spin_unlock" [ lock ];
+      ret0 b)
+
+let get_free_page =
+  func "get_free_page" ~nparams:0 (fun b -> ret b (call b "alloc_pages" [ c 0 ]))
+
+(* size-class allocator over order-0 pages *)
+let kmalloc =
+  func "kmalloc" ~nparams:1 (fun b ->
+      let size = param b 0 in
+      when_ b Eq size (c 0) (fun () -> ret b (c 0));
+      when_ b Ugt size (c 1024) (fun () -> ret b (c 0));
+      let cls = var b (c 0) in
+      let objsize = var b (c 32) in
+      while_ b
+        (fun () -> (Ult, v objsize, size))
+        (fun () ->
+          set b cls (add b (v cls) (c 1));
+          set b objsize (shl b (v objsize) (c 1)));
+      let lock = gaddr b "kmalloc_lock" in
+      call0 b "spin_lock" [ lock ];
+      let headp = add b (gaddr b "kmalloc_heads") (shl b (v cls) (c 2)) in
+      when_ b Eq (load b I32 headp 0) (c 0) (fun () ->
+          (* refill: carve a fresh page into objects *)
+          call0 b "spin_unlock" [ lock ];
+          let pagev = call b "alloc_pages" [ c 0 ] in
+          when_ b Eq pagev (c 0) (fun () -> ret b (c 0));
+          call0 b "spin_lock" [ lock ];
+          let nobjs = divu b (c 4096) (v objsize) in
+          loop_n b nobjs (fun j ->
+              let obj = add b pagev (mul b j (v objsize)) in
+              store b I32 obj 0 (load b I32 headp 0);
+              store b I32 headp 0 obj));
+      let obj = load b I32 headp 0 in
+      (* hardened build: a free-list head outside the heap is corruption *)
+      when_ b Ne (load b I32 (gaddr b "assertions_enabled") 0) (c 0) (fun () ->
+          when_ b Uge (sub b obj (c Abi.heap_base)) (c Abi.heap_size) (fun () ->
+              panic b Abi.panic_assertion));
+      store b I32 headp 0 (load b I32 obj 0);
+      call0 b "spin_unlock" [ lock ];
+      ret b obj)
+
+let kfree =
+  func "kfree" ~nparams:2 (fun b ->
+      let ptr = param b 0 and size = param b 1 in
+      when_ b Eq ptr (c 0) (fun () -> ret0 b);
+      let cls = var b (c 0) in
+      let objsize = var b (c 32) in
+      while_ b
+        (fun () -> (Ult, v objsize, size))
+        (fun () ->
+          set b cls (add b (v cls) (c 1));
+          set b objsize (shl b (v objsize) (c 1)));
+      let lock = gaddr b "kmalloc_lock" in
+      call0 b "spin_lock" [ lock ];
+      let headp = add b (gaddr b "kmalloc_heads") (shl b (v cls) (c 2)) in
+      store b I32 ptr 0 (load b I32 headp 0);
+      store b I32 headp 0 ptr;
+      call0 b "spin_unlock" [ lock ];
+      ret0 b)
+
+let funcs = [ mm_init; alloc_pages; free_pages_ok; get_free_page; kmalloc; kfree ]

@@ -1,0 +1,19 @@
+(** The mm subsystem: a buddy page allocator over the 512 KiB heap window
+    and a size-class kmalloc carved from order-0 pages.
+
+    [free_pages_ok] is the paper's Figure 7 injection site; a double free or
+    corrupted page descriptor raises the BAD_PAGE panic. *)
+
+val mm_init : Ferrite_kir.Ir.func
+val alloc_pages : Ferrite_kir.Ir.func
+(** [alloc_pages(order)] — returns a virtual address or 0. *)
+
+val free_pages_ok : Ferrite_kir.Ir.func
+(** [free_pages_ok(vaddr, order)] — buddy coalescing; panics on double free. *)
+
+val get_free_page : Ferrite_kir.Ir.func
+val kmalloc : Ferrite_kir.Ir.func
+(** [kmalloc(size)] for size <= 1024; returns 0 on exhaustion. *)
+
+val kfree : Ferrite_kir.Ir.func
+val funcs : Ferrite_kir.Ir.func list

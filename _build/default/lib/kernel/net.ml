@@ -1,0 +1,140 @@
+(* The net subsystem: an skbuff pool (alloc_skb — the paper's Figure 7 crash
+   site), FIFO queues, and a loopback send/receive path with end-to-end
+   checksums. The checksum check doubles as a fail-silence tripwire: payload
+   corruption that survives to sys_recv is either detected here (an error
+   report the workload did not expect) or propagates out — both fail-silence
+   violations in the paper's taxonomy. *)
+
+open Ferrite_kir.Builder
+
+let alloc_skb =
+  func "alloc_skb" ~nparams:1 (fun b ->
+      let len = param b 0 in
+      when_ b Ugt len (c 1024) (fun () -> ret b (c 0));
+      let lock = gaddr b "net_lock" in
+      call0 b "spin_lock" [ lock ];
+      let pool = gaddr b "skb_pool" in
+      let skb = var b (c 0) in
+      loop_n b (c Abi.nskbs) (fun i ->
+          when_ b Eq (v skb) (c 0) (fun () ->
+              let cand = elemaddr b "skb" pool i in
+              when_ b Eq (loadf b "skb" "used" cand) (c 0) (fun () -> set b skb cand)));
+      when_ b Eq (v skb) (c 0) (fun () ->
+          call0 b "spin_unlock" [ lock ];
+          ret b (c 0));
+      storef b "skb" "used" (v skb) (c 1);
+      call0 b "spin_unlock" [ lock ];
+      let data = call b "kmalloc" [ c 1024 ] in
+      when_ b Eq data (c 0) (fun () ->
+          storef b "skb" "used" (v skb) (c 0);
+          ret b (c 0));
+      storef b "skb" "data" (v skb) data;
+      storef b "skb" "len" (v skb) len;
+      storef b "skb" "protocol" (v skb) (c 8);
+      storef b "skb" "pkt_type" (v skb) (c 1);
+      storef b "skb" "priority" (v skb) (c 0);
+      storef b "skb" "next" (v skb) (c 0);
+      storef b "skb" "csum" (v skb) (c 0);
+      ret b (v skb))
+
+let kfree_skb =
+  func "kfree_skb" ~nparams:1 (fun b ->
+      let skb = param b 0 in
+      (* freeing a free skb means the pool is corrupt *)
+      when_ b Eq (loadf b "skb" "used" skb) (c 0) (fun () -> panic b Abi.panic_skb_corrupt);
+      call0 b "kfree" [ loadf b "skb" "data" skb; c 1024 ];
+      storef b "skb" "data" skb (c 0);
+      storef b "skb" "used" skb (c 0);
+      ret0 b)
+
+let skb_queue_tail =
+  func "skb_queue_tail" ~nparams:2 (fun b ->
+      let q = param b 0 and skb = param b 1 in
+      let lock = gaddr b "net_lock" in
+      call0 b "spin_lock" [ lock ];
+      storef b "skb" "next" skb (c 0);
+      let tail = loadf b "skb_queue" "tail" q in
+      if_ b Eq tail (c 0)
+        (fun () ->
+          storef b "skb_queue" "head" q skb;
+          storef b "skb_queue" "tail" q skb)
+        (fun () ->
+          storef b "skb" "next" tail skb;
+          storef b "skb_queue" "tail" q skb);
+      let n = loadf b "skb_queue" "qlen" q in
+      (* hardened build: the queue can never hold more than the pool size *)
+      when_ b Ne (load b I32 (gaddr b "assertions_enabled") 0) (c 0) (fun () ->
+          when_ b Ugt n (c Abi.nskbs) (fun () -> panic b Abi.panic_assertion));
+      storef b "skb_queue" "qlen" q (add b n (c 1));
+      call0 b "spin_unlock" [ lock ];
+      ret0 b)
+
+let skb_dequeue =
+  func "skb_dequeue" ~nparams:1 (fun b ->
+      let q = param b 0 in
+      let lock = gaddr b "net_lock" in
+      call0 b "spin_lock" [ lock ];
+      let head = var b (loadf b "skb_queue" "head" q) in
+      when_ b Ne (v head) (c 0) (fun () ->
+          let next = loadf b "skb" "next" (v head) in
+          storef b "skb_queue" "head" q next;
+          when_ b Eq next (c 0) (fun () -> storef b "skb_queue" "tail" q (c 0));
+          let n = loadf b "skb_queue" "qlen" q in
+          storef b "skb_queue" "qlen" q (sub b n (c 1)));
+      call0 b "spin_unlock" [ lock ];
+      ret b (v head))
+
+let net_init =
+  func "net_init" ~nparams:0 (fun b ->
+      let pool = gaddr b "skb_pool" in
+      loop_n b (c Abi.nskbs) (fun i ->
+          let skb = elemaddr b "skb" pool i in
+          storef b "skb" "used" skb (c 0);
+          storef b "skb" "data" skb (c 0));
+      let rx = gaddr b "rx_queue" in
+      storef b "skb_queue" "head" rx (c 0);
+      storef b "skb_queue" "tail" rx (c 0);
+      storef b "skb_queue" "qlen" rx (c 0);
+      ret0 b)
+
+(* sys_send(buf, len): allocate an skb, copy the payload, checksum it and
+   loop it back onto the receive queue. *)
+let sys_send =
+  func "sys_send" ~nparams:4 (fun b ->
+      let buf = param b 0 and len = param b 1 in
+      when_ b Eq len (c 0) (fun () -> ret b (c 0));
+      when_ b Ugt len (c Abi.user_buf_size) (fun () -> ret b (c 0xFFFFFFFF));
+      let skb = call b "alloc_skb" [ len ] in
+      when_ b Eq skb (c 0) (fun () -> ret b (c 0xFFFFFFFF));
+      let data = loadf b "skb" "data" skb in
+      let _ = call b "kmemcpy" [ data; buf; len ] in
+      storef b "skb" "csum" skb (call b "kchecksum" [ data; len ]);
+      call0 b "skb_queue_tail" [ gaddr b "rx_queue"; skb ];
+      let tx = gaddr b "net_tx_packets" in
+      store b I32 tx 0 (add b (load b I32 tx 0) (c 1));
+      ret b len)
+
+(* sys_recv(buf): dequeue, verify the checksum, copy out. *)
+let sys_recv =
+  func "sys_recv" ~nparams:4 (fun b ->
+      let buf = param b 0 in
+      let skb = call b "skb_dequeue" [ gaddr b "rx_queue" ] in
+      when_ b Eq skb (c 0) (fun () -> ret b (c 0xFFFFFFFF));
+      (* packets of an unknown type are dropped, as a real stack would *)
+      when_ b Eq (loadf b "skb" "pkt_type" skb) (c 0) (fun () ->
+          call0 b "kfree_skb" [ skb ];
+          ret b (c 0xFFFFFFFD));
+      let data = loadf b "skb" "data" skb in
+      let len = loadf b "skb" "len" skb in
+      let csum = call b "kchecksum" [ data; len ] in
+      when_ b Ne csum (loadf b "skb" "csum" skb) (fun () ->
+          (* integrity failure: drop and report *)
+          call0 b "kfree_skb" [ skb ];
+          ret b (c 0xFFFFFFFE));
+      let _ = call b "kmemcpy" [ buf; data; len ] in
+      call0 b "kfree_skb" [ skb ];
+      let rx = gaddr b "net_rx_packets" in
+      store b I32 rx 0 (add b (load b I32 rx 0) (c 1));
+      ret b len)
+
+let funcs = [ alloc_skb; kfree_skb; skb_queue_tail; skb_dequeue; net_init; sys_send; sys_recv ]

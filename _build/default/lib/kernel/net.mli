@@ -1,0 +1,15 @@
+(** The net subsystem: an skbuff pool ([alloc_skb] — the paper's Figure 7
+    crash site), FIFO queues under net_lock, and a checksummed loopback
+    send/receive path whose integrity check doubles as a fail-silence
+    tripwire. *)
+
+val alloc_skb : Ferrite_kir.Ir.func
+val kfree_skb : Ferrite_kir.Ir.func
+(** Panics on a double free (corrupted pool). *)
+
+val skb_queue_tail : Ferrite_kir.Ir.func
+val skb_dequeue : Ferrite_kir.Ir.func
+val net_init : Ferrite_kir.Ir.func
+val sys_send : Ferrite_kir.Ir.func
+val sys_recv : Ferrite_kir.Ir.func
+val funcs : Ferrite_kir.Ir.func list

@@ -1,0 +1,129 @@
+(* The scheduler: a circular runqueue of kernel tasks, cooperative
+   round-robin scheduling with time-slice counters, soft timers, and the
+   context switch through the arch-specific switch_to stub. *)
+
+open Ferrite_kir.Builder
+
+(* task i's struct lives at the bottom of its 8 KiB stack (2.4 layout) *)
+let task_of b i = add b (c Abi.stack_base) (mul b i (c Abi.stack_size))
+
+let sched_init =
+  func "sched_init" ~nparams:0 (fun b ->
+      loop_n b (c Abi.ntasks) (fun i ->
+          let t = task_of b i in
+          storef b "task" "pid" t i;
+          storef b "task" "state" t (c Abi.task_running);
+          storef b "task" "counter" t (c 4);
+          storef b "task" "sigpending" t (c 0);
+          storef b "task" "nice" t (c 0);
+          storef b "task" "timeout" t (c 0);
+          storef b "task" "nswitches" t (c 0);
+          (* circular runqueue: task i -> task (i+1) mod n *)
+          let nexti = add b i (c 1) in
+          let nexti = var b nexti in
+          when_ b Uge (v nexti) (c Abi.ntasks) (fun () -> set b nexti (c 0));
+          storef b "task" "next_run" t (task_of b (v nexti));
+          (* workers get a mailbox slot *)
+          if_ b Uge i (c Abi.first_worker)
+            (fun () ->
+              let slot = elemaddr b "request" (gaddr b "mailbox") (sub b i (c Abi.first_worker)) in
+              storef b "task" "mbox" t slot)
+            (fun () -> storef b "task" "mbox" t (c 0)));
+      store b I32 (gaddr b "current") 0 (task_of b (c 0));
+      ret0 b)
+
+(* schedule(): pick the next runnable task on the circular list and switch.
+   The idle task (pid 0) is always runnable, so the walk terminates — unless
+   state bytes are corrupted, in which case the watchdog sees a hang. *)
+let schedule =
+  func "schedule" ~nparams:0 (fun b ->
+      let lock = gaddr b "runqueue_lock" in
+      call0 b "spin_lock" [ lock ];
+      let prev = var b (load b I32 (gaddr b "current") 0) in
+      let hardened = load b I32 (gaddr b "assertions_enabled") 0 in
+      let next = var b (loadf b "task" "next_run" (v prev)) in
+      while_ b
+        (fun () -> (Ne, loadf b "task" "state" (v next), c Abi.task_running))
+        (fun () ->
+          (* hardened build: every task on the runqueue must carry a sane
+             state and pid — catch corruption while walking (sec. 6) *)
+          when_ b Ne hardened (c 0) (fun () ->
+              let st = loadf b "task" "state" (v next) in
+              when_ b Ne st (c Abi.task_running) (fun () ->
+                  when_ b Ne st (c Abi.task_interruptible) (fun () ->
+                      when_ b Ne st (c Abi.task_stopped) (fun () ->
+                          panic b Abi.panic_assertion)));
+              when_ b Uge (loadf b "task" "pid" (v next)) (c Abi.ntasks) (fun () ->
+                  panic b Abi.panic_assertion));
+          set b next (loadf b "task" "next_run" (v next)));
+      (* a null runqueue link is fatal corruption *)
+      when_ b Eq (v next) (c 0) (fun () ->
+          call0 b "spin_unlock" [ lock ];
+          panic b Abi.panic_runqueue);
+      (* time-slice accounting, 2.4-style *)
+      let counter = loadf b "task" "counter" (v next) in
+      if_ b Eq counter (c 0)
+        (fun () ->
+          (* 2.4-style recalculation: slice depends on the nice level *)
+          let nice = loadf b "task" "nice" (v next) in
+          storef b "task" "counter" (v next) (add b (c 4) nice))
+        (fun () -> storef b "task" "counter" (v next) (sub b counter (c 1)));
+      store b I32 (gaddr b "current") 0 (v next);
+      call0 b "spin_unlock" [ lock ];
+      when_ b Ne (v next) (v prev) (fun () ->
+          let n = loadf b "task" "nswitches" (v prev) in
+          storef b "task" "nswitches" (v prev) (add b n (c 1));
+          call0 b "switch_to" [ v prev; v next ]);
+      ret0 b)
+
+let schedule_timeout =
+  func "schedule_timeout" ~nparams:1 (fun b ->
+      let ticks = param b 0 in
+      let cur = load b I32 (gaddr b "current") 0 in
+      let jf = load b I32 (gaddr b "jiffies") 0 in
+      storef b "task" "timeout" cur (add b jf ticks);
+      storef b "task" "state" cur (c Abi.task_interruptible);
+      call0 b "schedule" [];
+      let now = load b I32 (gaddr b "jiffies") 0 in
+      let expiry = loadf b "task" "timeout" cur in
+      let remaining = var b (c 0) in
+      when_ b Ult now expiry (fun () -> set b remaining (sub b expiry now));
+      ret b (v remaining))
+
+let wake_up_process =
+  func "wake_up_process" ~nparams:1 (fun b ->
+      let t = param b 0 in
+      storef b "task" "state" t (c Abi.task_running);
+      ret0 b)
+
+let signal_pending =
+  func "signal_pending" ~nparams:1 (fun b ->
+      let t = param b 0 in
+      ret b (loadf b "task" "sigpending" t))
+
+(* timer_tick: advance jiffies and wake expired sleepers. *)
+let timer_tick =
+  func "timer_tick" ~nparams:0 (fun b ->
+      let jp = gaddr b "jiffies" in
+      let now = add b (load b I32 jp 0) (c 1) in
+      store b I32 jp 0 now;
+      loop_n b (c Abi.ntasks) (fun i ->
+          let t = task_of b i in
+          when_ b Eq (loadf b "task" "state" t) (c Abi.task_interruptible) (fun () ->
+              when_ b Ule (loadf b "task" "timeout" t) now (fun () ->
+                  storef b "task" "state" t (c Abi.task_running))));
+      ret0 b)
+
+(* The idle loop: drive the soft timer, then yield. *)
+let idle_main =
+  func "idle_main" ~nparams:0 (fun b ->
+      while_ b
+        (fun () -> (Eq, c 0, c 0))
+        (fun () ->
+          call0 b "timer_tick" [];
+          store b I32 (gaddr b "need_resched") 0 (c 0);
+          call0 b "schedule" []);
+      ret0 b)
+
+let funcs =
+  [ sched_init; schedule; schedule_timeout; wake_up_process; signal_pending; timer_tick; idle_main ]

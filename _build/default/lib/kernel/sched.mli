@@ -1,0 +1,16 @@
+(** The scheduler: a circular runqueue of kernel tasks (task_struct at the
+    bottom of each 8 KiB stack, as in 2.4), cooperative round-robin with
+    time slices, soft timers, and context switching through the
+    arch-specific switch_to stub. *)
+
+val sched_init : Ferrite_kir.Ir.func
+val schedule : Ferrite_kir.Ir.func
+val schedule_timeout : Ferrite_kir.Ir.func
+(** [schedule_timeout(ticks)] — sleep until [jiffies + ticks]; returns the
+    remaining ticks (0 when fully slept). *)
+
+val wake_up_process : Ferrite_kir.Ir.func
+val signal_pending : Ferrite_kir.Ir.func
+val timer_tick : Ferrite_kir.Ir.func
+val idle_main : Ferrite_kir.Ir.func
+val funcs : Ferrite_kir.Ir.func list

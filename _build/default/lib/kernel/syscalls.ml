@@ -1,0 +1,93 @@
+(* The syscall layer: handlers, the function-pointer dispatch table (kernel
+   data — a favourite victim of the data-injection campaign), and the
+   dispatcher called from the arch syscall veneer. *)
+
+open Ferrite_kir.Builder
+
+let sys_getpid =
+  func "sys_getpid" ~nparams:4 (fun b ->
+      let cur = load b I32 (gaddr b "current") 0 in
+      ret b (loadf b "task" "pid" cur))
+
+(* sys_mem(size): allocate, fill, fold, free — the mm stress syscall.
+   Requests above the kmalloc limit go straight to the buddy allocator
+   (alloc_pages/free_pages_ok), as large 2.4 allocations did. *)
+let sys_mem =
+  func "sys_mem" ~nparams:4 (fun b ->
+      let size = var b (param b 0) in
+      when_ b Ugt (v size) (c 4096) (fun () -> set b size (c 4096));
+      let from_pages = var b (c 0) in
+      let p = var b (c 0) in
+      if_ b Ugt (v size) (c 1024)
+        (fun () ->
+          set b p (call b "alloc_pages" [ c 0 ]);
+          set b from_pages (c 1))
+        (fun () -> set b p (call b "kmalloc" [ v size ]));
+      when_ b Eq (v p) (c 0) (fun () -> ret b (c 0xFFFFFFFF));
+      let i = var b (c 0) in
+      while_ b
+        (fun () -> (Ult, v i, v size))
+        (fun () ->
+          store b I8 (add b (v p) (v i)) 0 (band b (v i) (c 0xFF));
+          set b i (add b (v i) (c 1)));
+      let sum = call b "kchecksum" [ v p; v size ] in
+      if_ b Eq (v from_pages) (c 1)
+        (fun () -> call0 b "free_pages_ok" [ v p; c 0 ])
+        (fun () -> call0 b "kfree" [ v p; v size ]);
+      ret b sum)
+
+(* sys_checksum(buf, len): the arithmetic kernel of the workload. *)
+let sys_checksum =
+  func "sys_checksum" ~nparams:4 (fun b ->
+      let buf = param b 0 and len = param b 1 in
+      ret b (call b "kchecksum" [ buf; len ]))
+
+let sys_nanosleep =
+  func "sys_nanosleep" ~nparams:4 (fun b ->
+      let ticks = param b 0 in
+      let _ = call b "schedule_timeout" [ ticks ] in
+      ret b (c 0))
+
+let sys_yield =
+  func "sys_yield" ~nparams:4 (fun b ->
+      call0 b "schedule" [];
+      ret b (c 0))
+
+let handlers =
+  [
+    (Abi.sys_getpid, "sys_getpid");
+    (Abi.sys_open, "sys_open");
+    (Abi.sys_read, "sys_read");
+    (Abi.sys_write, "sys_write");
+    (Abi.sys_send, "sys_send");
+    (Abi.sys_recv, "sys_recv");
+    (Abi.sys_mem, "sys_mem");
+    (Abi.sys_checksum, "sys_checksum");
+    (Abi.sys_nanosleep, "sys_nanosleep");
+    (Abi.sys_yield, "sys_yield");
+    (Abi.sys_close, "sys_close");
+    (Abi.sys_stat, "sys_stat");
+  ]
+
+let syscall_init =
+  func "syscall_init" ~nparams:0 (fun b ->
+      let table = gaddr b "syscall_table" in
+      List.iter
+        (fun (nr, name) -> store b I32 table (4 * nr) (gaddr b name))
+        handlers;
+      ret0 b)
+
+(* sys_dispatch(nr, a0, a1, a2, a3): take the big kernel lock (2.4's
+   lock_kernel — the kernel_flag word of the paper's Figure 13), then make an
+   indirect call through the table. *)
+let sys_dispatch =
+  func "sys_dispatch" ~nparams:5 (fun b ->
+      let nr = param b 0 in
+      when_ b Uge nr (c Abi.nsyscalls) (fun () -> ret b (c 0xFFFFFFDA) (* -ENOSYS *));
+      call0 b "lock_kernel" [];
+      let entry = load b I32 (add b (gaddr b "syscall_table") (shl b nr (c 2))) 0 in
+      let r = calli b entry [ param b 1; param b 2; param b 3; param b 4 ] in
+      call0 b "unlock_kernel" [];
+      ret b r)
+
+let funcs = [ sys_getpid; sys_mem; sys_checksum; sys_nanosleep; sys_yield; syscall_init; sys_dispatch ]

@@ -1,0 +1,19 @@
+(** The syscall layer: handlers, the function-pointer dispatch table (a
+    kernel-data injection target), and the dispatcher that takes the big
+    kernel lock around every call, 2.4-style. *)
+
+val sys_getpid : Ferrite_kir.Ir.func
+val sys_mem : Ferrite_kir.Ir.func
+(** Allocation stress: kmalloc for <= 1024 bytes, the buddy allocator above
+    (so free_pages_ok is exercised at runtime, as Figure 7 needs). *)
+
+val sys_checksum : Ferrite_kir.Ir.func
+val sys_nanosleep : Ferrite_kir.Ir.func
+val sys_yield : Ferrite_kir.Ir.func
+
+val handlers : (int * string) list
+(** syscall number -> handler symbol (the dispatch-table contents). *)
+
+val syscall_init : Ferrite_kir.Ir.func
+val sys_dispatch : Ferrite_kir.Ir.func
+val funcs : Ferrite_kir.Ir.func list

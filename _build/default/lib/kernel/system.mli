@@ -1,0 +1,73 @@
+(** Arch-generic view of a booted machine: one simulated CPU running the
+    linked kernel image. The workload driver and the injection framework
+    operate exclusively through this interface, so campaigns are written once
+    and run on both platforms. *)
+
+type fault =
+  | Cisc_fault of Ferrite_cisc.Exn.t
+  | Risc_fault of Ferrite_risc.Exn.t
+
+type step_result =
+  | Retired
+  | Halted
+  | Hit_ibp
+  | Hit_dbp of Ferrite_machine.Debug_regs.data_hit
+  | Stopped
+  | Faulted of fault
+
+type cpu = Ccpu of Ferrite_cisc.Cpu.t | Rcpu of Ferrite_risc.Cpu.t
+
+type t = {
+  arch : Ferrite_kir.Image.arch;
+  image : Ferrite_kir.Image.t;
+  mem : Ferrite_machine.Memory.t;
+  cpu : cpu;
+}
+
+val arch_name : t -> string
+(** ["P4"] or ["G4"], as the paper labels the platforms. *)
+
+val step : ?skip_ibp:bool -> t -> step_result
+
+val pc : t -> int
+val set_pc : t -> int -> unit
+
+val sp : t -> int
+(** Current kernel stack pointer (ESP / r1). *)
+
+val counters : t -> Ferrite_machine.Counters.t
+val debug_regs : t -> Ferrite_machine.Debug_regs.t
+
+val peek32 : t -> int -> int
+(** Read a word with the architecture's endianness, bypassing permissions. *)
+
+val poke32 : t -> int -> int -> unit
+val peek8 : t -> int -> int
+val poke8 : t -> int -> int -> unit
+
+val symbol : t -> string -> int
+
+val global : t -> string -> int
+(** [global t name] reads word 0 of a global (e.g. ["jiffies"]). *)
+
+val set_global : t -> string -> int -> unit
+
+type sysreg = { name : string; bits : int; get : unit -> int; set : int -> unit }
+
+val system_registers : t -> sysreg array
+(** The architecture's injectable system registers, closed over this CPU. *)
+
+val task_struct_addr : t -> int -> int
+(** Address of task i's task_struct (at the bottom of its kernel stack, as in 2.4). *)
+
+val task_field : t -> int -> string -> int
+(** Read a field of task i's task_struct (host-side, layout-aware). *)
+
+val task_stack_range : t -> int -> int * int
+(** [lo, hi) of task i's 8 KiB kernel stack. *)
+
+val current_task_index : t -> int option
+(** Index of the task the [current] pointer designates, if it is sane. *)
+
+val idle_cycles : t -> int -> unit
+(** Advance the cycle counter without executing (benchmark think time). *)

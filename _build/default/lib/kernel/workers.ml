@@ -1,0 +1,31 @@
+(* Worker kernel threads: each polls its mailbox slot for requests from the
+   (host-side) workload driver, services them through the arch syscall
+   veneer, and yields. *)
+
+open Ferrite_kir.Builder
+
+let worker_main =
+  func "worker_main" ~nparams:0 (fun b ->
+      while_ b
+        (fun () -> (Eq, c 0, c 0))
+        (fun () ->
+          let me = load b I32 (gaddr b "current") 0 in
+          let slot = loadf b "task" "mbox" me in
+          let status = loadf b "request" "status" slot in
+          if_ b Eq status (c Abi.req_pending)
+            (fun () ->
+              let nr = loadf b "request" "nr" slot in
+              let a0 = loadf b "request" "a0" slot in
+              let a1 = loadf b "request" "a1" slot in
+              let a2 = loadf b "request" "a2" slot in
+              let a3 = loadf b "request" "a3" slot in
+              let r = call b "syscall_veneer" [ nr; a0; a1; a2; a3 ] in
+              storef b "request" "ret" slot r;
+              storef b "request" "status" slot (c Abi.req_done);
+              let done_ = gaddr b "completed_count" in
+              store b I32 done_ 0 (add b (load b I32 done_ 0) (c 1)))
+            (fun () -> ());
+          call0 b "schedule" []);
+      ret0 b)
+
+let funcs = [ worker_main ]

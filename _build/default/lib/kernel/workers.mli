@@ -1,0 +1,6 @@
+(** Worker kernel threads: poll the per-worker mailbox slot for requests
+    from the host-side workload driver, service them through the arch
+    syscall veneer, and yield. *)
+
+val worker_main : Ferrite_kir.Ir.func
+val funcs : Ferrite_kir.Ir.func list

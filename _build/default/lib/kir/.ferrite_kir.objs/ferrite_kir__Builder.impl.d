@@ -1,0 +1,1 @@
+lib/kir/builder.ml: Ir List

@@ -1,0 +1,1 @@
+lib/kir/builder.mli: Ir

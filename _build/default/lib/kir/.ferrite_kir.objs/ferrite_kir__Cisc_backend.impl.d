@@ -1,0 +1,1 @@
+lib/kir/cisc_backend.ml: Array Buffer Bytes Char Ferrite_cisc Fun Hashtbl Ir Layout List Obj String

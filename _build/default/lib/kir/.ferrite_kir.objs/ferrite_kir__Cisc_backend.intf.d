@@ -1,0 +1,1 @@
+lib/kir/cisc_backend.mli: Ir Layout Obj

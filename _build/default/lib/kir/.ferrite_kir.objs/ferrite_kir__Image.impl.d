@@ -1,0 +1,1 @@
+lib/kir/image.ml: Array Hashtbl Layout List String

@@ -1,0 +1,1 @@
+lib/kir/image.mli: Hashtbl Layout

@@ -1,0 +1,1 @@
+lib/kir/ir.ml: List

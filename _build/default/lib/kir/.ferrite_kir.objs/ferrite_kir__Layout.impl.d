@@ -1,0 +1,1 @@
+lib/kir/layout.ml: Array Buffer Bytes Char Ir List String

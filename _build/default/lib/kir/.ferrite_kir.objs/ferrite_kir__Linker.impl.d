@@ -1,0 +1,1 @@
+lib/kir/linker.ml: Array Bytes Char Ferrite_machine Hashtbl Image Layout List Obj String

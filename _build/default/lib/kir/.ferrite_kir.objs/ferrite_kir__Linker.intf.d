@@ -1,0 +1,1 @@
+lib/kir/linker.mli: Image Ir Layout Obj

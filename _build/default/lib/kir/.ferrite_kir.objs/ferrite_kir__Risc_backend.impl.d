@@ -1,0 +1,1 @@
+lib/kir/risc_backend.ml: Array Buffer Bytes Char Ferrite_machine Ferrite_risc Fun Hashtbl Ir Layout List Obj

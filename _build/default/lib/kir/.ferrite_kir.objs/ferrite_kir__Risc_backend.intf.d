@@ -1,0 +1,1 @@
+lib/kir/risc_backend.mli: Ir Layout Obj

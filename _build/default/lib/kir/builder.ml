@@ -1,0 +1,179 @@
+open Ir
+
+type t = {
+  name : string;
+  nparams : int;
+  mutable next_vreg : int;
+  mutable next_label : int;
+  mutable current_label : label;
+  mutable current : instr list;  (* reversed *)
+  mutable blocks : block list;  (* reversed *)
+  mutable terminated : bool;
+}
+
+let create name ~nparams =
+  {
+    name;
+    nparams;
+    next_vreg = nparams;
+    next_label = 1;
+    current_label = 0;
+    current = [];
+    blocks = [];
+    terminated = false;
+  }
+
+let param b i =
+  assert (i < b.nparams);
+  Vreg i
+
+let c n = Const (n land 0xFFFFFFFF)
+
+let v r = Vreg r
+
+let fresh b =
+  let r = b.next_vreg in
+  b.next_vreg <- r + 1;
+  r
+
+let emit b i = if not b.terminated then b.current <- i :: b.current
+
+let emit_term b i =
+  if not b.terminated then begin
+    b.current <- i :: b.current;
+    b.terminated <- true
+  end
+
+let close_block b =
+  b.blocks <- { b_label = b.current_label; b_body = List.rev b.current } :: b.blocks;
+  b.current <- []
+
+let new_label b =
+  let l = b.next_label in
+  b.next_label <- l + 1;
+  l
+
+let label b l =
+  if not b.terminated then b.current <- Br l :: b.current;
+  close_block b;
+  b.current_label <- l;
+  b.terminated <- false
+
+let var b init =
+  let r = fresh b in
+  emit b (Def (r, init));
+  r
+
+let set b r x = emit b (Def (r, x))
+
+let binop b op x y =
+  let r = fresh b in
+  emit b (Bin (op, r, x, y));
+  Vreg r
+
+let add b = binop b Add
+let sub b = binop b Sub
+let mul b = binop b Mul
+let divu b = binop b Divu
+let band b = binop b And
+let bor b = binop b Or
+let bxor b = binop b Xor
+let shl b = binop b Shl
+let shr b = binop b Shr
+let sar b = binop b Sar
+
+let load b ty ?(signed = false) base disp =
+  let r = fresh b in
+  emit b (Load (ty, signed, r, base, disp));
+  Vreg r
+
+let store b ty base disp value = emit b (Store (ty, base, disp, value))
+
+let loadf b s f base =
+  let r = fresh b in
+  emit b (Loadf (r, s, f, base));
+  Vreg r
+
+let storef b s f base value = emit b (Storef (s, f, base, value))
+
+let fieldaddr b s f base =
+  let r = fresh b in
+  emit b (Fieldaddr (r, s, f, base));
+  Vreg r
+
+let elemaddr b s base index =
+  let r = fresh b in
+  emit b (Elemaddr (r, s, base, index));
+  Vreg r
+
+let gaddr b name =
+  let r = fresh b in
+  emit b (Gaddr (r, name));
+  Vreg r
+
+let call b fn args =
+  let r = fresh b in
+  emit b (Call (Some r, Direct fn, args));
+  Vreg r
+
+let call0 b fn args = emit b (Call (None, Direct fn, args))
+
+let calli b target args =
+  let r = fresh b in
+  emit b (Call (Some r, Indirect target, args));
+  Vreg r
+
+let br b l = emit_term b (Br l)
+
+let brif b cmp x y lt lf = emit_term b (Brif (cmp, x, y, lt, lf))
+
+let ret b x = emit_term b (Ret (Some x))
+
+let ret0 b = emit_term b (Ret None)
+
+let bug b = emit_term b Bug
+
+let panic b code = emit_term b (Panic code)
+
+let if_ b cmp x y then_ else_ =
+  let lt = new_label b in
+  let lf = new_label b in
+  let lj = new_label b in
+  brif b cmp x y lt lf;
+  label b lt;
+  then_ ();
+  if not b.terminated then br b lj;
+  label b lf;
+  else_ ();
+  if not b.terminated then br b lj;
+  label b lj
+
+let when_ b cmp x y then_ = if_ b cmp x y then_ (fun () -> ())
+
+let while_ b cond body =
+  let lhead = new_label b in
+  let lbody = new_label b in
+  let lexit = new_label b in
+  br b lhead;
+  label b lhead;
+  let cmp, x, y = cond () in
+  brif b cmp x y lbody lexit;
+  label b lbody;
+  body ();
+  if not b.terminated then br b lhead;
+  label b lexit
+
+let loop_n b n body =
+  let i = var b (c 0) in
+  while_ b
+    (fun () -> (Ult, v i, n))
+    (fun () ->
+      body (v i);
+      set b i (binop b Add (v i) (c 1)))
+
+let func name ~nparams f =
+  let b = create name ~nparams in
+  f b;
+  if not b.terminated then ret0 b;
+  close_block b;
+  { fn_name = name; fn_nparams = nparams; fn_blocks = List.rev b.blocks; fn_vregs = b.next_vreg }

@@ -1,0 +1,81 @@
+(** Imperative construction DSL for KIR functions.
+
+    The kernel sources ({!Ferrite_kernel}) are written against this
+    interface. Values are threaded as {!Ir.operand}s; arithmetic helpers
+    allocate fresh virtual registers, and [var]/[set] provide mutable
+    locals that survive control flow. [if_]/[while_] emit structured
+    control flow without manual label management. *)
+
+type t
+
+val func : string -> nparams:int -> (t -> unit) -> Ir.func
+(** Build one function. Parameters arrive as vregs [0 .. nparams-1]; a
+    missing final return is completed with [Ret None]. *)
+
+val param : t -> int -> Ir.operand
+
+val c : int -> Ir.operand
+(** Integer constant. *)
+
+val var : t -> Ir.operand -> Ir.vreg
+(** Declare a mutable local initialised to the given value. *)
+
+val set : t -> Ir.vreg -> Ir.operand -> unit
+
+val v : Ir.vreg -> Ir.operand
+
+(** Arithmetic (fresh destination each call). *)
+
+val add : t -> Ir.operand -> Ir.operand -> Ir.operand
+val sub : t -> Ir.operand -> Ir.operand -> Ir.operand
+val mul : t -> Ir.operand -> Ir.operand -> Ir.operand
+val divu : t -> Ir.operand -> Ir.operand -> Ir.operand
+val band : t -> Ir.operand -> Ir.operand -> Ir.operand
+val bor : t -> Ir.operand -> Ir.operand -> Ir.operand
+val bxor : t -> Ir.operand -> Ir.operand -> Ir.operand
+val shl : t -> Ir.operand -> Ir.operand -> Ir.operand
+val shr : t -> Ir.operand -> Ir.operand -> Ir.operand
+val sar : t -> Ir.operand -> Ir.operand -> Ir.operand
+
+(** Raw memory access. *)
+
+val load : t -> Ir.ty -> ?signed:bool -> Ir.operand -> int -> Ir.operand
+val store : t -> Ir.ty -> Ir.operand -> int -> Ir.operand -> unit
+
+(** Symbolic struct-field access (layout decided by each backend). *)
+
+val loadf : t -> string -> string -> Ir.operand -> Ir.operand
+val storef : t -> string -> string -> Ir.operand -> Ir.operand -> unit
+val fieldaddr : t -> string -> string -> Ir.operand -> Ir.operand
+val elemaddr : t -> string -> Ir.operand -> Ir.operand -> Ir.operand
+val gaddr : t -> string -> Ir.operand
+
+(** Calls. *)
+
+val call : t -> string -> Ir.operand list -> Ir.operand
+val call0 : t -> string -> Ir.operand list -> unit
+val calli : t -> Ir.operand -> Ir.operand list -> Ir.operand
+
+(** Control flow. *)
+
+val new_label : t -> Ir.label
+val label : t -> Ir.label -> unit
+val br : t -> Ir.label -> unit
+val brif : t -> Ir.cmp -> Ir.operand -> Ir.operand -> Ir.label -> Ir.label -> unit
+val ret : t -> Ir.operand -> unit
+val ret0 : t -> unit
+val bug : t -> unit
+val panic : t -> int -> unit
+
+val if_ :
+  t -> Ir.cmp -> Ir.operand -> Ir.operand -> (unit -> unit) -> (unit -> unit) -> unit
+(** [if_ b cmp x y then_ else_]. *)
+
+val when_ : t -> Ir.cmp -> Ir.operand -> Ir.operand -> (unit -> unit) -> unit
+
+val while_ : t -> (unit -> Ir.cmp * Ir.operand * Ir.operand) -> (unit -> unit) -> unit
+(** [while_ b cond body]; [cond] may emit instructions (re-evaluated each
+    iteration). *)
+
+val loop_n : t -> Ir.operand -> (Ir.operand -> unit) -> unit
+(** [loop_n b n body] runs [body i] for i = 0 .. n-1. *)

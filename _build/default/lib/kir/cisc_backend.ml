@@ -1,0 +1,451 @@
+open Ir
+module CI = Ferrite_cisc.Insn
+module CE = Ferrite_cisc.Encode
+
+let layout_mode = Layout.Packed
+let endian = Layout.Le
+let default_promote = 3
+
+(* register numbers *)
+let eax = 0
+let ecx = 1
+let edx = 2
+let ebx = 3
+let esp = 4
+let ebp = 5
+let esi = 6
+let edi = 7
+
+type home = Hreg of int | Hslot of int | Harg of int
+
+type env = {
+  buf : Buffer.t;
+  mutable relocs : Obj.reloc list;
+  mutable fixups : (int * int * Ir.label) list;  (* field offset, insn end, target *)
+  mutable labels : (Ir.label * int) list;
+  homes : home array;
+  nslots : int;
+  structs : struct_decl list;
+  mode : Layout.mode;
+  layouts : (string, Layout.struct_layout) Hashtbl.t;
+}
+
+let struct_layout env name =
+  match Hashtbl.find_opt env.layouts name with
+  | Some sl -> sl
+  | None ->
+    let decl =
+      match List.find_opt (fun s -> s.s_name = name) env.structs with
+      | Some d -> d
+      | None -> invalid_arg ("cisc backend: unknown struct " ^ name)
+    in
+    let sl = Layout.layout_struct env.mode decl in
+    Hashtbl.replace env.layouts name sl;
+    sl
+
+let emit env i = Buffer.add_string env.buf (CE.insn i)
+
+(* Emit an instruction whose trailing 32-bit field is a relocation. *)
+let emit_reloc env i sym kind =
+  let bytes = CE.insn i in
+  let off = Buffer.length env.buf + String.length bytes - 4 in
+  Buffer.add_string env.buf bytes;
+  env.relocs <- { Obj.r_offset = off; r_sym = sym; r_kind = kind } :: env.relocs
+
+(* Emit a branch with an internal label fixup (rel32 forms only). *)
+let emit_branch env i target =
+  let bytes = CE.insn i in
+  let here = Buffer.length env.buf in
+  Buffer.add_string env.buf bytes;
+  let iend = here + String.length bytes in
+  env.fixups <- (iend - 4, iend, target) :: env.fixups
+
+let slot_mem i = CI.mem ~base:ebp ((-16 - (4 * i)) land 0xFFFFFFFF)
+let arg_mem i = CI.mem ~base:ebp (8 + (4 * i))
+
+let home_mem = function
+  | Hslot i -> slot_mem i
+  | Harg i -> arg_mem i
+  | Hreg _ -> invalid_arg "home_mem"
+
+(* Load an operand's value into a scratch register. *)
+let load_scratch env reg op =
+  match op with
+  | Const k -> emit env (CI.Mov (CI.S32, CI.Reg reg, CI.Imm k))
+  | Vreg r ->
+    (match env.homes.(r) with
+    | Hreg pr -> if pr <> reg then emit env (CI.Mov (CI.S32, CI.Reg reg, CI.Reg pr))
+    | (Hslot _ | Harg _) as h -> emit env (CI.Mov (CI.S32, CI.Reg reg, CI.Mem (home_mem h))))
+
+(* The operand as an ALU r/m or immediate (memory-operand forms are the
+   norm here, as in compiled IA-32 kernels). *)
+let rm_operand env op =
+  match op with
+  | Const k -> CI.Imm k
+  | Vreg r ->
+    (match env.homes.(r) with
+    | Hreg pr -> CI.Reg pr
+    | (Hslot _ | Harg _) as h -> CI.Mem (home_mem h))
+
+let write_home env r src_reg =
+  match env.homes.(r) with
+  | Hreg pr -> if pr <> src_reg then emit env (CI.Mov (CI.S32, CI.Reg pr, CI.Reg src_reg))
+  | (Hslot _ | Harg _) as h -> emit env (CI.Mov (CI.S32, CI.Mem (home_mem h), CI.Reg src_reg))
+
+let cond_of_cmp = function
+  | Eq -> CI.E
+  | Ne -> CI.NE
+  | Slt -> CI.L
+  | Sle -> CI.LE
+  | Sgt -> CI.G
+  | Sge -> CI.GE
+  | Ult -> CI.B
+  | Ule -> CI.BE
+  | Ugt -> CI.A
+  | Uge -> CI.AE
+
+let size_of_ty = function I8 -> CI.S8 | I16 -> CI.S16 | I32 -> CI.S32
+
+(* Epilogue exactly in the shape of the paper's Figure 7:
+   lea -12(%ebp),%esp; pop %ebx; pop %esi; pop %edi; pop %ebp; ret *)
+let emit_epilogue env =
+  emit env (CI.Lea (esp, CI.mem ~base:ebp 0xFFFFFFF4));
+  emit env (CI.Pop (CI.Reg ebx));
+  emit env (CI.Pop (CI.Reg esi));
+  emit env (CI.Pop (CI.Reg edi));
+  emit env (CI.Pop (CI.Reg ebp));
+  emit env CI.Ret
+
+let emit_load env ty signed dst_reg base disp =
+  load_scratch env edx base;
+  let m = CI.Mem (CI.mem ~base:edx (disp land 0xFFFFFFFF)) in
+  (match ty, signed with
+  | I32, _ -> emit env (CI.Mov (CI.S32, CI.Reg dst_reg, m))
+  | I16, false -> emit env (CI.Movzx (CI.S16, dst_reg, m))
+  | I16, true -> emit env (CI.Movsx (CI.S16, dst_reg, m))
+  | I8, false -> emit env (CI.Movzx (CI.S8, dst_reg, m))
+  | I8, true -> emit env (CI.Movsx (CI.S8, dst_reg, m)))
+
+let emit_store env ty base disp value =
+  load_scratch env edx base;
+  let m = CI.Mem (CI.mem ~base:edx (disp land 0xFFFFFFFF)) in
+  match value with
+  | Const k -> emit env (CI.Mov (size_of_ty ty, m, CI.Imm k))
+  | Vreg _ ->
+    load_scratch env eax value;
+    emit env (CI.Mov (size_of_ty ty, m, CI.Reg eax))
+
+let compile_instr env instr =
+  match instr with
+  | Def (d, src) ->
+    (match src, env.homes.(d) with
+    | Const k, ((Hslot _ | Harg _) as h) ->
+      emit env (CI.Mov (CI.S32, CI.Mem (home_mem h), CI.Imm k))
+    | _ ->
+      load_scratch env eax src;
+      write_home env d eax)
+  | Bin (op, d, x, y) ->
+    (match op with
+    | Add | Sub | And | Or | Xor ->
+      let alu =
+        match op with
+        | Add -> CI.Add
+        | Sub -> CI.Sub
+        | And -> CI.And
+        | Or -> CI.Or
+        | Xor -> CI.Xor
+        | _ -> assert false
+      in
+      load_scratch env eax x;
+      emit env (CI.Alu (alu, CI.S32, CI.Reg eax, rm_operand env y));
+      write_home env d eax
+    | Mul ->
+      load_scratch env eax x;
+      (match rm_operand env y with
+      | CI.Imm k -> emit env (CI.Imul3 (eax, CI.Reg eax, k))
+      | rm -> emit env (CI.Imul2 (eax, rm)));
+      write_home env d eax
+    | Divu ->
+      load_scratch env eax x;
+      emit env (CI.Alu (CI.Xor, CI.S32, CI.Reg edx, CI.Reg edx));
+      (match rm_operand env y with
+      | CI.Imm k ->
+        emit env (CI.Mov (CI.S32, CI.Reg ecx, CI.Imm k));
+        emit env (CI.Grp3 (CI.Div, CI.S32, CI.Reg ecx))
+      | rm -> emit env (CI.Grp3 (CI.Div, CI.S32, rm)));
+      write_home env d eax
+    | Shl | Shr | Sar ->
+      let sh = match op with Shl -> CI.Shl | Shr -> CI.Shr | _ -> CI.Sar in
+      load_scratch env eax x;
+      (match y with
+      | Const k -> emit env (CI.Shift (sh, CI.S32, CI.Reg eax, CI.Count_imm (k land 31)))
+      | Vreg _ ->
+        load_scratch env ecx y;
+        emit env (CI.Shift (sh, CI.S32, CI.Reg eax, CI.Count_cl)));
+      write_home env d eax)
+  | Load (ty, signed, d, base, disp) ->
+    emit_load env ty signed eax base disp;
+    write_home env d eax
+  | Store (ty, base, disp, value) -> emit_store env ty base disp value
+  | Loadf (d, sname, fname, base) ->
+    let fl = Layout.field_of (struct_layout env sname) fname in
+    emit_load env fl.Layout.fl_ty false eax base fl.Layout.fl_offset;
+    write_home env d eax
+  | Storef (sname, fname, base, value) ->
+    let fl = Layout.field_of (struct_layout env sname) fname in
+    emit_store env fl.Layout.fl_ty base fl.Layout.fl_offset value
+  | Fieldaddr (d, sname, fname, base) ->
+    let fl = Layout.field_of (struct_layout env sname) fname in
+    load_scratch env edx base;
+    emit env (CI.Lea (eax, CI.mem ~base:edx fl.Layout.fl_offset));
+    write_home env d eax
+  | Elemaddr (d, sname, base, index) ->
+    let stride = (struct_layout env sname).Layout.sl_size in
+    (match index with
+    | Const k ->
+      load_scratch env edx base;
+      emit env (CI.Lea (eax, CI.mem ~base:edx (k * stride)));
+      write_home env d eax
+    | Vreg _ ->
+      load_scratch env eax index;
+      (match stride with
+      | 1 | 2 | 4 | 8 ->
+        load_scratch env edx base;
+        emit env (CI.Lea (eax, CI.mem ~base:edx ~index:(eax, stride) 0))
+      | _ ->
+        emit env (CI.Imul3 (eax, CI.Reg eax, stride));
+        load_scratch env edx base;
+        emit env (CI.Lea (eax, CI.mem ~base:edx ~index:(eax, 1) 0)));
+      write_home env d eax)
+  | Gaddr (d, sym) ->
+    emit_reloc env (CI.Mov (CI.S32, CI.Reg eax, CI.Imm 0)) sym Obj.Abs32;
+    write_home env d eax
+  | Call (dst, callee, args) ->
+    List.iter
+      (fun a ->
+        match a with
+        | Const k -> emit env (CI.Push (CI.Imm k))
+        | Vreg _ ->
+          load_scratch env eax a;
+          emit env (CI.Push (CI.Reg eax)))
+      (List.rev args);
+    (match callee with
+    | Direct fn -> emit_reloc env (CI.Call_rel 0) fn Obj.Rel32
+    | Indirect target ->
+      load_scratch env eax target;
+      emit env (CI.Call_ind (CI.Reg eax)));
+    let n = List.length args in
+    if n > 0 then emit env (CI.Alu (CI.Add, CI.S32, CI.Reg esp, CI.Imm (4 * n)));
+    (match dst with Some d -> write_home env d eax | None -> ())
+  | Br l -> emit_branch env (CI.Jmp_rel 0) l
+  | Brif (cmp, x, y, lt, lf) ->
+    load_scratch env eax x;
+    emit env (CI.Alu (CI.Cmp, CI.S32, CI.Reg eax, rm_operand env y));
+    emit_branch env (CI.Jcc (cond_of_cmp cmp, 0)) lt;
+    emit_branch env (CI.Jmp_rel 0) lf
+  | Ret None -> emit_epilogue env
+  | Ret (Some x) ->
+    load_scratch env eax x;
+    emit_epilogue env
+  | Bug -> emit env CI.Ud2
+  | Panic code ->
+    emit env (CI.Mov (CI.S32, CI.Reg eax, CI.Imm code));
+    emit_reloc env (CI.Mov (CI.S32, CI.Mem CI.no_mem, CI.Reg eax)) "panic_code" Obj.Abs32;
+    emit env CI.Ud2
+
+(* Pick the [promote] hottest non-parameter vregs for EBX/ESI/EDI (and, in
+   the register-richness ablation, further pseudo-registers). Parameters keep
+   their stack homes (they are already in caller memory, cdecl-style). *)
+let assign_homes ~promote (f : func) =
+  let uses = Array.make f.fn_vregs 0 in
+  let touch = function Vreg r -> uses.(r) <- uses.(r) + 1 | Const _ -> () in
+  let touch_v r = uses.(r) <- uses.(r) + 1 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Def (d, s) -> touch_v d; touch s
+          | Bin (_, d, x, y) -> touch_v d; touch x; touch y
+          | Load (_, _, d, b, _) -> touch_v d; touch b
+          | Store (_, b, _, v) -> touch b; touch v
+          | Loadf (d, _, _, b) -> touch_v d; touch b
+          | Storef (_, _, b, v) -> touch b; touch v
+          | Fieldaddr (d, _, _, b) | Elemaddr (d, _, b, _) -> touch_v d; touch b
+          | Gaddr (d, _) -> touch_v d
+          | Call (dst, callee, args) ->
+            (match dst with Some d -> touch_v d | None -> ());
+            (match callee with Indirect t -> touch t | Direct _ -> ());
+            List.iter touch args
+          | Brif (_, x, y, _, _) -> touch x; touch y
+          | Ret (Some x) -> touch x
+          | Br _ | Ret None | Bug | Panic _ -> ())
+        b.b_body)
+    f.fn_blocks;
+  let candidates =
+    List.init f.fn_vregs Fun.id
+    |> List.filter (fun r -> r >= f.fn_nparams && uses.(r) > 0)
+    |> List.sort (fun a b -> compare uses.(b) uses.(a))
+  in
+  let promoted = List.filteri (fun i _ -> i < promote) candidates in
+  let homes = Array.make (max f.fn_vregs 1) (Hslot 0) in
+  let next_slot = ref 0 in
+  for r = 0 to f.fn_vregs - 1 do
+    if r < f.fn_nparams then homes.(r) <- Harg r
+    else
+      match List.mapi (fun i p -> (i, p)) promoted |> List.find_opt (fun (_, p) -> p = r) with
+      | Some (i, _) -> homes.(r) <- Hreg [| ebx; esi; edi |].(i mod 3)
+      | None ->
+        homes.(r) <- Hslot !next_slot;
+        incr next_slot
+  done;
+  (homes, !next_slot)
+
+let compile_func ?(mode = layout_mode) ?(promote = default_promote) ~structs (f : func) =
+  let homes, nslots = assign_homes ~promote:(min 3 promote) f in
+  let env =
+    {
+      buf = Buffer.create 256;
+      relocs = [];
+      fixups = [];
+      labels = [];
+      homes;
+      nslots;
+      structs;
+      mode;
+      layouts = Hashtbl.create 8;
+    }
+  in
+  (* prologue: push ebp; mov ebp,esp; push edi/esi/ebx; sub esp, slots *)
+  emit env (CI.Push (CI.Reg ebp));
+  emit env (CI.Mov (CI.S32, CI.Reg ebp, CI.Reg esp));
+  emit env (CI.Push (CI.Reg edi));
+  emit env (CI.Push (CI.Reg esi));
+  emit env (CI.Push (CI.Reg ebx));
+  if env.nslots > 0 then
+    emit env (CI.Alu (CI.Sub, CI.S32, CI.Reg esp, CI.Imm (4 * env.nslots)));
+  List.iter
+    (fun b ->
+      env.labels <- (b.b_label, Buffer.length env.buf) :: env.labels;
+      List.iter (compile_instr env) b.b_body)
+    f.fn_blocks;
+  (* patch internal branches *)
+  let code = Buffer.to_bytes env.buf in
+  List.iter
+    (fun (field_off, iend, target) ->
+      let dest =
+        match List.assoc_opt target env.labels with
+        | Some o -> o
+        | None -> invalid_arg (f.fn_name ^ ": undefined label")
+      in
+      let rel = (dest - iend) land 0xFFFFFFFF in
+      Bytes.set code field_off (Char.chr (rel land 0xFF));
+      Bytes.set code (field_off + 1) (Char.chr ((rel lsr 8) land 0xFF));
+      Bytes.set code (field_off + 2) (Char.chr ((rel lsr 16) land 0xFF));
+      Bytes.set code (field_off + 3) (Char.chr ((rel lsr 24) land 0xFF)))
+    env.fixups;
+  { Obj.cf_name = f.fn_name; cf_code = Bytes.to_string code; cf_relocs = List.rev env.relocs }
+
+(* ------------------------------------------------------------------ *)
+(* Hand-written stubs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let raw name emitter =
+  let buf = Buffer.create 64 in
+  let relocs = ref [] in
+  let emit i = Buffer.add_string buf (CE.insn i) in
+  let emit_reloc i sym kind =
+    let bytes = CE.insn i in
+    let off = Buffer.length buf + String.length bytes - 4 in
+    Buffer.add_string buf bytes;
+    relocs := { Obj.r_offset = off; r_sym = sym; r_kind = kind } :: !relocs
+  in
+  emitter ~emit ~emit_reloc ~pos:(fun () -> Buffer.length buf);
+  { Obj.cf_name = name; cf_code = Buffer.contents buf; cf_relocs = List.rev !relocs }
+
+let switch_to_stub ~task_sp_offset =
+  raw "switch_to" (fun ~emit ~emit_reloc:_ ~pos:_ ->
+      let open CI in
+      emit Pusha;  (* 32 bytes of saved registers *)
+      emit (Mov (S32, Reg eax, Mem (mem ~base:esp (32 + 4))));  (* prev *)
+      emit (Mov (S32, Reg edx, Mem (mem ~base:esp (32 + 8))));  (* next *)
+      emit (Mov (S32, Mem (mem ~base:eax task_sp_offset), Reg esp));
+      emit (Mov (S32, Reg esp, Mem (mem ~base:edx task_sp_offset)));
+      (* Reload the per-task data segments; the selector check here is what a
+         real TSS switch performs, and what makes injected FS/GS manifest. *)
+      emit (Mov_from_seg (Reg ecx, FS));
+      emit (Mov_to_seg (FS, Reg ecx));
+      emit (Mov_from_seg (Reg ecx, GS));
+      emit (Mov_to_seg (GS, Reg ecx));
+      emit Popa;
+      emit Ret)
+
+(* syscall_veneer builds an interrupt-style frame, calls the dispatcher and
+   returns via IRET to a resume point inside itself. The pushed resume
+   address is an Abs32 reloc against the stub's own symbol; the Abs32
+   convention is S + field, so the field carries the intra-stub offset as an
+   addend. The placeholder constant forces the imm32 push encoding.
+
+   With [with_wrapper] (the paper's §7 proposal: the P4 kernel COULD check
+   for stack overflow the way the G4 kernel does), the veneer first verifies
+   that ESP lies within the current task's 8 KiB stack and panics with the
+   stack-overflow code otherwise. The stock P4 kernel does not do this —
+   which is exactly why its stack errors propagate (Fig. 7). *)
+let syscall_veneer_stub ~task_stacklo_offset ~panic_stack_overflow ~with_wrapper =
+  let base =
+    raw "syscall_veneer" (fun ~emit ~emit_reloc ~pos:_ ->
+        let open CI in
+        if with_wrapper then begin
+          emit_reloc (Mov (S32, Reg eax, Mem CI.no_mem)) "current" Obj.Abs32;
+          emit (Mov (S32, Reg eax, Mem (mem ~base:eax task_stacklo_offset)));
+          emit (Mov (S32, Reg edx, Reg esp));
+          emit (Alu (Sub, S32, Reg edx, Reg eax));
+          emit (Alu (Cmp, S32, Reg edx, Imm 8192));
+          (* jb +13: skip the 13-byte panic sequence below *)
+          emit (Jcc (B, 13));
+          emit (Mov (S32, Reg eax, Imm panic_stack_overflow));
+          emit_reloc (Mov (S32, Mem CI.no_mem, Reg eax)) "panic_code" Obj.Abs32;
+          emit Ud2
+        end;
+        emit Pushf;
+        emit (Push (Imm Ferrite_cisc.Cpu.selector_kernel_cs));
+        emit_reloc (Push (Imm 0x0DF0ADBA)) "syscall_veneer" Obj.Abs32;
+        (* Re-push the five arguments for the dispatcher. Offset invariant:
+           after the three frame pushes each argument sits at esp+32, and
+           every push keeps the next one there. *)
+        for _ = 1 to 5 do
+          emit (Push (Mem (mem ~base:esp 32)))
+        done;
+        emit_reloc (Call_rel 0) "sys_dispatch" Obj.Rel32;
+        emit (Alu (Add, S32, Reg esp, Imm 20));
+        emit Iret)
+  in
+  (* Execution resumes just past the IRET: append the RET and patch the
+     pushed resume address's addend (the self-referential reloc) to that
+     offset. *)
+  let resume_off = String.length base.Obj.cf_code in
+  let bytes = Bytes.of_string (base.Obj.cf_code ^ CE.insn CI.Ret) in
+  (match
+     List.find_opt (fun (r : Obj.reloc) -> r.Obj.r_sym = "syscall_veneer") base.Obj.cf_relocs
+   with
+  | Some { Obj.r_offset; _ } ->
+    Bytes.set bytes r_offset (Char.chr (resume_off land 0xFF));
+    Bytes.set bytes (r_offset + 1) (Char.chr ((resume_off lsr 8) land 0xFF));
+    Bytes.set bytes (r_offset + 2) '\000';
+    Bytes.set bytes (r_offset + 3) '\000'
+  | None -> assert false);
+  { base with Obj.cf_code = Bytes.to_string bytes }
+
+let entry_stub =
+  raw "kernel_entry" (fun ~emit ~emit_reloc ~pos:_ ->
+      let open CI in
+      emit_reloc (Call_rel 0) "start_kernel" Obj.Rel32;
+      emit Hlt;
+      emit (Jmp_rel ((-3) land 0xFFFFFFFF)))
+
+let stubs ?(with_wrapper = false) ~task_sp_offset ~task_stacklo_offset
+    ~panic_stack_overflow () =
+  [
+    switch_to_stub ~task_sp_offset;
+    syscall_veneer_stub ~task_stacklo_offset ~panic_stack_overflow ~with_wrapper;
+  ]

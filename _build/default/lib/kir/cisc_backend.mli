@@ -1,0 +1,44 @@
+(** KIR → P4-like code generator.
+
+    Code-generation strategy (deliberately IA-32-flavoured, because the
+    paper's P4 findings are consequences of it):
+
+    - only three virtual registers are promoted to EBX/ESI/EDI; everything
+      else lives in EBP-relative stack slots, so kernel stacks carry live
+      spills and arguments — the packed, heavily-trafficked stack of §5.1;
+    - struct fields are packed ({!Layout.Packed}) and accessed with 8/16/32-bit
+      operands, including memory-operand ALU forms;
+    - BUG() compiles to UD2 (the paper's Figure 13 `ud2a`), panic() records a
+      code and executes UD2;
+    - arguments are pushed on the stack (cdecl), return value in EAX. *)
+
+val layout_mode : Layout.mode
+val endian : Layout.endian
+
+val compile_func :
+  ?mode:Layout.mode -> ?promote:int -> structs:Ir.struct_decl list -> Ir.func -> Obj.cfunc
+(** Compile one function to relocatable object code. [mode] overrides the
+    struct layout (ablation: a CISC kernel with widened, RISC-style data);
+    [promote] caps the register-promoted virtual registers (ablation knob,
+    at most 3 on this 8-register machine). *)
+
+val stubs :
+  ?with_wrapper:bool ->
+  task_sp_offset:int ->
+  task_stacklo_offset:int ->
+  panic_stack_overflow:int ->
+  unit ->
+  Obj.cfunc list
+(** Hand-written assembly stubs:
+    - [switch_to(prev, next)] — saves registers with PUSHA, swaps ESP through
+      the task struct's [sp] field, and reloads FS/GS (validating the
+      selectors, as the TSS reload on a real context switch would);
+    - [syscall_veneer(nr, a0..a3)] — builds an interrupt frame, calls
+      [sys_dispatch] and returns with IRET, exercising EFLAGS.NT/CS checks on
+      every syscall (§5.2). With [with_wrapper] it additionally performs the
+      ESP-range check the paper's §7 proposes adding to the P4 (off by
+      default, as on the real platform). *)
+
+val entry_stub : Obj.cfunc
+(** [kernel_entry] — aligns the world and calls [start_kernel]; the harness
+    points EIP here at boot. *)

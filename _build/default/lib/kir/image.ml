@@ -1,0 +1,48 @@
+type arch = Cisc | Risc
+
+type func_sym = { fs_name : string; fs_addr : int; fs_size : int }
+
+type t = {
+  img_arch : arch;
+  img_mode : Layout.mode;  (* struct/data layout the image was compiled with *)
+  img_g4_wrapper : bool;  (* RISC: stack-range wrapper compiled in *)
+  img_text_base : int;
+  img_text : string;
+  img_data : Layout.data_section;
+  img_funcs : func_sym array;
+  img_symtab : (string, int) Hashtbl.t;
+}
+
+let symbol t name =
+  match Hashtbl.find_opt t.img_symtab name with
+  | Some a -> a
+  | None -> invalid_arg ("Image.symbol: undefined symbol " ^ name)
+
+let find_func t name =
+  match Array.to_list t.img_funcs |> List.find_opt (fun f -> f.fs_name = name) with
+  | Some f -> f
+  | None -> invalid_arg ("Image.find_func: unknown function " ^ name)
+
+let function_at t addr =
+  let funcs = t.img_funcs in
+  let n = Array.length funcs in
+  if n = 0 then None
+  else begin
+    let rec search lo hi =
+      if lo > hi then None
+      else begin
+        let mid = (lo + hi) / 2 in
+        let f = funcs.(mid) in
+        if addr < f.fs_addr then search lo (mid - 1)
+        else if addr >= f.fs_addr + f.fs_size then search (mid + 1) hi
+        else Some f
+      end
+    in
+    search 0 (n - 1)
+  end
+
+let text_size t = String.length t.img_text
+
+let mode_of_arch = function Cisc -> Layout.Packed | Risc -> Layout.Widened
+
+let endian_of_arch = function Cisc -> Layout.Le | Risc -> Layout.Be

@@ -1,0 +1,35 @@
+(** A linked kernel image: text + data + symbol table.
+
+    This is what the boot code loads into a simulated machine and what the
+    injection framework consults to pick code targets (function boundaries),
+    to attribute profiler samples, and to symbolise crash dumps. *)
+
+type arch = Cisc | Risc
+
+type func_sym = { fs_name : string; fs_addr : int; fs_size : int }
+
+type t = {
+  img_arch : arch;
+  img_mode : Layout.mode;  (** struct/data layout the image was compiled with *)
+  img_g4_wrapper : bool;  (** RISC: exception-entry stack wrapper compiled in *)
+  img_text_base : int;
+  img_text : string;
+  img_data : Layout.data_section;
+  img_funcs : func_sym array;  (* sorted by address *)
+  img_symtab : (string, int) Hashtbl.t;
+}
+
+val symbol : t -> string -> int
+(** Address of a function or global; raises [Not_found]-style
+    [Invalid_argument] for unknown names. *)
+
+val find_func : t -> string -> func_sym
+
+val function_at : t -> int -> func_sym option
+(** Binary-search the function containing an address (profiler, crash
+    symbolisation). *)
+
+val text_size : t -> int
+
+val mode_of_arch : arch -> Layout.mode
+val endian_of_arch : arch -> Layout.endian

@@ -1,0 +1,89 @@
+(* The kernel intermediate representation (KIR).
+
+   The miniature kernel is written once in this IR and compiled to both
+   target ISAs. Platform-dependent behaviour — data packing, register
+   pressure, stack layout, BUG()/panic encodings — is decided entirely by
+   the backends, so the sensitivity differences the paper attributes to the
+   architectures emerge from compilation rather than being scripted.
+
+   Shape: a function is a list of labelled basic blocks over virtual
+   registers. Structured data is accessed through {e symbolic} field
+   references ([Loadf]/[Storef]/[Elemaddr]); each backend lays structs out
+   its own way (packed on the CISC, 32-bit widened slots on the RISC). *)
+
+type ty = I8 | I16 | I32
+
+type vreg = int
+
+type label = int
+
+type operand = Vreg of vreg | Const of int
+
+type binop = Add | Sub | Mul | Divu | And | Or | Xor | Shl | Shr | Sar
+
+type cmp = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+
+(* Field types for structured globals. On the CISC backend a [U8] field takes
+   one byte and neighbours pack against it; on the RISC backend every field
+   occupies a full 32-bit slot (value in the first byte(s), rest padding). *)
+type fty = U8 | U16 | U32
+
+type field = { f_name : string; f_ty : fty; f_init : int }
+
+type struct_decl = { s_name : string; s_fields : field list }
+
+type global =
+  | Gstruct of string * struct_decl  (* a single instance *)
+  | Garray of string * struct_decl * int  (* array of instances *)
+  | Gwords of string * int array  (* raw 32-bit words *)
+  | Gbuffer of string * int  (* opaque byte buffer of given size *)
+
+type callee = Direct of string | Indirect of operand
+
+type instr =
+  | Def of vreg * operand  (* dst <- src *)
+  | Bin of binop * vreg * operand * operand
+  | Load of ty * bool * vreg * operand * int  (* signed?, dst, base, disp *)
+  | Store of ty * operand * int * operand  (* base, disp, value *)
+  | Loadf of vreg * string * string * operand  (* dst, struct, field, base *)
+  | Storef of string * string * operand * operand  (* struct, field, base, value *)
+  | Fieldaddr of vreg * string * string * operand
+  | Elemaddr of vreg * string * operand * operand  (* dst, struct, base, index *)
+  | Gaddr of vreg * string  (* address of a global or function symbol *)
+  | Call of vreg option * callee * operand list
+  | Br of label
+  | Brif of cmp * operand * operand * label * label  (* then, else *)
+  | Ret of operand option
+  | Bug  (* BUG(): UD2 on the CISC, trap on the RISC (paper Fig. 13) *)
+  | Panic of int  (* panic(code): records the code, then BUG *)
+
+type block = { b_label : label; b_body : instr list }
+
+type func = {
+  fn_name : string;
+  fn_nparams : int;  (* parameters arrive in vregs 0 .. nparams-1 *)
+  fn_blocks : block list;  (* entry block first *)
+  fn_vregs : int;  (* number of virtual registers used *)
+}
+
+type program = {
+  p_structs : struct_decl list;
+  p_globals : global list;
+  p_funcs : func list;
+}
+
+let struct_decl name fields = { s_name = name; s_fields = fields }
+
+let field ?(init = 0) name ty = { f_name = name; f_ty = ty; f_init = init }
+
+let find_struct p name =
+  match List.find_opt (fun s -> s.s_name = name) p.p_structs with
+  | Some s -> s
+  | None -> invalid_arg ("Ir.find_struct: unknown struct " ^ name)
+
+let find_field s name =
+  match List.find_opt (fun f -> f.f_name = name) s.s_fields with
+  | Some f -> f
+  | None -> invalid_arg ("Ir.find_field: unknown field " ^ s.s_name ^ "." ^ name)
+
+let ty_of_fty = function U8 -> I8 | U16 -> I16 | U32 -> I32

@@ -1,0 +1,133 @@
+open Ir
+
+type mode = Packed | Widened
+
+type field_layout = { fl_offset : int; fl_ty : Ir.ty }
+
+type struct_layout = { sl_size : int; sl_fields : (string * field_layout) list }
+
+let fty_size = function U8 -> 1 | U16 -> 2 | U32 -> 4
+
+let align_to a n = (n + a - 1) land lnot (a - 1)
+
+let layout_struct mode decl =
+  match mode with
+  | Packed ->
+    let fields, size =
+      List.fold_left
+        (fun (acc, off) f ->
+          let sz = fty_size f.f_ty in
+          let off = align_to sz off in
+          ((f.f_name, { fl_offset = off; fl_ty = ty_of_fty f.f_ty }) :: acc, off + sz))
+        ([], 0) decl.s_fields
+    in
+    { sl_size = align_to 4 (max size 1); sl_fields = List.rev fields }
+  | Widened ->
+    let fields =
+      List.mapi
+        (fun i f -> (f.f_name, { fl_offset = 4 * i; fl_ty = ty_of_fty f.f_ty }))
+        decl.s_fields
+    in
+    { sl_size = max 4 (4 * List.length decl.s_fields); sl_fields = fields }
+
+let field_of sl name =
+  match List.assoc_opt name sl.sl_fields with
+  | Some fl -> fl
+  | None -> invalid_arg ("Layout.field_of: no field " ^ name)
+
+type endian = Le | Be
+
+let write_value bytes endian off ty value =
+  let set i v = Bytes.set bytes i (Char.chr (v land 0xFF)) in
+  match ty, endian with
+  | I8, _ -> set off value
+  | I16, Le ->
+    set off value;
+    set (off + 1) (value lsr 8)
+  | I16, Be ->
+    set off (value lsr 8);
+    set (off + 1) value
+  | I32, Le ->
+    set off value;
+    set (off + 1) (value lsr 8);
+    set (off + 2) (value lsr 16);
+    set (off + 3) (value lsr 24)
+  | I32, Be ->
+    set off (value lsr 24);
+    set (off + 1) (value lsr 16);
+    set (off + 2) (value lsr 8);
+    set (off + 3) value
+
+let init_bytes mode endian decl =
+  let sl = layout_struct mode decl in
+  let bytes = Bytes.make sl.sl_size '\000' in
+  List.iter
+    (fun f ->
+      let fl = field_of sl f.f_name in
+      write_value bytes endian fl.fl_offset fl.fl_ty f.f_init)
+    decl.s_fields;
+  Bytes.to_string bytes
+
+let live_bytes_of_struct decl =
+  List.fold_left (fun acc f -> acc + fty_size f.f_ty) 0 decl.s_fields
+
+type placed_global = {
+  pg_name : string;
+  pg_addr : int;
+  pg_size : int;
+  pg_struct : string option;
+  pg_live_bytes : int;
+}
+
+type data_section = {
+  ds_base : int;
+  ds_size : int;
+  ds_bytes : string;
+  ds_globals : placed_global list;
+}
+
+let build_data_section mode endian ~base program =
+  let buf = Buffer.create 4096 in
+  let globals = ref [] in
+  let place name size struct_name live init =
+    (* word-align each global *)
+    while Buffer.length buf land 3 <> 0 do
+      Buffer.add_char buf '\000'
+    done;
+    let addr = base + Buffer.length buf in
+    Buffer.add_string buf init;
+    assert (String.length init = size);
+    globals :=
+      { pg_name = name; pg_addr = addr; pg_size = size; pg_struct = struct_name;
+        pg_live_bytes = live }
+      :: !globals
+  in
+  List.iter
+    (fun g ->
+      match g with
+      | Gstruct (name, decl) ->
+        let init = init_bytes mode endian decl in
+        place name (String.length init) (Some decl.s_name) (live_bytes_of_struct decl) init
+      | Garray (name, decl, n) ->
+        let one = init_bytes mode endian decl in
+        let init = String.concat "" (List.init n (fun _ -> one)) in
+        place name (String.length init) (Some decl.s_name) (n * live_bytes_of_struct decl) init
+      | Gwords (name, ws) ->
+        let bytes = Bytes.make (4 * Array.length ws) '\000' in
+        Array.iteri (fun i w -> write_value bytes endian (4 * i) I32 w) ws;
+        place name (Bytes.length bytes) None (Bytes.length bytes) (Bytes.to_string bytes)
+      | Gbuffer (name, size) ->
+        let size = align_to 4 size in
+        place name size None size (String.make size '\000'))
+    program.p_globals;
+  {
+    ds_base = base;
+    ds_size = Buffer.length buf;
+    ds_bytes = Buffer.contents buf;
+    ds_globals = List.rev !globals;
+  }
+
+let find_global ds name =
+  match List.find_opt (fun g -> g.pg_name = name) ds.ds_globals with
+  | Some g -> g
+  | None -> invalid_arg ("Layout.find_global: unknown global " ^ name)

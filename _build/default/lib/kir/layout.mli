@@ -1,0 +1,50 @@
+(** Data layout: the packed-vs-widened split at the heart of the paper.
+
+    The CISC backend packs struct fields at their natural sizes (a [U8] field
+    occupies one byte and its neighbours sit right next to it); the RISC
+    backend widens every field to a full 32-bit slot, with the value stored in
+    the slot's first byte(s) and the remainder as never-accessed padding.
+    The paper credits exactly this difference for the G4's far lower stack and
+    data error manifestation (§5.5): flips landing in padding are harmless,
+    flips in packed data always hit a live field. *)
+
+type mode = Packed | Widened
+
+type field_layout = { fl_offset : int; fl_ty : Ir.ty }
+
+type struct_layout = {
+  sl_size : int;  (* aligned to 4 *)
+  sl_fields : (string * field_layout) list;
+}
+
+val layout_struct : mode -> Ir.struct_decl -> struct_layout
+
+val field_of : struct_layout -> string -> field_layout
+
+type endian = Le | Be
+
+val init_bytes : mode -> endian -> Ir.struct_decl -> string
+(** Initial image of one struct instance. *)
+
+type placed_global = {
+  pg_name : string;
+  pg_addr : int;
+  pg_size : int;
+  pg_struct : string option;  (* struct name for (arrays of) structs *)
+  pg_live_bytes : int;  (* bytes that hold field values, excluding padding *)
+}
+
+type data_section = {
+  ds_base : int;
+  ds_size : int;
+  ds_bytes : string;
+  ds_globals : placed_global list;
+}
+
+val build_data_section :
+  mode -> endian -> base:int -> Ir.program -> data_section
+(** Place all globals, aligned to word boundaries, and render their initial
+    contents. [pg_live_bytes] lets the experiment reports quantify data-section
+    sparseness (the Widened section is larger for the same content). *)
+
+val find_global : data_section -> string -> placed_global

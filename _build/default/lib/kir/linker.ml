@@ -1,0 +1,118 @@
+let align16 n = (n + 15) land lnot 15
+
+let link ~arch ?mode ?(g4_wrapper = true)
+    ?(text_base = Ferrite_machine.Layout.code_base)
+    ?(data_base = Ferrite_machine.Layout.data_base) ~cfuncs ~program () =
+  let mode = match mode with Some m -> m | None -> Image.mode_of_arch arch in
+  let endian = Image.endian_of_arch arch in
+  let data = Layout.build_data_section mode endian ~base:data_base program in
+  (* place functions *)
+  let symtab : (string, int) Hashtbl.t = Hashtbl.create 128 in
+  let define name addr =
+    if Hashtbl.mem symtab name then invalid_arg ("Linker: duplicate symbol " ^ name);
+    Hashtbl.replace symtab name addr
+  in
+  let placed =
+    let off = ref 0 in
+    List.map
+      (fun (cf : Obj.cfunc) ->
+        let addr = text_base + !off in
+        define cf.Obj.cf_name addr;
+        off := align16 (!off + String.length cf.Obj.cf_code);
+        (cf, addr))
+      cfuncs
+  in
+  List.iter (fun (g : Layout.placed_global) -> define g.pg_name g.pg_addr) data.Layout.ds_globals;
+  let text_size =
+    match List.rev placed with
+    | [] -> 0
+    | (cf, addr) :: _ -> addr - text_base + String.length cf.Obj.cf_code
+  in
+  let text = Bytes.make (align16 text_size) '\144' (* 0x90: NOP padding *) in
+  if arch = Image.Risc then Bytes.fill text 0 (Bytes.length text) '\000';
+  List.iter
+    (fun ((cf : Obj.cfunc), addr) ->
+      Bytes.blit_string cf.Obj.cf_code 0 text (addr - text_base) (String.length cf.Obj.cf_code))
+    placed;
+  (* resolve relocations *)
+  let lookup sym =
+    match Hashtbl.find_opt symtab sym with
+    | Some a -> a
+    | None -> invalid_arg ("Linker: undefined symbol " ^ sym)
+  in
+  let read16_be off = (Char.code (Bytes.get text off) lsl 8) lor Char.code (Bytes.get text (off + 1)) in
+  let write16_be off v =
+    Bytes.set text off (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set text (off + 1) (Char.chr (v land 0xFF))
+  in
+  let read32_le off =
+    Char.code (Bytes.get text off)
+    lor (Char.code (Bytes.get text (off + 1)) lsl 8)
+    lor (Char.code (Bytes.get text (off + 2)) lsl 16)
+    lor (Char.code (Bytes.get text (off + 3)) lsl 24)
+  in
+  let write32_le off v =
+    Bytes.set text off (Char.chr (v land 0xFF));
+    Bytes.set text (off + 1) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set text (off + 2) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set text (off + 3) (Char.chr ((v lsr 24) land 0xFF))
+  in
+  let read32_be off =
+    (Char.code (Bytes.get text off) lsl 24)
+    lor (Char.code (Bytes.get text (off + 1)) lsl 16)
+    lor (Char.code (Bytes.get text (off + 2)) lsl 8)
+    lor Char.code (Bytes.get text (off + 3))
+  in
+  let write32_be off v =
+    Bytes.set text off (Char.chr ((v lsr 24) land 0xFF));
+    Bytes.set text (off + 1) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set text (off + 2) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set text (off + 3) (Char.chr (v land 0xFF))
+  in
+  List.iter
+    (fun ((cf : Obj.cfunc), addr) ->
+      let base_off = addr - text_base in
+      List.iter
+        (fun (r : Obj.reloc) ->
+          let off = base_off + r.Obj.r_offset in
+          let s = lookup r.Obj.r_sym in
+          match r.Obj.r_kind with
+          | Obj.Rel32 ->
+            (* field address + 4 = next instruction (field is trailing) *)
+            let p = text_base + off + 4 in
+            write32_le off ((s - p) land 0xFFFFFFFF)
+          | Obj.Abs32 ->
+            let addend = read32_le off in
+            write32_le off ((s + addend) land 0xFFFFFFFF)
+          | Obj.Rel24 ->
+            let p = text_base + off in
+            let rel = s - p in
+            if rel < -0x2000000 || rel >= 0x2000000 then
+              invalid_arg ("Linker: Rel24 out of range for " ^ r.Obj.r_sym);
+            let w = read32_be off in
+            write32_be off (w lor (rel land 0x03FFFFFC))
+          | Obj.Ha16 ->
+            let addend = read16_be off in
+            write16_be off (((s + addend) lsr 16) land 0xFFFF)
+          | Obj.Lo16 ->
+            let addend = read16_be off in
+            write16_be off ((s + addend) land 0xFFFF))
+        cf.Obj.cf_relocs)
+    placed;
+  let funcs =
+    placed
+    |> List.map (fun ((cf : Obj.cfunc), addr) ->
+           { Image.fs_name = cf.Obj.cf_name; fs_addr = addr; fs_size = String.length cf.Obj.cf_code })
+    |> List.sort (fun a b -> compare a.Image.fs_addr b.Image.fs_addr)
+    |> Array.of_list
+  in
+  {
+    Image.img_arch = arch;
+    img_mode = mode;
+    img_g4_wrapper = g4_wrapper;
+    img_text_base = text_base;
+    img_text = Bytes.to_string text;
+    img_data = data;
+    img_funcs = funcs;
+    img_symtab = symtab;
+  }

@@ -1,0 +1,18 @@
+(** Places compiled functions and globals in the kernel address space and
+    resolves relocations. *)
+
+val link :
+  arch:Image.arch ->
+  ?mode:Layout.mode ->
+  ?g4_wrapper:bool ->
+  ?text_base:int ->
+  ?data_base:int ->
+  cfuncs:Obj.cfunc list ->
+  program:Ir.program ->
+  unit ->
+  Image.t
+(** [link ~arch ~cfuncs ~program ()] lays functions out 16-byte aligned from
+    [text_base] (default {!Ferrite_machine.Layout.code_base}), builds the data
+    section per the architecture's layout mode at [data_base] (default
+    {!Ferrite_machine.Layout.data_base}), and patches every relocation.
+    Raises [Invalid_argument] on undefined or duplicate symbols. *)

@@ -1,0 +1,19 @@
+(* Relocatable object code produced by the backends and consumed by the
+   linker. The relocation field of every relocated instruction is, by
+   construction, the trailing bytes of that instruction; [r_offset] points at
+   the field itself. *)
+
+type reloc_kind =
+  | Rel32  (* CISC call/jmp displacement, little-endian, S - (P + 4) *)
+  | Abs32  (* CISC absolute address, little-endian *)
+  | Rel24  (* RISC b/bl LI field within the word at r_offset *)
+  | Ha16  (* RISC addis upper half (adjusted for low sign), big-endian *)
+  | Lo16  (* RISC ori lower half, big-endian *)
+
+type reloc = { r_offset : int; r_sym : string; r_kind : reloc_kind }
+
+type cfunc = {
+  cf_name : string;
+  cf_code : string;
+  cf_relocs : reloc list;  (* offsets relative to cf_code *)
+}

@@ -1,0 +1,563 @@
+open Ir
+module RI = Ferrite_risc.Insn
+module RE = Ferrite_risc.Encode
+module RC = Ferrite_risc.Cpu
+
+let layout_mode = Layout.Widened
+let endian = Layout.Be
+
+type home = Hreg of int | Hslot of int  (* slot index into the spill area *)
+
+type env = {
+  buf : Buffer.t;
+  mutable relocs : Obj.reloc list;
+  mutable fixups : (int * [ `B | `Bc ] * Ir.label) list;  (* word offset *)
+  mutable labels : (Ir.label * int) list;
+  homes : home array;
+  nslots : int;
+  save_first : int;  (* first callee-saved register saved by stmw *)
+  leaf : bool;
+  frame : int;
+  structs : struct_decl list;
+  mode : Layout.mode;
+  layouts : (string, Layout.struct_layout) Hashtbl.t;
+}
+
+let scratch1 = 11
+let scratch2 = 12
+
+let struct_layout env name =
+  match Hashtbl.find_opt env.layouts name with
+  | Some sl -> sl
+  | None ->
+    let decl =
+      match List.find_opt (fun s -> s.s_name = name) env.structs with
+      | Some d -> d
+      | None -> invalid_arg ("risc backend: unknown struct " ^ name)
+    in
+    let sl = Layout.layout_struct env.mode decl in
+    Hashtbl.replace env.layouts name sl;
+    sl
+
+let emit env i = RE.emit env.buf i
+
+let emit_reloc env i sym kind =
+  let off = Buffer.length env.buf in
+  RE.emit env.buf i;
+  (* 16-bit immediates sit in the low half of the word; 24-bit branch fields
+     span bytes 1-3. Record the offset of the field as the linker expects. *)
+  let field_off = match kind with Obj.Rel24 -> off | _ -> off + 2 in
+  env.relocs <- { Obj.r_offset = field_off; r_sym = sym; r_kind = kind } :: env.relocs
+
+let emit_branch env i kind target =
+  let off = Buffer.length env.buf in
+  RE.emit env.buf i;
+  env.fixups <- (off, kind, target) :: env.fixups
+
+let fits16s v =
+  let v = Ferrite_machine.Word.mask v in
+  Ferrite_machine.Word.sign_extend16 (v land 0xFFFF) = v
+
+let slot_disp env i = 8 + (4 * (32 - env.save_first)) + (4 * i)
+
+(* Load a 32-bit constant into a register. *)
+let load_const env rd k =
+  let k = Ferrite_machine.Word.mask k in
+  if fits16s k then emit env (RI.li rd (k land 0xFFFF))
+  else begin
+    emit env (RI.Darith (RI.Addis, rd, 0, (k lsr 16) land 0xFFFF));
+    if k land 0xFFFF <> 0 then emit env (RI.Dlogic (RI.Ori, rd, rd, k land 0xFFFF))
+  end
+
+(* Materialise an operand in a register; [scratch] is used if needed. *)
+let reg_of env scratch op =
+  match op with
+  | Const k ->
+    load_const env scratch k;
+    scratch
+  | Vreg r ->
+    (match env.homes.(r) with
+    | Hreg pr -> pr
+    | Hslot i ->
+      emit env (RI.lwz scratch 1 (slot_disp env i));
+      scratch)
+
+(* A register to compute a destination into (the home register when there is
+   one, otherwise a scratch that [commit] stores back). *)
+let dst_reg env d = match env.homes.(d) with Hreg pr -> pr | Hslot _ -> scratch1
+
+let commit env d reg =
+  match env.homes.(d) with
+  | Hreg pr -> if pr <> reg then emit env (RI.mr pr reg)
+  | Hslot i -> emit env (RI.stw reg 1 (slot_disp env i))
+
+(* cr0 bit indices *)
+let bi_lt = 0
+let bi_gt = 1
+let bi_eq = 2
+
+let bc_params = function
+  | Eq -> (12, bi_eq)
+  | Ne -> (4, bi_eq)
+  | Slt | Ult -> (12, bi_lt)
+  | Sge | Uge -> (4, bi_lt)
+  | Sgt | Ugt -> (12, bi_gt)
+  | Sle | Ule -> (4, bi_gt)
+
+let cmp_unsigned = function
+  | Ult | Ule | Ugt | Uge -> true
+  | Eq | Ne | Slt | Sle | Sgt | Sge -> false
+
+let emit_compare env cmp x y =
+  let unsigned = cmp_unsigned cmp in
+  let rx = reg_of env scratch1 x in
+  match y with
+  | Const k when (not unsigned) && fits16s k -> emit env (RI.Cmpi (false, 0, rx, k land 0xFFFF))
+  | Const k when unsigned && k >= 0 && k <= 0xFFFF -> emit env (RI.Cmpi (true, 0, rx, k))
+  | _ ->
+    let ry = reg_of env scratch2 y in
+    emit env (RI.Cmp (unsigned, 0, rx, ry))
+
+let emit_load env ty signed rd rbase disp =
+  match ty, signed with
+  | I32, _ -> emit env (RI.lwz rd rbase disp)
+  | I16, false -> emit env (RI.lhz rd rbase disp)
+  | I16, true -> emit env (RI.lha rd rbase disp)
+  | I8, _ ->
+    emit env (RI.lbz rd rbase disp);
+    if signed then emit env (RI.Extsb (rd, rd, false))
+
+let emit_store env ty rs rbase disp =
+  match ty with
+  | I32 -> emit env (RI.stw rs rbase disp)
+  | I16 -> emit env (RI.sth rs rbase disp)
+  | I8 -> emit env (RI.stb rs rbase disp)
+
+(* Epilogue: restore the stack pointer through the back chain stored by stwu
+   (lwz r1,0(r1) — a standard PPC epilogue form). This makes the frame
+   pointers on the stack live state: corrupting one sends r1 wild, which the
+   exception-entry wrapper then reports as Stack Overflow (§5.1). *)
+let emit_epilogue env =
+  if env.save_first <= 31 then emit env (RI.Lmw (env.save_first, 1, 8));
+  if not env.leaf then begin
+    emit env (RI.lwz 0 1 4);
+    emit env (RI.Mtlr 0)
+  end;
+  emit env (RI.lwz 1 1 0);
+  emit env RI.blr
+
+let emit_gaddr env rd sym addend =
+  emit_reloc env (RI.Darith (RI.Addis, rd, 0, (addend lsr 16) land 0xFFFF)) sym Obj.Ha16;
+  emit_reloc env (RI.Dlogic (RI.Ori, rd, rd, addend land 0xFFFF)) sym Obj.Lo16
+
+let compile_instr env instr =
+  match instr with
+  | Def (d, Const k) ->
+    (match env.homes.(d) with
+    | Hreg pr -> load_const env pr k
+    | Hslot i ->
+      load_const env scratch1 k;
+      emit env (RI.stw scratch1 1 (slot_disp env i)))
+  | Def (d, src) ->
+    let rs = reg_of env scratch1 src in
+    commit env d rs
+  | Bin (op, d, x, y) ->
+    let rd = dst_reg env d in
+    (match op with
+    | Add ->
+      (match y with
+      | Const k when fits16s k ->
+        let rx = reg_of env scratch1 x in
+        emit env (RI.Darith (RI.Addi, rd, rx, k land 0xFFFF))
+      | _ ->
+        let rx = reg_of env scratch1 x in
+        let ry = reg_of env scratch2 y in
+        emit env (RI.Xarith (RI.Add, rd, rx, ry, false)))
+    | Sub ->
+      (match y with
+      | Const k when fits16s ((- k) land 0xFFFFFFFF) && k <> 0x80000000 ->
+        let rx = reg_of env scratch1 x in
+        emit env (RI.Darith (RI.Addi, rd, rx, (- k) land 0xFFFF))
+      | _ ->
+        let rx = reg_of env scratch1 x in
+        let ry = reg_of env scratch2 y in
+        emit env (RI.Xarith (RI.Subf, rd, ry, rx, false)))
+    | Mul ->
+      (match y with
+      | Const k when fits16s k ->
+        let rx = reg_of env scratch1 x in
+        emit env (RI.Darith (RI.Mulli, rd, rx, k land 0xFFFF))
+      | _ ->
+        let rx = reg_of env scratch1 x in
+        let ry = reg_of env scratch2 y in
+        emit env (RI.Xarith (RI.Mullw, rd, rx, ry, false)))
+    | Divu ->
+      let rx = reg_of env scratch1 x in
+      let ry = reg_of env scratch2 y in
+      emit env (RI.Xarith (RI.Divwu, rd, rx, ry, false))
+    | And ->
+      (match y with
+      | Const k when k >= 0 && k <= 0xFFFF ->
+        let rx = reg_of env scratch1 x in
+        emit env (RI.Dlogic (RI.Andi_rc, rd, rx, k))
+      | _ ->
+        let rx = reg_of env scratch1 x in
+        let ry = reg_of env scratch2 y in
+        emit env (RI.Xlogic (RI.And, rd, rx, ry, false)))
+    | Or ->
+      (match y with
+      | Const k when k >= 0 && k <= 0xFFFF ->
+        let rx = reg_of env scratch1 x in
+        emit env (RI.Dlogic (RI.Ori, rd, rx, k))
+      | _ ->
+        let rx = reg_of env scratch1 x in
+        let ry = reg_of env scratch2 y in
+        emit env (RI.Xlogic (RI.Or, rd, rx, ry, false)))
+    | Xor ->
+      (match y with
+      | Const k when k >= 0 && k <= 0xFFFF ->
+        let rx = reg_of env scratch1 x in
+        emit env (RI.Dlogic (RI.Xori, rd, rx, k))
+      | _ ->
+        let rx = reg_of env scratch1 x in
+        let ry = reg_of env scratch2 y in
+        emit env (RI.Xlogic (RI.Xor, rd, rx, ry, false)))
+    | Shl | Shr | Sar ->
+      let xlop = match op with Shl -> RI.Slw | Shr -> RI.Srw | _ -> RI.Sraw in
+      (match op, y with
+      | Sar, Const k ->
+        let rx = reg_of env scratch1 x in
+        emit env (RI.Srawi (rd, rx, k land 31, false))
+      | _, Const k when k land 31 = k ->
+        let rx = reg_of env scratch1 x in
+        (match op with
+        | Shl -> emit env (RI.Rlwinm (rd, rx, k, 0, 31 - k, false))
+        | Shr -> emit env (RI.Rlwinm (rd, rx, (32 - k) land 31, k, 31, false))
+        | _ -> assert false)
+      | _ ->
+        let rx = reg_of env scratch1 x in
+        let ry = reg_of env scratch2 y in
+        emit env (RI.Xlogic (xlop, rd, rx, ry, false))));
+    commit env d rd
+  | Load (ty, signed, d, base, disp) ->
+    let rb = reg_of env scratch2 base in
+    let rd = dst_reg env d in
+    emit_load env ty signed rd rb (disp land 0xFFFF);
+    commit env d rd
+  | Store (ty, base, disp, value) ->
+    let rv = reg_of env scratch1 value in
+    let rb = reg_of env scratch2 base in
+    emit_store env ty rv rb (disp land 0xFFFF)
+  | Loadf (d, sname, fname, base) ->
+    let fl = Layout.field_of (struct_layout env sname) fname in
+    let rb = reg_of env scratch2 base in
+    let rd = dst_reg env d in
+    emit_load env fl.Layout.fl_ty false rd rb fl.Layout.fl_offset;
+    commit env d rd
+  | Storef (sname, fname, base, value) ->
+    let fl = Layout.field_of (struct_layout env sname) fname in
+    let rv = reg_of env scratch1 value in
+    let rb = reg_of env scratch2 base in
+    emit_store env fl.Layout.fl_ty rv rb fl.Layout.fl_offset
+  | Fieldaddr (d, sname, fname, base) ->
+    let fl = Layout.field_of (struct_layout env sname) fname in
+    let rb = reg_of env scratch2 base in
+    let rd = dst_reg env d in
+    emit env (RI.Darith (RI.Addi, rd, rb, fl.Layout.fl_offset));
+    commit env d rd
+  | Elemaddr (d, sname, base, index) ->
+    let stride = (struct_layout env sname).Layout.sl_size in
+    let rd = dst_reg env d in
+    (match index with
+    | Const k ->
+      let rb = reg_of env scratch2 base in
+      let off = k * stride in
+      if fits16s off then emit env (RI.Darith (RI.Addi, rd, rb, off land 0xFFFF))
+      else begin
+        load_const env scratch1 off;
+        emit env (RI.Xarith (RI.Add, rd, rb, scratch1, false))
+      end
+    | Vreg _ ->
+      let ri = reg_of env scratch1 index in
+      emit env (RI.Darith (RI.Mulli, scratch1, ri, stride));
+      let rb = reg_of env scratch2 base in
+      emit env (RI.Xarith (RI.Add, rd, rb, scratch1, false)));
+    commit env d rd
+  | Gaddr (d, sym) ->
+    let rd = dst_reg env d in
+    emit_gaddr env rd sym 0;
+    commit env d rd
+  | Call (dst, callee, args) ->
+    List.iteri
+      (fun i a ->
+        let arg_reg = 3 + i in
+        match a with
+        | Const k -> load_const env arg_reg k
+        | Vreg r ->
+          (match env.homes.(r) with
+          | Hreg pr -> emit env (RI.mr arg_reg pr)
+          | Hslot s -> emit env (RI.lwz arg_reg 1 (slot_disp env s))))
+      args;
+    (match callee with
+    | Direct fn -> emit_reloc env (RI.B (0, false, true)) fn Obj.Rel24
+    | Indirect target ->
+      let rt = reg_of env scratch2 target in
+      emit env (RI.Mtctr rt);
+      emit env (RI.Bcctr (20, 0, true)));
+    (match dst with Some d -> commit env d 3 | None -> ())
+  | Br l -> emit_branch env (RI.B (0, false, false)) `B l
+  | Brif (cmp, x, y, lt, lf) ->
+    emit_compare env cmp x y;
+    let bo, bi = bc_params cmp in
+    emit_branch env (RI.Bc (bo, bi, 0, false, false)) `Bc lt;
+    emit_branch env (RI.B (0, false, false)) `B lf
+  | Ret None -> emit_epilogue env
+  | Ret (Some x) ->
+    (match x with
+    | Const k -> load_const env 3 k
+    | Vreg r ->
+      (match env.homes.(r) with
+      | Hreg pr -> if pr <> 3 then emit env (RI.mr 3 pr)
+      | Hslot s -> emit env (RI.lwz 3 1 (slot_disp env s))));
+    emit_epilogue env
+  | Bug -> emit env (RI.Tw (31, 0, 0))
+  | Panic code ->
+    emit_gaddr env scratch1 "panic_code" 0;
+    load_const env scratch2 code;
+    emit env (RI.stw scratch2 scratch1 0);
+    emit env (RI.Tw (31, 0, 0))
+
+let count_uses (f : func) =
+  let uses = Array.make f.fn_vregs 0 in
+  let touch = function Vreg r -> uses.(r) <- uses.(r) + 1 | Const _ -> () in
+  let touch_v r = uses.(r) <- uses.(r) + 1 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Def (d, s) -> touch_v d; touch s
+          | Bin (_, d, x, y) -> touch_v d; touch x; touch y
+          | Load (_, _, d, b, _) -> touch_v d; touch b
+          | Store (_, b, _, v) -> touch b; touch v
+          | Loadf (d, _, _, b) -> touch_v d; touch b
+          | Storef (_, _, b, v) -> touch b; touch v
+          | Fieldaddr (d, _, _, b) | Elemaddr (d, _, b, _) -> touch_v d; touch b
+          | Gaddr (d, _) -> touch_v d
+          | Call (dst, callee, args) ->
+            (match dst with Some d -> touch_v d | None -> ());
+            (match callee with Indirect t -> touch t | Direct _ -> ());
+            List.iter touch args
+          | Brif (_, x, y, _, _) -> touch x; touch y
+          | Ret (Some x) -> touch x
+          | Br _ | Ret None | Bug | Panic _ -> ())
+        b.b_body)
+    f.fn_blocks;
+  uses
+
+let is_leaf (f : func) =
+  not
+    (List.exists
+       (fun b -> List.exists (fun i -> match i with Call _ -> true | _ -> false) b.b_body)
+       f.fn_blocks)
+
+let compile_func ?(mode = layout_mode) ~structs (f : func) =
+  let uses = count_uses f in
+  (* Hottest vregs get callee-saved registers r31 downward (stmw/lmw need the
+     saved set contiguous at the top). *)
+  let order =
+    List.init f.fn_vregs Fun.id
+    |> List.filter (fun r -> uses.(r) > 0 || r < f.fn_nparams)
+    |> List.sort (fun a b -> compare uses.(b) uses.(a))
+  in
+  let nregs = min 18 (List.length order) in
+  let homes = Array.make (max f.fn_vregs 1) (Hslot 0) in
+  let assigned = Hashtbl.create 16 in
+  List.iteri (fun i r -> if i < nregs then Hashtbl.replace assigned r (31 - i)) order;
+  let next_slot = ref 0 in
+  for r = 0 to f.fn_vregs - 1 do
+    match Hashtbl.find_opt assigned r with
+    | Some pr -> homes.(r) <- Hreg pr
+    | None ->
+      homes.(r) <- Hslot !next_slot;
+      incr next_slot
+  done;
+  let save_first = if nregs = 0 then 32 else 32 - nregs in
+  let leaf = is_leaf f in
+  let save_bytes = if save_first <= 31 then 4 * (32 - save_first) else 0 in
+  let frame = (8 + save_bytes + (4 * !next_slot) + 15) land lnot 15 in
+  let env =
+    {
+      buf = Buffer.create 256;
+      relocs = [];
+      fixups = [];
+      labels = [];
+      homes;
+      nslots = !next_slot;
+      save_first;
+      leaf;
+      frame;
+      structs;
+      mode;
+      layouts = Hashtbl.create 8;
+    }
+  in
+  (* prologue *)
+  emit env (RI.Store ({ RI.width = RI.Word; algebraic = false; update = true }, 1, 1, (- frame) land 0xFFFF));
+  if not leaf then begin
+    emit env (RI.Mflr 0);
+    emit env (RI.stw 0 1 4)
+  end;
+  if save_first <= 31 then emit env (RI.Stmw (save_first, 1, 8));
+  (* move incoming arguments to their homes *)
+  for i = 0 to f.fn_nparams - 1 do
+    match homes.(i) with
+    | Hreg pr -> if pr <> 3 + i then emit env (RI.mr pr (3 + i))
+    | Hslot s -> emit env (RI.stw (3 + i) 1 (slot_disp env s))
+  done;
+  List.iter
+    (fun b ->
+      env.labels <- (b.b_label, Buffer.length env.buf) :: env.labels;
+      List.iter (compile_instr env) b.b_body)
+    f.fn_blocks;
+  (* patch internal branches *)
+  let code = Buffer.to_bytes env.buf in
+  let read32 off =
+    (Char.code (Bytes.get code off) lsl 24)
+    lor (Char.code (Bytes.get code (off + 1)) lsl 16)
+    lor (Char.code (Bytes.get code (off + 2)) lsl 8)
+    lor Char.code (Bytes.get code (off + 3))
+  in
+  let write32 off w =
+    Bytes.set code off (Char.chr ((w lsr 24) land 0xFF));
+    Bytes.set code (off + 1) (Char.chr ((w lsr 16) land 0xFF));
+    Bytes.set code (off + 2) (Char.chr ((w lsr 8) land 0xFF));
+    Bytes.set code (off + 3) (Char.chr (w land 0xFF))
+  in
+  List.iter
+    (fun (off, kind, target) ->
+      let dest =
+        match List.assoc_opt target env.labels with
+        | Some o -> o
+        | None -> invalid_arg (f.fn_name ^ ": undefined label")
+      in
+      let rel = dest - off in
+      let w = read32 off in
+      let w =
+        match kind with
+        | `B ->
+          assert (rel >= -0x2000000 && rel < 0x2000000);
+          w lor (rel land 0x03FFFFFC)
+        | `Bc ->
+          assert (rel >= -0x8000 && rel < 0x8000);
+          w lor (rel land 0xFFFC)
+      in
+      write32 off w)
+    env.fixups;
+  { Obj.cf_name = f.fn_name; cf_code = Bytes.to_string code; cf_relocs = List.rev env.relocs }
+
+(* ------------------------------------------------------------------ *)
+(* Hand-written stubs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let raw name emitter =
+  let buf = Buffer.create 64 in
+  let relocs = ref [] in
+  let emit i = RE.emit buf i in
+  let emit_reloc i sym kind =
+    let off = Buffer.length buf in
+    RE.emit buf i;
+    let field_off = match kind with Obj.Rel24 -> off | _ -> off + 2 in
+    relocs := { Obj.r_offset = field_off; r_sym = sym; r_kind = kind } :: !relocs
+  in
+  emitter ~emit ~emit_reloc ~pos:(fun () -> Buffer.length buf);
+  { Obj.cf_name = name; cf_code = Buffer.contents buf; cf_relocs = List.rev !relocs }
+
+(* Full-context switch: save r14-r31 + LR in an 88-byte frame, swap the stack
+   pointer through the task structs, publish the incoming task in SPRG2
+   (= the paper's SPR274; on PPC Linux the SPRGs carry the current thread for
+   exception entry), and restore on the other side. *)
+let switch_to_stub ~task_sp_offset ~task_stacklo_offset ~panic_stack_overflow ~with_wrapper =
+  raw "switch_to" (fun ~emit ~emit_reloc ~pos:_ ->
+      let open RI in
+      (* exception-entry-style wrapper: the outgoing task's stack pointer
+         must still be inside its 8 KiB stack (quick Stack Overflow
+         detection, §6 — context switches are the G4 kernel's most frequent
+         checking point) *)
+      if with_wrapper then begin
+        emit (lwz 12 3 task_stacklo_offset);  (* 0 *)
+        emit (Xarith (Subf, 12, 12, 1, false));  (* 4 *)
+        emit (Cmpi (true, 0, 12, 8192));  (* 8 *)
+        emit (Bc (12, 0, 24, false, false));  (* 12: blt ok (+24 -> 36) *)
+        emit_reloc (Darith (Addis, 11, 0, 0)) "panic_code" Obj.Ha16;  (* 16 *)
+        emit_reloc (Dlogic (Ori, 11, 11, 0)) "panic_code" Obj.Lo16;  (* 20 *)
+        emit (li 12 panic_stack_overflow);  (* 24 *)
+        emit (stw 12 11 0);  (* 28 *)
+        emit (Tw (31, 0, 0))  (* 32 *)
+      end;
+      (* 36, ok: *)
+      emit (Store ({ width = Word; algebraic = false; update = true }, 1, 1, (-88) land 0xFFFF));
+      emit (Mflr 0);
+      emit (stw 0 1 4);
+      emit (Stmw (14, 1, 8));
+      emit (stw 1 3 task_sp_offset);  (* prev->sp = r1 *)
+      emit (Mtspr (RC.spr_sprg2, 4));  (* SPRG2 <- next task *)
+      emit (lwz 1 4 task_sp_offset);  (* r1 = next->sp *)
+      emit (Lmw (14, 1, 8));
+      emit (lwz 0 1 4);
+      emit (Mtlr 0);
+      emit (lwz 1 1 0);  (* back-chain restore *)
+      emit blr)
+
+(* Syscall path. Entry runs the G4 kernel's exception wrapper: fetch the
+   current task from SPRG2 (SPR274 — "used by the stack switch during
+   exceptions", §5.2), check that r1 lies within its 8 KiB kernel stack, and
+   raise an explicit Stack Overflow panic if not (§6). The return goes
+   through SRR0/SRR1 + RFI. *)
+let syscall_veneer_stub ~task_stacklo_offset ~panic_stack_overflow ~with_wrapper =
+  raw "syscall_veneer" (fun ~emit ~emit_reloc ~pos ->
+      let open RI in
+      if with_wrapper then begin
+        (* wrapper: r12 = current task (SPRG2); r12 = r1 - task->stack_lo *)
+        emit (Mfspr (12, RC.spr_sprg2));  (* 0 *)
+        emit (lwz 12 12 task_stacklo_offset);  (* 4 *)
+        emit (Xarith (Subf, 12, 12, 1, false));  (* 8: r12 = r1 - stack_lo *)
+        emit (Cmpi (true, 0, 12, 8192));  (* 12 *)
+        emit (Bc (12, 0, 24, false, false));  (* 16: blt in_range (+24 -> 40) *)
+        (* stack overflow: record the panic code and trap *)
+        emit_reloc (Darith (Addis, 11, 0, 0)) "panic_code" Obj.Ha16;  (* 20 *)
+        emit_reloc (Dlogic (Ori, 11, 11, 0)) "panic_code" Obj.Lo16;  (* 24 *)
+        emit (li 12 panic_stack_overflow);  (* 28 *)
+        emit (stw 12 11 0);  (* 32 *)
+        emit (Tw (31, 0, 0))  (* 36 *)
+      end;
+      (* in_range: normal syscall path *)
+      emit (Store ({ width = Word; algebraic = false; update = true }, 1, 1, (-16) land 0xFFFF));
+      emit (Mflr 0);
+      emit (stw 0 1 4);
+      emit_reloc (B (0, false, true)) "sys_dispatch" Obj.Rel24;
+      (* return through the exception-exit machinery; the resume address is
+         the word just past the RFI *)
+      emit (Mfmsr 11);
+      emit (Mtspr (RC.spr_srr1, 11));
+      let resume = pos () + 16 in
+      emit_reloc (Darith (Addis, 12, 0, resume)) "syscall_veneer" Obj.Ha16;
+      emit_reloc (Dlogic (Ori, 12, 12, resume)) "syscall_veneer" Obj.Lo16;
+      emit (Mtspr (RC.spr_srr0, 12));
+      emit Rfi;
+      (* resume: *)
+      emit (lwz 0 1 4);
+      emit (Mtlr 0);
+      emit (lwz 1 1 0);
+      emit blr)
+
+let entry_stub =
+  raw "kernel_entry" (fun ~emit ~emit_reloc ~pos:_ ->
+      emit_reloc (RI.B (0, false, true)) "start_kernel" Obj.Rel24;
+      emit (RI.B (0, false, false)))
+
+let stubs ?(with_wrapper = true) ~task_sp_offset ~task_stacklo_offset ~panic_stack_overflow () =
+  [
+    switch_to_stub ~task_sp_offset ~task_stacklo_offset ~panic_stack_overflow ~with_wrapper;
+    syscall_veneer_stub ~task_stacklo_offset ~panic_stack_overflow ~with_wrapper;
+  ]

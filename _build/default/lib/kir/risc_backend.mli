@@ -1,0 +1,40 @@
+(** KIR → G4-like code generator.
+
+    Code-generation strategy (PowerPC SysV-flavoured, producing the paper's
+    G4-side behaviours):
+
+    - up to eighteen virtual registers live in callee-saved GPRs (r14–r31),
+      saved/restored with stmw/lmw, so values stay register-resident far
+      longer than on the CISC side (§6: "values kept in a G4 register can
+      potentially live longer");
+    - struct fields are widened to 32-bit slots ({!Layout.Widened}); the value
+      occupies the first byte(s) of each slot and the rest is never-read
+      padding — the "sparse data" that masks bit flips (§5.5);
+    - leaf functions keep the return address in LR (never on the stack);
+    - BUG() compiles to an unconditional trap (tw), which PPC Linux classifies
+      as an OS-detected error;
+    - arguments pass in r3–r10, return value in r3. *)
+
+val layout_mode : Layout.mode
+val endian : Layout.endian
+
+val compile_func :
+  ?mode:Layout.mode -> structs:Ir.struct_decl list -> Ir.func -> Obj.cfunc
+(** [mode] overrides the struct layout (ablation: a RISC kernel with packed,
+    CISC-style data). *)
+
+val stubs :
+  ?with_wrapper:bool ->
+  task_sp_offset:int ->
+  task_stacklo_offset:int ->
+  panic_stack_overflow:int ->
+  unit ->
+  Obj.cfunc list
+(** [switch_to] (stmw/lmw full-context switch through the task struct, which
+    also publishes the incoming task pointer in SPRG2 = the paper's SPR274)
+    and [syscall_veneer] (runs the G4 exception-entry wrapper — an explicit
+    8 KiB stack-range check raising Stack Overflow — then dispatches and
+    returns via SRR0/SRR1 + RFI). *)
+
+val entry_stub : Obj.cfunc
+(** [kernel_entry] — calls [start_kernel]; the harness points the PC here. *)

@@ -1,0 +1,1 @@
+lib/machine/debug_regs.mli:

@@ -1,0 +1,1 @@
+lib/machine/rng.ml: Array Int64

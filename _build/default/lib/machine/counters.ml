@@ -1,0 +1,15 @@
+type t = { mutable cycles : int; mutable instructions : int }
+
+let create () = { cycles = 0; instructions = 0 }
+
+let reset t =
+  t.cycles <- 0;
+  t.instructions <- 0
+
+let[@inline] retire t ~cost =
+  t.cycles <- t.cycles + cost;
+  t.instructions <- t.instructions + 1
+
+let[@inline] idle t n = t.cycles <- t.cycles + n
+
+let since t ~mark = t.cycles - mark

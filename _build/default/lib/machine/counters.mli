@@ -1,0 +1,22 @@
+(** Performance counters.
+
+    The paper programs the CPUs' performance registers to measure
+    cycles-to-crash; this module is the simulated equivalent.  Cycles are
+    simulated cycles: each retired instruction contributes its cost, and the
+    environment (timer interrupts, benchmark phase boundaries) may add idle
+    cycles so that latencies span the paper's full 3k–>1G range. *)
+
+type t = { mutable cycles : int; mutable instructions : int }
+
+val create : unit -> t
+val reset : t -> unit
+
+val retire : t -> cost:int -> unit
+(** Account one retired instruction costing [cost] cycles. *)
+
+val idle : t -> int -> unit
+(** Advance the cycle counter without retiring instructions (interrupt
+    delivery, exception dispatch, benchmark idle time). *)
+
+val since : t -> mark:int -> int
+(** Cycles elapsed since a recorded [mark] (a previous [t.cycles]). *)

@@ -1,0 +1,45 @@
+type data_hit = { addr : int; is_write : bool }
+
+type watch = { w_addr : int; w_len : int }
+
+type t = {
+  mutable instr : int list;  (* armed instruction breakpoint addresses *)
+  mutable data : watch list;
+}
+
+let slots = 4
+
+let create () = { instr = []; data = [] }
+
+let set_instruction_bp t addr =
+  if List.length t.instr >= slots then
+    invalid_arg "Debug_regs.set_instruction_bp: all slots armed";
+  t.instr <- addr :: t.instr
+
+let set_data_bp t ~addr ~len =
+  if len <> 1 && len <> 2 && len <> 4 then
+    invalid_arg "Debug_regs.set_data_bp: len must be 1, 2 or 4";
+  if List.length t.data >= slots then
+    invalid_arg "Debug_regs.set_data_bp: all slots armed";
+  t.data <- { w_addr = addr; w_len = len } :: t.data
+
+let clear_all t =
+  t.instr <- [];
+  t.data <- []
+
+let armed_count t = List.length t.instr + List.length t.data
+
+let[@inline] check_exec t pc =
+  match t.instr with
+  | [] -> false
+  | [ a ] -> a = pc
+  | l -> List.mem pc l
+
+let[@inline] check_data t ~addr ~len ~is_write =
+  match t.data with
+  | [] -> None
+  | data ->
+    let overlaps w = addr < w.w_addr + w.w_len && w.w_addr < addr + len in
+    (match List.find_opt overlaps data with
+    | Some w -> Some { addr = w.w_addr; is_write }
+    | None -> None)

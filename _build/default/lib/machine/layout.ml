@@ -1,0 +1,10 @@
+let kernel_base = 0xC0000000
+let null_guard_limit = 0x1000
+let code_base = 0xC0100000
+let data_base = 0xC0400000
+let stack_base = 0xC0800000
+let heap_base = 0xC0A00000
+let kernel_stack_size = 8192
+
+let is_kernel addr = addr land 0xFFFFFFFF >= kernel_base
+let is_null_deref addr = addr land 0xFFFFFFFF < null_guard_limit

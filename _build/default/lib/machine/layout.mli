@@ -1,0 +1,34 @@
+(** Kernel virtual address-space conventions.
+
+    Both simulated platforms use a Linux-2.4-style split: the kernel lives
+    above [0xC0000000]; the first page is never mapped, so dereferencing a
+    (near-)NULL pointer faults, which the P4 crash handler classifies as
+    "NULL Pointer" and the G4 handler as part of "Bad Area". *)
+
+val kernel_base : int
+(** [0xC0000000]. *)
+
+val null_guard_limit : int
+(** Addresses below this are the NULL-dereference zone ([0x1000]). *)
+
+val code_base : int
+(** Default link address for kernel text ([0xC0100000]). *)
+
+val data_base : int
+(** Default link address for kernel data ([0xC0400000]). *)
+
+val stack_base : int
+(** Base of the kernel-stack region ([0xC0800000]). *)
+
+val heap_base : int
+(** Base of the kernel dynamic-allocation region ([0xC0A00000]). *)
+
+val kernel_stack_size : int
+(** 8 KiB per task, as in Linux 2.4 (§6 of the paper: "if the stack pointer is
+    out of kernel stack range (8Kb)"). *)
+
+val is_kernel : int -> bool
+(** Address falls in kernel space. *)
+
+val is_null_deref : int -> bool
+(** Address falls in the NULL-guard zone. *)

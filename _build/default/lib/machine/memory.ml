@@ -1,0 +1,203 @@
+type access = Read | Write | Execute
+
+type fault_kind = Unmapped | Protection
+
+exception Fault of { addr : int; access : access; kind : fault_kind }
+
+type perm = { readable : bool; writable : bool; executable : bool }
+
+let perm_rw = { readable = true; writable = true; executable = false }
+let perm_ro = { readable = true; writable = false; executable = false }
+let perm_rx = { readable = true; writable = false; executable = true }
+let perm_rwx = { readable = true; writable = true; executable = true }
+
+let page_size = 4096
+let page_shift = 12
+let offset_mask = page_size - 1
+
+type page = { data : Bytes.t; mutable perm : perm }
+
+type t = {
+  pages : (int, page) Hashtbl.t;
+  (* Direct-mapped ("lowmem") window: pages in [lo, hi) materialise
+     zero-filled on first access instead of faulting, as the kernel's linear
+     mapping of physical memory would. *)
+  mutable auto_lo : int;
+  mutable auto_hi : int;
+  mutable auto_perm : perm;
+}
+
+let create () =
+  {
+    pages = Hashtbl.create 256;
+    auto_lo = 0;
+    auto_hi = 0;
+    auto_perm = perm_rw;
+  }
+
+let set_auto_map t ~lo ~hi ~perm =
+  t.auto_lo <- lo;
+  t.auto_hi <- hi;
+  t.auto_perm <- perm
+
+let page_index addr = (addr land 0xFFFFFFFF) lsr page_shift
+
+let map t ~addr ~size ~perm =
+  let first = page_index addr and last = page_index (addr + size - 1) in
+  for idx = first to last do
+    match Hashtbl.find_opt t.pages idx with
+    | Some page -> page.perm <- perm
+    | None -> Hashtbl.replace t.pages idx { data = Bytes.make page_size '\000'; perm }
+  done
+
+let unmap t ~addr ~size =
+  let first = page_index addr and last = page_index (addr + size - 1) in
+  for idx = first to last do
+    Hashtbl.remove t.pages idx
+  done
+
+let set_perm t ~addr ~size ~perm =
+  let first = page_index addr and last = page_index (addr + size - 1) in
+  for idx = first to last do
+    match Hashtbl.find_opt t.pages idx with
+    | Some page -> page.perm <- perm
+    | None -> invalid_arg "Memory.set_perm: unmapped page in range"
+  done
+
+let is_mapped t addr = Hashtbl.mem t.pages (page_index addr)
+
+let demand_map t addr access =
+  let a = addr land 0xFFFFFFFF in
+  if a >= t.auto_lo && a < t.auto_hi then begin
+    let page = { data = Bytes.make page_size '\000'; perm = t.auto_perm } in
+    Hashtbl.replace t.pages (page_index addr) page;
+    page
+  end
+  else raise (Fault { addr; access; kind = Unmapped })
+
+let[@inline] find t addr access allowed =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | None ->
+    let page = demand_map t addr access in
+    if allowed page.perm then page else raise (Fault { addr; access; kind = Protection })
+  | Some page ->
+    if allowed page.perm then page
+    else raise (Fault { addr; access; kind = Protection })
+
+let[@inline] readable p = p.readable
+let[@inline] writable p = p.writable
+let[@inline] executable p = p.executable
+
+let[@inline] load8 t addr =
+  let page = find t addr Read readable in
+  Char.code (Bytes.unsafe_get page.data (addr land offset_mask))
+
+let[@inline] store8 t addr v =
+  let page = find t addr Write writable in
+  Bytes.unsafe_set page.data (addr land offset_mask) (Char.unsafe_chr (v land 0xFF))
+
+let[@inline] fetch8 t addr =
+  let page = find t addr Execute executable in
+  Char.code (Bytes.unsafe_get page.data (addr land offset_mask))
+
+(* Bytes are loaded lowest-address first so that a fault on a partially
+   unmapped access reports the architecturally expected (first) address. *)
+
+let load16_le t addr =
+  let b0 = load8 t addr in
+  let b1 = load8 t (addr + 1) in
+  b0 lor (b1 lsl 8)
+
+let load32_le t addr =
+  let b0 = load8 t addr in
+  let b1 = load8 t (addr + 1) in
+  let b2 = load8 t (addr + 2) in
+  let b3 = load8 t (addr + 3) in
+  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+let load16_be t addr =
+  let b0 = load8 t addr in
+  let b1 = load8 t (addr + 1) in
+  (b0 lsl 8) lor b1
+
+let load32_be t addr =
+  let b0 = load8 t addr in
+  let b1 = load8 t (addr + 1) in
+  let b2 = load8 t (addr + 2) in
+  let b3 = load8 t (addr + 3) in
+  (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+
+let store16_le t addr v =
+  store8 t addr v;
+  store8 t (addr + 1) (v lsr 8)
+
+let store32_le t addr v =
+  store8 t addr v;
+  store8 t (addr + 1) (v lsr 8);
+  store8 t (addr + 2) (v lsr 16);
+  store8 t (addr + 3) (v lsr 24)
+
+let store16_be t addr v =
+  store8 t addr (v lsr 8);
+  store8 t (addr + 1) v
+
+let store32_be t addr v =
+  store8 t addr (v lsr 24);
+  store8 t (addr + 1) (v lsr 16);
+  store8 t (addr + 2) (v lsr 8);
+  store8 t (addr + 3) v
+
+let fetch32_be t addr =
+  let b0 = fetch8 t addr in
+  let b1 = fetch8 t (addr + 1) in
+  let b2 = fetch8 t (addr + 2) in
+  let b3 = fetch8 t (addr + 3) in
+  (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+
+let peek_page t addr =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | None -> raise (Fault { addr; access = Read; kind = Unmapped })
+  | Some page -> page
+
+let peek8 t addr =
+  let page = peek_page t addr in
+  Char.code (Bytes.get page.data (addr land offset_mask))
+
+let poke8 t addr v =
+  let page = peek_page t addr in
+  Bytes.set page.data (addr land offset_mask) (Char.chr (v land 0xFF))
+
+let peek32_le t addr =
+  let b0 = peek8 t addr in
+  let b1 = peek8 t (addr + 1) in
+  let b2 = peek8 t (addr + 2) in
+  let b3 = peek8 t (addr + 3) in
+  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+let peek32_be t addr =
+  let b0 = peek8 t addr in
+  let b1 = peek8 t (addr + 1) in
+  let b2 = peek8 t (addr + 2) in
+  let b3 = peek8 t (addr + 3) in
+  (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+
+let poke32_le t addr v =
+  poke8 t addr v;
+  poke8 t (addr + 1) (v lsr 8);
+  poke8 t (addr + 2) (v lsr 16);
+  poke8 t (addr + 3) (v lsr 24)
+
+let poke32_be t addr v =
+  poke8 t addr (v lsr 24);
+  poke8 t (addr + 1) (v lsr 16);
+  poke8 t (addr + 2) (v lsr 8);
+  poke8 t (addr + 3) v
+
+let flip_bit t ~addr ~bit =
+  assert (bit >= 0 && bit < 8);
+  poke8 t addr (peek8 t addr lxor (1 lsl bit))
+
+let blit_string t ~addr s =
+  String.iteri (fun i c -> poke8 t (addr + i) (Char.code c)) s
+
+let snapshot_page_count t = Hashtbl.length t.pages

@@ -1,0 +1,90 @@
+(** Byte-addressable paged physical/virtual memory.
+
+    Both simulated CPUs run with a flat kernel-virtual address space (the
+    miniature kernel lives above [0xC0000000], as Linux 2.4 did).  Memory is
+    organised in 4 KiB pages; accessing an unmapped page or violating a page's
+    permissions raises {!Fault}, which the CPUs translate into their
+    architectural exceptions (page fault / DSI).
+
+    Accessor naming: [load*] checks read permission, [store*] checks write
+    permission, [fetch*] checks execute permission; [peek*]/[poke*] bypass
+    permissions entirely (used by the loader, the error injector, and crash
+    handlers — corresponding to the paper's kernel-embedded injector which can
+    touch any kernel memory). *)
+
+type access = Read | Write | Execute
+
+type fault_kind =
+  | Unmapped  (** no page mapped at the address *)
+  | Protection  (** page mapped but the access kind is not permitted *)
+
+exception Fault of { addr : int; access : access; kind : fault_kind }
+
+type perm = { readable : bool; writable : bool; executable : bool }
+
+val perm_rw : perm
+val perm_ro : perm
+val perm_rx : perm
+val perm_rwx : perm
+
+val page_size : int
+(** 4096. *)
+
+type t
+
+val create : unit -> t
+(** Fresh, fully unmapped memory. *)
+
+val map : t -> addr:int -> size:int -> perm:perm -> unit
+(** [map t ~addr ~size ~perm] maps (and zeroes) all pages overlapping
+    [\[addr, addr+size)]. Remapping an existing page only updates its
+    permissions, preserving contents. *)
+
+val unmap : t -> addr:int -> size:int -> unit
+(** Remove all pages overlapping the range. *)
+
+val set_auto_map : t -> lo:int -> hi:int -> perm:perm -> unit
+(** Configure a direct-mapped window: CPU accesses to unmapped pages inside
+    [\[lo, hi)] materialise them zero-filled with [perm] instead of faulting —
+    the kernel's "lowmem" linear mapping. Wild-but-plausible kernel pointers
+    therefore read zeroes and absorb writes, letting corruption propagate as
+    it does on real hardware (the paper's Figure 7). [peek]/[poke] are not
+    affected. *)
+
+val set_perm : t -> addr:int -> size:int -> perm:perm -> unit
+(** Change permissions of already-mapped pages; raises [Invalid_argument] if
+    any page in the range is unmapped. *)
+
+val is_mapped : t -> int -> bool
+
+val load8 : t -> int -> int
+val load16_le : t -> int -> int
+val load32_le : t -> int -> int
+val load16_be : t -> int -> int
+val load32_be : t -> int -> int
+
+val store8 : t -> int -> int -> unit
+val store16_le : t -> int -> int -> unit
+val store32_le : t -> int -> int -> unit
+val store16_be : t -> int -> int -> unit
+val store32_be : t -> int -> int -> unit
+
+val fetch8 : t -> int -> int
+val fetch32_be : t -> int -> int
+
+val peek8 : t -> int -> int
+val peek32_le : t -> int -> int
+val peek32_be : t -> int -> int
+val poke8 : t -> int -> int -> unit
+val poke32_le : t -> int -> int -> unit
+val poke32_be : t -> int -> int -> unit
+
+val flip_bit : t -> addr:int -> bit:int -> unit
+(** [flip_bit t ~addr ~bit] toggles bit [bit] (0–7) of the byte at [addr],
+    bypassing permissions. This is the injector's primitive. *)
+
+val blit_string : t -> addr:int -> string -> unit
+(** Copy raw bytes into memory (loader primitive, bypasses permissions). *)
+
+val snapshot_page_count : t -> int
+(** Number of mapped pages (used by tests and the campaign "reboot" audit). *)

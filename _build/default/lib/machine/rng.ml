@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create ~seed:(next64 t)
+
+let copy t = { state = t.state }
+
+let bits32 t = Int64.to_int (Int64.shift_right_logical (next64 t) 32)
+
+let int t n =
+  assert (n > 0);
+  if n land (n - 1) = 0 then bits32 t land (n - 1)
+  else begin
+    (* Rejection sampling over a 62-bit draw keeps the modulo bias negligible
+       and the loop essentially never iterates for small [n]. *)
+    let bound = (max_int / n) * n in
+    let rec draw () =
+      let v = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+      if v < bound then v mod n else draw ()
+    in
+    draw ()
+  end
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t =
+  let v = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
+  float_of_int v *. 0x1.0p-53
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let pick_weighted t choices =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 choices in
+  assert (total > 0.0);
+  let target = float t *. total in
+  let n = Array.length choices in
+  let rec go i acc =
+    if i = n - 1 then fst choices.(i)
+    else
+      let acc = acc +. snd choices.(i) in
+      if target < acc then fst choices.(i) else go (i + 1) acc
+  in
+  go 0 0.0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

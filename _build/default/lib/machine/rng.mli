@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in Ferrite flows through this module so that campaigns are
+    bit-reproducible given a seed.  The generator is splitmix64, which has
+    excellent statistical quality for this use and a trivially splittable
+    state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator. Two generators created with the
+    same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. Use
+    this to give sub-components their own streams so that adding draws in one
+    component does not perturb another. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits32 : t -> int
+(** 32 uniform random bits as a non-negative [int] in [0, 2{^32}). *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [0, n). Requires [n > 0]. *)
+
+val bool : t -> bool
+(** Uniform coin flip. *)
+
+val float : t -> float
+(** Uniform draw in [0, 1). *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t a] draws a uniform element of [a]. Requires [a] non-empty. *)
+
+val pick_weighted : t -> ('a * float) array -> 'a
+(** [pick_weighted t choices] draws an element with probability proportional
+    to its weight. Requires at least one strictly positive weight. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

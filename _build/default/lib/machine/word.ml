@@ -1,0 +1,45 @@
+let mask x = x land 0xFFFFFFFF
+let mask16 x = x land 0xFFFF
+let mask8 x = x land 0xFF
+
+let add a b = mask (a + b)
+let sub a b = mask (a - b)
+let mul a b = mask (a * b)
+
+let neg a = mask (- a)
+let lognot a = mask (lnot a)
+
+let shl x k = mask (x lsl (k land 31))
+let shr x k = mask x lsr (k land 31)
+
+let signed x = if x land 0x80000000 <> 0 then x - 0x100000000 else x
+
+let sar x k =
+  let k = k land 31 in
+  mask (signed x asr k)
+
+let rotl x k =
+  let k = k land 31 in
+  if k = 0 then mask x else mask ((x lsl k) lor (mask x lsr (32 - k)))
+
+let sign_extend8 x =
+  let x = mask8 x in
+  if x land 0x80 <> 0 then mask (x lor 0xFFFFFF00) else x
+
+let sign_extend16 x =
+  let x = mask16 x in
+  if x land 0x8000 <> 0 then mask (x lor 0xFFFF0000) else x
+
+let bit x i = (x lsr i) land 1 = 1
+
+let set_bit x i v = if v then x lor (1 lsl i) else x land lnot (1 lsl i) |> mask
+
+let flip_bit x i = mask (x lxor (1 lsl i))
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go (mask x) 0
+
+let to_hex x = Printf.sprintf "%08x" (mask x)
+
+let pp fmt x = Format.pp_print_string fmt (to_hex x)

@@ -1,0 +1,55 @@
+(** 32-bit word arithmetic on native [int]s.
+
+    Ferrite represents 32-bit machine words as OCaml [int]s constrained to
+    [0, 2{^32}) — faster than [Int32.t] on a 64-bit host and without boxing.
+    Every function here maintains that invariant on its result. *)
+
+val mask : int -> int
+(** Truncate to 32 bits. *)
+
+val mask16 : int -> int
+val mask8 : int -> int
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+
+val neg : int -> int
+val lognot : int -> int
+
+val shl : int -> int -> int
+(** [shl x k] — shift amount is masked to 5 bits as on real hardware. *)
+
+val shr : int -> int -> int
+(** Logical right shift. *)
+
+val sar : int -> int -> int
+(** Arithmetic right shift. *)
+
+val rotl : int -> int -> int
+(** Rotate left. *)
+
+val signed : int -> int
+(** Reinterpret a 32-bit word as a signed integer in [-2{^31}, 2{^31}). *)
+
+val sign_extend8 : int -> int
+(** Sign-extend an 8-bit value to a 32-bit word. *)
+
+val sign_extend16 : int -> int
+
+val bit : int -> int -> bool
+(** [bit x i] is bit [i] (0 = least significant) of [x]. *)
+
+val set_bit : int -> int -> bool -> int
+(** [set_bit x i v] returns [x] with bit [i] forced to [v]. *)
+
+val flip_bit : int -> int -> int
+(** [flip_bit x i] toggles bit [i]. *)
+
+val popcount : int -> int
+
+val to_hex : int -> string
+(** Render as the customary 8-digit hex kernel-address notation, e.g.
+    ["c0106f2a"]. *)
+
+val pp : Format.formatter -> int -> unit

@@ -1,0 +1,1 @@
+lib/risc/cpu.ml: Array Counters Debug_regs Decode Exn Ferrite_machine Hashtbl Insn Int64 Layout List Memory Printf Word

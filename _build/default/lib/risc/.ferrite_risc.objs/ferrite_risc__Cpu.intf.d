@@ -1,0 +1,1 @@
+lib/risc/cpu.mli: Exn Ferrite_machine

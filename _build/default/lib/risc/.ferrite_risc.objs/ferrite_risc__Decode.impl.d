@@ -1,0 +1,1 @@
+lib/risc/decode.ml: Ferrite_machine Insn

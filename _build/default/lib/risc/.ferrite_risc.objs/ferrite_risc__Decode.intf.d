@@ -1,0 +1,1 @@
+lib/risc/decode.mli: Insn

@@ -1,0 +1,1 @@
+lib/risc/disasm.ml: Decode Ferrite_machine Insn List Printf

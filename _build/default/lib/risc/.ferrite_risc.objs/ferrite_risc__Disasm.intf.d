@@ -1,0 +1,1 @@
+lib/risc/disasm.mli: Ferrite_machine Insn

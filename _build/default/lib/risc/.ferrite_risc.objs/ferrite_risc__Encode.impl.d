@@ -1,0 +1,1 @@
+lib/risc/encode.ml: Buffer Char Insn

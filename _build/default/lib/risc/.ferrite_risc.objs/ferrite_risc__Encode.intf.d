@@ -1,0 +1,1 @@
+lib/risc/encode.mli: Buffer Insn

@@ -1,0 +1,1 @@
+lib/risc/exn.ml: Ferrite_machine Format

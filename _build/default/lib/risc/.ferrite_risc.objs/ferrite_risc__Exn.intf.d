@@ -1,0 +1,1 @@
+lib/risc/exn.mli: Format

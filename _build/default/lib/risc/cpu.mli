@@ -1,0 +1,77 @@
+(** The G4-like CPU: state, interpreter and supervisor-register model.
+
+    Mirrors {!Ferrite_cisc.Cpu} for the PowerPC side: 32 GPRs, LR/CTR/CR/XER,
+    MSR, and a 99-entry supervisor SPR file matching the paper's G4 campaign
+    (§5.2), of which only ~15 registers can actually crash the kernel:
+    MSR (IR/DR translation bits → machine check), SRR0/SRR1 (used by RFI),
+    SPRG2 = SPR274 (kernel stack switch), SDR1 and the BAT0/segment registers
+    (translation), and HID0 = SPR1008 (branch-target instruction cache). *)
+
+type t = {
+  mem : Ferrite_machine.Memory.t;
+  gpr : int array;  (** 32 general-purpose registers; r1 = stack pointer *)
+  mutable pc : int;
+  mutable lr : int;
+  mutable ctr : int;
+  mutable cr : int;
+  mutable xer : int;
+  mutable msr : int;
+  sprs : int array;  (** indexed by SPR number *)
+  sr : int array;  (** 16 segment registers *)
+  sr_poisoned : bool array;
+  dr : Ferrite_machine.Debug_regs.t;
+  counters : Ferrite_machine.Counters.t;
+  stop_addr : int;
+  mutable translation_broken : bool;
+  mutable bat_poisoned : bool;
+  mutable sdr1_poisoned : bool;
+  mutable btic_poisoned : bool;
+  mutable last_indirect_target : int;
+  mutable pending_hit : Ferrite_machine.Debug_regs.data_hit option;
+  mutable stopped : bool;
+  mutable last_store_addr : int;
+}
+
+(** MSR bit masks (standard PowerPC encodings). *)
+
+val msr_ee : int
+val msr_pr : int
+val msr_me : int
+val msr_ir : int
+val msr_dr : int
+
+(** Well-known SPR numbers used by the harness and the kernel stubs. *)
+
+val spr_srr0 : int
+val spr_srr1 : int
+val spr_sprg0 : int
+val spr_sprg2 : int
+val spr_hid0 : int
+val spr_sdr1 : int
+
+val create : mem:Ferrite_machine.Memory.t -> stop_addr:int -> t
+
+val cr_field : t -> int -> int
+(** [cr_field t n] reads 4-bit condition field [n] (0 = CR0). *)
+
+type step_result =
+  | Retired
+  | Halted  (** the idle loop's wait instruction with EE set *)
+  | Hit_ibp
+  | Hit_dbp of Ferrite_machine.Debug_regs.data_hit
+  | Stopped  (** control returned to the harness (BLR/RFI to the stop address) *)
+  | Faulted of Exn.t
+
+val step : ?skip_ibp:bool -> t -> step_result
+
+type sysreg = {
+  sr_name : string;
+  sr_bits : int;
+  sr_get : t -> int;
+  sr_set : t -> int -> unit;
+}
+
+val system_registers : sysreg array
+(** The 99 supervisor-model injection targets of the G4 campaign. *)
+
+val exception_dispatch_cycles : int

@@ -1,0 +1,142 @@
+open Insn
+
+exception Undefined_opcode
+
+let sext16 = Ferrite_machine.Word.sign_extend16
+
+let mem width ~algebraic ~update = { width; algebraic; update }
+
+let decode_19 w =
+  let xo = (w lsr 1) land 0x3FF in
+  let bo = (w lsr 21) land 31 in
+  let bi = (w lsr 16) land 31 in
+  let lk = w land 1 = 1 in
+  match xo with
+  | 16 -> Bclr (bo, bi, lk)
+  | 528 -> Bcctr (bo, bi, lk)
+  | 50 -> Rfi
+  | 150 -> Isync
+  | _ -> raise Undefined_opcode
+
+let decode_31 w =
+  let xo = (w lsr 1) land 0x3FF in
+  let rd = (w lsr 21) land 31 in
+  let ra = (w lsr 16) land 31 in
+  let rb = (w lsr 11) land 31 in
+  let rc = w land 1 = 1 in
+  let ld m = Load_idx (m, rd, ra, rb) in
+  let st m = Store_idx (m, rd, ra, rb) in
+  match xo with
+  | 266 -> Xarith (Add, rd, ra, rb, rc)
+  | 10 -> Xarith (Addc, rd, ra, rb, rc)
+  | 40 -> Xarith (Subf, rd, ra, rb, rc)
+  | 8 -> Xarith (Subfc, rd, ra, rb, rc)
+  | 235 -> Xarith (Mullw, rd, ra, rb, rc)
+  | 75 -> Xarith (Mulhw, rd, ra, rb, rc)
+  | 11 -> Xarith (Mulhwu, rd, ra, rb, rc)
+  | 491 -> Xarith (Divw, rd, ra, rb, rc)
+  | 459 -> Xarith (Divwu, rd, ra, rb, rc)
+  | 104 -> Neg (rd, ra, rc)
+  | 28 -> Xlogic (And, ra, rd, rb, rc)
+  | 60 -> Xlogic (Andc, ra, rd, rb, rc)
+  | 444 -> Xlogic (Or, ra, rd, rb, rc)
+  | 412 -> Xlogic (Orc, ra, rd, rb, rc)
+  | 316 -> Xlogic (Xor, ra, rd, rb, rc)
+  | 124 -> Xlogic (Nor, ra, rd, rb, rc)
+  | 476 -> Xlogic (Nand, ra, rd, rb, rc)
+  | 284 -> Xlogic (Eqv, ra, rd, rb, rc)
+  | 24 -> Xlogic (Slw, ra, rd, rb, rc)
+  | 536 -> Xlogic (Srw, ra, rd, rb, rc)
+  | 792 -> Xlogic (Sraw, ra, rd, rb, rc)
+  | 824 -> Srawi (ra, rd, rb, rc)
+  | 954 -> Extsb (ra, rd, rc)
+  | 922 -> Extsh (ra, rd, rc)
+  | 26 -> Cntlzw (ra, rd, rc)
+  | 0 -> Cmp (false, (w lsr 23) land 7, ra, rb)
+  | 32 -> Cmp (true, (w lsr 23) land 7, ra, rb)
+  | 23 -> ld (mem Word ~algebraic:false ~update:false)
+  | 55 -> ld (mem Word ~algebraic:false ~update:true)
+  | 87 -> ld (mem Byte ~algebraic:false ~update:false)
+  | 119 -> ld (mem Byte ~algebraic:false ~update:true)
+  | 279 -> ld (mem Half ~algebraic:false ~update:false)
+  | 311 -> ld (mem Half ~algebraic:false ~update:true)
+  | 343 -> ld (mem Half ~algebraic:true ~update:false)
+  | 375 -> ld (mem Half ~algebraic:true ~update:true)
+  | 151 -> st (mem Word ~algebraic:false ~update:false)
+  | 183 -> st (mem Word ~algebraic:false ~update:true)
+  | 215 -> st (mem Byte ~algebraic:false ~update:false)
+  | 247 -> st (mem Byte ~algebraic:false ~update:true)
+  | 407 -> st (mem Half ~algebraic:false ~update:false)
+  | 439 -> st (mem Half ~algebraic:false ~update:true)
+  | 339 ->
+    let spr = ((w lsr 16) land 31) lor (((w lsr 11) land 31) lsl 5) in
+    (match spr with
+    | 8 -> Mflr rd
+    | 9 -> Mfctr rd
+    | 1 -> Mfxer rd
+    | _ -> Mfspr (rd, spr))
+  | 467 ->
+    let spr = ((w lsr 16) land 31) lor (((w lsr 11) land 31) lsl 5) in
+    (match spr with
+    | 8 -> Mtlr rd
+    | 9 -> Mtctr rd
+    | 1 -> Mtxer rd
+    | _ -> Mtspr (spr, rd))
+  | 83 -> Mfmsr rd
+  | 146 -> Mtmsr rd
+  | 19 -> Mfcr rd
+  | 144 -> Mtcrf ((w lsr 12) land 0xFF, rd)
+  | 4 -> Tw (rd, ra, rb)
+  | 598 -> Sync
+  | 854 -> Eieio
+  | _ -> raise Undefined_opcode
+
+let word w =
+  let opcd = (w lsr 26) land 0x3F in
+  let rd = (w lsr 21) land 31 in
+  let ra = (w lsr 16) land 31 in
+  let simm = sext16 (w land 0xFFFF) in
+  let uimm = w land 0xFFFF in
+  match opcd with
+  | 3 -> Twi (rd, ra, simm)
+  | 7 -> Darith (Mulli, rd, ra, simm)
+  | 8 -> Darith (Subfic, rd, ra, simm)
+  | 10 -> Cmpi (true, (w lsr 23) land 7, ra, uimm)
+  | 11 -> Cmpi (false, (w lsr 23) land 7, ra, simm)
+  | 12 -> Darith (Addic, rd, ra, simm)
+  | 14 -> Darith (Addi, rd, ra, simm)
+  | 15 -> Darith (Addis, rd, ra, simm)
+  | 16 ->
+    let bd = Ferrite_machine.Word.sign_extend16 (w land 0xFFFC) in
+    Bc ((w lsr 21) land 31, (w lsr 16) land 31, bd, (w lsr 1) land 1 = 1, w land 1 = 1)
+  | 17 -> Sc
+  | 18 ->
+    let li = w land 0x03FFFFFC in
+    let li = if li land 0x02000000 <> 0 then li - 0x04000000 else li in
+    B (li, (w lsr 1) land 1 = 1, w land 1 = 1)
+  | 19 -> decode_19 w
+  | 21 -> Rlwinm (ra, rd, (w lsr 11) land 31, (w lsr 6) land 31, (w lsr 1) land 31, w land 1 = 1)
+  | 24 -> Dlogic (Ori, ra, rd, uimm)
+  | 25 -> Dlogic (Oris, ra, rd, uimm)
+  | 26 -> Dlogic (Xori, ra, rd, uimm)
+  | 27 -> Dlogic (Xoris, ra, rd, uimm)
+  | 28 -> Dlogic (Andi_rc, ra, rd, uimm)
+  | 29 -> Dlogic (Andis_rc, ra, rd, uimm)
+  | 31 -> decode_31 w
+  | 32 -> Load (mem Word ~algebraic:false ~update:false, rd, ra, simm)
+  | 33 -> Load (mem Word ~algebraic:false ~update:true, rd, ra, simm)
+  | 34 -> Load (mem Byte ~algebraic:false ~update:false, rd, ra, simm)
+  | 35 -> Load (mem Byte ~algebraic:false ~update:true, rd, ra, simm)
+  | 36 -> Store (mem Word ~algebraic:false ~update:false, rd, ra, simm)
+  | 37 -> Store (mem Word ~algebraic:false ~update:true, rd, ra, simm)
+  | 38 -> Store (mem Byte ~algebraic:false ~update:false, rd, ra, simm)
+  | 39 -> Store (mem Byte ~algebraic:false ~update:true, rd, ra, simm)
+  | 40 -> Load (mem Half ~algebraic:false ~update:false, rd, ra, simm)
+  | 41 -> Load (mem Half ~algebraic:false ~update:true, rd, ra, simm)
+  | 42 -> Load (mem Half ~algebraic:true ~update:false, rd, ra, simm)
+  | 43 -> Load (mem Half ~algebraic:true ~update:true, rd, ra, simm)
+  | 44 -> Store (mem Half ~algebraic:false ~update:false, rd, ra, simm)
+  | 45 -> Store (mem Half ~algebraic:false ~update:true, rd, ra, simm)
+  | 46 -> Lmw (rd, ra, simm)
+  | 47 -> Stmw (rd, ra, simm)
+  | _ -> raise Undefined_opcode

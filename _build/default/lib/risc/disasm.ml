@@ -1,0 +1,109 @@
+open Insn
+
+let r n = Printf.sprintf "r%d" n
+let cr n = Printf.sprintf "cr%d" n
+
+let dop_name = function
+  | Addi -> "addi" | Addis -> "addis" | Addic -> "addic" | Mulli -> "mulli" | Subfic -> "subfic"
+
+let lop_name = function
+  | Ori -> "ori" | Oris -> "oris" | Xori -> "xori" | Xoris -> "xoris"
+  | Andi_rc -> "andi." | Andis_rc -> "andis."
+
+let xaop_name = function
+  | Add -> "add" | Addc -> "addc" | Subf -> "subf" | Subfc -> "subfc"
+  | Mullw -> "mullw" | Mulhw -> "mulhw" | Mulhwu -> "mulhwu" | Divw -> "divw" | Divwu -> "divwu"
+
+let xlop_name = function
+  | And -> "and" | Andc -> "andc" | Or -> "or" | Orc -> "orc" | Xor -> "xor"
+  | Nor -> "nor" | Nand -> "nand" | Eqv -> "eqv" | Slw -> "slw" | Srw -> "srw" | Sraw -> "sraw"
+
+let mem_name (m : mem_op) ~indexed =
+  let base =
+    match m.width, m.algebraic with
+    | Byte, _ -> "bz"
+    | Half, false -> "hz"
+    | Half, true -> "ha"
+    | Word, _ -> "wz"
+  in
+  Printf.sprintf "%s%s%s" base (if m.update then "u" else "") (if indexed then "x" else "")
+
+let rc_suffix rc = if rc then "." else ""
+
+let signed v = Ferrite_machine.Word.signed (Ferrite_machine.Word.mask v)
+
+let insn = function
+  | Darith (op, rd, ra, simm) ->
+    Printf.sprintf "%s %s,%s,%d" (dop_name op) (r rd) (r ra) (signed simm)
+  | Dlogic (Ori, 0, 0, 0) -> "nop"
+  | Dlogic (op, ra, rs, uimm) -> Printf.sprintf "%s %s,%s,%d" (lop_name op) (r ra) (r rs) uimm
+  | Load (m, rd, ra, d) -> Printf.sprintf "l%s %s,%d(%s)" (mem_name m ~indexed:false) (r rd) (signed d) (r ra)
+  | Store (m, rs, ra, d) ->
+    let n = match m.width with Byte -> "b" | Half -> "h" | Word -> "w" in
+    Printf.sprintf "st%s%s %s,%d(%s)" n (if m.update then "u" else "") (r rs) (signed d) (r ra)
+  | Load_idx (m, rd, ra, rb) ->
+    Printf.sprintf "l%s %s,%s,%s" (mem_name m ~indexed:true) (r rd) (r ra) (r rb)
+  | Store_idx (m, rs, ra, rb) ->
+    let n = match m.width with Byte -> "b" | Half -> "h" | Word -> "w" in
+    Printf.sprintf "st%s%sx %s,%s,%s" n (if m.update then "u" else "") (r rs) (r ra) (r rb)
+  | Lmw (rd, ra, d) -> Printf.sprintf "lmw %s,%d(%s)" (r rd) (signed d) (r ra)
+  | Stmw (rs, ra, d) -> Printf.sprintf "stmw %s,%d(%s)" (r rs) (signed d) (r ra)
+  | Cmpi (true, crf, ra, imm) -> Printf.sprintf "cmplwi %s,%s,%d" (cr crf) (r ra) imm
+  | Cmpi (false, crf, ra, imm) -> Printf.sprintf "cmpwi %s,%s,%d" (cr crf) (r ra) (signed imm)
+  | Cmp (true, crf, ra, rb) -> Printf.sprintf "cmplw %s,%s,%s" (cr crf) (r ra) (r rb)
+  | Cmp (false, crf, ra, rb) -> Printf.sprintf "cmpw %s,%s,%s" (cr crf) (r ra) (r rb)
+  | Rlwinm (ra, rs, sh, mb, me, rc) ->
+    Printf.sprintf "rlwinm%s %s,%s,%d,%d,%d" (rc_suffix rc) (r ra) (r rs) sh mb me
+  | Xarith (op, rd, ra, rb, rc) ->
+    Printf.sprintf "%s%s %s,%s,%s" (xaop_name op) (rc_suffix rc) (r rd) (r ra) (r rb)
+  | Xlogic (Or, ra, rs, rb, false) when rs = rb -> Printf.sprintf "mr %s,%s" (r ra) (r rs)
+  | Xlogic (op, ra, rs, rb, rc) ->
+    Printf.sprintf "%s%s %s,%s,%s" (xlop_name op) (rc_suffix rc) (r ra) (r rs) (r rb)
+  | Srawi (ra, rs, sh, rc) -> Printf.sprintf "srawi%s %s,%s,%d" (rc_suffix rc) (r ra) (r rs) sh
+  | Neg (rd, ra, rc) -> Printf.sprintf "neg%s %s,%s" (rc_suffix rc) (r rd) (r ra)
+  | Extsb (ra, rs, rc) -> Printf.sprintf "extsb%s %s,%s" (rc_suffix rc) (r ra) (r rs)
+  | Extsh (ra, rs, rc) -> Printf.sprintf "extsh%s %s,%s" (rc_suffix rc) (r ra) (r rs)
+  | Cntlzw (ra, rs, rc) -> Printf.sprintf "cntlzw%s %s,%s" (rc_suffix rc) (r ra) (r rs)
+  | B (li, aa, lk) ->
+    Printf.sprintf "b%s%s %s%d" (if lk then "l" else "") (if aa then "a" else "")
+      (if signed li >= 0 then ".+" else ".") (signed li)
+  | Bc (bo, bi, bd, aa, lk) ->
+    Printf.sprintf "bc%s%s %d,%d,%s%d" (if lk then "l" else "") (if aa then "a" else "")
+      bo bi (if signed bd >= 0 then ".+" else ".") (signed bd)
+  | Bclr (20, 0, false) -> "blr"
+  | Bclr (bo, bi, lk) -> Printf.sprintf "bclr%s %d,%d" (if lk then "l" else "") bo bi
+  | Bcctr (20, 0, false) -> "bctr"
+  | Bcctr (20, 0, true) -> "bctrl"
+  | Bcctr (bo, bi, lk) -> Printf.sprintf "bcctr%s %d,%d" (if lk then "l" else "") bo bi
+  | Sc -> "sc"
+  | Rfi -> "rfi"
+  | Tw (31, 0, 0) -> "trap"
+  | Tw (to_, ra, rb) -> Printf.sprintf "tw %d,%s,%s" to_ (r ra) (r rb)
+  | Twi (to_, ra, simm) -> Printf.sprintf "twi %d,%s,%d" to_ (r ra) (signed simm)
+  | Mfspr (rd, spr) -> Printf.sprintf "mfspr %s,%d" (r rd) spr
+  | Mtspr (spr, rs) -> Printf.sprintf "mtspr %d,%s" spr (r rs)
+  | Mflr rd -> Printf.sprintf "mflr %s" (r rd)
+  | Mtlr rs -> Printf.sprintf "mtlr %s" (r rs)
+  | Mfctr rd -> Printf.sprintf "mfctr %s" (r rd)
+  | Mtctr rs -> Printf.sprintf "mtctr %s" (r rs)
+  | Mfxer rd -> Printf.sprintf "mfxer %s" (r rd)
+  | Mtxer rs -> Printf.sprintf "mtxer %s" (r rs)
+  | Mfmsr rd -> Printf.sprintf "mfmsr %s" (r rd)
+  | Mtmsr rs -> Printf.sprintf "mtmsr %s" (r rs)
+  | Mfcr rd -> Printf.sprintf "mfcr %s" (r rd)
+  | Mtcrf (crm, rs) -> Printf.sprintf "mtcrf %d,%s" crm (r rs)
+  | Sync -> "sync"
+  | Isync -> "isync"
+  | Eieio -> "eieio"
+
+let word w =
+  match Decode.word w with
+  | i -> insn i
+  | exception Decode.Undefined_opcode -> Printf.sprintf ".long 0x%08x" w
+
+let window ?(count = 8) ~mem pc =
+  List.init count (fun i ->
+      let addr = pc + (4 * i) in
+      match Ferrite_machine.Memory.peek32_be mem addr with
+      | w -> (addr, word w)
+      | exception _ -> (addr, "(unmapped)"))

@@ -1,0 +1,13 @@
+(** Disassembler for the G4-like CPU (GNU-style mnemonics), used in crash
+    dumps and in the Figure 9/15 reproduction examples. *)
+
+val insn : Insn.t -> string
+
+val word : int -> string
+(** Decode and render one instruction word; undefined words render as
+    [".long 0x........"]. *)
+
+val window :
+  ?count:int -> mem:Ferrite_machine.Memory.t -> int -> (int * string) list
+(** [(address, text)] pairs for [count] words starting at the given address
+    (default 8). *)

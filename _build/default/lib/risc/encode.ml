@@ -1,0 +1,128 @@
+open Insn
+
+let u16 v = v land 0xFFFF
+
+let dform opcd rd ra imm =
+  (opcd lsl 26) lor ((rd land 31) lsl 21) lor ((ra land 31) lsl 16) lor u16 imm
+
+let xform opcd rd ra rb xo rc =
+  (opcd lsl 26) lor ((rd land 31) lsl 21) lor ((ra land 31) lsl 16)
+  lor ((rb land 31) lsl 11) lor ((xo land 0x3FF) lsl 1)
+  lor (if rc then 1 else 0)
+
+let dop_opcd = function Addi -> 14 | Addis -> 15 | Addic -> 12 | Mulli -> 7 | Subfic -> 8
+
+let lop_opcd = function
+  | Ori -> 24 | Oris -> 25 | Xori -> 26 | Xoris -> 27 | Andi_rc -> 28 | Andis_rc -> 29
+
+let xaop_xo = function
+  | Add -> 266 | Addc -> 10 | Subf -> 40 | Subfc -> 8 | Mullw -> 235
+  | Mulhw -> 75 | Mulhwu -> 11 | Divw -> 491 | Divwu -> 459
+
+let xlop_xo = function
+  | And -> 28 | Andc -> 60 | Or -> 444 | Orc -> 412 | Xor -> 316
+  | Nor -> 124 | Nand -> 476 | Eqv -> 284 | Slw -> 24 | Srw -> 536 | Sraw -> 792
+
+let load_opcd (m : mem_op) =
+  match m.width, m.algebraic, m.update with
+  | Word, false, false -> 32
+  | Word, false, true -> 33
+  | Byte, false, false -> 34
+  | Byte, false, true -> 35
+  | Half, false, false -> 40
+  | Half, false, true -> 41
+  | Half, true, false -> 42
+  | Half, true, true -> 43
+  | _ -> invalid_arg "Encode: unsupported load form"
+
+let store_opcd (m : mem_op) =
+  match m.width, m.update with
+  | Word, false -> 36
+  | Word, true -> 37
+  | Byte, false -> 38
+  | Byte, true -> 39
+  | Half, false -> 44
+  | Half, true -> 45
+
+let load_xo (m : mem_op) =
+  match m.width, m.algebraic, m.update with
+  | Word, false, false -> 23
+  | Word, false, true -> 55
+  | Byte, false, false -> 87
+  | Byte, false, true -> 119
+  | Half, false, false -> 279
+  | Half, false, true -> 311
+  | Half, true, false -> 343
+  | Half, true, true -> 375
+  | _ -> invalid_arg "Encode: unsupported indexed load form"
+
+let store_xo (m : mem_op) =
+  match m.width, m.update with
+  | Word, false -> 151
+  | Word, true -> 183
+  | Byte, false -> 215
+  | Byte, true -> 247
+  | Half, false -> 407
+  | Half, true -> 439
+
+let spr_field spr = (((spr land 31) lsl 16) lor (((spr lsr 5) land 31) lsl 11))
+
+let insn = function
+  | Darith (op, rd, ra, simm) -> dform (dop_opcd op) rd ra simm
+  | Dlogic (op, ra, rs, uimm) -> dform (lop_opcd op) rs ra uimm
+  | Load (m, rd, ra, d) -> dform (load_opcd m) rd ra d
+  | Store (m, rs, ra, d) -> dform (store_opcd m) rs ra d
+  | Load_idx (m, rd, ra, rb) -> xform 31 rd ra rb (load_xo m) false
+  | Store_idx (m, rs, ra, rb) -> xform 31 rs ra rb (store_xo m) false
+  | Lmw (rd, ra, d) -> dform 46 rd ra d
+  | Stmw (rs, ra, d) -> dform 47 rs ra d
+  | Cmpi (unsigned, crf, ra, imm) -> dform (if unsigned then 10 else 11) (crf lsl 2) ra imm
+  | Cmp (unsigned, crf, ra, rb) -> xform 31 (crf lsl 2) ra rb (if unsigned then 32 else 0) false
+  | Rlwinm (ra, rs, sh, mb, me, rc) ->
+    (21 lsl 26) lor ((rs land 31) lsl 21) lor ((ra land 31) lsl 16)
+    lor ((sh land 31) lsl 11) lor ((mb land 31) lsl 6) lor ((me land 31) lsl 1)
+    lor (if rc then 1 else 0)
+  | Xarith (op, rd, ra, rb, rc) -> xform 31 rd ra rb (xaop_xo op) rc
+  | Xlogic (op, ra, rs, rb, rc) -> xform 31 rs ra rb (xlop_xo op) rc
+  | Srawi (ra, rs, sh, rc) -> xform 31 rs ra sh 824 rc
+  | Neg (rd, ra, rc) -> xform 31 rd ra 0 104 rc
+  | Extsb (ra, rs, rc) -> xform 31 rs ra 0 954 rc
+  | Extsh (ra, rs, rc) -> xform 31 rs ra 0 922 rc
+  | Cntlzw (ra, rs, rc) -> xform 31 rs ra 0 26 rc
+  | B (li, aa, lk) ->
+    (18 lsl 26) lor (li land 0x03FFFFFC) lor (if aa then 2 else 0) lor (if lk then 1 else 0)
+  | Bc (bo, bi, bd, aa, lk) ->
+    (16 lsl 26) lor ((bo land 31) lsl 21) lor ((bi land 31) lsl 16)
+    lor (bd land 0xFFFC) lor (if aa then 2 else 0) lor (if lk then 1 else 0)
+  | Bclr (bo, bi, lk) ->
+    (19 lsl 26) lor ((bo land 31) lsl 21) lor ((bi land 31) lsl 16) lor (16 lsl 1)
+    lor (if lk then 1 else 0)
+  | Bcctr (bo, bi, lk) ->
+    (19 lsl 26) lor ((bo land 31) lsl 21) lor ((bi land 31) lsl 16) lor (528 lsl 1)
+    lor (if lk then 1 else 0)
+  | Sc -> (17 lsl 26) lor 2
+  | Rfi -> (19 lsl 26) lor (50 lsl 1)
+  | Tw (to_, ra, rb) -> xform 31 to_ ra rb 4 false
+  | Twi (to_, ra, simm) -> dform 3 to_ ra simm
+  | Mfspr (rd, spr) -> (31 lsl 26) lor ((rd land 31) lsl 21) lor spr_field spr lor (339 lsl 1)
+  | Mtspr (spr, rs) -> (31 lsl 26) lor ((rs land 31) lsl 21) lor spr_field spr lor (467 lsl 1)
+  | Mflr rd -> (31 lsl 26) lor ((rd land 31) lsl 21) lor spr_field 8 lor (339 lsl 1)
+  | Mtlr rs -> (31 lsl 26) lor ((rs land 31) lsl 21) lor spr_field 8 lor (467 lsl 1)
+  | Mfctr rd -> (31 lsl 26) lor ((rd land 31) lsl 21) lor spr_field 9 lor (339 lsl 1)
+  | Mtctr rs -> (31 lsl 26) lor ((rs land 31) lsl 21) lor spr_field 9 lor (467 lsl 1)
+  | Mfxer rd -> (31 lsl 26) lor ((rd land 31) lsl 21) lor spr_field 1 lor (339 lsl 1)
+  | Mtxer rs -> (31 lsl 26) lor ((rs land 31) lsl 21) lor spr_field 1 lor (467 lsl 1)
+  | Mfmsr rd -> xform 31 rd 0 0 83 false
+  | Mtmsr rs -> xform 31 rs 0 0 146 false
+  | Mfcr rd -> xform 31 rd 0 0 19 false
+  | Mtcrf (crm, rs) -> (31 lsl 26) lor ((rs land 31) lsl 21) lor ((crm land 0xFF) lsl 12) lor (144 lsl 1)
+  | Sync -> xform 31 0 0 0 598 false
+  | Isync -> (19 lsl 26) lor (150 lsl 1)
+  | Eieio -> xform 31 0 0 0 854 false
+
+let emit buf i =
+  let w = insn i in
+  Buffer.add_char buf (Char.chr ((w lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((w lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((w lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (w land 0xFF))

@@ -1,0 +1,10 @@
+(** Instruction encoder (assembler) for the G4-like CPU.
+
+    Inverse of {!Decode.word} on the implemented subset; the test suite
+    qcheck-verifies the round trip. *)
+
+val insn : Insn.t -> int
+(** [insn i] returns the 32-bit instruction word. *)
+
+val emit : Buffer.t -> Insn.t -> unit
+(** Append the big-endian word to a buffer (linker primitive). *)

@@ -1,0 +1,43 @@
+(* Architectural exceptions (interrupts) of the G4-like CPU.
+
+   These correspond to the MPC7455 interrupt vectors; the simulated kernel's
+   crash handler maps them onto the paper's Table 4 crash categories,
+   including the stack-range wrapper that turns any exception taken with a
+   wild stack pointer into an explicit Stack Overflow. *)
+
+type t =
+  | Machine_check of { addr : int option }
+      (* processor-local bus error: access with translation disabled
+         (corrupted MSR[IR]/MSR[DR]) or to a guarded region *)
+  | Dsi of { addr : int; write : bool; protection : bool }
+      (* data storage interrupt; [protection] distinguishes a protection
+         violation ("Bus Error" in Table 4) from an unmapped page
+         ("Bad Area") *)
+  | Isi of { addr : int }  (* instruction storage interrupt *)
+  | Alignment of { addr : int }
+  | Program_illegal  (* undefined instruction word *)
+  | Program_trap  (* tw/twi fired: PPC Linux BUG() *)
+  | Program_privileged  (* supervisor instruction with MSR[PR]=1 *)
+  | Unexpected_syscall  (* sc executed inside the kernel ("Bad Trap") *)
+  | Software_panic of { message : string }
+
+let pp fmt = function
+  | Machine_check { addr } ->
+    (match addr with
+    | None -> Format.pp_print_string fmt "machine check"
+    | Some a -> Format.fprintf fmt "machine check at %s" (Ferrite_machine.Word.to_hex a))
+  | Dsi { addr; write; protection } ->
+    Format.fprintf fmt "DSI %s%s at %s"
+      (if write then "write" else "read")
+      (if protection then " (protection)" else "")
+      (Ferrite_machine.Word.to_hex addr)
+  | Isi { addr } -> Format.fprintf fmt "ISI at %s" (Ferrite_machine.Word.to_hex addr)
+  | Alignment { addr } ->
+    Format.fprintf fmt "alignment at %s" (Ferrite_machine.Word.to_hex addr)
+  | Program_illegal -> Format.pp_print_string fmt "program: illegal instruction"
+  | Program_trap -> Format.pp_print_string fmt "program: trap (BUG)"
+  | Program_privileged -> Format.pp_print_string fmt "program: privileged instruction"
+  | Unexpected_syscall -> Format.pp_print_string fmt "unexpected sc in kernel"
+  | Software_panic { message } -> Format.fprintf fmt "kernel panic: %s" message
+
+let to_string t = Format.asprintf "%a" pp t

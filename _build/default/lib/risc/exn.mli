@@ -1,0 +1,24 @@
+(** Architectural exceptions (interrupts) of the G4-like CPU.
+
+    These correspond to the MPC7455 interrupt vectors; the simulated
+    kernel's crash handler maps them onto the paper's Table 4 categories,
+    including the exception-entry wrapper that reclassifies any exception
+    taken with a wild stack pointer as Stack Overflow. *)
+
+type t =
+  | Machine_check of { addr : int option }
+      (** processor-local bus error (e.g. translation disabled by a
+          corrupted MSR\[IR\]/MSR\[DR\]) *)
+  | Dsi of { addr : int; write : bool; protection : bool }
+      (** data storage interrupt; [protection] distinguishes Table 4's
+          "Bus Error" from "Bad Area" *)
+  | Isi of { addr : int }  (** instruction storage interrupt *)
+  | Alignment of { addr : int }
+  | Program_illegal  (** undefined instruction word *)
+  | Program_trap  (** tw/twi fired: PPC Linux BUG() *)
+  | Program_privileged  (** supervisor instruction with MSR\[PR\]=1 *)
+  | Unexpected_syscall  (** sc executed inside the kernel ("Bad Trap") *)
+  | Software_panic of { message : string }  (** checkstop: no dump *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,85 @@
+(* Decoded-instruction representation for the G4-like RISC simulator.
+
+   The subset mirrors the PowerPC 32-bit integer core (the MPC7455 user +
+   supervisor models the paper exercises): fixed 32-bit big-endian encodings,
+   32 GPRs, LR/CTR/CR/XER, the supervisor SPR file, and the tw/twi trap
+   instructions PPC Linux compiles BUG() to. *)
+
+type width = Byte | Half | Word
+
+type mem_op = {
+  width : width;
+  algebraic : bool;  (* sign-extending load (lha/lhax) *)
+  update : bool;  (* update form: rA <- effective address (stwu etc.) *)
+}
+
+(* D-form integer arithmetic. *)
+type dop = Addi | Addis | Addic | Mulli | Subfic
+
+(* D-form logical (operate on rS, write rA, zero-extended immediate). *)
+type lop = Ori | Oris | Xori | Xoris | Andi_rc | Andis_rc
+
+(* X-form arithmetic (rD, rA, rB). *)
+type xaop = Add | Addc | Subf | Subfc | Mullw | Mulhw | Mulhwu | Divw | Divwu
+
+(* X-form logical/shift (rA <- rS op rB). *)
+type xlop = And | Andc | Or | Orc | Xor | Nor | Nand | Eqv | Slw | Srw | Sraw
+
+type t =
+  | Darith of dop * int * int * int  (* op, rD, rA, simm *)
+  | Dlogic of lop * int * int * int  (* op, rA, rS, uimm *)
+  | Load of mem_op * int * int * int  (* rD, rA, d *)
+  | Store of mem_op * int * int * int  (* rS, rA, d *)
+  | Load_idx of mem_op * int * int * int  (* rD, rA, rB *)
+  | Store_idx of mem_op * int * int * int
+  | Lmw of int * int * int  (* rD, rA, d *)
+  | Stmw of int * int * int
+  | Cmpi of bool * int * int * int  (* unsigned?, crfD, rA, imm *)
+  | Cmp of bool * int * int * int  (* unsigned?, crfD, rA, rB *)
+  | Rlwinm of int * int * int * int * int * bool  (* rA, rS, sh, mb, me, rc *)
+  | Xarith of xaop * int * int * int * bool  (* rD, rA, rB, rc *)
+  | Xlogic of xlop * int * int * int * bool  (* rA, rS, rB, rc *)
+  | Srawi of int * int * int * bool  (* rA, rS, sh, rc *)
+  | Neg of int * int * bool  (* rD, rA, rc *)
+  | Extsb of int * int * bool  (* rA, rS, rc *)
+  | Extsh of int * int * bool
+  | Cntlzw of int * int * bool
+  | B of int * bool * bool  (* li (byte displacement), aa, lk *)
+  | Bc of int * int * int * bool * bool  (* bo, bi, bd, aa, lk *)
+  | Bclr of int * int * bool  (* bo, bi, lk *)
+  | Bcctr of int * int * bool
+  | Sc
+  | Rfi
+  | Tw of int * int * int  (* to, rA, rB *)
+  | Twi of int * int * int  (* to, rA, simm *)
+  | Mfspr of int * int  (* rD, spr *)
+  | Mtspr of int * int  (* spr, rS *)
+  | Mflr of int
+  | Mtlr of int
+  | Mfctr of int
+  | Mtctr of int
+  | Mfxer of int
+  | Mtxer of int
+  | Mfmsr of int
+  | Mtmsr of int
+  | Mfcr of int
+  | Mtcrf of int * int  (* crm, rS *)
+  | Sync
+  | Isync
+  | Eieio
+
+let lwz rd ra d = Load ({ width = Word; algebraic = false; update = false }, rd, ra, d)
+let lwzu rd ra d = Load ({ width = Word; algebraic = false; update = true }, rd, ra, d)
+let lbz rd ra d = Load ({ width = Byte; algebraic = false; update = false }, rd, ra, d)
+let lhz rd ra d = Load ({ width = Half; algebraic = false; update = false }, rd, ra, d)
+let lha rd ra d = Load ({ width = Half; algebraic = true; update = false }, rd, ra, d)
+let stw rs ra d = Store ({ width = Word; algebraic = false; update = false }, rs, ra, d)
+let stwu rs ra d = Store ({ width = Word; algebraic = false; update = true }, rs, ra, d)
+let stb rs ra d = Store ({ width = Byte; algebraic = false; update = false }, rs, ra, d)
+let sth rs ra d = Store ({ width = Half; algebraic = false; update = false }, rs, ra, d)
+let addi rd ra simm = Darith (Addi, rd, ra, simm)
+let li rd simm = addi rd 0 simm
+let mr ra rs = Xlogic (Or, ra, rs, rs, false)
+let blr = Bclr (20, 0, false)
+let bctrl = Bcctr (20, 0, true)
+let nop = Dlogic (Ori, 0, 0, 0)

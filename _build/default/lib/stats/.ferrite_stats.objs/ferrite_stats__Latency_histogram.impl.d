@@ -1,0 +1,1 @@
+lib/stats/latency_histogram.ml: Array List

@@ -1,0 +1,40 @@
+let normalize counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then Array.map (fun _ -> 0.0) counts
+  else Array.map (fun c -> float_of_int c /. float_of_int total) counts
+
+let total_variation a b =
+  if Array.length a <> Array.length b then invalid_arg "Dist.total_variation: lengths differ";
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. abs_float (x -. b.(i))) a;
+  !acc /. 2.0
+
+let winner counts =
+  match counts with
+  | [] -> None
+  | (c0, n0) :: rest ->
+    let best, _ =
+      List.fold_left (fun (bc, bn) (c, n) -> if n > bn then (c, n) else (bc, bn)) (c0, n0) rest
+    in
+    Some best
+
+let fraction_of counts key =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let n = try List.assoc key counts with Not_found -> 0 in
+    float_of_int n /. float_of_int total
+  end
+
+let wilson_interval ~successes ~trials =
+  if trials = 0 then (0.0, 1.0)
+  else begin
+    let z = 1.96 in
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let margin = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom in
+    (max 0.0 (centre -. margin), min 1.0 (centre +. margin))
+  end

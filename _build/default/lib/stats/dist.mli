@@ -1,0 +1,19 @@
+(** Small distribution utilities used when comparing measured distributions
+    against the paper's published ones. *)
+
+val normalize : int array -> float array
+(** Counts to fractions (all zeros when the total is zero). *)
+
+val total_variation : float array -> float array -> float
+(** Total-variation distance between two distributions of equal length
+    (0 = identical, 1 = disjoint). *)
+
+val winner : ('a * int) list -> 'a option
+(** Category with the highest count. *)
+
+val fraction_of : ('a * int) list -> 'a -> float
+(** Share of one category within the counts. *)
+
+val wilson_interval : successes:int -> trials:int -> float * float
+(** 95% Wilson score interval for a binomial proportion — used by the
+    experiment report to show the statistical weight behind each percentage. *)

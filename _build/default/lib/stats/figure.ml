@@ -1,0 +1,46 @@
+let bar width fraction =
+  let n = int_of_float (fraction *. float_of_int width +. 0.5) in
+  let n = max 0 (min width n) in
+  String.make n '#' ^ String.make (width - n) ' '
+
+let bars ?(width = 40) ~title entries =
+  let label_w =
+    List.fold_left (fun w (l, _) -> max w (String.length l)) 0 entries
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  List.iter
+    (fun (label, fraction) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s |%s| %5.1f%%\n" label_w label (bar width fraction)
+           (100.0 *. fraction)))
+    entries;
+  Buffer.contents buf
+
+let distribution ?(width = 40) ~title entries =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 entries in
+  let label_w = List.fold_left (fun w (l, _) -> max w (String.length l)) 0 entries in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s (total %d)\n" title total);
+  List.iter
+    (fun (label, n) ->
+      let fraction = if total = 0 then 0.0 else float_of_int n /. float_of_int total in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s |%s| %4d %5.1f%%\n" label_w label (bar width fraction) n
+           (100.0 *. fraction)))
+    entries;
+  Buffer.contents buf
+
+let side_by_side left right =
+  let llines = String.split_on_char '\n' left in
+  let rlines = String.split_on_char '\n' right in
+  let lwidth = List.fold_left (fun w l -> max w (String.length l)) 0 llines in
+  let n = max (List.length llines) (List.length rlines) in
+  let get l i = try List.nth l i with _ -> "" in
+  let buf = Buffer.create 512 in
+  for i = 0 to n - 1 do
+    let l = get llines i in
+    let pad = String.make (lwidth - String.length l + 4) ' ' in
+    Buffer.add_string buf (l ^ pad ^ get rlines i ^ "\n")
+  done;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** ASCII bar-chart rendering for the paper's pie charts (Figs. 4–6, 10–12)
+    and latency distributions (Fig. 16). *)
+
+val bars : ?width:int -> title:string -> (string * float) list -> string
+(** Horizontal percentage bars, one per labelled category. Fractions are of
+    1.0; the bar area is [width] characters (default 40). *)
+
+val distribution : ?width:int -> title:string -> (string * int) list -> string
+(** Like {!bars} with raw counts, normalised internally; each line also shows
+    the count and percentage. *)
+
+val side_by_side : string -> string -> string
+(** Join two rendered blocks horizontally (used to print the paper's paired
+    P4/G4 charts). *)

@@ -1,0 +1,48 @@
+let bounds = [| 3_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000; 1_000_000_000 |]
+
+let bucket_labels = [ "<3k"; "3k-10k"; "10k-100k"; "100k-1M"; "1M-10M"; "10M-100M"; "100M-1G"; ">1G" ]
+
+let bucket_count = Array.length bounds + 1
+
+type t = { counts : int array; mutable total : int }
+
+let create () = { counts = Array.make bucket_count 0; total = 0 }
+
+let bucket_of latency =
+  let rec go i = if i = Array.length bounds then i else if latency < bounds.(i) then i else go (i + 1) in
+  go 0
+
+let add t latency =
+  let b = bucket_of latency in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.total <- t.total + 1
+
+let of_list l =
+  let t = create () in
+  List.iter (add t) l;
+  t
+
+let counts t = Array.copy t.counts
+
+let total t = t.total
+
+let fractions t =
+  if t.total = 0 then Array.make bucket_count 0.0
+  else Array.map (fun c -> float_of_int c /. float_of_int t.total) t.counts
+
+let fraction_below t ~cycles =
+  if t.total = 0 then 0.0
+  else begin
+    let limit = bucket_of cycles in
+    let below = ref 0 in
+    for i = 0 to limit - 1 do
+      below := !below + t.counts.(i)
+    done;
+    float_of_int !below /. float_of_int t.total
+  end
+
+let merge a b =
+  let t = create () in
+  Array.iteri (fun i c -> t.counts.(i) <- c + b.counts.(i)) a.counts;
+  t.total <- a.total + b.total;
+  t

@@ -1,0 +1,31 @@
+(** Cycles-to-crash histograms over the paper's Figure 16 buckets:
+    <3k, 3k–10k, 10k–100k, 100k–1M, 1M–10M, 10M–100M, 100M–1G, >1G. *)
+
+type t
+
+val bucket_labels : string list
+
+val bucket_count : int
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one latency (in cycles). *)
+
+val of_list : int list -> t
+
+val counts : t -> int array
+
+val total : t -> int
+
+val fractions : t -> float array
+(** Per-bucket fraction of the total (zeros when empty). *)
+
+val bucket_of : int -> int
+(** Index of the bucket a latency falls in. *)
+
+val fraction_below : t -> cycles:int -> float
+(** Fraction of samples strictly below the given cycle count's bucket
+    boundary (used for "80% of crashes within 3,000 cycles"-style checks). *)
+
+val merge : t -> t -> t

@@ -1,0 +1,50 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else match align with Left -> s ^ String.make n ' ' | Right -> String.make n ' ' ^ s
+
+let render ?aligns ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then List.filteri (fun i _ -> i < ncols) row
+    else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> a
+    | _ -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i))) (String.length h) rows)
+      header
+  in
+  let hline =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> " " ^ pad (List.nth aligns i) (List.nth widths i) cell ^ " ")
+        row
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (hline ^ "\n");
+  Buffer.add_string buf (render_row header ^ "\n");
+  Buffer.add_string buf (hline ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) rows;
+  Buffer.add_string buf hline;
+  Buffer.contents buf
+
+let pct n d = if d = 0 then "-" else Printf.sprintf "%.1f%%" (100.0 *. float_of_int n /. float_of_int d)
+
+let count_pct n d =
+  if d = 0 then Printf.sprintf "%d" n
+  else Printf.sprintf "%d (%.1f%%)" n (100.0 *. float_of_int n /. float_of_int d)

@@ -1,0 +1,14 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] produces a boxed ASCII table. Column count is taken
+    from the header; short rows are padded. Default alignment: first column
+    left, the rest right. *)
+
+val pct : int -> int -> string
+(** [pct n d] formats [n/d] as ["12.3%"] (["-"] when [d = 0]). *)
+
+val count_pct : int -> int -> string
+(** ["123 (12.3%)"]. *)

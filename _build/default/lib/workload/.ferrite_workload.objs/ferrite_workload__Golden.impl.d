@@ -1,0 +1,1 @@
+lib/workload/golden.ml: Bytes Char Ferrite_kernel

@@ -1,0 +1,1 @@
+lib/workload/profiler.ml: Ferrite_kernel Ferrite_kir Ferrite_machine Hashtbl List Runner Workload

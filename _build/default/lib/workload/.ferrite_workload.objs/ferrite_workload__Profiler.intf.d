@@ -1,0 +1,1 @@
+lib/workload/profiler.mli: Ferrite_kernel

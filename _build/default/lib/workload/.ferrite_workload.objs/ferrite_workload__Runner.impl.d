@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Ferrite_kernel Ferrite_kir List Workload

@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Ferrite_kernel Workload

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Bytes Char Ferrite_kernel Ferrite_machine Fun Golden List Rng

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Ferrite_kernel Ferrite_machine

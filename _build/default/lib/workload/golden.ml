@@ -1,0 +1,13 @@
+let checksum byte_at len =
+  let sum = ref 0x811C9DC5 in
+  for i = 0 to len - 1 do
+    sum := !sum lxor (byte_at i land 0xFF);
+    sum := !sum * 0x01000193 land 0xFFFFFFFF
+  done;
+  !sum
+
+let checksum_bytes b = checksum (fun i -> Char.code (Bytes.get b i)) (Bytes.length b)
+
+let mem_pattern_checksum size = checksum (fun i -> i land 0xFF) size
+
+let pid_of_worker w = Ferrite_kernel.Abi.first_worker + w

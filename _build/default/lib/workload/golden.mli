@@ -1,0 +1,17 @@
+(** Host-side golden model of the kernel's observable behaviour.
+
+    The workload drivers compare every syscall result (and returned payload)
+    against this model; a mismatch that the kernel did not turn into a crash
+    is a Fail Silence Violation in the paper's taxonomy (Table 2). *)
+
+val checksum : (int -> int) -> int -> int
+(** [checksum byte_at len] — FNV-1a over [len] bytes, bit-for-bit the
+    kernel's [kchecksum]. *)
+
+val checksum_bytes : Bytes.t -> int
+
+val mem_pattern_checksum : int -> int
+(** Expected result of [sys_mem size] (checksum of the fill pattern). *)
+
+val pid_of_worker : int -> int
+(** Expected [sys_getpid] result for worker [w]. *)

@@ -1,0 +1,52 @@
+module System = Ferrite_kernel.System
+module Image = Ferrite_kir.Image
+
+type sample = { fn_name : string; samples : int; fraction : float }
+
+let profile ?(seed = 0x9E1DL) ?(ops = 48) ?(sample_every = 4) sys =
+  let rng = Ferrite_machine.Rng.create ~seed in
+  let wl = Workload.mix ~ops () in
+  let runner = Runner.create sys ~ops:(wl.Workload.wl_ops rng) in
+  let counts : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let total = ref 0 in
+  let record pc =
+    match Image.function_at sys.System.image pc with
+    | None -> ()
+    | Some f ->
+      incr total;
+      (match Hashtbl.find_opt counts f.Image.fs_name with
+      | Some r -> incr r
+      | None -> Hashtbl.replace counts f.Image.fs_name (ref 1))
+  in
+  let budget = 4_000_000 in
+  let rec go n =
+    if n = 0 then ()
+    else begin
+      (match System.step sys with
+      | System.Retired | System.Halted | System.Hit_dbp _ | System.Hit_ibp -> ()
+      | System.Stopped -> ()
+      | System.Faulted _ -> failwith "Profiler: fault during fault-free profiling run");
+      if n mod sample_every = 0 then record (System.pc sys);
+      if n land 255 = 0 && Runner.tick runner = Runner.Done then ()
+      else go (n - 1)
+    end
+  in
+  go budget;
+  let samples =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counts []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let totalf = float_of_int (max 1 !total) in
+  List.map
+    (fun (fn_name, n) -> { fn_name; samples = n; fraction = float_of_int n /. totalf })
+    samples
+
+let hot_functions ?(coverage = 0.95) samples =
+  let rec take acc cum = function
+    | [] -> List.rev acc
+    | s :: rest ->
+      let cum = cum +. s.fraction in
+      if cum >= coverage then List.rev (s.fn_name :: acc)
+      else take (s.fn_name :: acc) cum rest
+  in
+  take [] 0.0 samples

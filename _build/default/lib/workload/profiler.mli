@@ -1,0 +1,20 @@
+(** Kernel profiler: PC sampling during a fault-free workload run.
+
+    The paper profiles the kernel under UnixBench (with kernprof) and directs
+    code injections at the functions covering at least 95% of kernel
+    execution; {!hot_functions} reproduces that selection. *)
+
+type sample = { fn_name : string; samples : int; fraction : float }
+
+val profile :
+  ?seed:int64 ->
+  ?ops:int ->
+  ?sample_every:int ->
+  Ferrite_kernel.System.t ->
+  sample list
+(** Run the standard workload mix on a freshly booted system, sampling the PC.
+    Returns per-function sample counts sorted descending. *)
+
+val hot_functions : ?coverage:float -> sample list -> string list
+(** Smallest prefix of functions whose cumulative fraction reaches [coverage]
+    (default 0.95). *)

@@ -1,0 +1,46 @@
+(** UnixBench-like workload programs.
+
+    Each workload is a generator of syscall operations with golden-model
+    checks attached; the paper drives the kernel with UnixBench and
+    instruments the benchmark to detect fail-silence violations, which is
+    exactly the role [op_check] plays here. Think-time gaps (idle cycles
+    between operations) model user-space execution between syscalls and give
+    the cycles-to-crash distributions their long tail. *)
+
+type op = {
+  op_worker : int;  (** which worker task services it *)
+  op_think : int;  (** idle cycles before issuing *)
+  op_issue : Ferrite_kernel.System.t -> int * int * int * int * int;
+      (** returns (nr, a0..a3); may poke payload bytes first *)
+  op_check : Ferrite_kernel.System.t -> int -> bool;
+      (** validate the result against the golden model *)
+}
+
+type t = { wl_name : string; wl_descr : string; wl_ops : Ferrite_machine.Rng.t -> op list }
+
+val user_buffer : Ferrite_kernel.System.t -> int -> int
+(** Address of worker [w]'s shared user buffer. *)
+
+val syscall_overhead : t
+(** getpid/yield loop (UnixBench "syscall"). *)
+
+val file_io : t
+(** open/write/read with payload verification (UnixBench "fstime"). *)
+
+val pipe_throughput : t
+(** send/recv round trips with payload verification (UnixBench "pipe"). *)
+
+val arithmetic : t
+(** checksum and allocation arithmetic (UnixBench "dhrystone" stand-in). *)
+
+val process_switch : t
+(** yield/nanosleep churn (UnixBench "context1" / "spawn"). *)
+
+val shell_mix : t
+(** a mixed script of all of the above (UnixBench "shell"). *)
+
+val all : t list
+
+val mix : ?ops:int -> unit -> t
+(** The default injection-campaign workload: a seeded sample across all
+    programs, [ops] operations long (default 24). *)

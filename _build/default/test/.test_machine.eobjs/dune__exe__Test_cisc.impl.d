@@ -1,0 +1,1 @@
+test/test_cisc.ml: Alcotest Array Char Counters Cpu Debug_regs Decode Disasm Encode Exn Ferrite_cisc Ferrite_machine Insn List Memory Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ferrite.ml: Alcotest Ferrite Ferrite_injection Ferrite_kir Lazy List String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Abi Alcotest Array Boot Bytes Char Ferrite_cisc Ferrite_injection Ferrite_kernel Ferrite_kir Ferrite_machine Ferrite_risc Ferrite_workload Fun List System

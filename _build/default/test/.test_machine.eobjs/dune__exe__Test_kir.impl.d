@@ -1,0 +1,1 @@
+test/test_kir.ml: Alcotest Array Char Ferrite_cisc Ferrite_kir Ferrite_machine Ferrite_risc Fun Int64 List Memory QCheck QCheck_alcotest Result String Word

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Counters Debug_regs Ferrite_machine Fun Layout Memory QCheck QCheck_alcotest Rng Word

@@ -1,0 +1,1 @@
+test/test_risc.ml: Alcotest Array Buffer Cpu Debug_regs Decode Disasm Encode Exn Ferrite_machine Ferrite_risc Insn Int64 List Memory QCheck QCheck_alcotest Rng String Word

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Ferrite_stats List QCheck QCheck_alcotest String

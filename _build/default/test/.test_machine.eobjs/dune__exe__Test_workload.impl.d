@@ -1,0 +1,1 @@
+test/test_workload.ml: Abi Alcotest Boot Bytes Ferrite_kernel Ferrite_kir Ferrite_machine Ferrite_workload Golden List Profiler Runner System Workload

@@ -1,0 +1,553 @@
+(* Unit and property tests for the P4-like CPU: decoder, encoder round trip,
+   interpreter semantics, exception model and the Figure 14 decode-resync
+   phenomenon. *)
+
+open Ferrite_machine
+open Ferrite_cisc
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- helpers ----------------------------------------------------------- *)
+
+let code_base = 0xC0100000
+let stack_top = 0xC0804000
+let stop_addr = 0xFFFF0000
+
+let machine_of_bytes code =
+  let mem = Memory.create () in
+  Memory.map mem ~addr:code_base ~size:0x4000 ~perm:Memory.perm_rx;
+  Memory.map mem ~addr:(stack_top - 0x2000) ~size:0x2000 ~perm:Memory.perm_rwx;
+  Memory.map mem ~addr:0xC0400000 ~size:0x4000 ~perm:Memory.perm_rwx;
+  Memory.blit_string mem ~addr:code_base code;
+  let cpu = Cpu.create ~mem ~stop_addr in
+  cpu.Cpu.eip <- code_base;
+  cpu.Cpu.regs.(Cpu.esp) <- stack_top;
+  cpu
+
+let assemble insns = String.concat "" (List.map Encode.insn insns)
+
+(* Run until Stopped/Faulted or fuel runs out. *)
+let run ?(fuel = 10_000) cpu =
+  let rec go n last =
+    if n = 0 then last
+    else
+      match Cpu.step cpu with
+      | Cpu.Retired | Cpu.Halted | Cpu.Hit_dbp _ -> go (n - 1) Cpu.Retired
+      | (Cpu.Stopped | Cpu.Faulted _) as r -> r
+      | Cpu.Hit_ibp -> go n Cpu.Retired (* not used in these tests *)
+  in
+  go fuel Cpu.Retired
+
+let run_insns ?fuel insns =
+  let cpu = machine_of_bytes (assemble (insns @ [ Insn.Ret ])) in
+  Cpu.push32 cpu stop_addr;
+  let r = run ?fuel cpu in
+  (cpu, r)
+
+let expect_stopped (_, r) =
+  match r with
+  | Cpu.Stopped -> ()
+  | Cpu.Faulted e -> Alcotest.failf "unexpected fault: %s" (Exn.to_string e)
+  | _ -> Alcotest.fail "did not stop"
+
+(* --- flag semantics vectors ---------------------------------------------- *)
+
+(* classic IA-32 flag test vectors: (a, b, sum_cf, sum_of, sub_cf, sub_of) *)
+let flag_vectors =
+  [
+    (0xFFFFFFFF, 0x00000001, true, false, false, false);
+    (0x7FFFFFFF, 0x00000001, false, true, false, false);
+    (0x80000000, 0x80000000, true, true, false, false);
+    (0x00000000, 0x00000001, false, false, true, false);
+    (0x80000000, 0x00000001, false, false, false, true);
+    (0x00000005, 0x00000003, false, false, false, false);
+  ]
+
+let run_flag_probe insns =
+  let cpu = machine_of_bytes (assemble (insns @ [ Insn.Ret ])) in
+  Cpu.push32 cpu stop_addr;
+  (match run cpu with
+  | Cpu.Stopped -> ()
+  | _ -> Alcotest.fail "flag probe did not stop");
+  cpu
+
+let test_flags_add_sub_vectors () =
+  let open Insn in
+  List.iter
+    (fun (a, b, scf, sof, dcf, dof) ->
+      let cpu =
+        run_flag_probe [ Mov (S32, Reg 0, Imm a); Alu (Add, S32, Reg 0, Imm b) ]
+      in
+      check_bool (Printf.sprintf "add cf %08x+%08x" a b) scf (Cpu.getf cpu Cpu.flag_cf);
+      check_bool (Printf.sprintf "add of %08x+%08x" a b) sof (Cpu.getf cpu Cpu.flag_of);
+      let cpu =
+        run_flag_probe [ Mov (S32, Reg 0, Imm a); Alu (Sub, S32, Reg 0, Imm b) ]
+      in
+      check_bool (Printf.sprintf "sub cf %08x-%08x" a b) dcf (Cpu.getf cpu Cpu.flag_cf);
+      check_bool (Printf.sprintf "sub of %08x-%08x" a b) dof (Cpu.getf cpu Cpu.flag_of))
+    flag_vectors
+
+let test_flags_logic_clear_cf_of () =
+  let open Insn in
+  let cpu =
+    run_flag_probe
+      [
+        Mov (S32, Reg 0, Imm 0xFFFFFFFF);
+        Alu (Add, S32, Reg 0, Imm 1);  (* sets CF *)
+        Alu (And, S32, Reg 0, Imm 0xFF);  (* logic must clear CF/OF *)
+      ]
+  in
+  check_bool "and clears cf" false (Cpu.getf cpu Cpu.flag_cf);
+  check_bool "and clears of" false (Cpu.getf cpu Cpu.flag_of)
+
+let test_flags_inc_preserves_cf () =
+  let open Insn in
+  let cpu =
+    run_flag_probe
+      [
+        Mov (S32, Reg 0, Imm 0xFFFFFFFF);
+        Alu (Add, S32, Reg 0, Imm 1);  (* CF := 1 *)
+        Inc (S32, Reg 0);  (* INC must not touch CF *)
+      ]
+  in
+  check_bool "inc preserves cf" true (Cpu.getf cpu Cpu.flag_cf)
+
+let test_subword_registers_ah () =
+  let open Insn in
+  (* AH/CH/DH/BH encoding: writing AH must not clobber AL *)
+  let cpu =
+    run_flag_probe
+      [
+        Mov (S32, Reg 0, Imm 0x11223344);
+        Mov (S8, Reg 4 (* AH *), Imm 0xAB);
+      ]
+  in
+  check_int "ah write" 0x1122AB44 cpu.Cpu.regs.(0)
+
+(* --- decoder ------------------------------------------------------------ *)
+
+let decode_bytes bytes =
+  let fetch i = Char.code bytes.[i] in
+  Decode.decode ~fetch 0
+
+let test_decode_basic () =
+  (* mov 0x18(%ebx),%esi = 8b 73 18 *)
+  let d = decode_bytes "\x8b\x73\x18" in
+  check_int "length" 3 d.Insn.length;
+  (match d.Insn.insn with
+  | Insn.Mov (Insn.S32, Insn.Reg 6, Insn.Mem { base = Some 3; disp = 0x18; _ }) -> ()
+  | _ -> Alcotest.fail "wrong decode");
+  (* the paper's Figure 13 instruction: cmpl $0xdead4ead,0xc0375bc4 *)
+  let d = decode_bytes "\x81\x3d\xc4\x5b\x37\xc0\xad\x4e\xad\xde" in
+  (match d.Insn.insn with
+  | Insn.Alu (Insn.Cmp, Insn.S32, Insn.Mem { base = None; disp = 0xC0375BC4; _ }, Insn.Imm 0xDEAD4EAD)
+    -> ()
+  | _ -> Alcotest.fail "cmpl decode");
+  check_int "cmpl length" 10 d.Insn.length
+
+let test_decode_ud2 () =
+  let d = decode_bytes "\x0f\x0b" in
+  check_bool "ud2" true (d.Insn.insn = Insn.Ud2)
+
+let test_decode_sib () =
+  (* lea 0x5b(%esp,%esi,8),%esp = 8d 64 f4 5b — the corrupted instruction in
+     the paper's Figure 7. *)
+  let d = decode_bytes "\x8d\x64\xf4\x5b" in
+  (match d.Insn.insn with
+  | Insn.Lea (4, { base = Some 4; index = Some (6, 8); disp = 0x5B; _ }) -> ()
+  | _ -> Alcotest.fail "sib decode");
+  check_int "length" 4 d.Insn.length
+
+let test_decode_undefined () =
+  match decode_bytes "\x0f\xff" with
+  | exception Decode.Undefined_opcode -> ()
+  | _ -> Alcotest.fail "expected undefined opcode"
+
+let test_decode_prefixes () =
+  let d = decode_bytes "\x66\xb8\x34\x12" in
+  (match d.Insn.insn with
+  | Insn.Mov (Insn.S16, Insn.Reg 0, Insn.Imm 0x1234) -> ()
+  | _ -> Alcotest.fail "operand-size prefix");
+  check_int "length includes prefix" 4 d.Insn.length;
+  let d = decode_bytes "\x64\x8b\x03" in
+  (match d.Insn.insn with
+  | Insn.Mov (Insn.S32, Insn.Reg 0, Insn.Mem { seg = Some Insn.FS; _ }) -> ()
+  | _ -> Alcotest.fail "fs override")
+
+let test_figure7_resync () =
+  (* Figure 7: original "lea 0xfffffff4(%ebp),%esp; pop %ebx" re-synchronises
+     after a one-bit flip (0x65 -> 0x64) into "lea 0x5b(%esp,%esi,8),%esp",
+     swallowing the pop. *)
+  let original = "\x8d\x65\xf4\x5b\x5e\x5f" in
+  let d0 = decode_bytes original in
+  (match d0.Insn.insn with
+  | Insn.Lea (4, { base = Some 5; disp = 0xFFFFFFF4; index = None; _ }) -> ()
+  | _ -> Alcotest.fail "original lea");
+  check_int "original length" 3 d0.Insn.length;
+  let corrupted = "\x8d\x64\xf4\x5b\x5e\x5f" in
+  let d1 = decode_bytes corrupted in
+  check_int "corrupted swallows pop" 4 d1.Insn.length;
+  (match d1.Insn.insn with
+  | Insn.Lea (4, { base = Some 4; index = Some (6, 8); disp = 0x5B; _ }) -> ()
+  | _ -> Alcotest.fail "corrupted lea")
+
+(* --- encoder round trip -------------------------------------------------- *)
+
+let arbitrary_insn =
+  let open QCheck.Gen in
+  let reg = int_bound 7 in
+  let size = oneofl [ Insn.S8; Insn.S16; Insn.S32 ] in
+  let mem_gen =
+    let* base = opt reg in
+    let* index =
+      frequency
+        [ (3, return None); (1, map (fun r -> Some (r, 4)) (int_bound 7)) ]
+    in
+    let index = match index with Some (4, _) -> None | i -> i in
+    let* disp = oneofl [ 0; 0x18; 0x7F; 0x1234; 0xFFFFFFF4 ] in
+    return { Insn.base; index; disp; seg = None }
+  in
+  let operand_rm = oneof [ map (fun r -> Insn.Reg r) reg; map (fun m -> Insn.Mem m) mem_gen ] in
+  let alu = oneofl Insn.[ Add; Or; Adc; Sbb; And; Sub; Xor; Cmp ] in
+  oneof
+    [
+      (let* op = alu and* s = size and* d = operand_rm and* r = reg in
+       return (Insn.Alu (op, s, d, Insn.Reg r)));
+      (let* op = alu and* s = size and* m = mem_gen and* r = reg in
+       return (Insn.Alu (op, s, Insn.Reg r, Insn.Mem m)));
+      (let* op = alu and* s = size and* d = operand_rm and* v = int_bound 0x7F in
+       return (Insn.Alu (op, s, d, Insn.Imm v)));
+      (let* s = size and* d = operand_rm and* r = reg in
+       return (Insn.Mov (s, d, Insn.Reg r)));
+      (let* s = size and* r = reg and* m = mem_gen in
+       return (Insn.Mov (s, Insn.Reg r, Insn.Mem m)));
+      (let* r = reg and* m = mem_gen in
+       return (Insn.Lea (r, m)));
+      (let* r = reg in
+       return (Insn.Push (Insn.Reg r)));
+      (let* r = reg in
+       return (Insn.Pop (Insn.Reg r)));
+      (let* c = oneofl Insn.[ O; B; E; NE; BE; S; L; LE; G ] and* rel = int_bound 0xFFFF in
+       return (Insn.Jcc (c, rel)));
+      (let* s = size and* d = operand_rm and* k = int_range 1 7 in
+       return (Insn.Shift (Insn.Shl, s, d, Insn.Count_imm k)));
+      return Insn.Ret;
+      return Insn.Leave;
+      return Insn.Ud2;
+      return Insn.Nop;
+      (let* r = reg in
+       return (Insn.Inc (Insn.S32, Insn.Reg r)));
+      (let* r = reg and* m = mem_gen in
+       return (Insn.Movzx (Insn.S8, r, Insn.Mem m)));
+    ]
+
+let prop_encode_decode_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round trip" ~count:1000
+    (QCheck.make arbitrary_insn)
+    (fun i ->
+      let bytes = Encode.insn i in
+      let d = Decode.decode ~fetch:(fun k -> Char.code bytes.[k]) 0 in
+      d.Insn.length = String.length bytes
+      &&
+      (* Compare modulo immediate/displacement masking per operand size. *)
+      Disasm.insn d.Insn.insn = Disasm.insn i)
+
+let prop_decode_disasm_total =
+  (* any byte string either raises Undefined_opcode or yields an instruction
+     the disassembler can render — the crash-dump path must never fail *)
+  QCheck.Test.make ~name:"decode+disasm never crash on random bytes" ~count:2000
+    QCheck.(string_of_size (QCheck.Gen.int_range 15 20))
+    (fun bytes ->
+      match Decode.decode ~fetch:(fun i -> Char.code bytes.[i mod String.length bytes]) 0 with
+      | exception Decode.Undefined_opcode -> true
+      | exception Invalid_argument _ -> true
+      | d -> String.length (Disasm.insn d.Insn.insn) > 0 && d.Insn.length >= 1 && d.Insn.length <= 15)
+
+let prop_decode_length_positive =
+  QCheck.Test.make ~name:"decoded length consumes the stream" ~count:2000
+    QCheck.(string_of_size (QCheck.Gen.return 15))
+    (fun bytes ->
+      match Decode.decode ~fetch:(fun i -> Char.code bytes.[i mod 15]) 0 with
+      | exception _ -> true
+      | d -> d.Insn.length > 0)
+
+(* --- interpreter semantics ----------------------------------------------- *)
+
+let test_exec_arith () =
+  let open Insn in
+  let cpu, r =
+    run_insns
+      [
+        Mov (S32, Reg 0, Imm 10);
+        Mov (S32, Reg 3, Imm 32);
+        Alu (Add, S32, Reg 0, Reg 3);
+      ]
+  in
+  expect_stopped (cpu, r);
+  check_int "add result" 42 cpu.Cpu.regs.(0)
+
+let test_exec_flags_and_jcc () =
+  let open Insn in
+  (* if (5 - 5 == 0) eax = 1 else eax = 2 — via cmp/jne *)
+  let cpu, r =
+    run_insns
+      [
+        Mov (S32, Reg 1, Imm 5);
+        Alu (Cmp, S32, Reg 1, Imm 5);
+        Jcc (NE, Encode.length (Mov (S32, Reg 0, Imm 1)) + Encode.length (Jmp_rel 0));
+        Mov (S32, Reg 0, Imm 1);
+        Jmp_rel (Encode.length (Mov (S32, Reg 0, Imm 2)));
+        Mov (S32, Reg 0, Imm 2);
+      ]
+  in
+  expect_stopped (cpu, r);
+  check_int "taken branch" 1 cpu.Cpu.regs.(0)
+
+let test_exec_memory_and_subword () =
+  let open Insn in
+  let data = 0xC0400000 in
+  let cpu, r =
+    run_insns
+      [
+        Mov (S32, Reg 3, Imm data);
+        Mov (S32, Mem (mem ~base:3 0), Imm 0x11223344);
+        Mov (S8, Reg 1, Mem (mem ~base:3 1));  (* cl = 0x33 (little endian) *)
+        Movzx (S16, 2, Mem (mem ~base:3 0));  (* edx = 0x3344 *)
+      ]
+  in
+  expect_stopped (cpu, r);
+  check_int "byte load" 0x33 (cpu.Cpu.regs.(1) land 0xFF);
+  check_int "movzx16" 0x3344 cpu.Cpu.regs.(2)
+
+let test_exec_push_pop_call () =
+  let open Insn in
+  let body = [ Mov (S32, Reg 0, Imm 7); Push (Reg 0); Pop (Reg 2) ] in
+  let cpu, r = run_insns body in
+  expect_stopped (cpu, r);
+  check_int "pop" 7 cpu.Cpu.regs.(2);
+  (* the final RET consumed the stop address the harness pushed *)
+  check_int "esp balanced" stack_top cpu.Cpu.regs.(Cpu.esp)
+
+let test_exec_div_by_zero () =
+  let open Insn in
+  let _, r = run_insns [ Mov (S32, Reg 0, Imm 1); Mov (S32, Reg 1, Imm 0); Grp3 (Div, S32, Reg 1) ] in
+  match r with
+  | Cpu.Faulted Exn.Divide_error -> ()
+  | _ -> Alcotest.fail "expected #DE"
+
+let test_exec_null_deref () =
+  let open Insn in
+  let _, r = run_insns [ Mov (S32, Reg 0, Imm 8); Mov (S32, Reg 1, Mem (mem ~base:0 0)) ] in
+  match r with
+  | Cpu.Faulted (Exn.Page_fault { addr = 8; write = false; _ }) -> ()
+  | _ -> Alcotest.fail "expected #PF at 8"
+
+let test_exec_write_to_code () =
+  let open Insn in
+  let _, r =
+    run_insns [ Mov (S32, Reg 0, Imm code_base); Mov (S32, Mem (mem ~base:0 0), Imm 1) ]
+  in
+  match r with
+  | Cpu.Faulted (Exn.General_protection _) -> ()
+  | _ -> Alcotest.fail "expected #GP on write to text"
+
+let test_exec_ud2 () =
+  let _, r = run_insns [ Insn.Ud2 ] in
+  match r with
+  | Cpu.Faulted Exn.Invalid_opcode -> ()
+  | _ -> Alcotest.fail "expected #UD"
+
+let test_exec_bound () =
+  let open Insn in
+  let data = 0xC0400000 in
+  let _, r =
+    run_insns
+      [
+        Mov (S32, Reg 3, Imm data);
+        Mov (S32, Mem (mem ~base:3 0), Imm 0);
+        Mov (S32, Mem (mem ~base:3 4), Imm 10);
+        Mov (S32, Reg 0, Imm 50);
+        Bound (0, mem ~base:3 0);
+      ]
+  in
+  match r with
+  | Cpu.Faulted Exn.Bounds -> ()
+  | _ -> Alcotest.fail "expected #BR"
+
+let test_exec_iret_nt () =
+  let open Insn in
+  (* Setting NT then IRET must raise #TS (the paper's EFLAGS.NT scenario). *)
+  let cpu = machine_of_bytes (assemble [ Iret ]) in
+  Cpu.push32 cpu 0x202;  (* eflags *)
+  Cpu.push32 cpu Cpu.selector_kernel_cs;
+  Cpu.push32 cpu stop_addr;
+  Cpu.setf cpu Cpu.flag_nt true;
+  (match run cpu with
+  | Cpu.Faulted Exn.Invalid_tss -> ()
+  | _ -> Alcotest.fail "expected #TS")
+
+let test_exec_iret_ok () =
+  let open Insn in
+  let cpu = machine_of_bytes (assemble [ Iret ]) in
+  Cpu.push32 cpu 0x202;
+  Cpu.push32 cpu Cpu.selector_kernel_cs;
+  Cpu.push32 cpu stop_addr;
+  (match run cpu with
+  | Cpu.Stopped -> ()
+  | Cpu.Faulted e -> Alcotest.failf "fault: %s" (Exn.to_string e)
+  | _ -> Alcotest.fail "no stop")
+
+let test_exec_rep_movs () =
+  let open Insn in
+  let data = 0xC0400000 in
+  let cpu = machine_of_bytes
+      (assemble
+         [
+           Mov (S32, Reg Cpu.esi, Imm data);
+           Mov (S32, Reg Cpu.edi, Imm (data + 0x100));
+           Mov (S32, Reg Cpu.ecx, Imm 0x40);
+         ]
+      ^ Encode.insn ~rep:true (Movs S32)
+      ^ Encode.insn Ret)
+  in
+  Cpu.push32 cpu stop_addr;
+  Memory.poke32_le cpu.Cpu.mem (data + 0x3C) 0xABCD1234;
+  (match run cpu with
+  | Cpu.Stopped -> ()
+  | _ -> Alcotest.fail "rep movs did not finish");
+  check_int "copied" 0xABCD1234 (Memory.peek32_le cpu.Cpu.mem (data + 0x100 + 0x3C));
+  check_int "ecx drained" 0 cpu.Cpu.regs.(Cpu.ecx)
+
+let test_breakpoints () =
+  let open Insn in
+  let code = assemble [ Nop; Mov (S32, Reg 0, Imm 5); Ret ] in
+  let cpu = machine_of_bytes code in
+  Cpu.push32 cpu stop_addr;
+  Debug_regs.set_instruction_bp cpu.Cpu.dr (code_base + 1);
+  (match Cpu.step cpu with
+  | Cpu.Retired -> ()
+  | _ -> Alcotest.fail "nop should retire");
+  (match Cpu.step cpu with
+  | Cpu.Hit_ibp -> ()
+  | _ -> Alcotest.fail "expected ibp before mov");
+  check_int "nothing executed" 0 cpu.Cpu.regs.(0);
+  (match Cpu.step ~skip_ibp:true cpu with
+  | Cpu.Retired -> ()
+  | _ -> Alcotest.fail "skip_ibp executes");
+  check_int "mov executed" 5 cpu.Cpu.regs.(0)
+
+let test_data_breakpoint_after_access () =
+  let open Insn in
+  let data = 0xC0400000 in
+  let code = assemble [ Mov (S32, Reg 3, Imm data); Mov (S32, Reg 0, Mem (mem ~base:3 0)); Ret ] in
+  let cpu = machine_of_bytes code in
+  Cpu.push32 cpu stop_addr;
+  Memory.poke32_le cpu.Cpu.mem data 99;
+  Debug_regs.set_data_bp cpu.Cpu.dr ~addr:data ~len:4;
+  (match Cpu.step cpu with Cpu.Retired -> () | _ -> Alcotest.fail "mov imm");
+  (match Cpu.step cpu with
+  | Cpu.Hit_dbp { is_write = false; addr } ->
+    check_int "watch addr" data addr;
+    check_int "load completed before report" 99 cpu.Cpu.regs.(0)
+  | _ -> Alcotest.fail "expected dbp after load")
+
+let test_sysreg_cr3_latent () =
+  (* A flipped CR3 register is shielded by the TLB: no immediate effect. *)
+  let open Insn in
+  let cpu = machine_of_bytes (assemble [ Mov (S32, Reg 0, Imm 0xC0400000); Mov (S32, Reg 1, Mem (mem ~base:0 0)); Ret ]) in
+  Cpu.push32 cpu stop_addr;
+  let cr3 = Array.to_list Cpu.system_registers |> List.find (fun s -> s.Cpu.sr_name = "CR3") in
+  cr3.Cpu.sr_set cpu (cr3.Cpu.sr_get cpu lxor 0x1000);
+  (match run cpu with
+  | Cpu.Stopped -> ()
+  | _ -> Alcotest.fail "register flip in CR3 must stay latent")
+
+let test_mov_cr3_poisons () =
+  (* An explicit MOV to CR3 (a TLB flush) with a corrupt base does fault. *)
+  let open Insn in
+  let cpu =
+    machine_of_bytes
+      (assemble
+         [
+           Mov_from_cr (3, 0);
+           Alu (Xor, S32, Reg 0, Imm 0x1000);
+           Mov_to_cr (3, 0);
+           Mov (S32, Reg 2, Imm 0xC0400000);
+           Mov (S32, Reg 1, Mem (mem ~base:2 0));
+           Ret;
+         ])
+  in
+  Cpu.push32 cpu stop_addr;
+  (match run cpu with
+  | Cpu.Faulted (Exn.Page_fault _) -> ()
+  | _ -> Alcotest.fail "reloaded corrupt CR3 must fault")
+
+let test_sysreg_count () =
+  check_bool "about 20 P4 system registers" true
+    (Array.length Cpu.system_registers >= 16 && Array.length Cpu.system_registers <= 24)
+
+let test_idtr_double_fault () =
+  let open Insn in
+  let cpu = machine_of_bytes (assemble [ Ud2; Ret ]) in
+  Cpu.push32 cpu stop_addr;
+  let idtr = Array.to_list Cpu.system_registers |> List.find (fun s -> s.Cpu.sr_name = "IDTR") in
+  idtr.Cpu.sr_set cpu (idtr.Cpu.sr_get cpu lxor 1);
+  (match run cpu with
+  | Cpu.Faulted Exn.Double_fault -> ()
+  | _ -> Alcotest.fail "corrupt IDTR must double fault")
+
+let test_cycle_accounting () =
+  let open Insn in
+  let cpu, r = run_insns [ Nop; Nop; Nop ] in
+  expect_stopped (cpu, r);
+  check_int "instructions" 4 cpu.Cpu.counters.Counters.instructions;
+  check_bool "cycles >= instructions" true
+    (cpu.Cpu.counters.Counters.cycles >= cpu.Cpu.counters.Counters.instructions)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ferrite_cisc"
+    [
+      ( "decode",
+        [
+          Alcotest.test_case "basic" `Quick test_decode_basic;
+          Alcotest.test_case "ud2" `Quick test_decode_ud2;
+          Alcotest.test_case "sib" `Quick test_decode_sib;
+          Alcotest.test_case "undefined" `Quick test_decode_undefined;
+          Alcotest.test_case "prefixes" `Quick test_decode_prefixes;
+          Alcotest.test_case "figure 7 resync" `Quick test_figure7_resync;
+          q prop_encode_decode_roundtrip;
+          q prop_decode_disasm_total;
+          q prop_decode_length_positive;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "arith" `Quick test_exec_arith;
+          Alcotest.test_case "flag vectors" `Quick test_flags_add_sub_vectors;
+          Alcotest.test_case "logic clears cf/of" `Quick test_flags_logic_clear_cf_of;
+          Alcotest.test_case "inc preserves cf" `Quick test_flags_inc_preserves_cf;
+          Alcotest.test_case "AH subregister" `Quick test_subword_registers_ah;
+          Alcotest.test_case "flags+jcc" `Quick test_exec_flags_and_jcc;
+          Alcotest.test_case "memory subword" `Quick test_exec_memory_and_subword;
+          Alcotest.test_case "push/pop" `Quick test_exec_push_pop_call;
+          Alcotest.test_case "divide error" `Quick test_exec_div_by_zero;
+          Alcotest.test_case "null deref" `Quick test_exec_null_deref;
+          Alcotest.test_case "write to text" `Quick test_exec_write_to_code;
+          Alcotest.test_case "ud2 faults" `Quick test_exec_ud2;
+          Alcotest.test_case "bound" `Quick test_exec_bound;
+          Alcotest.test_case "iret NT -> #TS" `Quick test_exec_iret_nt;
+          Alcotest.test_case "iret ok" `Quick test_exec_iret_ok;
+          Alcotest.test_case "rep movs" `Quick test_exec_rep_movs;
+          Alcotest.test_case "cycles" `Quick test_cycle_accounting;
+        ] );
+      ( "debug+sysregs",
+        [
+          Alcotest.test_case "instruction bp" `Quick test_breakpoints;
+          Alcotest.test_case "data bp after access" `Quick test_data_breakpoint_after_access;
+          Alcotest.test_case "cr3 register flip latent" `Quick test_sysreg_cr3_latent;
+          Alcotest.test_case "mov cr3 poisons" `Quick test_mov_cr3_poisons;
+          Alcotest.test_case "sysreg count" `Quick test_sysreg_count;
+          Alcotest.test_case "idtr double fault" `Quick test_idtr_double_fault;
+        ] );
+    ]

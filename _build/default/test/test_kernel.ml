@@ -1,0 +1,398 @@
+(* Tests for the miniature kernel: boot, the mailbox syscall path on both
+   platforms (with cross-ISA agreement), subsystem behaviours (buffer cache,
+   journal, net queues, scheduler) and the fault paths the injection study
+   relies on (BUG on corrupted locks, panic on double free, stack wrapper). *)
+
+open Ferrite_kernel
+module Image = Ferrite_kir.Image
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- shared syscall driver ---------------------------------------------- *)
+
+let slot_base sys = System.symbol sys "mailbox"
+let slot sys w = slot_base sys + (w * 28)
+let ubuf sys w = System.symbol sys "user_buffers" + (w * Abi.user_buf_size)
+
+let syscall ?(budget = 3_000_000) sys w ~nr ~a0 ~a1 ~a2 ~a3 =
+  let s = slot sys w in
+  System.poke32 sys (s + 4) nr;
+  System.poke32 sys (s + 8) a0;
+  System.poke32 sys (s + 12) a1;
+  System.poke32 sys (s + 16) a2;
+  System.poke32 sys (s + 20) a3;
+  System.poke32 sys s Abi.req_pending;
+  let rec go n =
+    if n = 0 then Alcotest.fail "syscall timed out"
+    else
+      match System.step sys with
+      | System.Faulted f ->
+        Alcotest.failf "unexpected kernel fault: %s"
+          (match f with
+          | System.Cisc_fault e -> Ferrite_cisc.Exn.to_string e
+          | System.Risc_fault e -> Ferrite_risc.Exn.to_string e)
+      | _ ->
+        if n land 255 = 0 && System.peek32 sys s = Abi.req_done then begin
+          System.poke32 sys s Abi.req_empty;
+          System.peek32 sys (s + 24)
+        end
+        else go (n - 1)
+  in
+  go budget
+
+let poke_bytes sys addr bytes =
+  Bytes.iteri (fun i c -> System.poke8 sys (addr + i) (Char.code c)) bytes
+
+let peek_bytes sys addr len = Bytes.init len (fun i -> Char.chr (System.peek8 sys (addr + i)))
+
+let both f =
+  f (Boot.boot Image.Cisc);
+  f (Boot.boot Image.Risc)
+
+(* --- boot ---------------------------------------------------------------- *)
+
+let test_boot_both () =
+  both (fun sys ->
+      check_bool "jiffies advanced" true (System.global sys "jiffies" >= 1);
+      check_bool "current is a valid task" true (System.current_task_index sys <> None))
+
+let test_task_structs_on_stacks () =
+  both (fun sys ->
+      for i = 0 to Abi.ntasks - 1 do
+        let addr = System.task_struct_addr sys i in
+        let lo, hi = System.task_stack_range sys i in
+        check_bool "task struct inside its stack" true (addr >= lo && addr < hi);
+        check_int "pid" i (System.task_field sys i "pid");
+        check_int "stack_lo field" lo (System.task_field sys i "stack_lo")
+      done)
+
+let test_boot_deterministic () =
+  let a = Boot.boot Image.Cisc and b = Boot.boot Image.Cisc in
+  check_int "same instruction count"
+    (System.counters a).Ferrite_machine.Counters.instructions
+    (System.counters b).Ferrite_machine.Counters.instructions
+
+(* --- syscalls ------------------------------------------------------------- *)
+
+let test_getpid () =
+  both (fun sys ->
+      for w = 0 to Abi.nworkers - 1 do
+        check_int "pid = first_worker + w" (Abi.first_worker + w)
+          (syscall sys w ~nr:Abi.sys_getpid ~a0:0 ~a1:0 ~a2:0 ~a3:0)
+      done)
+
+let test_file_roundtrip () =
+  both (fun sys ->
+      let payload = Bytes.init 300 (fun i -> Char.chr ((i * 13 + 5) land 0xFF)) in
+      poke_bytes sys (ubuf sys 0) payload;
+      let fd = syscall sys 0 ~nr:Abi.sys_open ~a0:0 ~a1:0 ~a2:0 ~a3:0 in
+      check_int "open" 0 fd;
+      check_int "write" 300
+        (syscall sys 0 ~nr:Abi.sys_write ~a0:fd ~a1:(ubuf sys 0) ~a2:300 ~a3:0);
+      (* clear then read back *)
+      poke_bytes sys (ubuf sys 1) (Bytes.make 300 '\000');
+      check_int "read" 300
+        (syscall sys 1 ~nr:Abi.sys_read ~a0:fd ~a1:(ubuf sys 1) ~a2:300 ~a3:0);
+      check_bool "payload identical" true (peek_bytes sys (ubuf sys 1) 300 = payload))
+
+let test_file_read_clamps_to_size () =
+  both (fun sys ->
+      let _ = syscall sys 0 ~nr:Abi.sys_open ~a0:2 ~a1:0 ~a2:0 ~a3:0 in
+      let _ = syscall sys 0 ~nr:Abi.sys_write ~a0:2 ~a1:(ubuf sys 0) ~a2:64 ~a3:0 in
+      check_int "read clamps to file size" 64
+        (syscall sys 0 ~nr:Abi.sys_read ~a0:2 ~a1:(ubuf sys 0) ~a2:500 ~a3:0))
+
+let test_bad_fd_rejected () =
+  both (fun sys ->
+      check_int "read of bad fd" 0xFFFFFFFF
+        (syscall sys 0 ~nr:Abi.sys_read ~a0:99 ~a1:(ubuf sys 0) ~a2:10 ~a3:0))
+
+let test_unknown_syscall () =
+  both (fun sys ->
+      check_int "-ENOSYS" 0xFFFFFFDA (syscall sys 0 ~nr:77 ~a0:0 ~a1:0 ~a2:0 ~a3:0))
+
+let test_send_recv () =
+  both (fun sys ->
+      let payload = Bytes.init 120 (fun i -> Char.chr ((i * 7) land 0xFF)) in
+      poke_bytes sys (ubuf sys 2) payload;
+      check_int "send" 120
+        (syscall sys 2 ~nr:Abi.sys_send ~a0:(ubuf sys 2) ~a1:120 ~a2:0 ~a3:0);
+      poke_bytes sys (ubuf sys 3) (Bytes.make 120 '\000');
+      check_int "recv" 120 (syscall sys 3 ~nr:Abi.sys_recv ~a0:(ubuf sys 3) ~a1:0 ~a2:0 ~a3:0);
+      check_bool "payload through the stack" true (peek_bytes sys (ubuf sys 3) 120 = payload);
+      check_int "tx counter" 1 (System.global sys "net_tx_packets");
+      check_int "rx counter" 1 (System.global sys "net_rx_packets"))
+
+let test_recv_empty_queue () =
+  both (fun sys ->
+      check_int "recv on empty queue" 0xFFFFFFFF
+        (syscall sys 0 ~nr:Abi.sys_recv ~a0:(ubuf sys 0) ~a1:0 ~a2:0 ~a3:0))
+
+let test_checksum_cross_isa () =
+  (* the same bytes must checksum identically on both kernels and match the
+     host golden model *)
+  let payload = Bytes.init 99 (fun i -> Char.chr ((i * 31 + 7) land 0xFF)) in
+  let expected = Ferrite_workload.Golden.checksum_bytes payload in
+  both (fun sys ->
+      poke_bytes sys (ubuf sys 0) payload;
+      check_int "kchecksum = golden" expected
+        (syscall sys 0 ~nr:Abi.sys_checksum ~a0:(ubuf sys 0) ~a1:99 ~a2:0 ~a3:0))
+
+let test_mem_small_and_large () =
+  both (fun sys ->
+      check_int "kmalloc-path checksum"
+        (Ferrite_workload.Golden.mem_pattern_checksum 200)
+        (syscall sys 0 ~nr:Abi.sys_mem ~a0:200 ~a1:0 ~a2:0 ~a3:0);
+      (* > 1024 goes through alloc_pages/free_pages_ok *)
+      check_int "buddy-path checksum"
+        (Ferrite_workload.Golden.mem_pattern_checksum 3000)
+        (syscall sys 0 ~nr:Abi.sys_mem ~a0:3000 ~a1:0 ~a2:0 ~a3:0);
+      let free0 = System.global sys "nr_free_pages" in
+      let _ = syscall sys 0 ~nr:Abi.sys_mem ~a0:3000 ~a1:0 ~a2:0 ~a3:0 in
+      check_int "buddy pages returned" free0 (System.global sys "nr_free_pages"))
+
+let test_close_and_stat () =
+  both (fun sys ->
+      let _ = syscall sys 0 ~nr:Abi.sys_open ~a0:3 ~a1:0 ~a2:0 ~a3:0 in
+      let _ = syscall sys 0 ~nr:Abi.sys_write ~a0:3 ~a1:(ubuf sys 0) ~a2:77 ~a3:0 in
+      check_int "stat returns size" 77 (syscall sys 0 ~nr:Abi.sys_stat ~a0:3 ~a1:0 ~a2:0 ~a3:0);
+      check_int "close ok" 0 (syscall sys 0 ~nr:Abi.sys_close ~a0:3 ~a1:0 ~a2:0 ~a3:0);
+      check_int "stat after close fails" 0xFFFFFFFF
+        (syscall sys 0 ~nr:Abi.sys_stat ~a0:3 ~a1:0 ~a2:0 ~a3:0);
+      check_int "double close fails" 0xFFFFFFFF
+        (syscall sys 0 ~nr:Abi.sys_close ~a0:3 ~a1:0 ~a2:0 ~a3:0))
+
+let test_nanosleep_advances_time () =
+  both (fun sys ->
+      let j0 = System.global sys "jiffies" in
+      let r = syscall sys 0 ~nr:Abi.sys_nanosleep ~a0:3 ~a1:0 ~a2:0 ~a3:0 in
+      check_int "slept to completion" 0 r;
+      check_bool "jiffies advanced by >= 3" true (System.global sys "jiffies" >= j0 + 3))
+
+let test_kupdate_flushes_to_disk () =
+  both (fun sys ->
+      let payload = Bytes.init 100 (fun i -> Char.chr (i land 0xFF)) in
+      poke_bytes sys (ubuf sys 0) payload;
+      let fd = syscall sys 0 ~nr:Abi.sys_open ~a0:5 ~a1:0 ~a2:0 ~a3:0 in
+      let _ = syscall sys 0 ~nr:Abi.sys_write ~a0:fd ~a1:(ubuf sys 0) ~a2:100 ~a3:0 in
+      (* let kupdate run: sleep well past its 5-tick interval *)
+      let _ = syscall sys 1 ~nr:Abi.sys_nanosleep ~a0:8 ~a1:0 ~a2:0 ~a3:0 in
+      let disk = System.symbol sys "disk" in
+      (* inode 5 owns blocks 40..47; block 40 holds the first 256 bytes *)
+      let on_disk = peek_bytes sys (disk + (40 * Abi.block_size)) 100 in
+      check_bool "dirty buffer written back by kupdate" true (on_disk = payload))
+
+let test_journal_commits () =
+  both (fun sys ->
+      let j = System.symbol sys "the_journal" in
+      let seq_off =
+        let sl =
+          Ferrite_kir.Layout.layout_struct (Image.mode_of_arch sys.System.arch)
+            Abi.journal_struct
+        in
+        (Ferrite_kir.Layout.field_of sl "j_commit_seq").Ferrite_kir.Layout.fl_offset
+      in
+      let seq0 = System.peek32 sys (j + seq_off) in
+      let _ = syscall sys 0 ~nr:Abi.sys_open ~a0:1 ~a1:0 ~a2:0 ~a3:0 in
+      let _ = syscall sys 0 ~nr:Abi.sys_write ~a0:1 ~a1:(ubuf sys 0) ~a2:64 ~a3:0 in
+      (* sleep past the transaction expiry (8 ticks) so kjournald commits *)
+      let _ = syscall sys 1 ~nr:Abi.sys_nanosleep ~a0:14 ~a1:0 ~a2:0 ~a3:0 in
+      check_bool "journal committed" true (System.peek32 sys (j + seq_off) > seq0))
+
+let test_scheduler_fairness () =
+  both (fun sys ->
+      (* run all four workers; each must make progress *)
+      for w = 0 to Abi.nworkers - 1 do
+        let r = syscall sys w ~nr:Abi.sys_getpid ~a0:0 ~a1:0 ~a2:0 ~a3:0 in
+        check_int "worker alive" (Abi.first_worker + w) r
+      done;
+      (* context switches happened on the way *)
+      let total =
+        List.fold_left (fun acc i -> acc + System.task_field sys i "nswitches") 0
+          (List.init Abi.ntasks Fun.id)
+      in
+      check_bool "context switches recorded" true (total > 4))
+
+(* --- fault paths ----------------------------------------------------------- *)
+
+let run_to_fault sys budget =
+  let rec go n =
+    if n = 0 then None
+    else match System.step sys with System.Faulted f -> Some f | _ -> go (n - 1)
+  in
+  go budget
+
+let test_corrupted_lock_magic_bug () =
+  (* Figure 13: corrupting the BKL magic makes the next syscall BUG out *)
+  let sys = Boot.boot Image.Cisc in
+  let lock = System.symbol sys "kernel_flag" in
+  System.poke32 sys lock 0x0EAD4EAD;
+  let s = slot sys 0 in
+  System.poke32 sys (s + 4) Abi.sys_getpid;
+  System.poke32 sys s Abi.req_pending;
+  (match run_to_fault sys 2_000_000 with
+  | Some (System.Cisc_fault Ferrite_cisc.Exn.Invalid_opcode) -> ()
+  | Some f ->
+    Alcotest.failf "wrong fault: %s"
+      (match f with System.Cisc_fault e -> Ferrite_cisc.Exn.to_string e | _ -> "risc?")
+  | None -> Alcotest.fail "no fault")
+
+let test_corrupted_lock_magic_trap_g4 () =
+  let sys = Boot.boot Image.Risc in
+  let lock = System.symbol sys "kernel_flag" in
+  System.poke32 sys lock 0x0EAD4EAD;
+  let s = slot sys 0 in
+  System.poke32 sys (s + 4) Abi.sys_getpid;
+  System.poke32 sys s Abi.req_pending;
+  (match run_to_fault sys 2_000_000 with
+  | Some (System.Risc_fault Ferrite_risc.Exn.Program_trap) -> ()
+  | Some _ -> Alcotest.fail "wrong fault kind"
+  | None -> Alcotest.fail "no fault")
+
+let test_stuck_lock_hangs () =
+  (* a lock that appears held on this UP kernel is corruption: the waiter
+     spins, which the watchdog must observe as zero syscall progress *)
+  both (fun sys ->
+      (* the fd must exist, or sys_write bails before touching the lock *)
+      let _ = syscall sys 0 ~nr:Abi.sys_open ~a0:0 ~a1:0 ~a2:0 ~a3:0 in
+      let lock = System.symbol sys "buffer_lock" in
+      (* locked byte: slot 1 on both layouts; value byte position differs *)
+      let sl =
+        Ferrite_kir.Layout.layout_struct (Image.mode_of_arch sys.System.arch)
+          Abi.spinlock_struct
+      in
+      let off = (Ferrite_kir.Layout.field_of sl "locked").Ferrite_kir.Layout.fl_offset in
+      System.poke8 sys (lock + off) 1;
+      let s = slot sys 0 in
+      System.poke32 sys (s + 4) Abi.sys_write;
+      System.poke32 sys (s + 8) 0;
+      System.poke32 sys (s + 12) (ubuf sys 0);
+      System.poke32 sys (s + 16) 32;
+      System.poke32 sys s Abi.req_pending;
+      let rec go n =
+        if n = 0 then ()  (* hung, as expected *)
+        else
+          match System.step sys with
+          | System.Faulted _ -> Alcotest.fail "should spin, not fault"
+          | _ ->
+            if System.peek32 sys s = Abi.req_done then
+              Alcotest.fail "write completed through a held lock"
+            else go (n - 1)
+      in
+      go 400_000)
+
+let test_variants_boot_and_serve () =
+  (* every ablation/extension build must boot and serve syscalls on both
+     architectures *)
+  let variants =
+    [
+      ("p4-wrapper", { Boot.standard with Boot.v_p4_wrapper = true });
+      ("assertions", { Boot.standard with Boot.v_assertions = true });
+      ("packed", { Boot.standard with Boot.v_mode = Some Ferrite_kir.Layout.Packed });
+      ("widened", { Boot.standard with Boot.v_mode = Some Ferrite_kir.Layout.Widened });
+      ("no-g4-wrapper", { Boot.standard with Boot.v_g4_wrapper = false });
+      ("no-promote", { Boot.standard with Boot.v_promote = Some 0 });
+    ]
+  in
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun (name, variant) ->
+          let sys = Boot.boot ~image:(Boot.build_image ~variant arch) arch in
+          check_int (name ^ " getpid") Abi.first_worker
+            (syscall sys 0 ~nr:Abi.sys_getpid ~a0:0 ~a1:0 ~a2:0 ~a3:0))
+        variants)
+    [ Image.Cisc; Image.Risc ]
+
+let test_hardened_build_detects_corruption () =
+  (* corrupt a task state to a nonsense value: the hardened scheduler must
+     panic with the assertion code, the stock one keeps running *)
+  let run assertions =
+    let variant = { Boot.standard with Boot.v_assertions = assertions } in
+    let sys = Boot.boot ~image:(Boot.build_image ~variant Image.Cisc) Image.Cisc in
+    (* state byte of the idle task -> garbage *)
+    let sl =
+      Ferrite_kir.Layout.layout_struct sys.System.image.Ferrite_kir.Image.img_mode
+        Abi.task_struct
+    in
+    let off = (Ferrite_kir.Layout.field_of sl "state").Ferrite_kir.Layout.fl_offset in
+    System.poke8 sys (System.task_struct_addr sys 1 + off) 0x40;
+    let s = slot sys 0 in
+    System.poke32 sys (s + 4) Abi.sys_yield;
+    System.poke32 sys s Abi.req_pending;
+    let rec go n =
+      if n = 0 then `Survived
+      else
+        match System.step sys with
+        | System.Faulted _ -> `Faulted (System.global sys "panic_code")
+        | _ -> go (n - 1)
+    in
+    go 400_000
+  in
+  (match run true with
+  | `Faulted code -> check_int "assertion panic code" Abi.panic_assertion code
+  | `Survived -> Alcotest.fail "hardened build must detect the corrupt state");
+  (match run false with
+  | `Survived -> ()
+  | `Faulted _ -> Alcotest.fail "stock build should tolerate this corruption")
+
+let test_g4_wrapper_detects_wild_sp () =
+  let sys = Boot.boot Image.Risc in
+  (match sys.System.cpu with
+  | System.Rcpu cpu ->
+    (* wreck r1 mid-run, then force a syscall: the veneer wrapper traps *)
+    cpu.Ferrite_risc.Cpu.gpr.(1) <- 0xC0300000;
+    let s = slot sys 0 in
+    System.poke32 sys (s + 4) Abi.sys_getpid;
+    System.poke32 sys s Abi.req_pending;
+    (match run_to_fault sys 2_000_000 with
+    | Some f ->
+      (match Ferrite_injection.Crash_cause.classify sys f with
+      | Some (Ferrite_injection.Crash_cause.G4 Ferrite_injection.Crash_cause.Stack_overflow) -> ()
+      | Some c ->
+        Alcotest.failf "classified as %s" (Ferrite_injection.Crash_cause.label c)
+      | None -> Alcotest.fail "no classification")
+    | None -> Alcotest.fail "no fault")
+  | _ -> assert false)
+
+let () =
+  Alcotest.run "ferrite_kernel"
+    [
+      ( "boot",
+        [
+          Alcotest.test_case "boots on both" `Quick test_boot_both;
+          Alcotest.test_case "task structs on stacks" `Quick test_task_structs_on_stacks;
+          Alcotest.test_case "deterministic boot" `Quick test_boot_deterministic;
+        ] );
+      ( "syscalls",
+        [
+          Alcotest.test_case "getpid" `Quick test_getpid;
+          Alcotest.test_case "file round trip" `Quick test_file_roundtrip;
+          Alcotest.test_case "read clamps" `Quick test_file_read_clamps_to_size;
+          Alcotest.test_case "bad fd" `Quick test_bad_fd_rejected;
+          Alcotest.test_case "unknown syscall" `Quick test_unknown_syscall;
+          Alcotest.test_case "send/recv" `Quick test_send_recv;
+          Alcotest.test_case "recv empty" `Quick test_recv_empty_queue;
+          Alcotest.test_case "checksum cross-ISA" `Quick test_checksum_cross_isa;
+          Alcotest.test_case "mem small+buddy" `Quick test_mem_small_and_large;
+          Alcotest.test_case "close/stat" `Quick test_close_and_stat;
+          Alcotest.test_case "nanosleep" `Quick test_nanosleep_advances_time;
+        ] );
+      ( "subsystems",
+        [
+          Alcotest.test_case "kupdate flushes" `Quick test_kupdate_flushes_to_disk;
+          Alcotest.test_case "journal commits" `Quick test_journal_commits;
+          Alcotest.test_case "scheduler fairness" `Quick test_scheduler_fairness;
+        ] );
+      ( "fault paths",
+        [
+          Alcotest.test_case "lock magic -> ud2 (P4)" `Quick test_corrupted_lock_magic_bug;
+          Alcotest.test_case "lock magic -> trap (G4)" `Quick test_corrupted_lock_magic_trap_g4;
+          Alcotest.test_case "held lock -> hang" `Quick test_stuck_lock_hangs;
+          Alcotest.test_case "G4 wrapper: wild sp" `Quick test_g4_wrapper_detects_wild_sp;
+          Alcotest.test_case "all variants serve syscalls" `Quick test_variants_boot_and_serve;
+          Alcotest.test_case "hardened build detects corruption" `Quick
+            test_hardened_build_detects_corruption;
+        ] );
+    ]

@@ -1,0 +1,592 @@
+(* Tests for the KIR compiler: layout, builder, both backends, the linker —
+   and above all *differential execution*: every test program is compiled to
+   both ISAs, run on both simulators, and must produce identical results.
+   The kernel's cross-platform identity rests on this property. *)
+
+open Ferrite_machine
+module Ir = Ferrite_kir.Ir
+module B = Ferrite_kir.Builder
+module Layout = Ferrite_kir.Layout
+module Linker = Ferrite_kir.Linker
+module Image = Ferrite_kir.Image
+module Cisc_backend = Ferrite_kir.Cisc_backend
+module Risc_backend = Ferrite_kir.Risc_backend
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Layout ---------- *)
+
+let demo_struct =
+  Ir.struct_decl "demo"
+    [
+      Ir.field "a" Ir.U8 ~init:0x11;
+      Ir.field "b" Ir.U16 ~init:0x2233;
+      Ir.field "c" Ir.U32 ~init:0x44556677;
+      Ir.field "d" Ir.U8 ~init:0x88;
+    ]
+
+let test_layout_packed () =
+  let sl = Layout.layout_struct Layout.Packed demo_struct in
+  check_int "a at 0" 0 (Layout.field_of sl "a").Layout.fl_offset;
+  check_int "b aligned to 2" 2 (Layout.field_of sl "b").Layout.fl_offset;
+  check_int "c aligned to 4" 4 (Layout.field_of sl "c").Layout.fl_offset;
+  check_int "d packs after" 8 (Layout.field_of sl "d").Layout.fl_offset;
+  check_int "size rounded to 4" 12 sl.Layout.sl_size
+
+let test_layout_widened () =
+  let sl = Layout.layout_struct Layout.Widened demo_struct in
+  check_int "a slot 0" 0 (Layout.field_of sl "a").Layout.fl_offset;
+  check_int "b slot 1" 4 (Layout.field_of sl "b").Layout.fl_offset;
+  check_int "c slot 2" 8 (Layout.field_of sl "c").Layout.fl_offset;
+  check_int "d slot 3" 12 (Layout.field_of sl "d").Layout.fl_offset;
+  check_int "every field 4 bytes" 16 sl.Layout.sl_size
+
+let test_layout_widened_sparser () =
+  (* the paper's claim in structural form: same content, more bytes on RISC *)
+  let p = Layout.layout_struct Layout.Packed demo_struct in
+  let w = Layout.layout_struct Layout.Widened demo_struct in
+  check_bool "widened is strictly larger" true (w.Layout.sl_size > p.Layout.sl_size)
+
+let test_init_bytes_endianness () =
+  let le = Layout.init_bytes Layout.Packed Layout.Le demo_struct in
+  check_int "u16 LE low byte first" 0x33 (Char.code le.[2]);
+  check_int "u16 LE high byte" 0x22 (Char.code le.[3]);
+  let be = Layout.init_bytes Layout.Widened Layout.Be demo_struct in
+  check_int "u8 value in first byte of slot" 0x11 (Char.code be.[0]);
+  check_int "padding after u8" 0 (Char.code be.[1]);
+  check_int "u16 BE high byte first" 0x22 (Char.code be.[4])
+
+let test_data_section () =
+  let program =
+    {
+      Ir.p_structs = [ demo_struct ];
+      p_globals =
+        [ Ir.Gstruct ("one", demo_struct); Ir.Gwords ("words", [| 1; 2; 3 |]);
+          Ir.Gbuffer ("buf", 10) ];
+      p_funcs = [];
+    }
+  in
+  let ds = Layout.build_data_section Layout.Packed Layout.Le ~base:0x1000 program in
+  let one = Layout.find_global ds "one" in
+  check_int "first global at base" 0x1000 one.Layout.pg_addr;
+  let words = Layout.find_global ds "words" in
+  check_int "aligned placement" 0 (words.Layout.pg_addr land 3);
+  check_int "words size" 12 words.Layout.pg_size;
+  let buf = Layout.find_global ds "buf" in
+  check_int "buffer rounded up" 12 buf.Layout.pg_size;
+  check_int "live bytes count value bytes only" 8 one.Layout.pg_live_bytes;
+  check_bool "bytes length matches size" true (String.length ds.Layout.ds_bytes = ds.Layout.ds_size)
+
+(* ---------- differential execution harness ---------- *)
+
+let stop_addr = 0xFFFF0000
+
+let exec_one arch (program : Ir.program) fn args =
+  let cfuncs =
+    match arch with
+    | Image.Cisc ->
+      List.map (Cisc_backend.compile_func ~structs:program.Ir.p_structs) program.Ir.p_funcs
+    | Image.Risc ->
+      List.map (Risc_backend.compile_func ~structs:program.Ir.p_structs) program.Ir.p_funcs
+  in
+  let image = Linker.link ~arch ~cfuncs ~program () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:image.Image.img_text_base
+    ~size:(max 4096 (Image.text_size image))
+    ~perm:Memory.perm_rx;
+  Memory.blit_string mem ~addr:image.Image.img_text_base image.Image.img_text;
+  let data = image.Image.img_data in
+  Memory.map mem ~addr:data.Layout.ds_base ~size:(max 4096 data.Layout.ds_size)
+    ~perm:Memory.perm_rwx;
+  Memory.blit_string mem ~addr:data.Layout.ds_base data.Layout.ds_bytes;
+  let stack_top = 0xC0808000 in
+  Memory.map mem ~addr:(stack_top - 0x4000) ~size:0x4000 ~perm:Memory.perm_rwx;
+  let entry = Image.symbol image fn in
+  let run step =
+    let rec go n =
+      if n = 0 then Error "fuel exhausted"
+      else
+        match step () with
+        | `Stopped -> Ok ()
+        | `Fault m -> Error m
+        | `Go -> go (n - 1)
+    in
+    go 2_000_000
+  in
+  match arch with
+  | Image.Cisc ->
+    let cpu = Ferrite_cisc.Cpu.create ~mem ~stop_addr in
+    cpu.Ferrite_cisc.Cpu.eip <- entry;
+    cpu.Ferrite_cisc.Cpu.regs.(Ferrite_cisc.Cpu.esp) <- stack_top;
+    List.iter (fun a -> Ferrite_cisc.Cpu.push32 cpu a) (List.rev args);
+    Ferrite_cisc.Cpu.push32 cpu stop_addr;
+    let step () =
+      match Ferrite_cisc.Cpu.step cpu with
+      | Ferrite_cisc.Cpu.Stopped -> `Stopped
+      | Ferrite_cisc.Cpu.Faulted e -> `Fault (Ferrite_cisc.Exn.to_string e)
+      | _ -> `Go
+    in
+    Result.map (fun () -> cpu.Ferrite_cisc.Cpu.regs.(0)) (run step)
+  | Image.Risc ->
+    let cpu = Ferrite_risc.Cpu.create ~mem ~stop_addr in
+    cpu.Ferrite_risc.Cpu.pc <- entry;
+    cpu.Ferrite_risc.Cpu.gpr.(1) <- stack_top;
+    cpu.Ferrite_risc.Cpu.lr <- stop_addr;
+    List.iteri (fun i a -> cpu.Ferrite_risc.Cpu.gpr.(3 + i) <- a) args;
+    let step () =
+      match Ferrite_risc.Cpu.step cpu with
+      | Ferrite_risc.Cpu.Stopped -> `Stopped
+      | Ferrite_risc.Cpu.Faulted e -> `Fault (Ferrite_risc.Exn.to_string e)
+      | _ -> `Go
+    in
+    Result.map (fun () -> cpu.Ferrite_risc.Cpu.gpr.(3)) (run step)
+
+let differential ?(structs = []) ?(globals = []) name funcs fn args =
+  let program = { Ir.p_structs = structs; p_globals = globals; p_funcs = funcs } in
+  let c = exec_one Image.Cisc program fn args in
+  let r = exec_one Image.Risc program fn args in
+  match c, r with
+  | Ok a, Ok b ->
+    check_int (name ^ ": CISC = RISC") a b;
+    a
+  | Error m, _ -> Alcotest.failf "%s: CISC failed: %s" name m
+  | _, Error m -> Alcotest.failf "%s: RISC failed: %s" name m
+
+(* ---------- differential programs ---------- *)
+
+let test_diff_arith () =
+  let f =
+    B.func "main" ~nparams:2 (fun b ->
+        let open B in
+        let x = param b 0 and y = param b 1 in
+        let s = add b x y in
+        let d = sub b s (c 3) in
+        let m = mul b d y in
+        let q = divu b m (c 7) in
+        let z = bxor b q (shl b x (c 4)) in
+        ret b (band b z (c 0xFFFFFF)))
+  in
+  let v = differential "arith" [ f ] "main" [ 1000; 77 ] in
+  (* golden value computed by the same formula *)
+  let expect = ((1000 + 77 - 3) * 77 / 7) lxor (1000 lsl 4) land 0xFFFFFF in
+  check_int "matches host arithmetic" expect v
+
+let test_diff_control_flow () =
+  (* sum of odd numbers below n, with nested branches *)
+  let f =
+    B.func "main" ~nparams:1 (fun b ->
+        let open B in
+        let n = param b 0 in
+        let acc = var b (c 0) in
+        let i = var b (c 0) in
+        while_ b
+          (fun () -> (Ult, v i, n))
+          (fun () ->
+            when_ b Eq (band b (v i) (c 1)) (c 1) (fun () -> set b acc (add b (v acc) (v i)));
+            set b i (add b (v i) (c 1)));
+        ret b (v acc))
+  in
+  let v = differential "control flow" [ f ] "main" [ 100 ] in
+  check_int "sum of odds < 100" 2500 v
+
+let test_diff_calls_and_recursion () =
+  let fact =
+    B.func "fact" ~nparams:1 (fun b ->
+        let open B in
+        let n = param b 0 in
+        if_ b Ule n (c 1)
+          (fun () -> ret b (c 1))
+          (fun () ->
+            let rest = call b "fact" [ sub b n (c 1) ] in
+            ret b (mul b n rest)))
+  in
+  let main =
+    B.func "main" ~nparams:1 (fun b ->
+        let open B in
+        ret b (call b "fact" [ param b 0 ]))
+  in
+  check_int "10!" 3628800 (differential "recursion" [ fact; main ] "main" [ 10 ])
+
+let test_diff_struct_access () =
+  (* both layouts must agree on field semantics despite different offsets *)
+  let main =
+    B.func "main" ~nparams:0 (fun b ->
+        let open B in
+        let s = gaddr b "inst" in
+        storef b "demo" "a" s (c 0xAB);
+        storef b "demo" "b" s (c 0x1234);
+        storef b "demo" "c" s (c 0xDEADBEEF);
+        let acc = add b (loadf b "demo" "a" s) (loadf b "demo" "b" s) in
+        let acc = add b acc (band b (loadf b "demo" "c" s) (c 0xFFFF)) in
+        ret b acc)
+  in
+  let v =
+    differential ~structs:[ demo_struct ]
+      ~globals:[ Ir.Gstruct ("inst", demo_struct) ]
+      "struct access" [ main ] "main" []
+  in
+  check_int "field semantics" (0xAB + 0x1234 + 0xBEEF) v
+
+let test_diff_subword_isolation () =
+  (* writing a u8 field must not clobber its neighbours on either layout *)
+  let main =
+    B.func "main" ~nparams:0 (fun b ->
+        let open B in
+        let s = gaddr b "inst" in
+        storef b "demo" "b" s (c 0x5566);
+        storef b "demo" "a" s (c 0xFF);
+        storef b "demo" "d" s (c 0x77);
+        ret b (loadf b "demo" "b" s))
+  in
+  let v =
+    differential ~structs:[ demo_struct ]
+      ~globals:[ Ir.Gstruct ("inst", demo_struct) ]
+      "subword isolation" [ main ] "main" []
+  in
+  check_int "u16 survives u8 writes" 0x5566 v
+
+let test_diff_arrays () =
+  let main =
+    B.func "main" ~nparams:1 (fun b ->
+        let open B in
+        let n = param b 0 in
+        let base = gaddr b "arr" in
+        loop_n b n (fun i ->
+            let e = elemaddr b "demo" base i in
+            storef b "demo" "c" e (mul b i i));
+        let acc = var b (c 0) in
+        loop_n b n (fun i ->
+            let e = elemaddr b "demo" base i in
+            set b acc (add b (v acc) (loadf b "demo" "c" e)));
+        ret b (v acc))
+  in
+  let v =
+    differential ~structs:[ demo_struct ]
+      ~globals:[ Ir.Garray ("arr", demo_struct, 16) ]
+      "arrays" [ main ] "main" [ 10 ]
+  in
+  check_int "sum of squares" 285 v
+
+let test_diff_indirect_call () =
+  let double = B.func "double" ~nparams:1 (fun b -> B.ret b (B.add b (B.param b 0) (B.param b 0))) in
+  let triple =
+    B.func "triple" ~nparams:1 (fun b ->
+        B.ret b (B.add b (B.param b 0) (B.add b (B.param b 0) (B.param b 0))))
+  in
+  let main =
+    B.func "main" ~nparams:1 (fun b ->
+        let open B in
+        let table = gaddr b "table" in
+        store b I32 table 0 (gaddr b "double");
+        store b I32 table 4 (gaddr b "triple");
+        let f0 = load b I32 table 0 in
+        let f1 = load b I32 table 4 in
+        let a = calli b f0 [ param b 0 ] in
+        let bb = calli b f1 [ param b 0 ] in
+        ret b (add b a bb))
+  in
+  let v =
+    differential ~globals:[ Ir.Gwords ("table", [| 0; 0 |]) ] "indirect call"
+      [ double; triple; main ] "main" [ 21 ]
+  in
+  check_int "2x+3x" 105 v
+
+let test_diff_byte_memory () =
+  let main =
+    B.func "main" ~nparams:0 (fun b ->
+        let open B in
+        let buf = gaddr b "buf" in
+        loop_n b (c 64) (fun i -> store b I8 (add b buf i) 0 (band b (mul b i (c 7)) (c 0xFF)));
+        let acc = var b (c 0) in
+        loop_n b (c 64) (fun i ->
+            set b acc (add b (v acc) (load b I8 (add b buf i) 0)));
+        ret b (v acc))
+  in
+  let expect = List.fold_left (fun a i -> a + (i * 7 land 0xFF)) 0 (List.init 64 Fun.id) in
+  let v =
+    differential ~globals:[ Ir.Gbuffer ("buf", 64) ] "byte memory" [ main ] "main" []
+  in
+  check_int "byte loop" expect v
+
+let test_diff_signed_loads () =
+  let main =
+    B.func "main" ~nparams:0 (fun b ->
+        let open B in
+        let buf = gaddr b "buf" in
+        store b I8 buf 0 (c 0x80);
+        store b I16 buf 2 (c 0x8000);
+        let sb = load b I8 ~signed:true buf 0 in
+        let sh = load b I16 ~signed:true buf 2 in
+        let ub = load b I8 buf 0 in
+        ret b (band b (add b (add b sb sh) ub) (c 0xFFFFFFF)))
+  in
+  let expect = (0xFFFFFF80 + 0xFFFF8000 + 0x80) land 0xFFFFFFF in
+  let v = differential ~globals:[ Ir.Gbuffer ("buf", 8) ] "signed loads" [ main ] "main" [] in
+  check_int "sign extension agrees" expect v
+
+let test_diff_shifts_unsigned_compare () =
+  let main =
+    B.func "main" ~nparams:2 (fun b ->
+        let open B in
+        let x = param b 0 and k = param b 1 in
+        let l = shl b x k in
+        let r = shr b l (c 3) in
+        let a = sar b (c 0x80000000) k in
+        let flag = var b (c 0) in
+        when_ b Ugt a (c 0x7FFFFFFF) (fun () -> set b flag (c 1));
+        ret b (band b (add b (add b r a) (v flag)) (c 0x7FFFFFFF)))
+  in
+  let l = (0xBEEF lsl 5) land 0xFFFFFFFF in
+  let r = l lsr 3 in
+  let a = Word.sar 0x80000000 5 in
+  let expect = (r + a + 1) land 0x7FFFFFFF in
+  check_int "shift/compare semantics" expect
+    (differential "shifts" [ main ] "main" [ 0xBEEF; 5 ])
+
+let test_diff_many_locals_spill () =
+  (* more locals than either register file can hold: forces spills on both *)
+  let main =
+    B.func "main" ~nparams:1 (fun b ->
+        let open B in
+        let x = param b 0 in
+        let vars = List.init 24 (fun i -> var b (add b x (c i))) in
+        let acc = var b (c 0) in
+        List.iter (fun r -> set b acc (add b (v acc) (v r))) vars;
+        (* reuse them after the sum so they stay live across it *)
+        List.iteri (fun i r -> when_ b Eq (v r) (c (100 + i)) (fun () -> set b acc (add b (v acc) (c 1)))) vars;
+        ret b (v acc))
+  in
+  let expect = (24 * 100) + (24 * 23 / 2) + 24 in
+  check_int "spilled locals" expect (differential "spills" [ main ] "main" [ 100 ])
+
+let test_diff_both_branches_return () =
+  let f =
+    B.func "main" ~nparams:1 (fun b ->
+        let open B in
+        if_ b Ult (param b 0) (c 10)
+          (fun () -> ret b (c 111))
+          (fun () -> ret b (c 222)))
+  in
+  check_int "then" 111 (differential "both-ret then" [ f ] "main" [ 5 ]);
+  check_int "else" 222 (differential "both-ret else" [ f ] "main" [ 50 ])
+
+let test_diff_loop_zero_iterations () =
+  let f =
+    B.func "main" ~nparams:1 (fun b ->
+        let open B in
+        let acc = var b (c 7) in
+        loop_n b (param b 0) (fun _ -> set b acc (c 0));
+        ret b (v acc))
+  in
+  check_int "zero-trip loop" 7 (differential "loop 0" [ f ] "main" [ 0 ])
+
+let test_diff_nested_loops () =
+  let f =
+    B.func "main" ~nparams:1 (fun b ->
+        let open B in
+        let n = param b 0 in
+        let acc = var b (c 0) in
+        loop_n b n (fun i ->
+            loop_n b n (fun j ->
+                when_ b Ult i j (fun () -> set b acc (add b (v acc) (c 1)))));
+        ret b (v acc))
+  in
+  (* pairs (i, j) with i < j among 0..7: 8*7/2 = 28 *)
+  check_int "nested" 28 (differential "nested loops" [ f ] "main" [ 8 ])
+
+let test_diff_early_return_in_loop () =
+  let f =
+    B.func "main" ~nparams:1 (fun b ->
+        let open B in
+        let n = param b 0 in
+        let i = var b (c 0) in
+        while_ b
+          (fun () -> (Ult, v i, c 1000))
+          (fun () ->
+            when_ b Eq (v i) n (fun () -> ret b (mul b (v i) (c 3)));
+            set b i (add b (v i) (c 1)));
+        ret b (c 0xFFFFFFFF))
+  in
+  check_int "early return" 36 (differential "early ret" [ f ] "main" [ 12 ])
+
+(* ---------- linker ---------- *)
+
+let test_linker_ha16_boundary () =
+  (* the Ha16/Lo16 pair must reconstruct addresses whose low half sits at the
+     carry boundary (the linker computes S+addend in full before splitting,
+     so a low-half overflow bumps the high half) *)
+  let filler =
+    (* a function large enough to push the next symbol's low half near the
+       carry boundary is impractical; instead exercise the linker's math
+       directly through a custom data_base whose low half is near 0xFFFF *)
+    B.func "probe" ~nparams:0 (fun b ->
+        let open B in
+        ret b (gaddr b "marker"))
+  in
+  let program =
+    { Ir.p_structs = []; p_globals = [ Ir.Gwords ("marker", [| 0xAB |]) ]; p_funcs = [ filler ] }
+  in
+  let cfuncs = List.map (Risc_backend.compile_func ~structs:[]) program.Ir.p_funcs in
+  (* data_base 0xC040FFF0: the global's address has low half 0xFFF0; reading
+     it back through lis/ori must reconstruct it exactly *)
+  let image =
+    Linker.link ~arch:Image.Risc ~data_base:0xC040FFF0 ~cfuncs ~program ()
+  in
+  let addr = Image.symbol image "marker" in
+  check_int "marker placed at the odd base" 0xC040FFF0 addr;
+  (* execute the function and check it returns the address *)
+  let mem = Memory.create () in
+  Memory.map mem ~addr:image.Image.img_text_base ~size:4096 ~perm:Memory.perm_rx;
+  Memory.blit_string mem ~addr:image.Image.img_text_base image.Image.img_text;
+  Memory.map mem ~addr:0xC040F000 ~size:0x3000 ~perm:Memory.perm_rw;
+  Memory.blit_string mem ~addr:image.Image.img_data.Layout.ds_base
+    image.Image.img_data.Layout.ds_bytes;
+  let cpu = Ferrite_risc.Cpu.create ~mem ~stop_addr in
+  cpu.Ferrite_risc.Cpu.pc <- Image.symbol image "probe";
+  cpu.Ferrite_risc.Cpu.gpr.(1) <- 0xC040F800;
+  cpu.Ferrite_risc.Cpu.lr <- stop_addr;
+  let rec go n =
+    if n = 0 then Alcotest.fail "probe did not stop"
+    else
+      match Ferrite_risc.Cpu.step cpu with
+      | Ferrite_risc.Cpu.Stopped -> ()
+      | Ferrite_risc.Cpu.Faulted e -> Alcotest.failf "probe fault: %s" (Ferrite_risc.Exn.to_string e)
+      | _ -> go (n - 1)
+  in
+  go 1000;
+  check_int "lis/ori reconstructs the address" addr cpu.Ferrite_risc.Cpu.gpr.(3)
+
+let prop_differential_random_programs =
+  (* random straight-line + bounded-loop programs agree across ISAs *)
+  let gen =
+    let open QCheck.Gen in
+    let* seed = int_bound 0xFFFFF in
+    let* nops = int_range 3 12 in
+    return (seed, nops)
+  in
+  QCheck.Test.make ~name:"random bounded programs agree across ISAs" ~count:25
+    (QCheck.make gen)
+    (fun (seed, nops) ->
+      let rng = Ferrite_machine.Rng.create ~seed:(Int64.of_int seed) in
+      let f =
+        B.func "main" ~nparams:1 (fun b ->
+            let open B in
+            let acc = var b (param b 0) in
+            for _ = 1 to nops do
+              match Ferrite_machine.Rng.int rng 7 with
+              | 0 -> set b acc (add b (v acc) (c (Ferrite_machine.Rng.int rng 1000)))
+              | 1 -> set b acc (sub b (v acc) (c (Ferrite_machine.Rng.int rng 1000)))
+              | 2 -> set b acc (mul b (v acc) (c (1 + Ferrite_machine.Rng.int rng 7)))
+              | 3 -> set b acc (bxor b (v acc) (c (Ferrite_machine.Rng.int rng 0xFFFF)))
+              | 4 -> set b acc (shl b (v acc) (c (Ferrite_machine.Rng.int rng 5)))
+              | 5 ->
+                let n = Ferrite_machine.Rng.int rng 6 in
+                loop_n b (c n) (fun i -> set b acc (add b (v acc) i))
+              | _ ->
+                when_ b Ult (v acc) (c 0x80000000) (fun () ->
+                    set b acc (bor b (v acc) (c 1)))
+            done;
+            ret b (band b (v acc) (c 0xFFFFFF)))
+      in
+      let program = { Ir.p_structs = []; p_globals = []; p_funcs = [ f ] } in
+      match
+        exec_one Image.Cisc program "main" [ 12345 ], exec_one Image.Risc program "main" [ 12345 ]
+      with
+      | Ok a, Ok b -> a = b
+      | _ -> false)
+
+let test_linker_duplicate_symbol () =
+  let f = B.func "dup" ~nparams:0 (fun b -> B.ret0 b) in
+  let program = { Ir.p_structs = []; p_globals = []; p_funcs = [ f; f ] } in
+  let cfuncs = List.map (Cisc_backend.compile_func ~structs:[]) program.Ir.p_funcs in
+  match Linker.link ~arch:Image.Cisc ~cfuncs ~program () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate symbol accepted"
+
+let test_linker_undefined_symbol () =
+  let f = B.func "main" ~nparams:0 (fun b -> B.call0 b "missing" []; B.ret0 b) in
+  let program = { Ir.p_structs = []; p_globals = []; p_funcs = [ f ] } in
+  let cfuncs = List.map (Cisc_backend.compile_func ~structs:[]) program.Ir.p_funcs in
+  match Linker.link ~arch:Image.Cisc ~cfuncs ~program () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undefined symbol accepted"
+
+let test_function_at () =
+  let fa = B.func "fa" ~nparams:0 (fun b -> B.ret0 b) in
+  let fb = B.func "fb" ~nparams:0 (fun b -> B.ret0 b) in
+  let program = { Ir.p_structs = []; p_globals = []; p_funcs = [ fa; fb ] } in
+  let cfuncs = List.map (Cisc_backend.compile_func ~structs:[]) program.Ir.p_funcs in
+  let image = Linker.link ~arch:Image.Cisc ~cfuncs ~program () in
+  let a = Image.find_func image "fa" in
+  let b = Image.find_func image "fb" in
+  check_bool "fa found by addr" true
+    (Image.function_at image a.Image.fs_addr = Some a);
+  check_bool "mid-function addr" true
+    (Image.function_at image (b.Image.fs_addr + 2) = Some b);
+  check_bool "before text" true (Image.function_at image (a.Image.fs_addr - 1) = None)
+
+(* qcheck: random arithmetic expressions agree across ISAs *)
+let prop_differential_arith =
+  QCheck.Test.make ~name:"random arith agrees across ISAs" ~count:40
+    QCheck.(triple (int_bound 0xFFFF) (int_bound 0xFFFF) (int_bound 4))
+    (fun (x, y, sel) ->
+      let f =
+        B.func "main" ~nparams:2 (fun b ->
+            let open B in
+            let p = param b 0 and q = param b 1 in
+            let r =
+              match sel with
+              | 0 -> add b p q
+              | 1 -> sub b p q
+              | 2 -> mul b p (band b q (c 0xFF))
+              | 3 -> divu b (add b p (c 1)) (add b q (c 1))
+              | _ -> bxor b (shl b p (c 3)) q
+            in
+            ret b r)
+      in
+      let program = { Ir.p_structs = []; p_globals = []; p_funcs = [ f ] } in
+      match exec_one Image.Cisc program "main" [ x; y ], exec_one Image.Risc program "main" [ x; y ] with
+      | Ok a, Ok b -> a = b
+      | _ -> false)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ferrite_kir"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "packed offsets" `Quick test_layout_packed;
+          Alcotest.test_case "widened offsets" `Quick test_layout_widened;
+          Alcotest.test_case "widened sparser" `Quick test_layout_widened_sparser;
+          Alcotest.test_case "init endianness" `Quick test_init_bytes_endianness;
+          Alcotest.test_case "data section" `Quick test_data_section;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_diff_arith;
+          Alcotest.test_case "control flow" `Quick test_diff_control_flow;
+          Alcotest.test_case "calls+recursion" `Quick test_diff_calls_and_recursion;
+          Alcotest.test_case "struct access" `Quick test_diff_struct_access;
+          Alcotest.test_case "subword isolation" `Quick test_diff_subword_isolation;
+          Alcotest.test_case "struct arrays" `Quick test_diff_arrays;
+          Alcotest.test_case "indirect calls" `Quick test_diff_indirect_call;
+          Alcotest.test_case "byte memory" `Quick test_diff_byte_memory;
+          Alcotest.test_case "signed loads" `Quick test_diff_signed_loads;
+          Alcotest.test_case "shifts+unsigned cmp" `Quick test_diff_shifts_unsigned_compare;
+          Alcotest.test_case "register spills" `Quick test_diff_many_locals_spill;
+          Alcotest.test_case "both branches return" `Quick test_diff_both_branches_return;
+          Alcotest.test_case "zero-trip loop" `Quick test_diff_loop_zero_iterations;
+          Alcotest.test_case "nested loops" `Quick test_diff_nested_loops;
+          Alcotest.test_case "early return in loop" `Quick test_diff_early_return_in_loop;
+          q prop_differential_arith;
+        ] );
+      ( "linker",
+        [
+          Alcotest.test_case "duplicate symbol" `Quick test_linker_duplicate_symbol;
+          Alcotest.test_case "undefined symbol" `Quick test_linker_undefined_symbol;
+          Alcotest.test_case "function_at" `Quick test_function_at;
+          Alcotest.test_case "Ha16/Lo16 boundary address" `Quick test_linker_ha16_boundary;
+          q prop_differential_random_programs;
+        ] );
+    ]

@@ -1,0 +1,304 @@
+(* Unit and property tests for the ferrite_machine foundation library. *)
+
+open Ferrite_machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42L and b = Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.bits32 a) (Rng.bits32 b)
+  done
+
+let test_rng_split_independence () =
+  (* Drawing more from the parent after a split must not perturb the child. *)
+  let a = Rng.create ~seed:7L in
+  let c = Rng.split a in
+  let v1 = Rng.bits32 c in
+  let a' = Rng.create ~seed:7L in
+  let c' = Rng.split a' in
+  let _ = Rng.bits32 a' in
+  let _ = Rng.bits32 a' in
+  check_int "split stream stable" v1 (Rng.bits32 c')
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:3L in
+  let _ = Rng.bits32 a in
+  let b = Rng.copy a in
+  check_int "copy continues identically" (Rng.bits32 a) (Rng.bits32 b)
+
+let test_rng_int_range () =
+  let t = Rng.create ~seed:1L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int t 7 in
+    check_bool "in range" true (v >= 0 && v < 7)
+  done
+
+let test_rng_int_uniformish () =
+  let t = Rng.create ~seed:5L in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let v = Rng.int t 4 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> check_bool "roughly uniform" true (abs (c - (n / 4)) < n / 20))
+    counts
+
+let test_rng_pick_weighted () =
+  let t = Rng.create ~seed:9L in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.pick_weighted t [| ("a", 9.0); ("b", 1.0) |] = "a" then incr hits
+  done;
+  check_bool "weight respected" true (!hits > 8_500 && !hits < 9_500)
+
+let test_rng_shuffle_permutation () =
+  let t = Rng.create ~seed:11L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* ---------- Word ---------- *)
+
+let test_word_mask () =
+  check_int "mask wraps" 0 (Word.add 0xFFFFFFFF 1);
+  check_int "sub wraps" 0xFFFFFFFF (Word.sub 0 1);
+  check_int "mul wraps" (Word.mask (0x10000 * 0x10000)) 0
+
+let test_word_sign () =
+  check_int "sext8 neg" 0xFFFFFF80 (Word.sign_extend8 0x80);
+  check_int "sext8 pos" 0x7F (Word.sign_extend8 0x7F);
+  check_int "sext16 neg" 0xFFFF8000 (Word.sign_extend16 0x8000);
+  check_int "signed" (-1) (Word.signed 0xFFFFFFFF)
+
+let test_word_shifts () =
+  check_int "shl" 0x80000000 (Word.shl 1 31);
+  check_int "shl masks count" 2 (Word.shl 1 33);
+  check_int "shr" 1 (Word.shr 0x80000000 31);
+  check_int "sar sign" 0xFFFFFFFF (Word.sar 0x80000000 31);
+  check_int "rotl" 1 (Word.rotl 0x80000000 1)
+
+let test_word_bits () =
+  check_bool "bit" true (Word.bit 0x8 3);
+  check_int "set" 0x8 (Word.set_bit 0 3 true);
+  check_int "clear" 0 (Word.set_bit 0x8 3 false);
+  check_int "flip" 0x8 (Word.flip_bit 0 3);
+  check_int "popcount" 32 (Word.popcount 0xFFFFFFFF)
+
+let prop_flip_involution =
+  QCheck.Test.make ~name:"flip_bit is an involution" ~count:500
+    QCheck.(pair (int_bound 0xFFFFFF) (int_bound 31))
+    (fun (x, i) -> Word.flip_bit (Word.flip_bit x i) i = Word.mask x)
+
+let prop_sar_matches_signed =
+  QCheck.Test.make ~name:"sar matches signed shift" ~count:500
+    QCheck.(pair (int_bound 0xFFFFFF) (int_bound 31))
+    (fun (x, k) -> Word.sar x k = Word.mask (Word.signed (Word.mask x) asr k))
+
+(* ---------- Memory ---------- *)
+
+let mk () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~size:0x2000 ~perm:Memory.perm_rw;
+  m
+
+let test_memory_rw () =
+  let m = mk () in
+  Memory.store32_le m 0x1000 0xDEADBEEF;
+  check_int "le32" 0xDEADBEEF (Memory.load32_le m 0x1000);
+  check_int "byte order le" 0xEF (Memory.load8 m 0x1000);
+  Memory.store32_be m 0x1100 0xDEADBEEF;
+  check_int "be32" 0xDEADBEEF (Memory.load32_be m 0x1100);
+  check_int "byte order be" 0xDE (Memory.load8 m 0x1100)
+
+let test_memory_cross_page () =
+  let m = mk () in
+  Memory.store32_le m 0x1FFE 0x11223344;
+  check_int "crosses page boundary" 0x11223344 (Memory.load32_le m 0x1FFE)
+
+let test_memory_unmapped () =
+  let m = mk () in
+  (match Memory.load8 m 0x9000 with
+  | exception Memory.Fault { kind = Memory.Unmapped; access = Memory.Read; addr } ->
+    check_int "fault addr" 0x9000 addr
+  | _ -> Alcotest.fail "expected unmapped fault")
+
+let test_memory_protection () =
+  let m = mk () in
+  Memory.set_perm m ~addr:0x1000 ~size:0x1000 ~perm:Memory.perm_ro;
+  (match Memory.store8 m 0x1001 1 with
+  | exception Memory.Fault { kind = Memory.Protection; access = Memory.Write; _ } -> ()
+  | _ -> Alcotest.fail "expected protection fault");
+  check_int "read still fine" 0 (Memory.load8 m 0x1001)
+
+let test_memory_execute () =
+  let m = mk () in
+  (match Memory.fetch8 m 0x1000 with
+  | exception Memory.Fault { kind = Memory.Protection; access = Memory.Execute; _ } -> ()
+  | _ -> Alcotest.fail "rw page must not be executable");
+  Memory.set_perm m ~addr:0x1000 ~size:0x1000 ~perm:Memory.perm_rx;
+  check_int "exec ok" 0 (Memory.fetch8 m 0x1000)
+
+let test_memory_flip_bit () =
+  let m = mk () in
+  Memory.poke8 m 0x1234 0b1010;
+  Memory.flip_bit m ~addr:0x1234 ~bit:0;
+  check_int "flip set" 0b1011 (Memory.peek8 m 0x1234);
+  Memory.flip_bit m ~addr:0x1234 ~bit:0;
+  check_int "flip restore" 0b1010 (Memory.peek8 m 0x1234)
+
+let test_memory_peek_bypasses_protection () =
+  let m = mk () in
+  Memory.set_perm m ~addr:0x1000 ~size:0x1000 ~perm:Memory.perm_ro;
+  Memory.poke8 m 0x1000 0x5A;
+  check_int "poke bypasses ro" 0x5A (Memory.peek8 m 0x1000)
+
+let test_memory_remap_preserves () =
+  let m = mk () in
+  Memory.store8 m 0x1000 0x7;
+  Memory.map m ~addr:0x1000 ~size:16 ~perm:Memory.perm_ro;
+  check_int "contents preserved" 0x7 (Memory.load8 m 0x1000)
+
+let test_memory_auto_map () =
+  let m = mk () in
+  Memory.set_auto_map m ~lo:0x100000 ~hi:0x200000 ~perm:Memory.perm_rw;
+  (* inside the window: materialises zero-filled *)
+  check_int "demand-mapped reads zero" 0 (Memory.load8 m 0x123456);
+  Memory.store32_le m 0x150000 42;
+  check_int "writes stick" 42 (Memory.load32_le m 0x150000);
+  (* outside the window: still faults *)
+  (match Memory.load8 m 0x300000 with
+  | exception Memory.Fault { kind = Memory.Unmapped; _ } -> ()
+  | _ -> Alcotest.fail "outside the window must fault");
+  (* peek does not auto-map *)
+  (match Memory.peek8 m 0x180000 with
+  | exception Memory.Fault _ -> ()
+  | _ -> Alcotest.fail "peek must not demand-map")
+
+let test_memory_auto_map_perm () =
+  let m = mk () in
+  Memory.set_auto_map m ~lo:0x100000 ~hi:0x200000 ~perm:Memory.perm_ro;
+  check_int "read ok" 0 (Memory.load8 m 0x100000);
+  (match Memory.store8 m 0x100004 1 with
+  | exception Memory.Fault { kind = Memory.Protection; _ } -> ()
+  | _ -> Alcotest.fail "window perm must be honoured")
+
+let test_memory_unmap () =
+  let m = mk () in
+  Memory.unmap m ~addr:0x1000 ~size:0x2000;
+  check_bool "unmapped" false (Memory.is_mapped m 0x1000);
+  check_int "page count" 0 (Memory.snapshot_page_count m)
+
+let prop_store_load_roundtrip =
+  QCheck.Test.make ~name:"store32/load32 round trip" ~count:300
+    QCheck.(pair (int_bound 0x1FF0) (int_bound 0xFFFFFF))
+    (fun (off, v) ->
+      let m = mk () in
+      let addr = 0x1000 + off in
+      Memory.store32_le m addr v;
+      Memory.load32_le m addr = v)
+
+(* ---------- Debug_regs ---------- *)
+
+let test_dr_exec () =
+  let d = Debug_regs.create () in
+  Debug_regs.set_instruction_bp d 0xC0100000;
+  check_bool "hit" true (Debug_regs.check_exec d 0xC0100000);
+  check_bool "miss" false (Debug_regs.check_exec d 0xC0100001);
+  Debug_regs.clear_all d;
+  check_bool "cleared" false (Debug_regs.check_exec d 0xC0100000)
+
+let test_dr_data_overlap () =
+  let d = Debug_regs.create () in
+  Debug_regs.set_data_bp d ~addr:0x2000 ~len:4;
+  (match Debug_regs.check_data d ~addr:0x2002 ~len:2 ~is_write:true with
+  | Some { addr; is_write } ->
+    check_int "watch addr" 0x2000 addr;
+    check_bool "write" true is_write
+  | None -> Alcotest.fail "expected overlap hit");
+  check_bool "disjoint miss" true (Debug_regs.check_data d ~addr:0x2004 ~len:4 ~is_write:false = None)
+
+let test_dr_slots () =
+  let d = Debug_regs.create () in
+  for i = 1 to 4 do
+    Debug_regs.set_instruction_bp d i
+  done;
+  (match Debug_regs.set_instruction_bp d 5 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected slot exhaustion")
+
+(* ---------- Counters / Layout ---------- *)
+
+let test_counters () =
+  let c = Counters.create () in
+  Counters.retire c ~cost:3;
+  Counters.retire c ~cost:2;
+  Counters.idle c 100;
+  check_int "cycles" 105 c.Counters.cycles;
+  check_int "instructions" 2 c.Counters.instructions;
+  check_int "since" 105 (Counters.since c ~mark:0)
+
+let test_layout () =
+  check_bool "kernel addr" true (Layout.is_kernel 0xC0100000);
+  check_bool "user addr" false (Layout.is_kernel 0x08048000);
+  check_bool "null" true (Layout.is_null_deref 0x8);
+  check_bool "not null" false (Layout.is_null_deref 0x2000);
+  check_int "stack size" 8192 Layout.kernel_stack_size
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ferrite_machine"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int uniform-ish" `Quick test_rng_int_uniformish;
+          Alcotest.test_case "pick_weighted" `Quick test_rng_pick_weighted;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "word",
+        [
+          Alcotest.test_case "mask" `Quick test_word_mask;
+          Alcotest.test_case "sign" `Quick test_word_sign;
+          Alcotest.test_case "shifts" `Quick test_word_shifts;
+          Alcotest.test_case "bits" `Quick test_word_bits;
+          q prop_flip_involution;
+          q prop_sar_matches_signed;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "rw le/be" `Quick test_memory_rw;
+          Alcotest.test_case "cross page" `Quick test_memory_cross_page;
+          Alcotest.test_case "unmapped fault" `Quick test_memory_unmapped;
+          Alcotest.test_case "protection fault" `Quick test_memory_protection;
+          Alcotest.test_case "execute permission" `Quick test_memory_execute;
+          Alcotest.test_case "flip bit" `Quick test_memory_flip_bit;
+          Alcotest.test_case "peek/poke bypass" `Quick test_memory_peek_bypasses_protection;
+          Alcotest.test_case "remap preserves" `Quick test_memory_remap_preserves;
+          Alcotest.test_case "unmap" `Quick test_memory_unmap;
+          Alcotest.test_case "auto-map window" `Quick test_memory_auto_map;
+          Alcotest.test_case "auto-map perms" `Quick test_memory_auto_map_perm;
+          q prop_store_load_roundtrip;
+        ] );
+      ( "debug_regs",
+        [
+          Alcotest.test_case "exec bp" `Quick test_dr_exec;
+          Alcotest.test_case "data overlap" `Quick test_dr_data_overlap;
+          Alcotest.test_case "slot limit" `Quick test_dr_slots;
+        ] );
+      ( "counters+layout",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "layout" `Quick test_layout;
+        ] );
+    ]

@@ -1,0 +1,373 @@
+(* Unit and property tests for the G4-like CPU: fixed-width decode/encode
+   round trip, interpreter semantics, the supervisor SPR file, and the
+   paper's G4-specific failure modes (alignment, machine check, SPRG2/HID0). *)
+
+open Ferrite_machine
+open Ferrite_risc
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let code_base = 0xC0100000
+let stack_top = 0xC0804000
+let stop_addr = 0xFFFF0000
+
+let machine_of_insns insns =
+  let mem = Memory.create () in
+  Memory.map mem ~addr:code_base ~size:0x4000 ~perm:Memory.perm_rx;
+  Memory.map mem ~addr:(stack_top - 0x2000) ~size:0x2000 ~perm:Memory.perm_rwx;
+  Memory.map mem ~addr:0xC0400000 ~size:0x4000 ~perm:Memory.perm_rwx;
+  let buf = Buffer.create 64 in
+  List.iter (Encode.emit buf) insns;
+  Memory.blit_string mem ~addr:code_base (Buffer.contents buf);
+  let cpu = Cpu.create ~mem ~stop_addr in
+  cpu.Cpu.pc <- code_base;
+  cpu.Cpu.gpr.(1) <- stack_top;
+  cpu.Cpu.lr <- stop_addr;
+  cpu
+
+let run ?(fuel = 10_000) cpu =
+  let rec go n =
+    if n = 0 then Cpu.Retired
+    else
+      match Cpu.step cpu with
+      | Cpu.Retired | Cpu.Halted | Cpu.Hit_dbp _ -> go (n - 1)
+      | (Cpu.Stopped | Cpu.Faulted _) as r -> r
+      | Cpu.Hit_ibp -> go n
+  in
+  go fuel
+
+let run_insns ?fuel insns =
+  let cpu = machine_of_insns (insns @ [ Insn.blr ]) in
+  let r = run ?fuel cpu in
+  (cpu, r)
+
+let expect_stopped (_, r) =
+  match r with
+  | Cpu.Stopped -> ()
+  | Cpu.Faulted e -> Alcotest.failf "unexpected fault: %s" (Exn.to_string e)
+  | _ -> Alcotest.fail "did not stop"
+
+(* --- decode/encode -------------------------------------------------------- *)
+
+let test_decode_known_words () =
+  (* From the paper's Figure 9/15: stwu r1,-32(r1); mflr r0; lwz r11,40(r31);
+     lhax r0,r8,r0 *)
+  (match Decode.word 0x9421FFE0 with
+  | Insn.Store ({ width = Insn.Word; update = true; _ }, 1, 1, d) ->
+    check_int "stwu disp" (-32) (Word.signed d)
+  | _ -> Alcotest.fail "stwu");
+  (match Decode.word 0x7C0802A6 with
+  | Insn.Mflr 0 -> ()
+  | _ -> Alcotest.fail "mflr");
+  (match Decode.word 0x817F0028 with
+  | Insn.Load ({ width = Insn.Word; _ }, 11, 31, 40) -> ()
+  | _ -> Alcotest.fail "lwz r11,40(r31)");
+  (match Decode.word 0x7C0802AE with
+  | Insn.Load_idx ({ width = Insn.Half; algebraic = true; _ }, 0, 8, 0) -> ()
+  | _ -> Alcotest.fail "lhax")
+
+let test_figure15_bitflip () =
+  (* One bit flip turns mflr r0 (0x7C0802A6) into lhax r0,r8,r0 (0x7C0802AE):
+     bit 3 of the low byte. *)
+  let flipped = 0x7C0802A6 lxor 0x8 in
+  check_int "flip reproduces lhax" 0x7C0802AE flipped;
+  match Decode.word flipped with
+  | Insn.Load_idx ({ algebraic = true; _ }, 0, 8, 0) -> ()
+  | _ -> Alcotest.fail "figure 15 decode"
+
+let test_decode_undefined_density () =
+  (* The fixed-width opcode map is sparse: many random words are illegal.
+     This is the mechanism behind the G4's 41.5% Illegal Instruction crashes. *)
+  let rng = Rng.create ~seed:99L in
+  let illegal = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    match Decode.word (Rng.bits32 rng) with
+    | _ -> ()
+    | exception Decode.Undefined_opcode -> incr illegal
+  done;
+  check_bool "sparse opcode map" true (!illegal > n / 4)
+
+let prop_disasm_total =
+  QCheck.Test.make ~name:"disasm renders any word" ~count:3000
+    QCheck.(int_bound 0xFFFFFF)
+    (fun seedish ->
+      let rng = Rng.create ~seed:(Int64.of_int seedish) in
+      let w = Rng.bits32 rng in
+      String.length (Disasm.word w) > 0)
+
+let arbitrary_insn =
+  let open QCheck.Gen in
+  let reg = int_bound 31 in
+  let simm = int_range (-0x2000) 0x1FFF in
+  oneof
+    [
+      (let* rd = reg and* ra = reg and* v = simm in
+       return (Insn.Darith (Insn.Addi, rd, ra, v land 0xFFFF)));
+      (let* rd = reg and* ra = reg and* v = simm in
+       return (Insn.lwz rd ra (v land 0xFFFC)));
+      (let* rs = reg and* ra = reg and* v = simm in
+       return (Insn.stw rs ra (v land 0xFFFC)));
+      (let* rd = reg and* ra = reg and* rb = reg in
+       return (Insn.Xarith (Insn.Add, rd, ra, rb, false)));
+      (let* ra = reg and* rs = reg and* rb = reg in
+       return (Insn.Xlogic (Insn.Xor, ra, rs, rb, true)));
+      (let* ra = reg and* rs = reg and* sh = int_bound 31 and* mb = int_bound 31 and* me = int_bound 31 in
+       return (Insn.Rlwinm (ra, rs, sh, mb, me, false)));
+      (let* crf = int_bound 7 and* ra = reg and* v = int_bound 0x7FFF in
+       return (Insn.Cmpi (false, crf, ra, v)));
+      (let* bd = int_bound 0x1FFF in
+       return (Insn.Bc (12, 2, bd land 0xFFFC, false, false)));
+      (let* li = int_bound 0xFFFFF in
+       return (Insn.B (li land 0x3FFFFC, false, true)));
+      return Insn.blr;
+      return (Insn.Bcctr (20, 0, true));
+      (let* rd = reg in
+       return (Insn.Mflr rd));
+      (let* rd = reg and* spr = oneofl [ 26; 27; 272; 274; 1008; 25 ] in
+       return (Insn.Mfspr (rd, spr)));
+      return Insn.Sc;
+      return Insn.Rfi;
+      return (Insn.Tw (31, 0, 0));
+      (let* rd = reg and* ra = reg in
+       return (Insn.Lmw (rd, ra, 0x100)));
+    ]
+
+let prop_encode_decode_roundtrip =
+  (* Immediates are canonicalised (sign-extended) by decoding, so the robust
+     statement of the round trip is idempotence of encode-of-decode. *)
+  QCheck.Test.make ~name:"encode/decode round trip" ~count:1000
+    (QCheck.make arbitrary_insn)
+    (fun i ->
+      let w = Encode.insn i in
+      Encode.insn (Decode.word w) = w)
+
+(* --- exec ------------------------------------------------------------------ *)
+
+let test_exec_arith () =
+  let open Insn in
+  let cpu, r = run_insns [ li 3 10; li 4 32; Xarith (Add, 3, 3, 4, false) ] in
+  expect_stopped (cpu, r);
+  check_int "add" 42 cpu.Cpu.gpr.(3)
+
+let test_exec_addis_ori () =
+  let open Insn in
+  let cpu, r = run_insns [ Darith (Addis, 3, 0, 0xC040); Dlogic (Ori, 3, 3, 0x1234) ] in
+  expect_stopped (cpu, r);
+  check_int "lis/ori" 0xC0401234 cpu.Cpu.gpr.(3)
+
+let test_exec_load_store () =
+  let open Insn in
+  let cpu, r =
+    run_insns
+      [
+        Darith (Addis, 3, 0, 0xC040);
+        Darith (Addis, 4, 0, 0x7EAD);
+        Dlogic (Ori, 4, 4, 0xBEA7);
+        stw 4 3 8;
+        lwz 5 3 8;
+        Load ({ width = Half; algebraic = false; update = false }, 6, 3, 8);
+      ]
+  in
+  expect_stopped (cpu, r);
+  check_int "lwz" 0x7EADBEA7 cpu.Cpu.gpr.(5);
+  check_int "lhz big-endian" 0x7EAD cpu.Cpu.gpr.(6)
+
+let test_exec_stwu_frame () =
+  let open Insn in
+  let cpu, r = run_insns [ Store ({ width = Word; algebraic = false; update = true }, 1, 1, (-32) land 0xFFFF) ] in
+  expect_stopped (cpu, r);
+  check_int "r1 updated" (stack_top - 32) cpu.Cpu.gpr.(1);
+  check_int "old sp stored" stack_top (Memory.peek32_be cpu.Cpu.mem (stack_top - 32))
+
+let test_exec_branch_conditional () =
+  let open Insn in
+  (* cmpwi r3,5; beq +8 ; li r4,1 ; li r4,2 *)
+  let cpu, r =
+    run_insns
+      [
+        li 3 5;
+        Cmpi (false, 0, 3, 5);
+        Bc (12, 2, 8, false, false);  (* beq cr0 skip next *)
+        li 4 1;
+        li 4 2;
+      ]
+  in
+  expect_stopped (cpu, r);
+  check_int "beq skipped li r4,1" 2 cpu.Cpu.gpr.(4)
+
+let test_exec_ctr_loop () =
+  let open Insn in
+  (* load 5 into ctr; loop: addi r3,r3,1 ; bdnz loop *)
+  let cpu, r =
+    run_insns [ li 0 5; Mtctr 0; Darith (Addi, 3, 3, 1); Bc (16, 0, (-4) land 0xFFFC, false, false) ]
+  in
+  expect_stopped (cpu, r);
+  check_int "bdnz loops" 5 cpu.Cpu.gpr.(3)
+
+let test_exec_call_return () =
+  let open Insn in
+  (* Layout: 0 mflr r31 / 4 bl +12 (to 16) / 8 mtlr r31 / 12 blr (stop)
+     / 16 li r3,9 / 20 blr (appended; returns to 8). *)
+  let cpu, r = run_insns [ Mflr 31; B (12, false, true); Mtlr 31; blr; li 3 9 ] in
+  expect_stopped (cpu, r);
+  check_int "callee ran" 9 cpu.Cpu.gpr.(3)
+
+let test_exec_alignment () =
+  let open Insn in
+  (* Scalar unaligned loads are hardware-handled on the 7455; the multi-word
+     forms used in prologues take the alignment interrupt. *)
+  let cpu, r = run_insns [ Darith (Addis, 3, 0, 0xC040); lwz 4 3 2 ] in
+  expect_stopped (cpu, r);
+  let _, r = run_insns [ Darith (Addis, 3, 0, 0xC040); Lmw (29, 3, 2) ] in
+  match r with
+  | Cpu.Faulted (Exn.Alignment { addr }) -> check_int "addr" 0xC0400002 addr
+  | _ -> Alcotest.fail "expected alignment interrupt"
+
+let test_exec_bad_area () =
+  let open Insn in
+  let _, r = run_insns [ li 3 0x4C; lwz 4 3 0 ] in
+  match r with
+  | Cpu.Faulted (Exn.Dsi { addr = 0x4C; protection = false; _ }) -> ()
+  | _ -> Alcotest.fail "expected DSI"
+
+let test_exec_protection_bus_error () =
+  let open Insn in
+  let _, r = run_insns [ Darith (Addis, 3, 0, 0xC010); li 4 1; stw 4 3 0 ] in
+  match r with
+  | Cpu.Faulted (Exn.Dsi { protection = true; _ }) -> ()
+  | _ -> Alcotest.fail "expected protection DSI (bus error)"
+
+let test_exec_illegal () =
+  let cpu = machine_of_insns [] in
+  Memory.poke32_be cpu.Cpu.mem code_base 0x00000000;
+  match run cpu with
+  | Cpu.Faulted Exn.Program_illegal -> ()
+  | _ -> Alcotest.fail "expected illegal instruction"
+
+let test_exec_trap_bug () =
+  let _, r = run_insns [ Insn.Tw (31, 0, 0) ] in
+  match r with
+  | Cpu.Faulted Exn.Program_trap -> ()
+  | _ -> Alcotest.fail "expected trap (BUG)"
+
+let test_exec_divw_zero_no_trap () =
+  let open Insn in
+  let cpu, r = run_insns [ li 3 7; li 4 0; Xarith (Divw, 5, 3, 4, false) ] in
+  expect_stopped (cpu, r);
+  check_int "boundedly undefined" 0 cpu.Cpu.gpr.(5)
+
+let test_rfi_roundtrip () =
+  let open Insn in
+  let cpu = machine_of_insns [ Rfi ] in
+  cpu.Cpu.sprs.(Cpu.spr_srr0) <- stop_addr;
+  cpu.Cpu.sprs.(Cpu.spr_srr1) <- cpu.Cpu.msr;
+  (match run cpu with
+  | Cpu.Stopped -> ()
+  | _ -> Alcotest.fail "rfi to stop")
+
+let test_msr_ir_machine_check () =
+  let open Insn in
+  let cpu = machine_of_insns [ li 3 0; li 3 0; blr ] in
+  let msr = Array.to_list Cpu.system_registers |> List.find (fun s -> s.Cpu.sr_name = "MSR") in
+  msr.Cpu.sr_set cpu (msr.Cpu.sr_get cpu land lnot Cpu.msr_ir);
+  (match run cpu with
+  | Cpu.Faulted (Exn.Machine_check _) -> ()
+  | _ -> Alcotest.fail "expected machine check with IR cleared")
+
+let test_sprg2_injection () =
+  let open Insn in
+  (* Kernel reads its stack pointer back from SPRG2 (the paper's SPR274). *)
+  let cpu = machine_of_insns [ Mfspr (1, Cpu.spr_sprg2); lwz 0 1 4; blr ] in
+  cpu.Cpu.sprs.(Cpu.spr_sprg2) <- 1;  (* corrupted: invalid kernel address *)
+  (match run cpu with
+  | Cpu.Faulted (Exn.Dsi { addr = 5; _ }) -> ()
+  | Cpu.Faulted e -> Alcotest.failf "unexpected: %s" (Exn.to_string e)
+  | _ -> Alcotest.fail "expected crash via corrupted SPRG2")
+
+let test_hid0_btic_poison () =
+  let open Insn in
+  let cpu = machine_of_insns [ Mtctr 0; Bcctr (20, 0, false) ] in
+  cpu.Cpu.gpr.(0) <- stop_addr;
+  let hid0 = Array.to_list Cpu.system_registers |> List.find (fun s -> s.Cpu.sr_name = "HID0") in
+  hid0.Cpu.sr_set cpu (hid0.Cpu.sr_get cpu lxor 0x20);
+  (* The poisoned BTIC supplies a stale target instead of CTR. *)
+  (match run cpu with
+  | Cpu.Stopped -> Alcotest.fail "BTIC poison ignored"
+  | Cpu.Faulted _ -> ()
+  | _ -> Alcotest.fail "expected a crash")
+
+let test_sysreg_count () =
+  check_int "99 supervisor registers (paper, §5.2)" 99 (Array.length Cpu.system_registers)
+
+let test_lmw_stmw () =
+  let open Insn in
+  let cpu, r =
+    run_insns
+      [
+        Darith (Addis, 3, 0, 0xC040);
+        li 29 111;
+        li 30 222;
+        li 31 333;
+        Stmw (29, 3, 0);
+        li 29 0;
+        li 30 0;
+        li 31 0;
+        Lmw (29, 3, 0);
+      ]
+  in
+  expect_stopped (cpu, r);
+  check_int "r29" 111 cpu.Cpu.gpr.(29);
+  check_int "r30" 222 cpu.Cpu.gpr.(30);
+  check_int "r31" 333 cpu.Cpu.gpr.(31)
+
+let test_breakpoints () =
+  let open Insn in
+  let cpu = machine_of_insns [ nop; li 3 5; blr ] in
+  Debug_regs.set_instruction_bp cpu.Cpu.dr (code_base + 4);
+  (match Cpu.step cpu with Cpu.Retired -> () | _ -> Alcotest.fail "nop");
+  (match Cpu.step cpu with Cpu.Hit_ibp -> () | _ -> Alcotest.fail "ibp");
+  check_int "not yet executed" 0 cpu.Cpu.gpr.(3);
+  (match Cpu.step ~skip_ibp:true cpu with Cpu.Retired -> () | _ -> Alcotest.fail "skip");
+  check_int "executed" 5 cpu.Cpu.gpr.(3)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ferrite_risc"
+    [
+      ( "decode",
+        [
+          Alcotest.test_case "paper words" `Quick test_decode_known_words;
+          Alcotest.test_case "figure 15 bit flip" `Quick test_figure15_bitflip;
+          Alcotest.test_case "sparse opcode map" `Quick test_decode_undefined_density;
+          q prop_encode_decode_roundtrip;
+          q prop_disasm_total;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "arith" `Quick test_exec_arith;
+          Alcotest.test_case "addis/ori" `Quick test_exec_addis_ori;
+          Alcotest.test_case "load/store BE" `Quick test_exec_load_store;
+          Alcotest.test_case "stwu frame" `Quick test_exec_stwu_frame;
+          Alcotest.test_case "bc" `Quick test_exec_branch_conditional;
+          Alcotest.test_case "bdnz" `Quick test_exec_ctr_loop;
+          Alcotest.test_case "bl/blr" `Quick test_exec_call_return;
+          Alcotest.test_case "alignment" `Quick test_exec_alignment;
+          Alcotest.test_case "bad area" `Quick test_exec_bad_area;
+          Alcotest.test_case "bus error" `Quick test_exec_protection_bus_error;
+          Alcotest.test_case "illegal" `Quick test_exec_illegal;
+          Alcotest.test_case "trap/BUG" `Quick test_exec_trap_bug;
+          Alcotest.test_case "divw by zero" `Quick test_exec_divw_zero_no_trap;
+          Alcotest.test_case "lmw/stmw" `Quick test_lmw_stmw;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "rfi" `Quick test_rfi_roundtrip;
+          Alcotest.test_case "MSR IR -> machine check" `Quick test_msr_ir_machine_check;
+          Alcotest.test_case "SPRG2 corruption" `Quick test_sprg2_injection;
+          Alcotest.test_case "HID0 BTIC poison" `Quick test_hid0_btic_poison;
+          Alcotest.test_case "99 registers" `Quick test_sysreg_count;
+          Alcotest.test_case "breakpoints" `Quick test_breakpoints;
+        ] );
+    ]
