@@ -7,6 +7,9 @@
                           ~17,500 injections; 1.0 reproduces the full
                           115,000-injection study)
      FERRITE_BENCH_SEED   campaign seed (default 0x2004)
+     FERRITE_BENCH_DOMAINS  domain count for the parallel-executor throughput
+                          comparison (default 4); results are written to
+                          BENCH_campaign.json
      FERRITE_SKIP_MICRO   set to skip the Bechamel micro-benchmarks *)
 
 open Bechamel
@@ -17,6 +20,7 @@ module Campaign = Ferrite_injection.Campaign
 module Target = Ferrite_injection.Target
 module Engine = Ferrite_injection.Engine
 module Collector = Ferrite_injection.Collector
+module Executor = Ferrite_injection.Executor
 module Crash_cause = Ferrite_injection.Crash_cause
 module Workload = Ferrite_workload.Workload
 module Runner = Ferrite_workload.Runner
@@ -30,6 +34,11 @@ let seed =
   match Sys.getenv_opt "FERRITE_BENCH_SEED" with
   | Some s -> (try Int64.of_string s with _ -> 0x2004L)
   | None -> 0x2004L
+
+let domains =
+  match Sys.getenv_opt "FERRITE_BENCH_DOMAINS" with
+  | Some s -> (try max 2 (int_of_string s) with _ -> 4)
+  | None -> 4
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -65,6 +74,53 @@ let run_suites () =
     (Ferrite.Suite.total_injections g4)
     scale dt;
   (p4, g4)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign throughput: sequential vs parallel executor                *)
+(* ------------------------------------------------------------------ *)
+
+let run_campaign_throughput () =
+  section (Printf.sprintf "Campaign throughput (sequential vs parallel:%d)" domains);
+  let n = max 60 (int_of_float (1000.0 *. scale)) in
+  let cfg =
+    { (Campaign.default ~arch:Image.Cisc ~kind:Target.Stack ~injections:n) with
+      Campaign.seed = seed }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rs, ts = time (fun () -> Campaign.run cfg) in
+  let executor = Executor.Parallel { domains } in
+  let rp, tp = time (fun () -> Campaign.run ~executor cfg) in
+  let rate t = float_of_int n /. t in
+  let cores = Domain.recommended_domain_count () in
+  let identical = rs.Campaign.records = rp.Campaign.records in
+  Printf.printf "%-16s %10.1f inj/s   (%d injections in %.2f s)\n" "sequential"
+    (rate ts) n ts;
+  Printf.printf "%-16s %10.1f inj/s   (%d injections in %.2f s)\n"
+    (Executor.describe executor) (rate tp) n tp;
+  Printf.printf "speedup %.2fx on %d available core(s); records identical: %b\n"
+    (ts /. tp) cores identical;
+  let oc = open_out "BENCH_campaign.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "campaign-throughput",
+  "arch": "p4",
+  "kind": "stack",
+  "injections": %d,
+  "seed": %Ld,
+  "cores_available": %d,
+  "sequential": { "seconds": %.3f, "injections_per_sec": %.2f },
+  "parallel": { "domains": %d, "seconds": %.3f, "injections_per_sec": %.2f },
+  "speedup": %.3f,
+  "records_identical": %b
+}
+|}
+    n seed cores ts (rate ts) domains tp (rate tp) (ts /. tp) identical;
+  close_out oc;
+  Printf.printf "wrote BENCH_campaign.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Micro part: one Bechamel test per table/figure                      *)
@@ -227,4 +283,5 @@ let () =
     let outcomes = List.map (fun s -> Ferrite.Ablation.run s) Ferrite.Ablation.all in
     print_endline (Ferrite.Ablation.report outcomes)
   end;
+  run_campaign_throughput ();
   if Sys.getenv_opt "FERRITE_SKIP_MICRO" = None then run_micro ()

@@ -41,6 +41,17 @@ let progress_arg =
   let doc = "Print progress to stderr." in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of worker domains for campaign execution (0 = one per core). \
+     Results are bit-identical for every value; only wall-clock time changes."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let executor_of_jobs jobs =
+  if jobs = 0 then Ferrite_injection.Executor.auto ()
+  else Ferrite_injection.Executor.of_jobs jobs
+
 (* --- boot --- *)
 
 let boot_cmd =
@@ -126,6 +137,9 @@ let print_campaign (res : Campaign.result) =
   Printf.printf "known crash:     %d (%.1f%%)\n" s.Campaign.known_crash (pct s.Campaign.known_crash);
   Printf.printf "hang/unknown:    %d (%.1f%%)\n" s.Campaign.hang_or_unknown (pct s.Campaign.hang_or_unknown);
   Printf.printf "reboots:         %d\n" res.Campaign.reboots;
+  Printf.printf "dumps delivered: %d (%d lost in transit)\n"
+    res.Campaign.collector.Ferrite_injection.Collector.st_received
+    res.Campaign.collector.Ferrite_injection.Collector.st_lost;
   let causes = Campaign.crash_causes res in
   let total = List.fold_left (fun a (_, n) -> a + n) 0 causes in
   if total > 0 then begin
@@ -138,7 +152,7 @@ let print_campaign (res : Campaign.result) =
   end
 
 let inject_cmd =
-  let run arch kind n seed progress =
+  let run arch kind n seed progress jobs =
     let cfg =
       { (Campaign.default ~arch ~kind ~injections:n) with Campaign.seed = Int64.of_int seed }
     in
@@ -146,12 +160,12 @@ let inject_cmd =
       if progress && (done_ mod 100 = 0 || done_ = total) then
         Printf.eprintf "\r%d/%d%!" done_ total
     in
-    let res = Campaign.run ~progress:progress_fn cfg in
+    let res = Campaign.run ~progress:progress_fn ~executor:(executor_of_jobs jobs) cfg in
     if progress then Printf.eprintf "\n";
     print_campaign res
   in
   Cmd.v (Cmd.info "inject" ~doc:"Run one error-injection campaign")
-    Term.(const run $ arch_arg $ kind_arg $ count_arg $ seed_arg $ progress_arg)
+    Term.(const run $ arch_arg $ kind_arg $ count_arg $ seed_arg $ progress_arg $ jobs_arg)
 
 (* --- suite / report --- *)
 
@@ -171,10 +185,11 @@ let progress_fn progress arch =
   else fun _ ~done_:_ ~total:_ -> ()
 
 let suite_cmd =
-  let run arch scale seed progress =
+  let run arch scale seed progress jobs =
     let sc = Ferrite.Suite.scaled arch scale in
     let suite =
-      Ferrite.Suite.run ~seed:(Int64.of_int seed) ~progress:(progress_fn progress arch) ~scale:sc arch
+      Ferrite.Suite.run ~seed:(Int64.of_int seed) ~progress:(progress_fn progress arch)
+        ~executor:(executor_of_jobs jobs) ~scale:sc arch
     in
     if progress then Printf.eprintf "\n";
     print_string
@@ -184,18 +199,19 @@ let suite_cmd =
     print_newline ()
   in
   Cmd.v (Cmd.info "suite" ~doc:"Run the four campaigns of Table 5/6 for one platform")
-    Term.(const run $ arch_arg $ scale_arg $ seed_arg $ progress_arg)
+    Term.(const run $ arch_arg $ scale_arg $ seed_arg $ progress_arg $ jobs_arg)
 
 let report_cmd =
-  let run scale seed progress =
+  let run scale seed progress jobs =
     let seed = Int64.of_int seed in
+    let executor = executor_of_jobs jobs in
     let p4 =
-      Ferrite.Suite.run ~seed ~progress:(progress_fn progress Image.Cisc)
+      Ferrite.Suite.run ~seed ~progress:(progress_fn progress Image.Cisc) ~executor
         ~scale:(Ferrite.Suite.scaled Image.Cisc scale) Image.Cisc
     in
     if progress then Printf.eprintf "\n";
     let g4 =
-      Ferrite.Suite.run ~seed ~progress:(progress_fn progress Image.Risc)
+      Ferrite.Suite.run ~seed ~progress:(progress_fn progress Image.Risc) ~executor
         ~scale:(Ferrite.Suite.scaled Image.Risc scale) Image.Risc
     in
     if progress then Printf.eprintf "\n";
@@ -205,7 +221,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Run both platforms and regenerate every table and figure of the paper")
-    Term.(const run $ scale_arg $ seed_arg $ progress_arg)
+    Term.(const run $ scale_arg $ seed_arg $ progress_arg $ jobs_arg)
 
 (* --- oops --- *)
 

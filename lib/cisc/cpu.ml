@@ -814,3 +814,77 @@ let system_registers =
     dr 0; dr 1; dr 2; dr 3; dr 4; dr 5;
     msr 0 "CR4"; msr 1 "TSC"; msr 2 "SYSENTER_CS"; msr 3 "SYSENTER_ESP"; msr 4 "SYSENTER_EIP";
   |]
+
+(* --- snapshot/restore: the executor's "logical reboot" primitive ------- *)
+
+type snapshot = {
+  s_regs : int array;
+  s_eip : int;
+  s_eflags : int;
+  s_fs : int;
+  s_gs : int;
+  s_cr0 : int;
+  s_cr2 : int;
+  s_cr3 : int;
+  s_gdtr : int;
+  s_idtr : int;
+  s_ldtr : int;
+  s_tr : int;
+  s_dr_shadow : int array;
+  s_msr_shadow : int array;
+  s_dr : Debug_regs.snapshot;
+  s_cycles : int;
+  s_instructions : int;
+  s_tlb_poisoned : bool;
+  s_pending_hit : Debug_regs.data_hit option;
+  s_stopped : bool;
+  s_last_store_addr : int;
+}
+
+let snapshot t =
+  {
+    s_regs = Array.copy t.regs;
+    s_eip = t.eip;
+    s_eflags = t.eflags;
+    s_fs = t.fs;
+    s_gs = t.gs;
+    s_cr0 = t.cr0;
+    s_cr2 = t.cr2;
+    s_cr3 = t.cr3;
+    s_gdtr = t.gdtr;
+    s_idtr = t.idtr;
+    s_ldtr = t.ldtr;
+    s_tr = t.tr;
+    s_dr_shadow = Array.copy t.dr_shadow;
+    s_msr_shadow = Array.copy t.msr_shadow;
+    s_dr = Debug_regs.snapshot t.dr;
+    s_cycles = t.counters.Counters.cycles;
+    s_instructions = t.counters.Counters.instructions;
+    s_tlb_poisoned = t.tlb_poisoned;
+    s_pending_hit = t.pending_hit;
+    s_stopped = t.stopped;
+    s_last_store_addr = t.last_store_addr;
+  }
+
+let restore t s =
+  Array.blit s.s_regs 0 t.regs 0 (Array.length t.regs);
+  t.eip <- s.s_eip;
+  t.eflags <- s.s_eflags;
+  t.fs <- s.s_fs;
+  t.gs <- s.s_gs;
+  t.cr0 <- s.s_cr0;
+  t.cr2 <- s.s_cr2;
+  t.cr3 <- s.s_cr3;
+  t.gdtr <- s.s_gdtr;
+  t.idtr <- s.s_idtr;
+  t.ldtr <- s.s_ldtr;
+  t.tr <- s.s_tr;
+  t.dr_shadow <- Array.copy s.s_dr_shadow;
+  t.msr_shadow <- Array.copy s.s_msr_shadow;
+  Debug_regs.restore t.dr s.s_dr;
+  t.counters.Counters.cycles <- s.s_cycles;
+  t.counters.Counters.instructions <- s.s_instructions;
+  t.tlb_poisoned <- s.s_tlb_poisoned;
+  t.pending_hit <- s.s_pending_hit;
+  t.stopped <- s.s_stopped;
+  t.last_store_addr <- s.s_last_store_addr

@@ -108,3 +108,13 @@ val system_registers : sysreg array
 val exception_dispatch_cycles : int
 (** Cycles charged for hardware exception dispatch (the paper's Fig. 3
     stage 2: "more than 1000 CPU cycles"). *)
+
+type snapshot
+(** Immutable copy of all architectural and harness-visible CPU state
+    (registers, counters, armed breakpoints, poison flags). Memory is
+    snapshotted separately by {!Ferrite_machine.Memory.snapshot}. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** [restore t s] rolls every mutable field back to the captured values; used
+    with a post-boot snapshot it is a cheap logical reboot. *)

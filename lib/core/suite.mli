@@ -27,9 +27,13 @@ type t = {
 val run :
   ?seed:int64 ->
   ?progress:(string -> done_:int -> total:int -> unit) ->
+  ?executor:Ferrite_injection.Executor.t ->
   scale:scale ->
   Ferrite_kir.Image.arch ->
   t
+(** Run the four campaigns. [executor] (default sequential) is threaded
+    through every campaign; results are executor-independent (see
+    {!Ferrite_injection.Campaign.run}). *)
 
 val campaign : t -> Ferrite_injection.Target.kind -> Ferrite_injection.Campaign.result
 

@@ -1,8 +1,4 @@
-open Ferrite_machine
-module System = Ferrite_kernel.System
 module Boot = Ferrite_kernel.Boot
-module Workload = Ferrite_workload.Workload
-module Runner = Ferrite_workload.Runner
 module Profiler = Ferrite_workload.Profiler
 module Image = Ferrite_kir.Image
 
@@ -34,6 +30,7 @@ type result = {
   records : Outcome.record list;
   hot_profile : (string * float) list;
   reboots : int;
+  collector : Collector.stats;
 }
 
 let hot_profile image arch =
@@ -46,45 +43,32 @@ let hot_profile image arch =
       else None)
     samples
 
-let run ?(progress = fun ~done_:_ ~total:_ -> ()) cfg =
+let plan cfg = Trial.plan ~seed:cfg.seed ~injections:cfg.injections ~variant:cfg.variant
+
+let env_of cfg image hot =
+  {
+    Trial.env_arch = cfg.arch;
+    env_kind = cfg.kind;
+    env_image = image;
+    env_hot = hot;
+    env_engine = Engine.validated cfg.engine;
+    env_collector_loss = cfg.collector_loss;
+  }
+
+let run ?(progress = fun ~done_:_ ~total:_ -> ()) ?(executor = Executor.default) cfg =
+  (* plan → execute → merge: build shared read-only inputs once, decompose
+     the campaign into pure trial specs, hand them to the executor *)
   let image = Boot.build_image ~variant:cfg.variant cfg.arch in
   let hot = hot_profile image cfg.arch in
-  let rng = Rng.create ~seed:cfg.seed in
-  let target_rng = Rng.split rng in
-  let workload_rng = Rng.split rng in
-  let collector = Collector.create ~loss_rate:cfg.collector_loss ~seed:(Rng.next64 rng) () in
-  let reboots = ref 0 in
-  let sys = ref None in
-  let get_system () =
-    match !sys with
-    | Some s -> s
-    | None ->
-      incr reboots;
-      let s = Boot.boot ~image cfg.arch in
-      sys := Some s;
-      s
-  in
-  let records = ref [] in
-  let programs = Array.of_list Workload.all in
-  for i = 1 to cfg.injections do
-    let s = get_system () in
-    (* Each injection runs ONE benchmark program (the paper rotates through
-       the UnixBench suite), while targets were profiled across the whole
-       mix — pre-generated breakpoints in subsystems the drawn program does
-       not exercise are what keeps activation partial (§3.2). *)
-    let wl = Rng.pick workload_rng programs in
-    let runner = Runner.create s ~ops:(wl.Workload.wl_ops workload_rng) in
-    let target = Target.generate s cfg.kind ~hot target_rng in
-    let record = Engine.run_one ~sys:s ~runner ~target ~collector cfg.engine in
-    records := record :: !records;
-    (* STEP 3: reboot unless the error was never activated (paper policy);
-       register runs always count as potentially dirty *)
-    (match record.Outcome.r_outcome with
-    | Outcome.Not_activated when cfg.kind <> Target.Register -> ()
-    | _ -> sys := None);
-    progress ~done_:i ~total:cfg.injections
-  done;
-  { cfg; records = List.rev !records; hot_profile = hot; reboots = !reboots }
+  let specs = plan cfg in
+  let out = Executor.run ~progress executor (env_of cfg image hot) specs in
+  {
+    cfg;
+    records = Array.to_list out.Executor.records;
+    hot_profile = hot;
+    reboots = out.Executor.reboots;
+    collector = out.Executor.collector;
+  }
 
 type summary = {
   injected : int;

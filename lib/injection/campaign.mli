@@ -2,8 +2,14 @@
 
     A campaign runs [injections] independent error injections of one kind
     against one platform, rebooting the target after every manifested run and
-    reusing the (restored) system after non-activated ones — exactly the
-    paper's STEP 3 policy. Campaigns are deterministic in [seed]. *)
+    reusing the system after non-activated ones — the paper's STEP 3 policy,
+    realised as an explicit per-worker system cache (see {!Trial}).
+
+    Campaigns are decomposed as plan → execute → merge: {!Trial.plan} derives
+    one pure spec per injection counter-style from [seed], an {!Executor}
+    runs them (sequentially or on a domain pool), and the records are merged
+    back in trial order. Campaigns are deterministic in [seed], and the
+    record list is identical for every executor. *)
 
 type config = {
   arch : Ferrite_kir.Image.arch;
@@ -21,12 +27,21 @@ val default :
 
 type result = {
   cfg : config;
-  records : Outcome.record list;
+  records : Outcome.record list;  (** in trial order, executor-independent *)
   hot_profile : (string * float) list;  (** the profiled function weights used *)
-  reboots : int;
+  reboots : int;  (** boots + policy reboots, summed over workers *)
+  collector : Collector.stats;  (** merged dump-channel delivery tallies *)
 }
 
-val run : ?progress:(done_:int -> total:int -> unit) -> config -> result
+val plan : config -> Trial.spec array
+(** The campaign's trial decomposition (pure; exposed for tests and tools). *)
+
+val run :
+  ?progress:(done_:int -> total:int -> unit) -> ?executor:Executor.t -> config -> result
+(** Run every trial. [executor] defaults to {!Executor.default}
+    (sequential); [Executor.Parallel] produces the identical [records] and
+    [collector] fields — only [reboots] may differ, by at most one boot per
+    extra worker. *)
 
 (** {2 Aggregate views (the rows of Tables 5/6)} *)
 

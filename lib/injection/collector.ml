@@ -20,3 +20,12 @@ let send t info =
 
 let received t = t.received
 let lost t = t.lost
+
+type stats = { st_received : int; st_lost : int }
+
+let zero_stats = { st_received = 0; st_lost = 0 }
+
+let stats t = { st_received = t.received; st_lost = t.lost }
+
+let merge_stats a b =
+  { st_received = a.st_received + b.st_received; st_lost = a.st_lost + b.st_lost }

@@ -16,3 +16,17 @@ val send : t -> Outcome.crash_info -> Outcome.crash_info option
 
 val received : t -> int
 val lost : t -> int
+
+(** {2 Aggregation}
+
+    Campaigns run one collector per trial (seeded from the trial spec, so the
+    lossy channel is reproducible in any execution order) and merge the
+    delivery tallies afterwards. *)
+
+type stats = { st_received : int; st_lost : int }
+
+val zero_stats : stats
+val stats : t -> stats
+val merge_stats : stats -> stats -> stats
+(** Component-wise sum: associative and commutative with {!zero_stats} as the
+    unit, so per-worker partial tallies can be merged in any order. *)

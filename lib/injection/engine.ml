@@ -18,6 +18,19 @@ let default_config =
   { step_budget = 1_500_000; tick_interval = 128;
     handler_cycles_cisc = 3_500; handler_cycles_risc = 400 }
 
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let validated config =
+  if config.step_budget <= 0 then invalid_arg "Engine.config: step_budget must be positive";
+  if config.tick_interval <= 0 then invalid_arg "Engine.config: tick_interval must be positive";
+  if is_power_of_two config.tick_interval then config
+  else begin
+    (* the run loop masks with [tick_interval - 1]; round up so the mask is
+       sound instead of silently polling at a garbage rate *)
+    let rec up p = if p >= config.tick_interval then p else up (p * 2) in
+    { config with tick_interval = up 1 }
+  end
+
 (* Flip bit [bit] (0-31) of the 32-bit word at [addr], respecting the
    architecture's byte order so that "bit 0" is the word's LSB on both. *)
 let flip_word_bit sys addr bit =
@@ -41,6 +54,7 @@ type state = {
 }
 
 let run_one ~sys ~runner ~target ~collector config =
+  let config = validated config in
   let counters = System.counters sys in
   let dr = System.debug_regs sys in
   let st = { activated = false; activation_cycle = 0; injected = false } in
@@ -103,22 +117,31 @@ let run_one ~sys ~runner ~target ~collector config =
       | Some info -> finish (Outcome.Known_crash info)
       | None -> finish Outcome.Unknown_crash)
   in
+  (* STEP 3: undo a never-activated memory error so it leaves no trace *)
+  let restore_unactivated () =
+    match target with
+    | Target.Stack_target { addr; bit; _ } | Target.Data_target { addr; bit } ->
+      flip_word_bit sys addr bit
+    | Target.Code_target _ | Target.Reg_target _ -> ()
+  in
   let workload_done () =
     (* STEP 3: if the error never activated, undo it and count Not Activated *)
     if not st.activated then begin
-      (match target with
-      | Target.Stack_target { addr; bit; _ } | Target.Data_target { addr; bit } ->
-        flip_word_bit sys addr bit
-      | Target.Code_target _ | Target.Reg_target _ -> ());
+      restore_unactivated ();
       finish Outcome.Not_activated
     end
     else if Runner.fsv runner then finish Outcome.Fail_silence_violation
     else finish Outcome.Not_manifested
   in
   let rec loop steps skip_ibp =
-    if steps >= config.step_budget then
-      if st.activated then finish Outcome.Hang
-      else workload_done () |> fun r -> { r with Outcome.r_outcome = Outcome.Hang }
+    if steps >= config.step_budget then begin
+      (* Watchdog expiry: the run is hung regardless of activation. If the
+         error never activated, restore it (as STEP 3 would) — but do not
+         route through [workload_done], whose Not-Activated/FSV verdicts do
+         not apply to a run that never completed. *)
+      if not st.activated then restore_unactivated ();
+      finish Outcome.Hang
+    end
     else begin
       if steps land (config.tick_interval - 1) = 0 then begin
         (match target with

@@ -14,7 +14,11 @@
 
 type config = {
   step_budget : int;  (** watchdog: steps before the run is declared hung *)
-  tick_interval : int;  (** machine steps between runner polls *)
+  tick_interval : int;
+      (** machine steps between runner polls. {b Invariant:} must be a power
+          of two — the run loop tests [steps land (tick_interval - 1) = 0].
+          Configs are passed through {!validated}, which rounds a non-power
+          up; rely on that only for convenience, not for exact poll rates. *)
   handler_cycles_cisc : int;
       (** Fig. 3 stage-3 software-handler cost on the P4 model (cold-path
           150-200 instructions on a deep pipeline) *)
@@ -22,6 +26,12 @@ type config = {
 }
 
 val default_config : config
+
+val validated : config -> config
+(** Check a config at construction time: raises [Invalid_argument] when
+    [step_budget] or [tick_interval] is non-positive, and rounds
+    [tick_interval] up to the next power of two otherwise. {!run_one} applies
+    this to every config it receives. *)
 
 val run_one :
   sys:Ferrite_kernel.System.t ->

@@ -1,0 +1,93 @@
+type t =
+  | Sequential
+  | Parallel of { domains : int }
+
+let default = Sequential
+
+let of_jobs n = if n <= 1 then Sequential else Parallel { domains = n }
+
+let auto () = of_jobs (Domain.recommended_domain_count ())
+
+let describe = function
+  | Sequential -> "sequential"
+  | Parallel { domains } -> Printf.sprintf "parallel:%d" domains
+
+type outcome = {
+  records : Outcome.record array;  (* indexed by trial index *)
+  reboots : int;
+  collector : Collector.stats;
+}
+
+let no_progress ~done_:_ ~total:_ = ()
+
+let run_sequential ~progress env specs =
+  let total = Array.length specs in
+  let cache = Trial.cache_create () in
+  let stats = ref Collector.zero_stats in
+  let records =
+    Array.mapi
+      (fun i spec ->
+        let record, st = Trial.run env cache spec in
+        stats := Collector.merge_stats !stats st;
+        progress ~done_:(i + 1) ~total;
+        record)
+      specs
+  in
+  { records; reboots = Trial.reboots cache; collector = !stats }
+
+(* Chunked self-scheduling: workers atomically claim contiguous chunks of
+   trials. Contiguous claims keep the per-worker chunk count (and hence
+   scheduler overhead) low; chunks smaller than total/domains rebalance the
+   long tail, because trial costs vary by two orders of magnitude between a
+   Not-Activated run and a watchdog Hang. The records array is indexed by
+   trial index and each slot is written by exactly one worker, so the merged
+   output is already in campaign order — bit-identical to Sequential. *)
+let run_parallel ~progress ~domains env specs =
+  let total = Array.length specs in
+  let domains = max 1 (min domains total) in
+  let chunk = max 1 (total / (domains * 8)) in
+  let results = Array.make total None in
+  let next = Atomic.make 0 in
+  let finished = Atomic.make 0 in
+  let progress_mutex = Mutex.create () in
+  let worker () =
+    let cache = Trial.cache_create () in
+    let stats = ref Collector.zero_stats in
+    let rec claim () =
+      let lo = Atomic.fetch_and_add next chunk in
+      if lo < total then begin
+        let hi = min total (lo + chunk) in
+        for i = lo to hi - 1 do
+          let record, st = Trial.run env cache specs.(i) in
+          results.(i) <- Some record;
+          stats := Collector.merge_stats !stats st;
+          let done_ = Atomic.fetch_and_add finished 1 + 1 in
+          Mutex.protect progress_mutex (fun () -> progress ~done_ ~total)
+        done;
+        claim ()
+      end
+    in
+    claim ();
+    (Trial.reboots cache, !stats)
+  in
+  let handles = List.init domains (fun _ -> Domain.spawn worker) in
+  let reboots, stats =
+    List.fold_left
+      (fun (rb, st) h ->
+        let r, s = Domain.join h in
+        (rb + r, Collector.merge_stats st s))
+      (0, Collector.zero_stats) handles
+  in
+  let records =
+    Array.map (function Some r -> r | None -> assert false (* every slot claimed *)) results
+  in
+  { records; reboots; collector = stats }
+
+let run ?(progress = no_progress) t env specs =
+  if Array.length specs = 0 then
+    { records = [||]; reboots = 0; collector = Collector.zero_stats }
+  else
+    match t with
+    | Sequential -> run_sequential ~progress env specs
+    | Parallel { domains } when domains <= 1 -> run_sequential ~progress env specs
+    | Parallel { domains } -> run_parallel ~progress ~domains env specs

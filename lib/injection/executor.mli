@@ -1,0 +1,46 @@
+(** Campaign executors: the {e execute} and {e merge} halves of the
+    plan → execute → merge pipeline.
+
+    Both executors consume the same {!Trial.spec} array and produce the same
+    {!outcome} — bit-identical records in trial-index order — because each
+    trial's record is a pure function of its spec (see {!Trial}).  The only
+    field allowed to differ between executors is [reboots]: every worker
+    boots its own machine once, so a parallel run reports up to
+    [domains - 1] extra boots. *)
+
+type t =
+  | Sequential  (** one worker, in-order — the default, today's behaviour *)
+  | Parallel of { domains : int }
+      (** an OCaml 5 [Domain] pool with chunked self-scheduling and
+          deterministic merge *)
+
+val default : t
+(** {!Sequential}. *)
+
+val of_jobs : int -> t
+(** [of_jobs n] is {!Sequential} for [n <= 1], [Parallel {domains = n}]
+    otherwise — the [--jobs N] CLI mapping. *)
+
+val auto : unit -> t
+(** [of_jobs (Domain.recommended_domain_count ())]. *)
+
+val describe : t -> string
+(** ["sequential"] or ["parallel:N"], for logs and bench output. *)
+
+type outcome = {
+  records : Outcome.record array;
+      (** one record per trial, indexed by {!Trial.spec.index} — already
+          sorted by trial regardless of completion order *)
+  reboots : int;  (** summed over workers *)
+  collector : Collector.stats;  (** merged delivery tallies *)
+}
+
+val run :
+  ?progress:(done_:int -> total:int -> unit) ->
+  t ->
+  Trial.env ->
+  Trial.spec array ->
+  outcome
+(** Execute every trial. With [Parallel], [progress] is invoked from worker
+    domains under a mutex; [done_] counts completed trials, not trial
+    indices. *)

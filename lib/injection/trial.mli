@@ -1,0 +1,51 @@
+(** Deterministic trial decomposition: the {e plan} half of the campaign's
+    plan → execute → merge pipeline.
+
+    A campaign of N injections is decomposed into N trial {!spec}s, each a
+    pure value derived counter-style from the campaign seed and the trial
+    index ({!Ferrite_machine.Rng.derive}).  Because a spec carries its own
+    target/workload/collector seeds, any trial can be run in isolation, in
+    any order, on any domain, and its {!Outcome.record} depends on the spec
+    alone — which is what lets {!Executor.Parallel} reproduce
+    {!Executor.Sequential} bit for bit. *)
+
+type spec = {
+  index : int;  (** position in the campaign, 0-based; records are merged back in this order *)
+  workload : Ferrite_workload.Workload.t;  (** the one benchmark program this trial runs *)
+  target_seed : int64;  (** stream for STEP 1 target generation *)
+  workload_seed : int64;  (** stream for the workload's operation list *)
+  collector_seed : int64;  (** stream for the lossy dump channel *)
+  variant : Ferrite_kernel.Boot.variant;  (** kernel build variant (ablations) *)
+}
+
+val plan :
+  seed:int64 -> injections:int -> variant:Ferrite_kernel.Boot.variant -> spec array
+(** Derive the full trial list for a campaign. Pure: same inputs, same specs. *)
+
+(** {2 Execution} *)
+
+type env = {
+  env_arch : Ferrite_kir.Image.arch;
+  env_kind : Target.kind;
+  env_image : Ferrite_kir.Image.t;  (** built once per campaign, shared read-only *)
+  env_hot : (string * float) list;  (** profiled function weights for code targets *)
+  env_engine : Engine.config;
+  env_collector_loss : float;
+}
+
+type cache
+(** A worker's system cache — the paper's "reuse the system after Not
+    Activated" STEP 3 policy made explicit.  The cache owns one booted
+    machine plus its pristine post-boot snapshot; every trial starts from
+    that snapshot (a cheap logical reboot via {!Ferrite_kernel.System.restore}),
+    so records never depend on which worker ran the trial or in what order.
+    {!reboots} counts boots plus the rollbacks the paper's policy would have
+    performed as real reboots (i.e. after manifested runs). *)
+
+val cache_create : unit -> cache
+val reboots : cache -> int
+
+val run : env -> cache -> spec -> Outcome.record * Collector.stats
+(** Execute one trial: restore/boot a pristine system from the cache, draw
+    the target and workload from the spec's seeds, run the §3.2 automaton,
+    and report the record plus the trial's collector delivery tally. *)

@@ -132,3 +132,26 @@ let current_task_index t =
   else Some ((cur - base) / Abi.stack_size)
 
 let idle_cycles t n = Counters.idle (counters t) n
+
+(* --- snapshot/restore ------------------------------------------------- *)
+
+type cpu_snapshot =
+  | Csnap of Ferrite_cisc.Cpu.snapshot
+  | Rsnap of Ferrite_risc.Cpu.snapshot
+
+type snapshot = { sn_mem : Memory.snapshot; sn_cpu : cpu_snapshot }
+
+let snapshot t =
+  let sn_cpu =
+    match t.cpu with
+    | Ccpu c -> Csnap (Ferrite_cisc.Cpu.snapshot c)
+    | Rcpu r -> Rsnap (Ferrite_risc.Cpu.snapshot r)
+  in
+  { sn_mem = Memory.snapshot t.mem; sn_cpu }
+
+let restore t s =
+  (match t.cpu, s.sn_cpu with
+  | Ccpu c, Csnap sc -> Ferrite_cisc.Cpu.restore c sc
+  | Rcpu r, Rsnap sr -> Ferrite_risc.Cpu.restore r sr
+  | _ -> invalid_arg "System.restore: snapshot from the other architecture");
+  Memory.restore t.mem s.sn_mem

@@ -71,3 +71,15 @@ val current_task_index : t -> int option
 
 val idle_cycles : t -> int -> unit
 (** Advance the cycle counter without executing (benchmark think time). *)
+
+type snapshot
+(** Full machine state: memory plus CPU (registers, counters, breakpoints). *)
+
+val snapshot : t -> snapshot
+(** Capture the machine. Taken right after {!Ferrite_kernel.Boot.boot}, the
+    snapshot is a pristine post-boot image. *)
+
+val restore : t -> snapshot -> unit
+(** Roll the machine back to a captured state — a logical reboot at a small
+    fraction of the cost of re-running boot. Raises [Invalid_argument] if the
+    snapshot came from a system of the other architecture. *)

@@ -27,6 +27,14 @@ let clear_all t =
   t.instr <- [];
   t.data <- []
 
+type snapshot = { s_instr : int list; s_data : watch list }
+
+let snapshot t = { s_instr = t.instr; s_data = t.data }
+
+let restore t s =
+  t.instr <- s.s_instr;
+  t.data <- s.s_data
+
 let armed_count t = List.length t.instr + List.length t.data
 
 let[@inline] check_exec t pc =

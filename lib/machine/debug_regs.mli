@@ -25,6 +25,12 @@ val set_data_bp : t -> addr:int -> len:int -> unit
 
 val clear_all : t -> unit
 
+type snapshot
+(** Immutable copy of the armed breakpoint set. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
 val armed_count : t -> int
 
 val check_exec : t -> int -> bool

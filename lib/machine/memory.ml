@@ -201,3 +201,40 @@ let blit_string t ~addr s =
   String.iteri (fun i c -> poke8 t (addr + i) (Char.code c)) s
 
 let snapshot_page_count t = Hashtbl.length t.pages
+
+type snapshot = {
+  s_pages : (int * Bytes.t * perm) array;
+  s_auto_lo : int;
+  s_auto_hi : int;
+  s_auto_perm : perm;
+}
+
+let snapshot t =
+  let pages =
+    Hashtbl.fold (fun idx p acc -> (idx, Bytes.copy p.data, p.perm) :: acc) t.pages []
+  in
+  let arr = Array.of_list pages in
+  (* canonical order: hashtable fold order is arbitrary *)
+  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) arr;
+  { s_pages = arr; s_auto_lo = t.auto_lo; s_auto_hi = t.auto_hi; s_auto_perm = t.auto_perm }
+
+let restore t s =
+  (* blit into pages that still exist, drop the rest, re-create the missing:
+     cheaper than rebuilding the table and leaves no stale mappings behind *)
+  let wanted = Hashtbl.create (Array.length s.s_pages) in
+  Array.iter (fun (idx, _, _) -> Hashtbl.replace wanted idx ()) s.s_pages;
+  let stale =
+    Hashtbl.fold (fun idx _ acc -> if Hashtbl.mem wanted idx then acc else idx :: acc) t.pages []
+  in
+  List.iter (Hashtbl.remove t.pages) stale;
+  Array.iter
+    (fun (idx, data, perm) ->
+      match Hashtbl.find_opt t.pages idx with
+      | Some page ->
+        Bytes.blit data 0 page.data 0 page_size;
+        page.perm <- perm
+      | None -> Hashtbl.replace t.pages idx { data = Bytes.copy data; perm })
+    s.s_pages;
+  t.auto_lo <- s.s_auto_lo;
+  t.auto_hi <- s.s_auto_hi;
+  t.auto_perm <- s.s_auto_perm

@@ -88,3 +88,18 @@ val blit_string : t -> addr:int -> string -> unit
 
 val snapshot_page_count : t -> int
 (** Number of mapped pages (used by tests and the campaign "reboot" audit). *)
+
+type snapshot
+(** An immutable copy of the full memory state (pages, permissions, and the
+    auto-map window). *)
+
+val snapshot : t -> snapshot
+(** Capture the current state. The snapshot does not alias [t]: later writes
+    to [t] do not affect it. *)
+
+val restore : t -> snapshot -> unit
+(** Roll [t] back to exactly the captured state: pages mapped since the
+    snapshot are unmapped, contents and permissions are rewound. After
+    [restore t s], [t] is observationally identical to the memory at the time
+    [s] was taken — the primitive behind the executor's cheap "logical
+    reboot". *)

@@ -4,14 +4,25 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create ~seed = { state = seed }
 
-let next64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
+let finalize z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  finalize t.state
+
 let split t = create ~seed:(next64 t)
+
+let derive ~seed ~index =
+  if index < 0 then invalid_arg "Rng.derive: negative index";
+  (* index+1 so that derive ~index:0 differs from the base stream's first
+     output (seed + gamma is exactly what next64 would consume) only through
+     the finalizer, and no two indices collide short of 2^63 trials *)
+  finalize (Int64.add seed (Int64.mul golden_gamma (Int64.of_int (index + 1))))
+
+let create_derived ~seed ~index = create ~seed:(derive ~seed ~index)
 
 let copy t = { state = t.state }
 

@@ -20,6 +20,17 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 
+val derive : seed:int64 -> index:int -> int64
+(** [derive ~seed ~index] mixes [seed] with a trial counter, counter-style
+    (splitmix64 finalizer over [seed + (index+1)·γ]).  Unlike {!split}, the
+    result depends only on [(seed, index)] — not on how many draws anyone
+    made before — so independent work units (e.g. injection trials) can
+    derive their streams in any order, on any domain, and still be
+    bit-reproducible.  Raises [Invalid_argument] on a negative index. *)
+
+val create_derived : seed:int64 -> index:int -> t
+(** [create_derived ~seed ~index] is [create ~seed:(derive ~seed ~index)]. *)
+
 val next64 : t -> int64
 (** Next raw 64-bit output. *)
 

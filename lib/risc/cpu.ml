@@ -602,3 +602,77 @@ let system_registers =
   Array.of_list
     ((msr_sysreg :: List.map spr_sysreg supervisor_sprs)
     @ List.map segment_sysreg [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ])
+
+(* --- snapshot/restore: the executor's "logical reboot" primitive ------- *)
+
+type snapshot = {
+  s_gpr : int array;
+  s_pc : int;
+  s_lr : int;
+  s_ctr : int;
+  s_cr : int;
+  s_xer : int;
+  s_msr : int;
+  s_sprs : int array;
+  s_sr : int array;
+  s_sr_poisoned : bool array;
+  s_dr : Debug_regs.snapshot;
+  s_cycles : int;
+  s_instructions : int;
+  s_translation_broken : bool;
+  s_bat_poisoned : bool;
+  s_sdr1_poisoned : bool;
+  s_btic_poisoned : bool;
+  s_last_indirect_target : int;
+  s_pending_hit : Debug_regs.data_hit option;
+  s_stopped : bool;
+  s_last_store_addr : int;
+}
+
+let snapshot t =
+  {
+    s_gpr = Array.copy t.gpr;
+    s_pc = t.pc;
+    s_lr = t.lr;
+    s_ctr = t.ctr;
+    s_cr = t.cr;
+    s_xer = t.xer;
+    s_msr = t.msr;
+    s_sprs = Array.copy t.sprs;
+    s_sr = Array.copy t.sr;
+    s_sr_poisoned = Array.copy t.sr_poisoned;
+    s_dr = Debug_regs.snapshot t.dr;
+    s_cycles = t.counters.Counters.cycles;
+    s_instructions = t.counters.Counters.instructions;
+    s_translation_broken = t.translation_broken;
+    s_bat_poisoned = t.bat_poisoned;
+    s_sdr1_poisoned = t.sdr1_poisoned;
+    s_btic_poisoned = t.btic_poisoned;
+    s_last_indirect_target = t.last_indirect_target;
+    s_pending_hit = t.pending_hit;
+    s_stopped = t.stopped;
+    s_last_store_addr = t.last_store_addr;
+  }
+
+let restore t s =
+  Array.blit s.s_gpr 0 t.gpr 0 (Array.length t.gpr);
+  t.pc <- s.s_pc;
+  t.lr <- s.s_lr;
+  t.ctr <- s.s_ctr;
+  t.cr <- s.s_cr;
+  t.xer <- s.s_xer;
+  t.msr <- s.s_msr;
+  Array.blit s.s_sprs 0 t.sprs 0 (Array.length t.sprs);
+  Array.blit s.s_sr 0 t.sr 0 (Array.length t.sr);
+  Array.blit s.s_sr_poisoned 0 t.sr_poisoned 0 (Array.length t.sr_poisoned);
+  Debug_regs.restore t.dr s.s_dr;
+  t.counters.Counters.cycles <- s.s_cycles;
+  t.counters.Counters.instructions <- s.s_instructions;
+  t.translation_broken <- s.s_translation_broken;
+  t.bat_poisoned <- s.s_bat_poisoned;
+  t.sdr1_poisoned <- s.s_sdr1_poisoned;
+  t.btic_poisoned <- s.s_btic_poisoned;
+  t.last_indirect_target <- s.s_last_indirect_target;
+  t.pending_hit <- s.s_pending_hit;
+  t.stopped <- s.s_stopped;
+  t.last_store_addr <- s.s_last_store_addr

@@ -75,3 +75,13 @@ val system_registers : sysreg array
 (** The 99 supervisor-model injection targets of the G4 campaign. *)
 
 val exception_dispatch_cycles : int
+
+type snapshot
+(** Immutable copy of all architectural and harness-visible CPU state
+    (registers, SPRs, counters, armed breakpoints, poison flags). Memory is
+    snapshotted separately by {!Ferrite_machine.Memory.snapshot}. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** [restore t s] rolls every mutable field back to the captured values; used
+    with a post-boot snapshot it is a cheap logical reboot. *)

@@ -196,6 +196,59 @@ let test_stuck_lock_becomes_hang () =
   | Outcome.Hang -> ()
   | o -> Alcotest.failf "expected Hang, got %s" (Outcome.outcome_label o))
 
+let test_config_validation () =
+  let c = Engine.validated { Engine.default_config with Engine.tick_interval = 100 } in
+  check_int "tick rounded up to power of two" 128 c.Engine.tick_interval;
+  check_bool "power of two untouched" true
+    (Engine.validated Engine.default_config = Engine.default_config);
+  (match Engine.validated { Engine.default_config with Engine.tick_interval = 0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "tick_interval 0 must be rejected");
+  match Engine.validated { Engine.default_config with Engine.step_budget = -1 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative step_budget must be rejected"
+
+let test_unactivated_hang_restores () =
+  (* a workload that wedges itself (stuck buffer_lock poked by the op itself)
+     exhausts the watchdog without ever touching the cold data target: the run
+     is a Hang, not activated, and the flipped bit must still be restored *)
+  let sys = Boot.boot Image.Cisc in
+  let addr = System.symbol sys "boot_command_line" + 512 in
+  let before = System.peek32 sys addr in
+  let lock = System.symbol sys "buffer_lock" in
+  let sl =
+    Ferrite_kir.Layout.layout_struct sys.System.image.Ferrite_kir.Image.img_mode
+      Abi.spinlock_struct
+  in
+  let off = (Ferrite_kir.Layout.field_of sl "locked").Ferrite_kir.Layout.fl_offset in
+  let open_op =
+    {
+      Ferrite_workload.Workload.op_worker = 0;
+      op_think = 0;
+      op_issue = (fun _ -> (Abi.sys_open, 0, 0, 0, 0));
+      op_check = (fun _ _ -> true);
+    }
+  in
+  let wedge_op =
+    {
+      Ferrite_workload.Workload.op_worker = 0;
+      op_think = 0;
+      op_issue =
+        (fun sys ->
+          System.poke8 sys (lock + off) 1;
+          (Abi.sys_write, 0, System.symbol sys "user_buffers", 64, 0));
+      op_check = (fun _ _ -> true);
+    }
+  in
+  let runner = Runner.create sys ~ops:[ open_op; wedge_op ] in
+  let collector = Collector.create ~loss_rate:0.0 ~seed:9L () in
+  let target = Target.Data_target { addr; bit = 13 } in
+  let cfg = { Engine.default_config with Engine.step_budget = 100_000 } in
+  let record = Engine.run_one ~sys ~runner ~target ~collector cfg in
+  check_bool "watchdog fired" true (record.Outcome.r_outcome = Outcome.Hang);
+  check_bool "never activated" false record.Outcome.r_activated;
+  check_int "original value restored" before (System.peek32 sys addr)
+
 (* ---------- classification ---------- *)
 
 let test_classify_p4 () =
@@ -357,6 +410,8 @@ let () =
           Alcotest.test_case "register activation" `Quick test_register_injection_always_activates;
           Alcotest.test_case "code crash latency" `Quick test_code_injection_crash_has_latency;
           Alcotest.test_case "stuck lock -> Hang" `Quick test_stuck_lock_becomes_hang;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "unactivated hang restores" `Quick test_unactivated_hang_restores;
         ] );
       ( "classification",
         [

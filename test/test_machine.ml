@@ -30,6 +30,21 @@ let test_rng_copy () =
   let b = Rng.copy a in
   check_int "copy continues identically" (Rng.bits32 a) (Rng.bits32 b)
 
+let test_rng_derive () =
+  (* counter-style derivation: pure in (seed, index), distinct across indices *)
+  check_bool "deterministic" true
+    (Rng.derive ~seed:11L ~index:4 = Rng.derive ~seed:11L ~index:4);
+  check_bool "index-sensitive" true
+    (Rng.derive ~seed:11L ~index:4 <> Rng.derive ~seed:11L ~index:5);
+  check_bool "seed-sensitive" true
+    (Rng.derive ~seed:11L ~index:4 <> Rng.derive ~seed:12L ~index:4);
+  let a = Rng.create_derived ~seed:11L ~index:4 in
+  let b = Rng.create ~seed:(Rng.derive ~seed:11L ~index:4) in
+  check_int "create_derived = create of derive" (Rng.bits32 a) (Rng.bits32 b);
+  match Rng.derive ~seed:1L ~index:(-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative index must be rejected"
+
 let test_rng_int_range () =
   let t = Rng.create ~seed:1L in
   for _ = 1 to 10_000 do
@@ -196,6 +211,28 @@ let test_memory_unmap () =
   check_bool "unmapped" false (Memory.is_mapped m 0x1000);
   check_int "page count" 0 (Memory.snapshot_page_count m)
 
+let test_memory_snapshot_restore () =
+  let m = mk () in
+  Memory.set_auto_map m ~lo:0x100000 ~hi:0x200000 ~perm:Memory.perm_rw;
+  Memory.store32_le m 0x1000 0xABCD;
+  let s = Memory.snapshot m in
+  (* mutate everything the snapshot covers: contents, perms, page set, window *)
+  Memory.store32_le m 0x1000 0xFFFF;
+  Memory.set_perm m ~addr:0x1000 ~size:16 ~perm:Memory.perm_ro;
+  Memory.map m ~addr:0x5000 ~size:32 ~perm:Memory.perm_rw;
+  ignore (Memory.load8 m 0x150000);  (* demand-map a window page *)
+  Memory.set_auto_map m ~lo:0x300000 ~hi:0x400000 ~perm:Memory.perm_ro;
+  Memory.restore m s;
+  check_int "contents rewound" 0xABCD (Memory.load32_le m 0x1000);
+  Memory.store8 m 0x1000 1;  (* perm_rw again: must not raise *)
+  check_bool "new page unmapped" false (Memory.is_mapped m 0x5000);
+  check_bool "demand-mapped page unmapped" false (Memory.is_mapped m 0x150000);
+  check_int "window restored" 0 (Memory.load8 m 0x123456);
+  (* snapshot must not alias live pages *)
+  Memory.store8 m 0x1004 0x77;
+  Memory.restore m s;
+  check_int "snapshot unaliased" 0 (Memory.load8 m 0x1004)
+
 let prop_store_load_roundtrip =
   QCheck.Test.make ~name:"store32/load32 round trip" ~count:300
     QCheck.(pair (int_bound 0x1FF0) (int_bound 0xFFFFFF))
@@ -261,6 +298,7 @@ let () =
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
           Alcotest.test_case "split independence" `Quick test_rng_split_independence;
           Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "derive" `Quick test_rng_derive;
           Alcotest.test_case "int range" `Quick test_rng_int_range;
           Alcotest.test_case "int uniform-ish" `Quick test_rng_int_uniformish;
           Alcotest.test_case "pick_weighted" `Quick test_rng_pick_weighted;
@@ -288,6 +326,7 @@ let () =
           Alcotest.test_case "unmap" `Quick test_memory_unmap;
           Alcotest.test_case "auto-map window" `Quick test_memory_auto_map;
           Alcotest.test_case "auto-map perms" `Quick test_memory_auto_map_perm;
+          Alcotest.test_case "snapshot/restore" `Quick test_memory_snapshot_restore;
           q prop_store_load_roundtrip;
         ] );
       ( "debug_regs",
