@@ -8,7 +8,8 @@
      report    run both platforms and print every table and figure
      ablate    rebuild with one mechanism changed and measure the effect
      oops      inject until a crash, then print the kernel crash dump
-     disasm    disassemble a kernel function on either platform *)
+     disasm    disassemble a kernel function on either platform
+     trace     replay a paper scenario (fig7/fig13/fig14) as an event timeline *)
 
 open Cmdliner
 module Image = Ferrite_kir.Image
@@ -149,10 +150,48 @@ let print_campaign (res : Campaign.result) =
         Printf.printf "  %-26s %4d (%.1f%%)\n" (Crash_cause.label c) n
           (100.0 *. float_of_int n /. float_of_int total))
       causes
-  end
+  end;
+  Printf.printf "telemetry:\n%s\n" (Ferrite_trace.Telemetry.render res.Campaign.telemetry)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then failwith (dir ^ " exists and is not a directory")
+
+let kind_name = function
+  | Target.Stack -> "stack"
+  | Target.Data -> "data"
+  | Target.Code -> "code"
+  | Target.Register -> "register"
+
+(* --trace-dir: dump the campaign's event stream as JSONL plus its telemetry
+   counters, one file pair per campaign *)
+let dump_campaign_trace dir (res : Campaign.result) =
+  ensure_dir dir;
+  let stem =
+    Printf.sprintf "%s-%s"
+      (match res.Campaign.cfg.Campaign.arch with Image.Cisc -> "p4" | Image.Risc -> "g4")
+      (kind_name res.Campaign.cfg.Campaign.kind)
+  in
+  let jsonl = Filename.concat dir (stem ^ ".jsonl") in
+  let oc = open_out jsonl in
+  Ferrite_trace.Jsonl.write_trials oc res.Campaign.traces;
+  close_out oc;
+  let telemetry = Filename.concat dir (stem ^ "-telemetry.json") in
+  let oc = open_out telemetry in
+  output_string oc (Ferrite_trace.Telemetry.to_json res.Campaign.telemetry);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote %s and %s\n" jsonl telemetry
+
+let trace_dir_arg =
+  let doc =
+    "Write the campaign's event stream to $(docv) as JSONL (one file per \
+     campaign, plus a telemetry .json); implies per-trial event retention."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
 
 let inject_cmd =
-  let run arch kind n seed progress jobs =
+  let run arch kind n seed progress jobs trace_dir =
     let cfg =
       { (Campaign.default ~arch ~kind ~injections:n) with Campaign.seed = Int64.of_int seed }
     in
@@ -160,12 +199,22 @@ let inject_cmd =
       if progress && (done_ mod 100 = 0 || done_ = total) then
         Printf.eprintf "\r%d/%d%!" done_ total
     in
-    let res = Campaign.run ~progress:progress_fn ~executor:(executor_of_jobs jobs) cfg in
+    let tracer =
+      match trace_dir with
+      | None -> Ferrite_trace.Tracer.telemetry_only
+      | Some _ -> Ferrite_trace.Tracer.default_config
+    in
+    let res =
+      Campaign.run ~progress:progress_fn ~executor:(executor_of_jobs jobs) ~tracer cfg
+    in
     if progress then Printf.eprintf "\n";
-    print_campaign res
+    print_campaign res;
+    Option.iter (fun dir -> dump_campaign_trace dir res) trace_dir
   in
   Cmd.v (Cmd.info "inject" ~doc:"Run one error-injection campaign")
-    Term.(const run $ arch_arg $ kind_arg $ count_arg $ seed_arg $ progress_arg $ jobs_arg)
+    Term.(
+      const run $ arch_arg $ kind_arg $ count_arg $ seed_arg $ progress_arg $ jobs_arg
+      $ trace_dir_arg)
 
 (* --- suite / report --- *)
 
@@ -307,6 +356,52 @@ let ablate_cmd =
        ~doc:"Rebuild the kernel with one mechanism changed and measure the effect")
     Term.(const run $ study_arg $ n_arg)
 
+(* --- trace --- *)
+
+let trace_cmd =
+  let scenario_arg =
+    let doc =
+      "Scenario to replay: fig7, fig13 or fig14 (omit to replay all three)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
+  in
+  let run name jobs trace_dir =
+    let scenarios =
+      match name with
+      | None -> Ferrite.Scenario.all
+      | Some n ->
+        (match Ferrite.Scenario.find n with
+        | Some sc -> [ sc ]
+        | None ->
+          Printf.eprintf "unknown scenario %S; available: %s\n" n
+            (String.concat ", "
+               (List.map (fun sc -> sc.Ferrite.Scenario.sc_name) Ferrite.Scenario.all));
+          exit 2)
+    in
+    let executor = executor_of_jobs jobs in
+    List.iteri
+      (fun i sc ->
+        if i > 0 then print_newline ();
+        let r = Ferrite.Scenario.run ~executor sc in
+        print_string (Ferrite.Scenario.render r);
+        Option.iter
+          (fun dir ->
+            ensure_dir dir;
+            let path = Filename.concat dir (sc.Ferrite.Scenario.sc_name ^ ".jsonl") in
+            let oc = open_out path in
+            Ferrite_trace.Jsonl.write_trials oc [ r.Ferrite.Scenario.trace ];
+            close_out oc;
+            Printf.eprintf "wrote %s\n" path)
+          trace_dir)
+      scenarios
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a paper scenario (Figs. 7/13/14) as an annotated event timeline; \
+          identical output for every --jobs value")
+    Term.(const run $ scenario_arg $ jobs_arg $ trace_dir_arg)
+
 (* --- disasm --- *)
 
 let disasm_cmd =
@@ -349,4 +444,4 @@ let () =
     Cmd.info "ferrite" ~version:"1.0.0"
       ~doc:"Error sensitivity of a miniature kernel on CISC/RISC simulators (DSN 2004 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group ~default info [ boot_cmd; profile_cmd; inject_cmd; suite_cmd; report_cmd; ablate_cmd; oops_cmd; disasm_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ boot_cmd; profile_cmd; inject_cmd; suite_cmd; report_cmd; ablate_cmd; oops_cmd; disasm_cmd; trace_cmd ]))

@@ -95,4 +95,8 @@ let () =
     (100.0 *. float_of_int !risc_illegal /. float_of_int !risc_total);
   Printf.printf
     "\nThis is the mechanism behind Fig. 11: more Illegal Instruction crashes on\n\
-     the G4, more wild-memory-access crashes (via re-synchronised groups) on the P4.\n"
+     the G4, more wild-memory-access crashes (via re-synchronised groups) on the P4.\n";
+
+  (* --- the same getblk flip, live: the Figure 14 scenario replay --- *)
+  Printf.printf "\nFigure 14 replay as an injection timeline:\n\n";
+  print_string (Ferrite.Scenario.render (Ferrite.Scenario.run Ferrite.Scenario.fig14))

@@ -32,8 +32,11 @@ let run arch =
   let wl = Ferrite_workload.Workload.mix ~ops:16 () in
   let runner = Ferrite_workload.Runner.create sys ~ops:(wl.Ferrite_workload.Workload.wl_ops rng) in
   let collector = Collector.create ~loss_rate:0.0 ~seed:2L () in
-  let record = Engine.run_one ~sys ~runner ~target ~collector Engine.default_config in
+  let tracer = Ferrite_trace.Tracer.create Ferrite_trace.Tracer.default_config in
+  let record = Engine.run_one ~tracer ~sys ~runner ~target ~collector Engine.default_config in
   Printf.printf "%s: corrupted magic = %08x\n" name (System.peek32 sys lock);
+  Printf.printf "%s injection timeline:\n" name;
+  print_string (Ferrite_trace.Printer.render_events (Ferrite_trace.Tracer.events tracer));
   (match record.Outcome.r_outcome with
   | Outcome.Known_crash { ci_cause; ci_latency; ci_function; _ } ->
     Printf.printf "%s: crash reported as %S in %s after %d cycles\n" name

@@ -58,10 +58,14 @@ let () =
   let wl = Ferrite_workload.Workload.mix ~ops:24 () in
   let runner = Ferrite_workload.Runner.create sys ~ops:(wl.Ferrite_workload.Workload.wl_ops rng) in
   let collector = Collector.create ~loss_rate:0.0 ~seed:1L () in
-  let record = Engine.run_one ~sys ~runner ~target ~collector Engine.default_config in
+  let tracer = Ferrite_trace.Tracer.create Ferrite_trace.Tracer.default_config in
+  let record = Engine.run_one ~tracer ~sys ~runner ~target ~collector Engine.default_config in
 
   Printf.printf "\n";
   show_window "Corrupted code (decoder re-synchronised):" sys addr;
+
+  Printf.printf "\nInjection timeline:\n";
+  print_string (Ferrite_trace.Printer.render_events (Ferrite_trace.Tracer.events tracer));
 
   (match record.Outcome.r_outcome with
   | Outcome.Known_crash { ci_cause; ci_latency; ci_pc; ci_function } ->

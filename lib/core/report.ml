@@ -139,6 +139,38 @@ let table6 suite =
     [ Paper.g4_stack; Paper.g4_sysreg; Paper.g4_data; Paper.g4_code ]
 
 (* ------------------------------------------------------------------ *)
+(* Campaign telemetry                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_table suite =
+  let campaigns =
+    [
+      ("Stack", suite.Suite.stack);
+      ("Sysreg", suite.Suite.sysreg);
+      ("Data", suite.Suite.data);
+      ("Code", suite.Suite.code);
+    ]
+  in
+  let header = "Telemetry" :: List.map fst campaigns in
+  let field_names =
+    List.map fst (Ferrite_trace.Telemetry.fields Ferrite_trace.Telemetry.zero)
+  in
+  let per =
+    List.map
+      (fun (_, r) -> Ferrite_trace.Telemetry.fields r.Campaign.telemetry)
+      campaigns
+  in
+  let rows =
+    List.map
+      (fun name -> name :: List.map (fun fields -> string_of_int (List.assoc name fields)) per)
+      field_names
+  in
+  let arch_name = match suite.Suite.arch with Image.Cisc -> "P4" | Image.Risc -> "G4" in
+  Printf.sprintf "Campaign telemetry (%s): injector bookkeeping counters" arch_name
+  ^ "\n" ^ Table.render ~header rows
+  ^ "\n(every counter except boots is executor-independent)"
+
+(* ------------------------------------------------------------------ *)
 (* Crash-cause figures                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -458,6 +490,7 @@ let full_report ~p4 ~g4 =
       fig4 p4; fig5 g4;
       fig6 ~p4 ~g4; fig10 ~p4 ~g4; fig11 ~p4 ~g4; fig12 ~p4 ~g4;
       fig16 ~p4 ~g4;
+      telemetry_table p4; telemetry_table g4;
       data_geometry ();
       render_checks (shape_checks ~p4 ~g4);
     ]

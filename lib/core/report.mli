@@ -28,6 +28,11 @@ val fig11 : p4:Suite.t -> g4:Suite.t -> string
 val fig12 : p4:Suite.t -> g4:Suite.t -> string
 val fig16 : p4:Suite.t -> g4:Suite.t -> string
 
+val telemetry_table : Suite.t -> string
+(** Injector bookkeeping counters per campaign (activations, re-injections,
+    stray breakpoints, collector losses, boots). Every counter except boots
+    is executor-independent. *)
+
 val data_geometry : unit -> string
 (** Quantifies §5.5's sparseness claim: the same kernel content occupies more
     bytes (with more never-accessed padding) in the G4's widened layout than

@@ -28,6 +28,8 @@ let default ~arch ~kind ~injections =
 type result = {
   cfg : config;
   records : Outcome.record list;
+  traces : Ferrite_trace.Tracer.trial list;
+  telemetry : Ferrite_trace.Telemetry.t;
   hot_profile : (string * float) list;
   reboots : int;
   collector : Collector.stats;
@@ -55,16 +57,20 @@ let env_of cfg image hot =
     env_collector_loss = cfg.collector_loss;
   }
 
-let run ?(progress = fun ~done_:_ ~total:_ -> ()) ?(executor = Executor.default) cfg =
+let run ?(progress = fun ~done_:_ ~total:_ -> ()) ?(executor = Executor.default)
+    ?(tracer = Ferrite_trace.Tracer.telemetry_only) cfg =
   (* plan → execute → merge: build shared read-only inputs once, decompose
      the campaign into pure trial specs, hand them to the executor *)
   let image = Boot.build_image ~variant:cfg.variant cfg.arch in
   let hot = hot_profile image cfg.arch in
   let specs = plan cfg in
-  let out = Executor.run ~progress executor (env_of cfg image hot) specs in
+  let out = Executor.run ~progress ~trace:tracer executor (env_of cfg image hot) specs in
   {
     cfg;
     records = Array.to_list out.Executor.records;
+    traces = Array.to_list out.Executor.traces;
+    telemetry =
+      Ferrite_trace.Telemetry.with_boots out.Executor.telemetry out.Executor.reboots;
     hot_profile = hot;
     reboots = out.Executor.reboots;
     collector = out.Executor.collector;

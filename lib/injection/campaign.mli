@@ -28,6 +28,12 @@ val default :
 type result = {
   cfg : config;
   records : Outcome.record list;  (** in trial order, executor-independent *)
+  traces : Ferrite_trace.Tracer.trial list;
+      (** per-trial event traces in trial order (empty event lists unless a
+          retaining [tracer] config was passed to {!run}) *)
+  telemetry : Ferrite_trace.Telemetry.t;
+      (** exact campaign counters; [tl_boots] is filled from [reboots] and is
+          the only executor-dependent field *)
   hot_profile : (string * float) list;  (** the profiled function weights used *)
   reboots : int;  (** boots + policy reboots, summed over workers *)
   collector : Collector.stats;  (** merged dump-channel delivery tallies *)
@@ -37,11 +43,18 @@ val plan : config -> Trial.spec array
 (** The campaign's trial decomposition (pure; exposed for tests and tools). *)
 
 val run :
-  ?progress:(done_:int -> total:int -> unit) -> ?executor:Executor.t -> config -> result
+  ?progress:(done_:int -> total:int -> unit) ->
+  ?executor:Executor.t ->
+  ?tracer:Ferrite_trace.Tracer.config ->
+  config ->
+  result
 (** Run every trial. [executor] defaults to {!Executor.default}
-    (sequential); [Executor.Parallel] produces the identical [records] and
-    [collector] fields — only [reboots] may differ, by at most one boot per
-    extra worker. *)
+    (sequential); [Executor.Parallel] produces the identical [records],
+    [collector], [traces] and [telemetry] fields — only [reboots] (and hence
+    [telemetry.tl_boots]) may differ, by at most one boot per extra worker.
+    [tracer] defaults to {!Ferrite_trace.Tracer.telemetry_only}: counters are
+    always exact; pass a positive capacity to retain per-trial event
+    timelines. *)
 
 (** {2 Aggregate views (the rows of Tables 5/6)} *)
 

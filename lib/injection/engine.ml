@@ -42,37 +42,70 @@ let flip_word_bit sys addr bit =
   in
   Memory.flip_bit sys.System.mem ~addr:byte_addr ~bit:(bit mod 8)
 
-let flip_code_bit sys addr bit = Memory.flip_bit sys.System.mem ~addr:(addr + (bit / 8)) ~bit:(bit mod 8)
+(* Code errors use the same arch-aware addressing as any other word flip:
+   the RISC core fetches instructions big-endian, so "bit 0 of the
+   instruction" lives at the word's highest byte address there, while the
+   CISC byte stream keeps it at the lowest. *)
+let flip_code_bit sys addr bit = flip_word_bit sys addr bit
 
 let symbolize sys pc =
   Option.map (fun f -> f.Image.fs_name) (Image.function_at sys.System.image pc)
 
+let fault_label = function
+  | System.Cisc_fault e -> Ferrite_cisc.Exn.to_string e
+  | System.Risc_fault e -> Ferrite_risc.Exn.to_string e
+
 type state = {
-  mutable activated : bool;
-  mutable activation_cycle : int;
+  (* cycle counter at activation; [None] until the error activates *)
+  mutable activation : int option;
   mutable injected : bool;  (* register targets: has the flip happened yet *)
 }
 
-let run_one ~sys ~runner ~target ~collector config =
+let run_one ?tracer ~sys ~runner ~target ~collector config =
   let config = validated config in
   let counters = System.counters sys in
   let dr = System.debug_regs sys in
-  let st = { activated = false; activation_cycle = 0; injected = false } in
+  let st = { activation = None; injected = false } in
+  let module Event = Ferrite_trace.Event in
+  let emit ev =
+    match tracer with
+    | None -> ()
+    | Some tr ->
+      let cycles, instructions = Counters.stamp counters in
+      let pc = System.pc sys in
+      Ferrite_trace.Tracer.record tr
+        { Event.s_cycles = cycles; s_instructions = instructions; s_pc = pc;
+          s_function = symbolize sys pc }
+        ev
+  in
+  let activate cycle =
+    if st.activation = None then st.activation <- Some cycle
+  in
   (* STEP 2: arm the injection *)
   (match target with
-  | Target.Code_target { addr; _ } -> Debug_regs.set_instruction_bp dr addr
+  | Target.Code_target { addr; _ } ->
+    Debug_regs.set_instruction_bp dr addr;
+    emit (Event.Arm_bp { kind = Event.Instruction; addr })
   | Target.Stack_target { addr; bit; _ } | Target.Data_target { addr; bit } ->
     flip_word_bit sys addr bit;
-    Debug_regs.set_data_bp dr ~addr ~len:4
+    let space =
+      match target with
+      | Target.Stack_target _ -> Event.Stack_space
+      | _ -> Event.Data_space
+    in
+    emit (Event.Flip { space; addr; bit });
+    Debug_regs.set_data_bp dr ~addr ~len:4;
+    emit (Event.Arm_bp { kind = Event.Data; addr })
   | Target.Reg_target _ -> ());
   let reg_inject () =
     match target with
-    | Target.Reg_target { index; bit; _ } ->
+    | Target.Reg_target { index; name; bit; _ } ->
       let r = (System.system_registers sys).(index) in
       r.System.set (Word.flip_bit (r.System.get ()) bit);
       st.injected <- true;
-      st.activated <- true;
-      st.activation_cycle <- counters.Counters.cycles
+      activate counters.Counters.cycles;
+      emit (Event.Reg_flip { reg = name; bit });
+      emit (Event.Activated { via = "register" })
     | _ -> ()
   in
   let finish outcome =
@@ -80,11 +113,18 @@ let run_one ~sys ~runner ~target ~collector config =
     {
       Outcome.r_target = target;
       r_outcome = outcome;
-      r_activated = st.activated;
-      r_activation_cycle = (if st.activated then Some st.activation_cycle else None);
+      r_activated = st.activation <> None;
+      r_activation_cycle = st.activation;
     }
   in
   let crash fault =
+    (* Latency base must be captured *before* the handler idles the cycle
+       counter: a never-activated crash (e.g. a workload-induced fault) runs
+       from fault delivery, not from whatever the counter reads afterwards. *)
+    let fault_cycle = counters.Counters.cycles in
+    let base = Option.value st.activation ~default:fault_cycle in
+    activate base;
+    emit (Event.Exn_raised { fault = fault_label fault });
     (* the embedded crash handler runs (Fig. 3 stage 3). The G4's
        program-check handler first tries to emulate the offending word
        (math-emu / 601-compat paths in the 2.4 PPC tree) before conceding an
@@ -97,11 +137,14 @@ let run_one ~sys ~runner ~target ~collector config =
       (match fault with
       | System.Cisc_fault _ -> config.handler_cycles_cisc
       | System.Risc_fault _ -> config.handler_cycles_risc);
-    let base = if st.activated then st.activation_cycle else counters.Counters.cycles in
+    emit
+      (Event.Handler_done
+         { fault = fault_label fault; cycles = counters.Counters.cycles - fault_cycle });
     let latency = counters.Counters.cycles - base in
-    st.activated <- true;
-    if st.activation_cycle = 0 then st.activation_cycle <- base;
-    match Crash_cause.classify sys fault with
+    let cause = Crash_cause.classify sys fault in
+    emit
+      (Event.Classified { cause = Option.map Crash_cause.label cause; latency });
+    match cause with
     | None -> finish Outcome.Unknown_crash  (* no dump could be produced *)
     | Some cause ->
       let info =
@@ -114,19 +157,24 @@ let run_one ~sys ~runner ~target ~collector config =
       in
       (* ...and ships the dump over the lossy UDP path *)
       (match Collector.send collector info with
-      | Some info -> finish (Outcome.Known_crash info)
-      | None -> finish Outcome.Unknown_crash)
+      | Some info ->
+        emit (Event.Collector_send { delivered = true });
+        finish (Outcome.Known_crash info)
+      | None ->
+        emit (Event.Collector_send { delivered = false });
+        finish Outcome.Unknown_crash)
   in
   (* STEP 3: undo a never-activated memory error so it leaves no trace *)
   let restore_unactivated () =
     match target with
     | Target.Stack_target { addr; bit; _ } | Target.Data_target { addr; bit } ->
-      flip_word_bit sys addr bit
+      flip_word_bit sys addr bit;
+      emit (Event.Restore { addr; bit })
     | Target.Code_target _ | Target.Reg_target _ -> ()
   in
   let workload_done () =
     (* STEP 3: if the error never activated, undo it and count Not Activated *)
-    if not st.activated then begin
+    if st.activation = None then begin
       restore_unactivated ();
       finish Outcome.Not_activated
     end
@@ -139,43 +187,54 @@ let run_one ~sys ~runner ~target ~collector config =
          error never activated, restore it (as STEP 3 would) — but do not
          route through [workload_done], whose Not-Activated/FSV verdicts do
          not apply to a run that never completed. *)
-      if not st.activated then restore_unactivated ();
+      emit (Event.Watchdog_expired { steps });
+      if st.activation = None then restore_unactivated ();
       finish Outcome.Hang
     end
     else begin
       if steps land (config.tick_interval - 1) = 0 then begin
-        (match target with
-        | Target.Reg_target { at_instr; _ }
-          when (not st.injected) && counters.Counters.instructions >= at_instr ->
-          reg_inject ()
-        | _ -> ());
         if Runner.tick runner = Runner.Done then workload_done () else step_once steps skip_ibp
       end
       else step_once steps skip_ibp
     end
   and step_once steps skip_ibp =
+    (* Register flips fire on the exact instruction boundary, not the next
+       tick: the poll lives here so [at_instr] is honoured independently of
+       [tick_interval]. *)
+    (match target with
+    | Target.Reg_target { at_instr; _ }
+      when (not st.injected) && counters.Counters.instructions >= at_instr ->
+      reg_inject ()
+    | _ -> ());
     match System.step ~skip_ibp sys with
     | System.Retired | System.Halted -> loop (steps + 1) false
     | System.Hit_ibp ->
       (match target with
       | Target.Code_target { addr; bit; _ } when System.pc sys = addr ->
+        emit (Event.Bp_hit { addr = System.pc sys; stray = false });
         flip_code_bit sys addr bit;
-        st.activated <- true;
-        st.activation_cycle <- counters.Counters.cycles;
+        activate counters.Counters.cycles;
+        emit (Event.Flip { space = Event.Code_space; addr; bit });
+        emit (Event.Activated { via = "instruction breakpoint" });
         Debug_regs.clear_all dr;
         loop steps false
       | _ ->
         (* stray breakpoint (e.g. after wild control flow): step over it *)
+        emit (Event.Bp_hit { addr = System.pc sys; stray = true });
         loop steps true)
     | System.Hit_dbp hit ->
       (match target with
       | Target.Stack_target { addr; bit; _ } | Target.Data_target { addr; bit } ->
-        if not st.activated then begin
-          st.activated <- true;
-          st.activation_cycle <- counters.Counters.cycles
+        emit (Event.Watch_hit { addr; is_write = hit.Debug_regs.is_write });
+        if st.activation = None then begin
+          activate counters.Counters.cycles;
+          emit (Event.Activated { via = "data watchpoint" })
         end;
         (* a write overwrote the error: re-inject it (§3.3) *)
-        if hit.Debug_regs.is_write then flip_word_bit sys addr bit
+        if hit.Debug_regs.is_write then begin
+          flip_word_bit sys addr bit;
+          emit (Event.Reinject { addr; bit })
+        end
       | Target.Code_target _ | Target.Reg_target _ -> ());
       loop (steps + 1) false
     | System.Stopped ->

@@ -33,10 +33,24 @@ val validated : config -> config
     [tick_interval] up to the next power of two otherwise. {!run_one} applies
     this to every config it receives. *)
 
+val flip_word_bit : Ferrite_kernel.System.t -> int -> int -> unit
+(** Flip bit [0..31] of the 32-bit word at an address, respecting the
+    architecture's byte order so that "bit 0" is the word's LSB on both. *)
+
+val flip_code_bit : Ferrite_kernel.System.t -> int -> int -> unit
+(** Flip a bit of an instruction word. Same addressing as {!flip_word_bit}:
+    the RISC core fetches instructions big-endian, so the flip must use the
+    arch-aware byte swap there too. *)
+
 val run_one :
+  ?tracer:Ferrite_trace.Tracer.t ->
   sys:Ferrite_kernel.System.t ->
   runner:Ferrite_workload.Runner.t ->
   target:Target.t ->
   collector:Collector.t ->
   config ->
   Outcome.record
+(** [tracer], when given, receives the full event stream of the run —
+    arm/flip/re-inject/restore, breakpoint and watchpoint hits, exception
+    raise/handler/classify, collector sends and watchdog expiry — each
+    stamped with the cycle/instruction counters and the current PC. *)

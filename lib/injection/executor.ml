@@ -14,26 +14,47 @@ let describe = function
 
 type outcome = {
   records : Outcome.record array;  (* indexed by trial index *)
+  traces : Ferrite_trace.Tracer.trial array;  (* same indexing *)
+  telemetry : Ferrite_trace.Telemetry.t;
   reboots : int;
   collector : Collector.stats;
 }
 
+(* Telemetry is merged by folding the per-trial traces in index order, never
+   per worker: component sums are commutative, so every executor reports the
+   same numbers. Only [tl_boots] is executor-dependent (each worker boots its
+   own machine); the campaign fills it in from [reboots]. *)
+let merge_telemetry traces =
+  Array.fold_left
+    (fun acc tr ->
+      Ferrite_trace.Telemetry.merge acc tr.Ferrite_trace.Tracer.tr_telemetry)
+    Ferrite_trace.Telemetry.zero traces
+
 let no_progress ~done_:_ ~total:_ = ()
 
-let run_sequential ~progress env specs =
+let run_sequential ~progress ~trace env specs =
   let total = Array.length specs in
   let cache = Trial.cache_create () in
   let stats = ref Collector.zero_stats in
+  let traces = Array.make total None in
   let records =
     Array.mapi
       (fun i spec ->
-        let record, st = Trial.run env cache spec in
+        let record, st, tr = Trial.run ~trace env cache spec in
         stats := Collector.merge_stats !stats st;
+        traces.(i) <- Some tr;
         progress ~done_:(i + 1) ~total;
         record)
       specs
   in
-  { records; reboots = Trial.reboots cache; collector = !stats }
+  let traces = Array.map (function Some t -> t | None -> assert false) traces in
+  {
+    records;
+    traces;
+    telemetry = merge_telemetry traces;
+    reboots = Trial.reboots cache;
+    collector = !stats;
+  }
 
 (* Chunked self-scheduling: workers atomically claim contiguous chunks of
    trials. Contiguous claims keep the per-worker chunk count (and hence
@@ -42,7 +63,7 @@ let run_sequential ~progress env specs =
    Not-Activated run and a watchdog Hang. The records array is indexed by
    trial index and each slot is written by exactly one worker, so the merged
    output is already in campaign order — bit-identical to Sequential. *)
-let run_parallel ~progress ~domains env specs =
+let run_parallel ~progress ~trace ~domains env specs =
   let total = Array.length specs in
   let domains = max 1 (min domains total) in
   let chunk = max 1 (total / (domains * 8)) in
@@ -58,8 +79,8 @@ let run_parallel ~progress ~domains env specs =
       if lo < total then begin
         let hi = min total (lo + chunk) in
         for i = lo to hi - 1 do
-          let record, st = Trial.run env cache specs.(i) in
-          results.(i) <- Some record;
+          let record, st, tr = Trial.run ~trace env cache specs.(i) in
+          results.(i) <- Some (record, tr);
           stats := Collector.merge_stats !stats st;
           let done_ = Atomic.fetch_and_add finished 1 + 1 in
           Mutex.protect progress_mutex (fun () -> progress ~done_ ~total)
@@ -79,15 +100,27 @@ let run_parallel ~progress ~domains env specs =
       (0, Collector.zero_stats) handles
   in
   let records =
-    Array.map (function Some r -> r | None -> assert false (* every slot claimed *)) results
+    Array.map
+      (function Some (r, _) -> r | None -> assert false (* every slot claimed *))
+      results
   in
-  { records; reboots; collector = stats }
+  let traces =
+    Array.map (function Some (_, t) -> t | None -> assert false) results
+  in
+  { records; traces; telemetry = merge_telemetry traces; reboots; collector = stats }
 
-let run ?(progress = no_progress) t env specs =
+let run ?(progress = no_progress) ?(trace = Ferrite_trace.Tracer.telemetry_only) t env specs
+    =
   if Array.length specs = 0 then
-    { records = [||]; reboots = 0; collector = Collector.zero_stats }
+    {
+      records = [||];
+      traces = [||];
+      telemetry = Ferrite_trace.Telemetry.zero;
+      reboots = 0;
+      collector = Collector.zero_stats;
+    }
   else
     match t with
-    | Sequential -> run_sequential ~progress env specs
-    | Parallel { domains } when domains <= 1 -> run_sequential ~progress env specs
-    | Parallel { domains } -> run_parallel ~progress ~domains env specs
+    | Sequential -> run_sequential ~progress ~trace env specs
+    | Parallel { domains } when domains <= 1 -> run_sequential ~progress ~trace env specs
+    | Parallel { domains } -> run_parallel ~progress ~trace ~domains env specs

@@ -31,16 +31,25 @@ type outcome = {
   records : Outcome.record array;
       (** one record per trial, indexed by {!Trial.spec.index} — already
           sorted by trial regardless of completion order *)
+  traces : Ferrite_trace.Tracer.trial array;
+      (** per-trial event traces, same indexing — they survive the parallel
+          merge in trial order, so Sequential and Parallel render the same
+          timelines byte for byte *)
+  telemetry : Ferrite_trace.Telemetry.t;
+      (** folded from [traces] in index order; every field except [tl_boots]
+          (filled by the campaign) is executor-independent *)
   reboots : int;  (** summed over workers *)
   collector : Collector.stats;  (** merged delivery tallies *)
 }
 
 val run :
   ?progress:(done_:int -> total:int -> unit) ->
+  ?trace:Ferrite_trace.Tracer.config ->
   t ->
   Trial.env ->
   Trial.spec array ->
   outcome
 (** Execute every trial. With [Parallel], [progress] is invoked from worker
     domains under a mutex; [done_] counts completed trials, not trial
-    indices. *)
+    indices. [trace] (default {!Ferrite_trace.Tracer.telemetry_only}) sets
+    each trial's tracer capacity. *)

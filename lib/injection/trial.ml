@@ -12,6 +12,7 @@ type spec = {
   workload_seed : int64;
   collector_seed : int64;
   variant : Boot.variant;
+  forced_target : Target.t option;
 }
 
 let plan ~seed ~injections ~variant =
@@ -32,6 +33,7 @@ let plan ~seed ~injections ~variant =
         workload_seed = Rng.next64 rng;
         collector_seed = Rng.next64 rng;
         variant;
+        forced_target = None;
       })
 
 type env = {
@@ -78,20 +80,47 @@ let cache_system env cache =
     end;
     sys
 
-let run env cache spec =
+let run ?(trace = Ferrite_trace.Tracer.telemetry_only) env cache spec =
+  let module Event = Ferrite_trace.Event in
   let sys = cache_system env cache in
   let workload_rng = Rng.create ~seed:spec.workload_seed in
   let runner = Runner.create sys ~ops:(spec.workload.Workload.wl_ops workload_rng) in
   let target_rng = Rng.create ~seed:spec.target_seed in
-  let target = Target.generate sys env.env_kind ~hot:env.env_hot target_rng in
+  let target =
+    match spec.forced_target with
+    | Some t -> t
+    | None -> Target.generate sys env.env_kind ~hot:env.env_hot target_rng
+  in
   let collector =
     Collector.create ~loss_rate:env.env_collector_loss ~seed:spec.collector_seed ()
   in
-  let record = Engine.run_one ~sys ~runner ~target ~collector env.env_engine in
+  let tracer = Ferrite_trace.Tracer.create trace in
+  let stamp () =
+    let counters = System.counters sys in
+    let cycles, instructions = Ferrite_machine.Counters.stamp counters in
+    let pc = System.pc sys in
+    {
+      Event.s_cycles = cycles;
+      s_instructions = instructions;
+      s_pc = pc;
+      s_function =
+        Option.map (fun f -> f.Image.fs_name) (Image.function_at sys.System.image pc);
+    }
+  in
+  Ferrite_trace.Tracer.record tracer (stamp ())
+    (Event.Trial_begin { trial = spec.index; target = Target.describe target });
+  let record = Engine.run_one ~tracer ~sys ~runner ~target ~collector env.env_engine in
+  Ferrite_trace.Tracer.record tracer (stamp ())
+    (Event.Trial_end
+       { trial = spec.index; outcome = Outcome.outcome_label record.Outcome.r_outcome });
   cache.pristine <- false;
   (* STEP 3: reboot unless the error was never activated (paper policy);
      register runs always count as potentially dirty *)
   (match record.Outcome.r_outcome with
   | Outcome.Not_activated when env.env_kind <> Target.Register -> ()
   | _ -> cache.policy_reboot <- true);
-  (record, Collector.stats collector)
+  let trial_trace =
+    Ferrite_trace.Tracer.trial_of tracer ~index:spec.index ~target:(Target.describe target)
+      ~outcome:(Outcome.outcome_label record.Outcome.r_outcome)
+  in
+  (record, Collector.stats collector, trial_trace)

@@ -16,6 +16,9 @@ type spec = {
   workload_seed : int64;  (** stream for the workload's operation list *)
   collector_seed : int64;  (** stream for the lossy dump channel *)
   variant : Ferrite_kernel.Boot.variant;  (** kernel build variant (ablations) *)
+  forced_target : Target.t option;
+      (** bypass STEP 1 and inject exactly this target ([plan] always sets
+          [None]; scenario replays pin the paper's published targets) *)
 }
 
 val plan :
@@ -45,7 +48,16 @@ type cache
 val cache_create : unit -> cache
 val reboots : cache -> int
 
-val run : env -> cache -> spec -> Outcome.record * Collector.stats
+val run :
+  ?trace:Ferrite_trace.Tracer.config ->
+  env ->
+  cache ->
+  spec ->
+  Outcome.record * Collector.stats * Ferrite_trace.Tracer.trial
 (** Execute one trial: restore/boot a pristine system from the cache, draw
     the target and workload from the spec's seeds, run the §3.2 automaton,
-    and report the record plus the trial's collector delivery tally. *)
+    and report the record plus the trial's collector delivery tally and its
+    event trace.  [trace] defaults to {!Ferrite_trace.Tracer.telemetry_only}
+    (exact counters, no retained events), so campaigns always collect
+    telemetry for free; pass a positive capacity to keep the event
+    timeline. *)

@@ -13,3 +13,5 @@ let[@inline] retire t ~cost =
 let[@inline] idle t n = t.cycles <- t.cycles + n
 
 let since t ~mark = t.cycles - mark
+
+let stamp t = (t.cycles, t.instructions)

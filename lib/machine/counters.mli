@@ -20,3 +20,7 @@ val idle : t -> int -> unit
 
 val since : t -> mark:int -> int
 (** Cycles elapsed since a recorded [mark] (a previous [t.cycles]). *)
+
+val stamp : t -> int * int
+(** Current [(cycles, instructions)] pair, read atomically with respect to
+    the simulation (used to timestamp trace events). *)

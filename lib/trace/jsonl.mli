@@ -1,0 +1,15 @@
+(** JSONL export of trial traces: one JSON object per event, one per line.
+
+    Every line carries the stamp fields — [trial], [cycles],
+    [instructions], [pc] (zero-padded lowercase hex string), [fn] (string
+    or [null]) and [event] (the {!Event.tag}) — plus the event-specific
+    payload fields. The schema is documented in README.md. *)
+
+val event_line : trial:int -> Event.stamp * Event.t -> string
+(** One stamped event as one JSON object (no trailing newline). *)
+
+val trial_lines : Tracer.trial -> string list
+(** Every retained event of a trial, in order. *)
+
+val write_trials : out_channel -> Tracer.trial list -> unit
+(** Write every trial's lines, newline-terminated, in trial order. *)

@@ -1,0 +1,33 @@
+(* Human-readable trace rendering: the Figs. 7/13/14 annotated timelines. *)
+
+let render_stamp (s : Event.stamp) =
+  Printf.sprintf "%10d %8d  %08x  %-18s" s.Event.s_cycles s.Event.s_instructions s.Event.s_pc
+    (match s.Event.s_function with Some f -> f | None -> "-")
+
+let render_line (stamp, ev) = render_stamp stamp ^ " " ^ Event.describe ev
+
+let header = Printf.sprintf "%10s %8s  %-8s  %-18s %s" "cycles" "instr" "pc" "function" "event"
+
+let render_events events =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (render_line e);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let render_trial (tr : Tracer.trial) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "trial %d: %s -> %s\n" tr.Tracer.tr_index tr.Tracer.tr_target
+       tr.Tracer.tr_outcome);
+  if tr.Tracer.tr_dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "(%d earlier events dropped by the bounded ring)\n" tr.Tracer.tr_dropped);
+  Buffer.add_string buf (render_events tr.Tracer.tr_events);
+  Buffer.contents buf
+
+let render_trials trials = String.concat "\n" (List.map render_trial trials)

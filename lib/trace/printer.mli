@@ -1,0 +1,20 @@
+(** Human-readable trace rendering — the annotated timelines of the paper's
+    per-injection examples (Figs. 7, 13, 14). Output is deterministic: the
+    same events render to the same bytes, which is what the golden-trace
+    tests compare across executors. *)
+
+val header : string
+(** Column header for a timeline. *)
+
+val render_line : Event.stamp * Event.t -> string
+(** One stamped event as one line (no trailing newline). *)
+
+val render_events : (Event.stamp * Event.t) list -> string
+(** Header plus one line per event, newline-terminated. *)
+
+val render_trial : Tracer.trial -> string
+(** Trial banner (index, target, outcome), a dropped-events note when the
+    ring overflowed, then the timeline. *)
+
+val render_trials : Tracer.trial list -> string
+(** Every trial, blank-line separated. *)

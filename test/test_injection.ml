@@ -196,6 +196,83 @@ let test_stuck_lock_becomes_hang () =
   | Outcome.Hang -> ()
   | o -> Alcotest.failf "expected Hang, got %s" (Outcome.outcome_label o))
 
+let test_code_flip_bit_symmetry () =
+  (* flip_code_bit must use the same arch-aware byte addressing as
+     flip_word_bit: "bit b" is the instruction word's bit b on BOTH
+     architectures. Read the word back through the arch's own byte order
+     (System.peek32) and demand the flip changed exactly that bit. *)
+  List.iter
+    (fun arch ->
+      let sys = Boot.boot arch in
+      let f = Image.find_func sys.System.image "kmemcpy" in
+      let addr = f.Image.fs_addr in
+      List.iter
+        (fun bit ->
+          let before = System.peek32 sys addr in
+          Engine.flip_code_bit sys addr bit;
+          let after = System.peek32 sys addr in
+          check_int
+            (Printf.sprintf "%s bit %d flips exactly that word bit"
+               (match arch with Image.Cisc -> "cisc" | Image.Risc -> "risc")
+               bit)
+            (before lxor (1 lsl bit))
+            after;
+          Engine.flip_code_bit sys addr bit;
+          check_int "flip is an involution" before (System.peek32 sys addr))
+        [ 0; 1; 7; 8; 14; 21; 27; 31 ])
+    [ Image.Cisc; Image.Risc ]
+
+let test_unactivated_crash_latency () =
+  (* a crash with NO activated error (here: the kernel text is corrupted
+     behind the injector's back, the armed data target stays cold) must
+     report its latency from fault delivery — exactly the stage-3 handler
+     cost — not from whatever the cycle counter reads after handler idling *)
+  let sys = Boot.boot Image.Cisc in
+  let f = Image.find_func sys.System.image "kmemcpy" in
+  (* ud2a at the hot function's entry: the first call faults #UD *)
+  System.poke8 sys f.Image.fs_addr 0x0F;
+  System.poke8 sys (f.Image.fs_addr + 1) 0x0B;
+  let cold = System.symbol sys "boot_command_line" + 512 in
+  let rng = Rng.create ~seed:5L in
+  let wl = Workload.mix ~ops:10 () in
+  let runner = Runner.create sys ~ops:(wl.Workload.wl_ops rng) in
+  let collector = Collector.create ~loss_rate:0.0 ~seed:9L () in
+  let target = Target.Data_target { addr = cold; bit = 13 } in
+  let record = Engine.run_one ~sys ~runner ~target ~collector engine_cfg in
+  match record.Outcome.r_outcome with
+  | Outcome.Known_crash { ci_latency; _ } ->
+    check_int "latency is exactly the handler cost"
+      engine_cfg.Engine.handler_cycles_cisc ci_latency
+  | o -> Alcotest.failf "expected a crash, got %s" (Outcome.outcome_label o)
+
+let test_register_injection_exact_instant =
+  (* the register flip must land at exactly [at_instr], for ANY tick
+     interval: the poll lives on the per-step path, not the tick path *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"register flip lands exactly at at_instr" ~count:25
+       QCheck.(pair (int_range 100 3000) (int_range 0 10))
+       (fun (delta, tick_pow) ->
+         let sys = Boot.boot Image.Cisc in
+         let n0 = (System.counters sys).Ferrite_machine.Counters.instructions in
+         let at_instr = n0 + delta in
+         let rng = Rng.create ~seed:11L in
+         let wl = Workload.mix ~ops:12 () in
+         let runner = Runner.create sys ~ops:(wl.Workload.wl_ops rng) in
+         let collector = Collector.create ~loss_rate:0.0 ~seed:9L () in
+         let target = Target.Reg_target { index = 0; name = "sysreg0"; bit = 3; at_instr } in
+         let tracer = Ferrite_trace.Tracer.create Ferrite_trace.Tracer.default_config in
+         let cfg = { engine_cfg with Engine.tick_interval = 1 lsl tick_pow } in
+         let _record = Engine.run_one ~tracer ~sys ~runner ~target ~collector cfg in
+         let flip_instr =
+           List.find_map
+             (fun (stamp, ev) ->
+               match ev with
+               | Ferrite_trace.Event.Reg_flip _ -> Some stamp.Ferrite_trace.Event.s_instructions
+               | _ -> None)
+             (Ferrite_trace.Tracer.events tracer)
+         in
+         flip_instr = Some at_instr))
+
 let test_config_validation () =
   let c = Engine.validated { Engine.default_config with Engine.tick_interval = 100 } in
   check_int "tick rounded up to power of two" 128 c.Engine.tick_interval;
@@ -412,6 +489,9 @@ let () =
           Alcotest.test_case "stuck lock -> Hang" `Quick test_stuck_lock_becomes_hang;
           Alcotest.test_case "config validation" `Quick test_config_validation;
           Alcotest.test_case "unactivated hang restores" `Quick test_unactivated_hang_restores;
+          Alcotest.test_case "code flip bit symmetry" `Quick test_code_flip_bit_symmetry;
+          Alcotest.test_case "unactivated crash latency" `Quick test_unactivated_crash_latency;
+          test_register_injection_exact_instant;
         ] );
       ( "classification",
         [

@@ -88,9 +88,9 @@ let test_figure15_mflr_to_lhax () =
   match find_word sys "sys_read" 0x7C0802A6 with
   | None -> Alcotest.fail "sys_read has no mflr r0 in its prologue"
   | Some addr ->
-    (* engine bit indexing is within the instruction's bytes (byte = bit/8,
-       big-endian word): word bit 3 lives in byte 3 -> engine bit 27 *)
-    let target = Target.Code_target { fn = "sys_read"; addr; bit = 27 } in
+    (* code flips use the same arch-aware addressing as word flips: bit 3 is
+       the instruction word's bit 3 on both architectures *)
+    let target = Target.Code_target { fn = "sys_read"; addr; bit = 3 } in
     let record = run_target sys target ~seed:555L ~ops:14 in
     check_bool "the flip was reached" true record.Outcome.r_activated;
     (* verify the decoded corruption is exactly lhax r0,r8,r0 *)
