@@ -42,12 +42,24 @@ let progress_arg =
   let doc = "Print progress to stderr." in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+    | Some n when n < 0 ->
+      Error (`Msg (Printf.sprintf "--jobs %d: a worker count cannot be negative" n))
+    | Some n -> Ok n
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   let doc =
-    "Number of worker domains for campaign execution (0 = one per core). \
-     Results are bit-identical for every value; only wall-clock time changes."
+    "Number of worker domains for campaign execution (0 = one per core; \
+     values beyond the core count are clamped, since extra domains only add \
+     per-worker boots). Results are bit-identical for every value; only \
+     wall-clock time changes."
   in
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  Arg.(value & opt jobs_conv 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let executor_of_jobs jobs =
   if jobs = 0 then Ferrite_injection.Executor.auto ()
@@ -151,6 +163,8 @@ let print_campaign (res : Campaign.result) =
           (100.0 *. float_of_int n /. float_of_int total))
       causes
   end;
+  Printf.printf "caches:          %s\n"
+    (Format.asprintf "%a" Ferrite_machine.Cache_stats.render res.Campaign.cache);
   Printf.printf "telemetry:\n%s\n" (Ferrite_trace.Telemetry.render res.Campaign.telemetry)
 
 let ensure_dir dir =

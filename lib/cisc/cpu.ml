@@ -1,6 +1,21 @@
 open Ferrite_machine
 open Insn
 
+(* Decode-cache entry: a decoded instruction at [d_pc] is valid while the
+   generation counters of the page(s) its bytes were fetched from are
+   unchanged. Two page slots because an x86 instruction (up to 15 bytes) can
+   straddle a page boundary; single-page entries alias both slots. *)
+type dentry = {
+  mutable d_pc : int;
+  mutable d_dec : Insn.decoded;
+  mutable d_cost : int;  (* cycles_of_insn, cached with the decode *)
+  d_bytes : Bytes.t;  (* the raw bytes [d_dec] was decoded from *)
+  mutable d_pg1 : Memory.page;
+  mutable d_wg1 : int;
+  mutable d_pg2 : Memory.page;
+  mutable d_wg2 : int;
+}
+
 type t = {
   mem : Memory.t;
   regs : int array;
@@ -28,6 +43,12 @@ type t = {
   mutable last_store_addr : int;
   idtr0 : int;
   cr3_0 : int;
+  dcache : dentry array;
+  dc_enabled : bool;
+  mutable dc_hits : int;
+  mutable dc_misses : int;
+  mutable dc_streak : int;  (* consecutive misses; long streaks bypass insert *)
+  mutable last_cost : int;  (* cycle cost of the insn decode_at just returned *)
 }
 
 let eax = 0
@@ -60,6 +81,29 @@ let cr3_reset = 0x00101000
 
 let exception_dispatch_cycles = 1250
 
+let dcache_bits = 14
+let dcache_size = 1 lsl dcache_bits
+let dcache_mask = dcache_size - 1
+
+(* After this many consecutive misses, stop inserting: the workload is
+   marching through instructions it will never revisit (wild execution after
+   a corrupted jump), and every insert would promote the freshly decoded
+   record into the major heap for nothing. Hits reset the streak, so a loop
+   that comes back around re-arms caching within one pass. *)
+let dc_bypass_streak = 256
+
+let fresh_dentry () =
+  {
+    d_pc = -1;
+    d_dec = { insn = Hlt; length = 1; rep = false };
+    d_cost = 0;
+    d_bytes = Bytes.make 15 '\000';
+    d_pg1 = Memory.null_page;
+    d_wg1 = 0;
+    d_pg2 = Memory.null_page;
+    d_wg2 = 0;
+  }
+
 let create ~mem ~stop_addr =
   {
     mem;
@@ -86,6 +130,12 @@ let create ~mem ~stop_addr =
     last_store_addr = 0;
     idtr0 = idtr_reset;
     cr3_0 = cr3_reset;
+    dcache = Array.init dcache_size (fun _ -> fresh_dentry ());
+    dc_enabled = Memory.fast_paths mem;
+    dc_hits = 0;
+    dc_misses = 0;
+    dc_streak = 0;
+    last_cost = 0;
   }
 
 let getf t bit = t.eflags land (1 lsl bit) <> 0
@@ -120,10 +170,12 @@ let[@inline] poison_check t addr write =
     pf (Word.mask (addr lxor 0x5A5A5000)) ~write
 
 let[@inline] note_data t addr len write =
-  if t.pending_hit = None then
+  match t.pending_hit with
+  | Some _ -> ()
+  | None -> (
     match Debug_regs.check_data t.dr ~addr ~len ~is_write:write with
     | Some h -> t.pending_hit <- Some h
-    | None -> ()
+    | None -> ())
 
 let len_of = function S8 -> 1 | S16 -> 2 | S32 -> 4
 
@@ -719,6 +771,125 @@ let ifetch t addr =
   poison_check t addr false;
   Memory.fetch8 t.mem addr
 
+(* Re-check a generation-stale entry for [pc] byte by byte. The bytes are
+   read in ascending order through [ifetch], exactly the sequence the decoder
+   would request (decoding is streaming: whether byte [k] is read depends
+   only on bytes [0..k-1], which matched), so a fetch fault here is the same
+   fault a full re-decode would raise. On a match the entry's pages and
+   generations are refreshed from the current mapping — never from the
+   entry's possibly-replaced page objects — so a later remap still misses. *)
+let revalidate t e pc =
+  let len = e.d_dec.length in
+  let rec bytes_match k =
+    k >= len
+    || ifetch t (pc + k) = Char.code (Bytes.unsafe_get e.d_bytes k)
+       && bytes_match (k + 1)
+  in
+  bytes_match 0
+  &&
+  match Memory.page_at_opt t.mem pc with
+  | None -> false
+  | Some pg1 -> (
+    let last = pc + len - 1 in
+    let pg2 =
+      if (pc land 0xFFFFFFFF) lsr 12 = (last land 0xFFFFFFFF) lsr 12 then
+        Some pg1
+      else Memory.page_at_opt t.mem last
+    in
+    match pg2 with
+    | None -> false
+    | Some pg2 ->
+      e.d_pg1 <- pg1;
+      e.d_wg1 <- Memory.page_generation pg1;
+      e.d_pg2 <- pg2;
+      e.d_wg2 <- Memory.page_generation pg2;
+      true)
+
+(* PC-keyed decode cache. Validity is generation-based: any store, poke,
+   injected bit flip, remap or restore blit to a page bumps its counter, so
+   self-modifying code and [Engine.flip_code_bit] evict stale entries
+   naturally and the resync behaviour after a flip is identical to the
+   uncached interpreter. Poisoned translation bypasses the cache entirely so
+   the scrambled-fetch fault fires exactly as before. *)
+let decode_at t pc =
+  if (not t.dc_enabled) || t.tlb_poisoned then begin
+    let d = Decode.decode ~fetch:(ifetch t) pc in
+    t.last_cost <- cycles_of_insn d.insn;
+    d
+  end
+  else begin
+    let e = Array.unsafe_get t.dcache (pc land dcache_mask) in
+    if
+      e.d_pc = pc
+      && Memory.page_generation e.d_pg1 = e.d_wg1
+      && Memory.page_generation e.d_pg2 = e.d_wg2
+    then begin
+      t.dc_hits <- t.dc_hits + 1;
+      t.dc_streak <- 0;
+      t.last_cost <- e.d_cost;
+      e.d_dec
+    end
+    else if e.d_pc = pc && revalidate t e pc then begin
+      (* Stale generation but the instruction bytes are unchanged — the page
+         was written elsewhere (typical of wild execution that stores into
+         its own code page every iteration). [Decode.decode] is a pure
+         function of the fetched bytes, so the cached decode is still
+         exact; refresh the generations and reuse it. *)
+      t.dc_hits <- t.dc_hits + 1;
+      t.dc_streak <- 0;
+      t.last_cost <- e.d_cost;
+      e.d_dec
+    end
+    else if t.dc_streak >= dc_bypass_streak then begin
+      t.dc_misses <- t.dc_misses + 1;
+      let d = Decode.decode ~fetch:(ifetch t) pc in
+      t.last_cost <- cycles_of_insn d.insn;
+      d
+    end
+    else begin
+      t.dc_misses <- t.dc_misses + 1;
+      t.dc_streak <- t.dc_streak + 1;
+      (* The fetch wrapper records the consumed bytes into [e.d_bytes] as the
+         decoder reads them, scribbling over whatever entry lived there —
+         so mark the entry invalid first and only re-arm it if the insert
+         completes, lest a failed insert leave stale bytes under a live pc. *)
+      e.d_pc <- -1;
+      let d =
+        Decode.decode
+          ~fetch:(fun addr ->
+            let b = ifetch t addr in
+            let k = addr - pc in
+            if k >= 0 && k < 15 then
+              Bytes.unsafe_set e.d_bytes k (Char.unsafe_chr b);
+            b)
+          pc
+      in
+      t.last_cost <- cycles_of_insn d.insn;
+      (match Memory.page_at_opt t.mem pc with
+      | None -> ()
+      | Some pg1 ->
+        let last = pc + d.length - 1 in
+        let pg2 =
+          if (pc land 0xFFFFFFFF) lsr 12 = (last land 0xFFFFFFFF) lsr 12 then
+            Some pg1
+          else Memory.page_at_opt t.mem last
+        in
+        (match pg2 with
+        | None -> ()
+        | Some pg2 ->
+          e.d_pc <- pc;
+          e.d_dec <- d;
+          e.d_cost <- t.last_cost;
+          e.d_pg1 <- pg1;
+          e.d_wg1 <- Memory.page_generation pg1;
+          e.d_pg2 <- pg2;
+          e.d_wg2 <- Memory.page_generation pg2));
+      d
+    end
+  end
+
+let decode_cache_stats t = (t.dc_hits, t.dc_misses)
+
 let deliver_fault t pc e =
   t.eip <- pc;
   Counters.idle t.counters exception_dispatch_cycles;
@@ -730,9 +901,9 @@ let step ?(skip_ibp = false) t =
   let pc = t.eip in
   if (not skip_ibp) && Debug_regs.check_exec t.dr pc then Hit_ibp
   else begin
-    t.pending_hit <- None;
+    (match t.pending_hit with Some _ -> t.pending_hit <- None | None -> ());
     t.stopped <- false;
-    match Decode.decode ~fetch:(ifetch t) pc with
+    match decode_at t pc with
     | exception Decode.Undefined_opcode -> deliver_fault t pc Exn.Invalid_opcode
     | exception Invalid_argument _ -> deliver_fault t pc Exn.Invalid_opcode
     | exception Memory.Fault { addr; kind = Memory.Unmapped; _ } ->
@@ -749,20 +920,22 @@ let step ?(skip_ibp = false) t =
       | exception Memory.Fault { addr; kind = Memory.Protection; _ } ->
         deliver_fault t pc (Exn.General_protection { addr = Some addr })
       | () ->
-        Counters.retire t.counters ~cost:(cycles_of_insn d.insn);
+        Counters.retire t.counters ~cost:t.last_cost;
         if t.stopped then Stopped
-        else if d.insn = Hlt then
-          if getf t flag_if then Halted
-          else begin
-            (* HLT with interrupts disabled never wakes: spin here so the
-               watchdog sees no progress and declares a hang. *)
-            t.eip <- pc;
-            Retired
-          end
         else
-          match t.pending_hit with
-          | Some h -> Hit_dbp h
-          | None -> Retired)
+          match d.insn with
+          | Hlt ->
+            if getf t flag_if then Halted
+            else begin
+              (* HLT with interrupts disabled never wakes: spin here so the
+                 watchdog sees no progress and declares a hang. *)
+              t.eip <- pc;
+              Retired
+            end
+          | _ -> (
+            match t.pending_hit with
+            | Some h -> Hit_dbp h
+            | None -> Retired))
   end
 
 (* --- system registers (the P4 injection targets, §5.2) ------------------ *)

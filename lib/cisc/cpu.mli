@@ -11,6 +11,10 @@
     FS/GS selectors — about twenty registers, of which only a handful can
     crash the kernel. *)
 
+type dentry
+(** A decode-cache slot (see {!decode_cache_stats}); validated against page
+    generation counters so stores, pokes and injected bit flips evict. *)
+
 type t = {
   mem : Ferrite_machine.Memory.t;
   regs : int array;  (** EAX ECX EDX EBX ESP EBP ESI EDI *)
@@ -38,7 +42,21 @@ type t = {
   mutable last_store_addr : int;  (** diagnostics for crash dumps *)
   idtr0 : int;
   cr3_0 : int;
+  dcache : dentry array;  (** PC-keyed decode cache *)
+  dc_enabled : bool;
+      (** captured from [Memory.fast_paths] at {!create}; [false] forces the
+          uncached fetch+decode path (differential testing) *)
+  mutable dc_hits : int;
+  mutable dc_misses : int;
+  mutable dc_streak : int;
+      (** consecutive decode-cache misses; long streaks bypass insertion *)
+  mutable last_cost : int;
+      (** cycle cost of the instruction the last decode returned *)
 }
+
+val decode_cache_stats : t -> int * int
+(** [(hits, misses)] of the decode cache — monotonic diagnostics, excluded
+    from {!snapshot}/{!restore}. *)
 
 (** Register indices. *)
 

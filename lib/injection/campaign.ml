@@ -33,6 +33,7 @@ type result = {
   hot_profile : (string * float) list;
   reboots : int;
   collector : Collector.stats;
+  cache : Ferrite_machine.Cache_stats.t;
 }
 
 let hot_profile image arch =
@@ -74,6 +75,7 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ?(executor = Executor.default)
     hot_profile = hot;
     reboots = out.Executor.reboots;
     collector = out.Executor.collector;
+    cache = out.Executor.cache;
   }
 
 type summary = {

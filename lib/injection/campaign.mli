@@ -37,6 +37,9 @@ type result = {
   hot_profile : (string * float) list;  (** the profiled function weights used *)
   reboots : int;  (** boots + policy reboots, summed over workers *)
   collector : Collector.stats;  (** merged dump-channel delivery tallies *)
+  cache : Ferrite_machine.Cache_stats.t;
+      (** TLB / dirty-restore / decode-cache counters summed over workers —
+          scheduling-dependent diagnostics, like [reboots] *)
 }
 
 val plan : config -> Trial.spec array
@@ -50,8 +53,9 @@ val run :
   result
 (** Run every trial. [executor] defaults to {!Executor.default}
     (sequential); [Executor.Parallel] produces the identical [records],
-    [collector], [traces] and [telemetry] fields — only [reboots] (and hence
-    [telemetry.tl_boots]) may differ, by at most one boot per extra worker.
+    [collector], [traces] and [telemetry] fields — only the diagnostics
+    [reboots] (and hence [telemetry.tl_boots]) and [cache] may differ, by at
+    most one boot per extra worker.
     [tracer] defaults to {!Ferrite_trace.Tracer.telemetry_only}: counters are
     always exact; pass a positive capacity to retain per-trial event
     timelines. *)

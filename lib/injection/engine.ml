@@ -181,6 +181,7 @@ let run_one ?tracer ~sys ~runner ~target ~collector config =
     else if Runner.fsv runner then finish Outcome.Fail_silence_violation
     else finish Outcome.Not_manifested
   in
+  let tick_mask = config.tick_interval - 1 in
   let rec loop steps skip_ibp =
     if steps >= config.step_budget then begin
       (* Watchdog expiry: the run is hung regardless of activation. If the
@@ -192,7 +193,7 @@ let run_one ?tracer ~sys ~runner ~target ~collector config =
       finish Outcome.Hang
     end
     else begin
-      if steps land (config.tick_interval - 1) = 0 then begin
+      if steps land tick_mask = 0 then begin
         if Runner.tick runner = Runner.Done then workload_done () else step_once steps skip_ibp
       end
       else step_once steps skip_ibp

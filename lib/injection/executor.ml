@@ -1,10 +1,19 @@
+open Ferrite_machine
+
 type t =
   | Sequential
   | Parallel of { domains : int }
 
 let default = Sequential
 
-let of_jobs n = if n <= 1 then Sequential else Parallel { domains = n }
+(* More domains than cores just multiplies per-worker boots (each worker
+   boots its own machine) without any parallelism to pay for them. *)
+let of_jobs n =
+  if n < 0 then
+    invalid_arg (Printf.sprintf "Executor.of_jobs: %d is not a worker count" n)
+  else
+    let n = min n (Domain.recommended_domain_count ()) in
+    if n <= 1 then Sequential else Parallel { domains = n }
 
 let auto () = of_jobs (Domain.recommended_domain_count ())
 
@@ -18,6 +27,7 @@ type outcome = {
   telemetry : Ferrite_trace.Telemetry.t;
   reboots : int;
   collector : Collector.stats;
+  cache : Cache_stats.t;  (* summed over workers; diagnostics like reboots *)
 }
 
 (* Telemetry is merged by folding the per-trial traces in index order, never
@@ -54,6 +64,7 @@ let run_sequential ~progress ~trace env specs =
     telemetry = merge_telemetry traces;
     reboots = Trial.reboots cache;
     collector = !stats;
+    cache = Trial.cache_stats cache;
   }
 
 (* Chunked self-scheduling: workers atomically claim contiguous chunks of
@@ -65,7 +76,9 @@ let run_sequential ~progress ~trace env specs =
    output is already in campaign order — bit-identical to Sequential. *)
 let run_parallel ~progress ~trace ~domains env specs =
   let total = Array.length specs in
-  let domains = max 1 (min domains total) in
+  (* Never spin up a worker for fewer than ~4 trials: a worker's first act is
+     a full boot, which only amortises over a handful of trials. *)
+  let domains = max 1 (min domains (max 1 (total / 4))) in
   let chunk = max 1 (total / (domains * 8)) in
   let results = Array.make total None in
   let next = Atomic.make 0 in
@@ -89,15 +102,15 @@ let run_parallel ~progress ~trace ~domains env specs =
       end
     in
     claim ();
-    (Trial.reboots cache, !stats)
+    (Trial.reboots cache, !stats, Trial.cache_stats cache)
   in
   let handles = List.init domains (fun _ -> Domain.spawn worker) in
-  let reboots, stats =
+  let reboots, stats, cache =
     List.fold_left
-      (fun (rb, st) h ->
-        let r, s = Domain.join h in
-        (rb + r, Collector.merge_stats st s))
-      (0, Collector.zero_stats) handles
+      (fun (rb, st, cs) h ->
+        let r, s, c = Domain.join h in
+        (rb + r, Collector.merge_stats st s, Cache_stats.merge cs c))
+      (0, Collector.zero_stats, Cache_stats.zero) handles
   in
   let records =
     Array.map
@@ -107,7 +120,7 @@ let run_parallel ~progress ~trace ~domains env specs =
   let traces =
     Array.map (function Some (_, t) -> t | None -> assert false) results
   in
-  { records; traces; telemetry = merge_telemetry traces; reboots; collector = stats }
+  { records; traces; telemetry = merge_telemetry traces; reboots; collector = stats; cache }
 
 let run ?(progress = no_progress) ?(trace = Ferrite_trace.Tracer.telemetry_only) t env specs
     =
@@ -118,9 +131,16 @@ let run ?(progress = no_progress) ?(trace = Ferrite_trace.Tracer.telemetry_only)
       telemetry = Ferrite_trace.Telemetry.zero;
       reboots = 0;
       collector = Collector.zero_stats;
+      cache = Cache_stats.zero;
     }
   else
+    let effective_domains domains =
+      min domains
+        (min (Domain.recommended_domain_count ()) (max 1 (Array.length specs / 4)))
+    in
     match t with
     | Sequential -> run_sequential ~progress ~trace env specs
-    | Parallel { domains } when domains <= 1 -> run_sequential ~progress ~trace env specs
-    | Parallel { domains } -> run_parallel ~progress ~trace ~domains env specs
+    | Parallel { domains } when effective_domains domains <= 1 ->
+      run_sequential ~progress ~trace env specs
+    | Parallel { domains } ->
+      run_parallel ~progress ~trace ~domains:(effective_domains domains) env specs

@@ -4,9 +4,10 @@
     Both executors consume the same {!Trial.spec} array and produce the same
     {!outcome} — bit-identical records in trial-index order — because each
     trial's record is a pure function of its spec (see {!Trial}).  The only
-    field allowed to differ between executors is [reboots]: every worker
-    boots its own machine once, so a parallel run reports up to
-    [domains - 1] extra boots. *)
+    fields allowed to differ between executors are the diagnostics [reboots]
+    and [cache]: every worker boots its own machine once, so a parallel run
+    reports up to [domains - 1] extra boots (and correspondingly different
+    cache counters). *)
 
 type t =
   | Sequential  (** one worker, in-order — the default, today's behaviour *)
@@ -18,8 +19,11 @@ val default : t
 (** {!Sequential}. *)
 
 val of_jobs : int -> t
-(** [of_jobs n] is {!Sequential} for [n <= 1], [Parallel {domains = n}]
-    otherwise — the [--jobs N] CLI mapping. *)
+(** [of_jobs n] is the [--jobs N] CLI mapping: {!Sequential} for [n] of 0 or
+    1, otherwise [Parallel] with [n] clamped to
+    [Domain.recommended_domain_count ()] (extra domains beyond the cores only
+    multiply per-worker boots) — which is again {!Sequential} when the clamp
+    yields 1. Raises [Invalid_argument] on negative [n]. *)
 
 val auto : unit -> t
 (** [of_jobs (Domain.recommended_domain_count ())]. *)
@@ -40,6 +44,11 @@ type outcome = {
           (filled by the campaign) is executor-independent *)
   reboots : int;  (** summed over workers *)
   collector : Collector.stats;  (** merged delivery tallies *)
+  cache : Ferrite_machine.Cache_stats.t;
+      (** TLB / dirty-restore / decode-cache counters summed over workers.
+          Like [reboots], these depend on scheduling and on whether the fast
+          paths are enabled — diagnostics only, never folded into records or
+          telemetry *)
 }
 
 val run :

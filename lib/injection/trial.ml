@@ -56,6 +56,11 @@ let cache_create () = { booted = None; pristine = false; policy_reboot = false; 
 
 let reboots cache = cache.reboots
 
+let cache_stats cache =
+  match cache.booted with
+  | None -> Cache_stats.zero
+  | Some (sys, _) -> System.cache_stats sys
+
 (* Hand out a machine in pristine post-boot state. The first call boots and
    snapshots; later calls roll back to the snapshot instead of re-running
    boot. A rollback after a manifested run is counted as a reboot (the

@@ -48,6 +48,12 @@ type cache
 val cache_create : unit -> cache
 val reboots : cache -> int
 
+val cache_stats : cache -> Ferrite_machine.Cache_stats.t
+(** Cache-layer counters of the cache's machine ({!Ferrite_kernel.System.cache_stats});
+    {!Ferrite_machine.Cache_stats.zero} if the cache never booted. Like
+    {!reboots}, these depend on how trials were scheduled over workers, so
+    they are diagnostics — never part of records or telemetry. *)
+
 val run :
   ?trace:Ferrite_trace.Tracer.config ->
   env ->

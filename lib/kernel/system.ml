@@ -133,6 +133,15 @@ let current_task_index t =
 
 let idle_cycles t n = Counters.idle (counters t) n
 
+let cache_stats t =
+  let mem = Memory.cache_stats t.mem in
+  let hits, misses =
+    match t.cpu with
+    | Ccpu c -> Ferrite_cisc.Cpu.decode_cache_stats c
+    | Rcpu r -> Ferrite_risc.Cpu.decode_cache_stats r
+  in
+  { mem with Cache_stats.cs_decode_hits = hits; cs_decode_misses = misses }
+
 (* --- snapshot/restore ------------------------------------------------- *)
 
 type cpu_snapshot =

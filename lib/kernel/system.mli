@@ -72,6 +72,12 @@ val current_task_index : t -> int option
 val idle_cycles : t -> int -> unit
 (** Advance the cycle counter without executing (benchmark think time). *)
 
+val cache_stats : t -> Ferrite_machine.Cache_stats.t
+(** Memory-layer counters (TLB, dirty restore) merged with the CPU's decode
+    cache counters. Monotonic diagnostics over the machine's lifetime —
+    excluded from {!snapshot}/{!restore} and never part of campaign records
+    or telemetry, so they may differ between executors. *)
+
 type snapshot
 (** Full machine state: memory plus CPU (registers, counters, breakpoints). *)
 

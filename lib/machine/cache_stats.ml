@@ -1,0 +1,71 @@
+type t = {
+  cs_tlb_hits : int;
+  cs_tlb_misses : int;
+  cs_restore_fast : int;
+  cs_restore_full : int;
+  cs_restore_pages : int;
+  cs_decode_hits : int;
+  cs_decode_misses : int;
+}
+
+let zero =
+  {
+    cs_tlb_hits = 0;
+    cs_tlb_misses = 0;
+    cs_restore_fast = 0;
+    cs_restore_full = 0;
+    cs_restore_pages = 0;
+    cs_decode_hits = 0;
+    cs_decode_misses = 0;
+  }
+
+let merge a b =
+  {
+    cs_tlb_hits = a.cs_tlb_hits + b.cs_tlb_hits;
+    cs_tlb_misses = a.cs_tlb_misses + b.cs_tlb_misses;
+    cs_restore_fast = a.cs_restore_fast + b.cs_restore_fast;
+    cs_restore_full = a.cs_restore_full + b.cs_restore_full;
+    cs_restore_pages = a.cs_restore_pages + b.cs_restore_pages;
+    cs_decode_hits = a.cs_decode_hits + b.cs_decode_hits;
+    cs_decode_misses = a.cs_decode_misses + b.cs_decode_misses;
+  }
+
+let fields t =
+  [
+    ("tlb_hits", t.cs_tlb_hits);
+    ("tlb_misses", t.cs_tlb_misses);
+    ("restore_fast", t.cs_restore_fast);
+    ("restore_full", t.cs_restore_full);
+    ("restore_pages_blitted", t.cs_restore_pages);
+    ("decode_hits", t.cs_decode_hits);
+    ("decode_misses", t.cs_decode_misses);
+  ]
+
+let ratio hits misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+let tlb_hit_rate t = ratio t.cs_tlb_hits t.cs_tlb_misses
+let decode_hit_rate t = ratio t.cs_decode_hits t.cs_decode_misses
+
+let to_json t =
+  let ints =
+    List.map (fun (k, v) -> Printf.sprintf "    \"%s\": %d" k v) (fields t)
+  in
+  let rates =
+    [
+      Printf.sprintf "    \"tlb_hit_rate\": %.4f" (tlb_hit_rate t);
+      Printf.sprintf "    \"decode_hit_rate\": %.4f" (decode_hit_rate t);
+    ]
+  in
+  "{\n" ^ String.concat ",\n" (ints @ rates) ^ "\n  }"
+
+let render ppf t =
+  Format.fprintf ppf "tlb %d/%d (%.1f%%)  decode %d/%d (%.1f%%)  restores %d fast / %d full (%d pages)"
+    t.cs_tlb_hits
+    (t.cs_tlb_hits + t.cs_tlb_misses)
+    (100.0 *. tlb_hit_rate t)
+    t.cs_decode_hits
+    (t.cs_decode_hits + t.cs_decode_misses)
+    (100.0 *. decode_hit_rate t)
+    t.cs_restore_fast t.cs_restore_full t.cs_restore_pages

@@ -1,0 +1,34 @@
+(** Diagnostic counters for the simulator's fast paths: software-TLB hits,
+    decode-cache hits, and dirty-page restore activity.
+
+    These are {e diagnostics}, not architectural state: they are monotonic,
+    excluded from {!Memory.snapshot}/[restore], and — like the executor's
+    [reboots] count — may differ between [Sequential] and [Parallel] runs of
+    the same campaign (each worker warms its own caches). Records, telemetry
+    and traces remain executor-independent. *)
+
+type t = {
+  cs_tlb_hits : int;
+  cs_tlb_misses : int;
+  cs_restore_fast : int;  (** restores served from the dirty-page list *)
+  cs_restore_full : int;  (** restores that walked the whole snapshot *)
+  cs_restore_pages : int;  (** pages blitted or re-created across restores *)
+  cs_decode_hits : int;
+  cs_decode_misses : int;
+}
+
+val zero : t
+val merge : t -> t -> t
+
+val fields : t -> (string * int) list
+(** Stable [(name, value)] list for reports and JSON. *)
+
+val tlb_hit_rate : t -> float
+(** Hits / (hits + misses), 0.0 when no accesses. *)
+
+val decode_hit_rate : t -> float
+
+val to_json : t -> string
+(** A JSON object literal (indented for embedding in BENCH_campaign.json). *)
+
+val render : Format.formatter -> t -> unit

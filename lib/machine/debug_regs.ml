@@ -44,10 +44,13 @@ let[@inline] check_exec t pc =
   | l -> List.mem pc l
 
 let[@inline] check_data t ~addr ~len ~is_write =
-  match t.data with
-  | [] -> None
-  | data ->
-    let overlaps w = addr < w.w_addr + w.w_len && w.w_addr < addr + len in
-    (match List.find_opt overlaps data with
-    | Some w -> Some { addr = w.w_addr; is_write }
-    | None -> None)
+  (* hand-rolled so the no-hit path (every load/store of an armed run)
+     allocates nothing *)
+  let rec scan = function
+    | [] -> None
+    | w :: rest ->
+      if addr < w.w_addr + w.w_len && w.w_addr < addr + len then
+        Some { addr = w.w_addr; is_write }
+      else scan rest
+  in
+  match t.data with [] -> None | data -> scan data

@@ -15,7 +15,31 @@ let page_size = 4096
 let page_shift = 12
 let offset_mask = page_size - 1
 
-type page = { data : Bytes.t; mutable perm : perm }
+(* [wgen] counts mutations of this page object (content writes, permission
+   changes, restore blits) and is bumped one last time when the page is
+   unmapped or replaced — decode-cache entries validate against it, so any
+   entry holding a stale page object or stale bytes misses. [dirty] marks
+   membership in the owning memory's dirty list since the last restore. *)
+type page = {
+  data : Bytes.t;
+  mutable perm : perm;
+  mutable wgen : int;
+  mutable dirty : bool;
+}
+
+let null_page =
+  { data = Bytes.create 0; perm = perm_rw; wgen = min_int; dirty = true }
+
+let page_generation p = p.wgen
+
+(* Software TLB: per-access-class direct-mapped (page index -> page). *)
+let tlb_bits = 7
+let tlb_size = 1 lsl tlb_bits
+let tlb_mask = tlb_size - 1
+
+let fast_default = ref true
+
+let set_fast_paths_default b = fast_default := b
 
 type t = {
   pages : (int, page) Hashtbl.t;
@@ -25,6 +49,20 @@ type t = {
   mutable auto_lo : int;
   mutable auto_hi : int;
   mutable auto_perm : perm;
+  fast : bool;  (* fast paths enabled (TLB, word accessors, dirty restore) *)
+  tlb_r_idx : int array;
+  tlb_r_pg : page array;
+  tlb_w_idx : int array;
+  tlb_w_pg : page array;
+  tlb_x_idx : int array;
+  tlb_x_pg : page array;
+  mutable dirty_list : int list;  (* page indices touched since last restore *)
+  mutable last_restored : int;  (* snapshot id of the last restore, or -1 *)
+  mutable stat_tlb_hits : int;
+  mutable stat_tlb_misses : int;
+  mutable stat_restore_fast : int;
+  mutable stat_restore_full : int;
+  mutable stat_restore_pages : int;
 }
 
 let create () =
@@ -33,7 +71,28 @@ let create () =
     auto_lo = 0;
     auto_hi = 0;
     auto_perm = perm_rw;
+    fast = !fast_default;
+    tlb_r_idx = Array.make tlb_size (-1);
+    tlb_r_pg = Array.make tlb_size null_page;
+    tlb_w_idx = Array.make tlb_size (-1);
+    tlb_w_pg = Array.make tlb_size null_page;
+    tlb_x_idx = Array.make tlb_size (-1);
+    tlb_x_pg = Array.make tlb_size null_page;
+    dirty_list = [];
+    last_restored = -1;
+    stat_tlb_hits = 0;
+    stat_tlb_misses = 0;
+    stat_restore_fast = 0;
+    stat_restore_full = 0;
+    stat_restore_pages = 0;
   }
+
+let fast_paths t = t.fast
+
+let tlb_flush t =
+  Array.fill t.tlb_r_idx 0 tlb_size (-1);
+  Array.fill t.tlb_w_idx 0 tlb_size (-1);
+  Array.fill t.tlb_x_idx 0 tlb_size (-1)
 
 let set_auto_map t ~lo ~hi ~perm =
   t.auto_lo <- lo;
@@ -42,35 +101,68 @@ let set_auto_map t ~lo ~hi ~perm =
 
 let page_index addr = (addr land 0xFFFFFFFF) lsr page_shift
 
+(* Record a mutation of [page] (at table slot [idx]): bump its generation for
+   the decode caches and enrol it in the dirty list for the next restore. *)
+let[@inline] touch t idx page =
+  page.wgen <- page.wgen + 1;
+  if not page.dirty then begin
+    page.dirty <- true;
+    t.dirty_list <- idx :: t.dirty_list
+  end
+
 let map t ~addr ~size ~perm =
   let first = page_index addr and last = page_index (addr + size - 1) in
   for idx = first to last do
     match Hashtbl.find_opt t.pages idx with
-    | Some page -> page.perm <- perm
-    | None -> Hashtbl.replace t.pages idx { data = Bytes.make page_size '\000'; perm }
-  done
+    | Some page ->
+      page.perm <- perm;
+      touch t idx page
+    | None ->
+      let page =
+        { data = Bytes.make page_size '\000'; perm; wgen = 0; dirty = false }
+      in
+      Hashtbl.replace t.pages idx page;
+      touch t idx page
+  done;
+  tlb_flush t
 
 let unmap t ~addr ~size =
   let first = page_index addr and last = page_index (addr + size - 1) in
   for idx = first to last do
+    (match Hashtbl.find_opt t.pages idx with
+    | Some page -> touch t idx page  (* invalidate decode entries; remember *)
+    | None -> ());
     Hashtbl.remove t.pages idx
-  done
+  done;
+  tlb_flush t
 
 let set_perm t ~addr ~size ~perm =
   let first = page_index addr and last = page_index (addr + size - 1) in
+  (* validate the whole range before mutating anything, so a failure leaves
+     every page's permissions untouched *)
   for idx = first to last do
-    match Hashtbl.find_opt t.pages idx with
-    | Some page -> page.perm <- perm
-    | None -> invalid_arg "Memory.set_perm: unmapped page in range"
-  done
+    if not (Hashtbl.mem t.pages idx) then
+      invalid_arg "Memory.set_perm: unmapped page in range"
+  done;
+  for idx = first to last do
+    let page = Hashtbl.find t.pages idx in
+    page.perm <- perm;
+    touch t idx page
+  done;
+  tlb_flush t
 
 let is_mapped t addr = Hashtbl.mem t.pages (page_index addr)
 
 let demand_map t addr access =
   let a = addr land 0xFFFFFFFF in
   if a >= t.auto_lo && a < t.auto_hi then begin
-    let page = { data = Bytes.make page_size '\000'; perm = t.auto_perm } in
-    Hashtbl.replace t.pages (page_index addr) page;
+    let page =
+      { data = Bytes.make page_size '\000'; perm = t.auto_perm;
+        wgen = 0; dirty = false }
+    in
+    let idx = page_index addr in
+    Hashtbl.replace t.pages idx page;
+    touch t idx page;
     page
   end
   else raise (Fault { addr; access; kind = Unmapped })
@@ -88,76 +180,186 @@ let[@inline] readable p = p.readable
 let[@inline] writable p = p.writable
 let[@inline] executable p = p.executable
 
+(* TLB-fronted page lookups, one per access class. A hit skips the Hashtbl
+   and the permission check (the entry was validated on insert and every
+   map/unmap/set_perm/restore flushes). Write lookups also dirty the page. *)
+
+let[@inline] read_page t addr =
+  let idx = page_index addr in
+  let slot = idx land tlb_mask in
+  if Array.unsafe_get t.tlb_r_idx slot = idx then begin
+    t.stat_tlb_hits <- t.stat_tlb_hits + 1;
+    Array.unsafe_get t.tlb_r_pg slot
+  end
+  else begin
+    t.stat_tlb_misses <- t.stat_tlb_misses + 1;
+    let page = find t addr Read readable in
+    if t.fast then begin
+      Array.unsafe_set t.tlb_r_idx slot idx;
+      Array.unsafe_set t.tlb_r_pg slot page
+    end;
+    page
+  end
+
+let[@inline] write_page t addr =
+  let idx = page_index addr in
+  let slot = idx land tlb_mask in
+  if Array.unsafe_get t.tlb_w_idx slot = idx then begin
+    t.stat_tlb_hits <- t.stat_tlb_hits + 1;
+    let page = Array.unsafe_get t.tlb_w_pg slot in
+    touch t idx page;
+    page
+  end
+  else begin
+    t.stat_tlb_misses <- t.stat_tlb_misses + 1;
+    let page = find t addr Write writable in
+    if t.fast then begin
+      Array.unsafe_set t.tlb_w_idx slot idx;
+      Array.unsafe_set t.tlb_w_pg slot page
+    end;
+    touch t idx page;
+    page
+  end
+
+let[@inline] exec_page t addr =
+  let idx = page_index addr in
+  let slot = idx land tlb_mask in
+  if Array.unsafe_get t.tlb_x_idx slot = idx then begin
+    t.stat_tlb_hits <- t.stat_tlb_hits + 1;
+    Array.unsafe_get t.tlb_x_pg slot
+  end
+  else begin
+    t.stat_tlb_misses <- t.stat_tlb_misses + 1;
+    let page = find t addr Execute executable in
+    if t.fast then begin
+      Array.unsafe_set t.tlb_x_idx slot idx;
+      Array.unsafe_set t.tlb_x_pg slot page
+    end;
+    page
+  end
+
 let[@inline] load8 t addr =
-  let page = find t addr Read readable in
+  let page = read_page t addr in
   Char.code (Bytes.unsafe_get page.data (addr land offset_mask))
 
 let[@inline] store8 t addr v =
-  let page = find t addr Write writable in
+  let page = write_page t addr in
   Bytes.unsafe_set page.data (addr land offset_mask) (Char.unsafe_chr (v land 0xFF))
 
 let[@inline] fetch8 t addr =
-  let page = find t addr Execute executable in
+  let page = exec_page t addr in
   Char.code (Bytes.unsafe_get page.data (addr land offset_mask))
 
 (* Bytes are loaded lowest-address first so that a fault on a partially
-   unmapped access reports the architecturally expected (first) address. *)
+   unmapped access reports the architecturally expected (first) address.
+   Accesses contained in one page take a whole-word fast path; the byte-wise
+   fallback keeps cross-page fault semantics exact. *)
 
 let load16_le t addr =
-  let b0 = load8 t addr in
-  let b1 = load8 t (addr + 1) in
-  b0 lor (b1 lsl 8)
+  if t.fast && addr land offset_mask <= page_size - 2 then
+    let page = read_page t addr in
+    Bytes.get_uint16_le page.data (addr land offset_mask)
+  else begin
+    let b0 = load8 t addr in
+    let b1 = load8 t (addr + 1) in
+    b0 lor (b1 lsl 8)
+  end
 
 let load32_le t addr =
-  let b0 = load8 t addr in
-  let b1 = load8 t (addr + 1) in
-  let b2 = load8 t (addr + 2) in
-  let b3 = load8 t (addr + 3) in
-  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  if t.fast && addr land offset_mask <= page_size - 4 then
+    let page = read_page t addr in
+    Int32.to_int (Bytes.get_int32_le page.data (addr land offset_mask))
+    land 0xFFFFFFFF
+  else begin
+    let b0 = load8 t addr in
+    let b1 = load8 t (addr + 1) in
+    let b2 = load8 t (addr + 2) in
+    let b3 = load8 t (addr + 3) in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  end
 
 let load16_be t addr =
-  let b0 = load8 t addr in
-  let b1 = load8 t (addr + 1) in
-  (b0 lsl 8) lor b1
+  if t.fast && addr land offset_mask <= page_size - 2 then
+    let page = read_page t addr in
+    Bytes.get_uint16_be page.data (addr land offset_mask)
+  else begin
+    let b0 = load8 t addr in
+    let b1 = load8 t (addr + 1) in
+    (b0 lsl 8) lor b1
+  end
 
 let load32_be t addr =
-  let b0 = load8 t addr in
-  let b1 = load8 t (addr + 1) in
-  let b2 = load8 t (addr + 2) in
-  let b3 = load8 t (addr + 3) in
-  (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+  if t.fast && addr land offset_mask <= page_size - 4 then
+    let page = read_page t addr in
+    Int32.to_int (Bytes.get_int32_be page.data (addr land offset_mask))
+    land 0xFFFFFFFF
+  else begin
+    let b0 = load8 t addr in
+    let b1 = load8 t (addr + 1) in
+    let b2 = load8 t (addr + 2) in
+    let b3 = load8 t (addr + 3) in
+    (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+  end
 
 let store16_le t addr v =
-  store8 t addr v;
-  store8 t (addr + 1) (v lsr 8)
+  if t.fast && addr land offset_mask <= page_size - 2 then
+    let page = write_page t addr in
+    Bytes.set_uint16_le page.data (addr land offset_mask) (v land 0xFFFF)
+  else begin
+    store8 t addr v;
+    store8 t (addr + 1) (v lsr 8)
+  end
 
 let store32_le t addr v =
-  store8 t addr v;
-  store8 t (addr + 1) (v lsr 8);
-  store8 t (addr + 2) (v lsr 16);
-  store8 t (addr + 3) (v lsr 24)
+  if t.fast && addr land offset_mask <= page_size - 4 then
+    let page = write_page t addr in
+    Bytes.set_int32_le page.data (addr land offset_mask) (Int32.of_int v)
+  else begin
+    store8 t addr v;
+    store8 t (addr + 1) (v lsr 8);
+    store8 t (addr + 2) (v lsr 16);
+    store8 t (addr + 3) (v lsr 24)
+  end
 
 let store16_be t addr v =
-  store8 t addr (v lsr 8);
-  store8 t (addr + 1) v
+  if t.fast && addr land offset_mask <= page_size - 2 then
+    let page = write_page t addr in
+    Bytes.set_uint16_be page.data (addr land offset_mask) (v land 0xFFFF)
+  else begin
+    store8 t addr (v lsr 8);
+    store8 t (addr + 1) v
+  end
 
 let store32_be t addr v =
-  store8 t addr (v lsr 24);
-  store8 t (addr + 1) (v lsr 16);
-  store8 t (addr + 2) (v lsr 8);
-  store8 t (addr + 3) v
+  if t.fast && addr land offset_mask <= page_size - 4 then
+    let page = write_page t addr in
+    Bytes.set_int32_be page.data (addr land offset_mask) (Int32.of_int v)
+  else begin
+    store8 t addr (v lsr 24);
+    store8 t (addr + 1) (v lsr 16);
+    store8 t (addr + 2) (v lsr 8);
+    store8 t (addr + 3) v
+  end
 
 let fetch32_be t addr =
-  let b0 = fetch8 t addr in
-  let b1 = fetch8 t (addr + 1) in
-  let b2 = fetch8 t (addr + 2) in
-  let b3 = fetch8 t (addr + 3) in
-  (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+  if t.fast && addr land offset_mask <= page_size - 4 then
+    let page = exec_page t addr in
+    Int32.to_int (Bytes.get_int32_be page.data (addr land offset_mask))
+    land 0xFFFFFFFF
+  else begin
+    let b0 = fetch8 t addr in
+    let b1 = fetch8 t (addr + 1) in
+    let b2 = fetch8 t (addr + 2) in
+    let b3 = fetch8 t (addr + 3) in
+    (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+  end
 
 let peek_page t addr =
   match Hashtbl.find_opt t.pages (page_index addr) with
   | None -> raise (Fault { addr; access = Read; kind = Unmapped })
   | Some page -> page
+
+let page_at_opt t addr = Hashtbl.find_opt t.pages (page_index addr)
 
 let peek8 t addr =
   let page = peek_page t addr in
@@ -165,33 +367,60 @@ let peek8 t addr =
 
 let poke8 t addr v =
   let page = peek_page t addr in
+  touch t (page_index addr) page;
   Bytes.set page.data (addr land offset_mask) (Char.chr (v land 0xFF))
 
 let peek32_le t addr =
-  let b0 = peek8 t addr in
-  let b1 = peek8 t (addr + 1) in
-  let b2 = peek8 t (addr + 2) in
-  let b3 = peek8 t (addr + 3) in
-  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  if t.fast && addr land offset_mask <= page_size - 4 then
+    let page = peek_page t addr in
+    Int32.to_int (Bytes.get_int32_le page.data (addr land offset_mask))
+    land 0xFFFFFFFF
+  else begin
+    let b0 = peek8 t addr in
+    let b1 = peek8 t (addr + 1) in
+    let b2 = peek8 t (addr + 2) in
+    let b3 = peek8 t (addr + 3) in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  end
 
 let peek32_be t addr =
-  let b0 = peek8 t addr in
-  let b1 = peek8 t (addr + 1) in
-  let b2 = peek8 t (addr + 2) in
-  let b3 = peek8 t (addr + 3) in
-  (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+  if t.fast && addr land offset_mask <= page_size - 4 then
+    let page = peek_page t addr in
+    Int32.to_int (Bytes.get_int32_be page.data (addr land offset_mask))
+    land 0xFFFFFFFF
+  else begin
+    let b0 = peek8 t addr in
+    let b1 = peek8 t (addr + 1) in
+    let b2 = peek8 t (addr + 2) in
+    let b3 = peek8 t (addr + 3) in
+    (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+  end
 
 let poke32_le t addr v =
-  poke8 t addr v;
-  poke8 t (addr + 1) (v lsr 8);
-  poke8 t (addr + 2) (v lsr 16);
-  poke8 t (addr + 3) (v lsr 24)
+  if t.fast && addr land offset_mask <= page_size - 4 then begin
+    let page = peek_page t addr in
+    touch t (page_index addr) page;
+    Bytes.set_int32_le page.data (addr land offset_mask) (Int32.of_int v)
+  end
+  else begin
+    poke8 t addr v;
+    poke8 t (addr + 1) (v lsr 8);
+    poke8 t (addr + 2) (v lsr 16);
+    poke8 t (addr + 3) (v lsr 24)
+  end
 
 let poke32_be t addr v =
-  poke8 t addr (v lsr 24);
-  poke8 t (addr + 1) (v lsr 16);
-  poke8 t (addr + 2) (v lsr 8);
-  poke8 t (addr + 3) v
+  if t.fast && addr land offset_mask <= page_size - 4 then begin
+    let page = peek_page t addr in
+    touch t (page_index addr) page;
+    Bytes.set_int32_be page.data (addr land offset_mask) (Int32.of_int v)
+  end
+  else begin
+    poke8 t addr (v lsr 24);
+    poke8 t (addr + 1) (v lsr 16);
+    poke8 t (addr + 2) (v lsr 8);
+    poke8 t (addr + 3) v
+  end
 
 let flip_bit t ~addr ~bit =
   assert (bit >= 0 && bit < 8);
@@ -203,11 +432,17 @@ let blit_string t ~addr s =
 let snapshot_page_count t = Hashtbl.length t.pages
 
 type snapshot = {
+  s_id : int;
   s_pages : (int * Bytes.t * perm) array;
+  s_index : (int, Bytes.t * perm) Hashtbl.t;
   s_auto_lo : int;
   s_auto_hi : int;
   s_auto_perm : perm;
 }
+
+(* Snapshot identities are process-global so that restoring memory A to a
+   snapshot of memory B (never done, but type-correct) can't alias ids. *)
+let snapshot_ids = Atomic.make 0
 
 let snapshot t =
   let pages =
@@ -216,25 +451,89 @@ let snapshot t =
   let arr = Array.of_list pages in
   (* canonical order: hashtable fold order is arbitrary *)
   Array.sort (fun (a, _, _) (b, _, _) -> compare a b) arr;
-  { s_pages = arr; s_auto_lo = t.auto_lo; s_auto_hi = t.auto_hi; s_auto_perm = t.auto_perm }
+  let index = Hashtbl.create (Array.length arr) in
+  Array.iter (fun (idx, data, perm) -> Hashtbl.replace index idx (data, perm)) arr;
+  {
+    s_id = Atomic.fetch_and_add snapshot_ids 1;
+    s_pages = arr;
+    s_index = index;
+    s_auto_lo = t.auto_lo;
+    s_auto_hi = t.auto_hi;
+    s_auto_perm = t.auto_perm;
+  }
 
-let restore t s =
+let restore_full t s =
   (* blit into pages that still exist, drop the rest, re-create the missing:
      cheaper than rebuilding the table and leaves no stale mappings behind *)
-  let wanted = Hashtbl.create (Array.length s.s_pages) in
-  Array.iter (fun (idx, _, _) -> Hashtbl.replace wanted idx ()) s.s_pages;
   let stale =
-    Hashtbl.fold (fun idx _ acc -> if Hashtbl.mem wanted idx then acc else idx :: acc) t.pages []
+    Hashtbl.fold
+      (fun idx _ acc -> if Hashtbl.mem s.s_index idx then acc else idx :: acc)
+      t.pages []
   in
-  List.iter (Hashtbl.remove t.pages) stale;
+  List.iter
+    (fun idx ->
+      (match Hashtbl.find_opt t.pages idx with
+      | Some page -> page.wgen <- page.wgen + 1
+      | None -> ());
+      Hashtbl.remove t.pages idx)
+    stale;
   Array.iter
     (fun (idx, data, perm) ->
       match Hashtbl.find_opt t.pages idx with
       | Some page ->
         Bytes.blit data 0 page.data 0 page_size;
-        page.perm <- perm
-      | None -> Hashtbl.replace t.pages idx { data = Bytes.copy data; perm })
+        page.perm <- perm;
+        page.wgen <- page.wgen + 1;
+        page.dirty <- false
+      | None ->
+        Hashtbl.replace t.pages idx
+          { data = Bytes.copy data; perm; wgen = 0; dirty = false })
     s.s_pages;
+  t.stat_restore_full <- t.stat_restore_full + 1;
+  t.stat_restore_pages <- t.stat_restore_pages + Array.length s.s_pages
+
+(* Fast path: [t] was already in state [s] at the last restore, so only the
+   pages on the dirty list can differ — rewind exactly those. *)
+let restore_dirty t s =
+  let touched = List.sort_uniq compare t.dirty_list in
+  List.iter
+    (fun idx ->
+      match (Hashtbl.find_opt s.s_index idx, Hashtbl.find_opt t.pages idx) with
+      | Some (data, perm), Some page ->
+        Bytes.blit data 0 page.data 0 page_size;
+        page.perm <- perm;
+        page.wgen <- page.wgen + 1;
+        page.dirty <- false;
+        t.stat_restore_pages <- t.stat_restore_pages + 1
+      | Some (data, perm), None ->
+        Hashtbl.replace t.pages idx
+          { data = Bytes.copy data; perm; wgen = 0; dirty = false };
+        t.stat_restore_pages <- t.stat_restore_pages + 1
+      | None, Some page ->
+        (* mapped since the snapshot: drop it *)
+        page.wgen <- page.wgen + 1;
+        Hashtbl.remove t.pages idx
+      | None, None -> ())
+    touched;
+  t.stat_restore_fast <- t.stat_restore_fast + 1
+
+let restore t s =
+  if t.fast && t.last_restored = s.s_id then restore_dirty t s
+  else restore_full t s;
+  t.dirty_list <- [];
+  t.last_restored <- s.s_id;
   t.auto_lo <- s.s_auto_lo;
   t.auto_hi <- s.s_auto_hi;
-  t.auto_perm <- s.s_auto_perm
+  t.auto_perm <- s.s_auto_perm;
+  tlb_flush t
+
+let cache_stats t =
+  {
+    Cache_stats.cs_tlb_hits = t.stat_tlb_hits;
+    cs_tlb_misses = t.stat_tlb_misses;
+    cs_restore_fast = t.stat_restore_fast;
+    cs_restore_full = t.stat_restore_full;
+    cs_restore_pages = t.stat_restore_pages;
+    cs_decode_hits = 0;
+    cs_decode_misses = 0;
+  }

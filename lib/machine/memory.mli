@@ -10,7 +10,14 @@
     permission, [fetch*] checks execute permission; [peek*]/[poke*] bypass
     permissions entirely (used by the loader, the error injector, and crash
     handlers — corresponding to the paper's kernel-embedded injector which can
-    touch any kernel memory). *)
+    touch any kernel memory).
+
+    Hot paths are cached (see DESIGN.md "Cache hierarchy"): a per-class
+    software TLB fronts the page table, word-wide accessors hit a single page
+    when the access does not cross a boundary, and {!restore} only rewinds
+    pages touched since the last restore. All of it is observationally
+    equivalent to the uncached implementation, which remains reachable via
+    {!set_fast_paths_default} for differential testing. *)
 
 type access = Read | Write | Execute
 
@@ -33,7 +40,18 @@ val page_size : int
 type t
 
 val create : unit -> t
-(** Fresh, fully unmapped memory. *)
+(** Fresh, fully unmapped memory. Captures the current fast-path default
+    (see {!set_fast_paths_default}). *)
+
+val set_fast_paths_default : bool -> unit
+(** Enable/disable the TLB, word-wide accessors and dirty-page restore for
+    memories created {e after} this call ([true] initially). CPUs also consult
+    the owning memory's flag to gate their decode caches, so flipping this to
+    [false] yields the plain uncached interpreter — the reference
+    implementation for the differential tests. *)
+
+val fast_paths : t -> bool
+(** Whether this memory was created with fast paths enabled. *)
 
 val map : t -> addr:int -> size:int -> perm:perm -> unit
 (** [map t ~addr ~size ~perm] maps (and zeroes) all pages overlapping
@@ -53,7 +71,8 @@ val set_auto_map : t -> lo:int -> hi:int -> perm:perm -> unit
 
 val set_perm : t -> addr:int -> size:int -> perm:perm -> unit
 (** Change permissions of already-mapped pages; raises [Invalid_argument] if
-    any page in the range is unmapped. *)
+    any page in the range is unmapped. The whole range is validated before
+    any page is mutated, so a failure changes nothing. *)
 
 val is_mapped : t -> int -> bool
 
@@ -89,6 +108,34 @@ val blit_string : t -> addr:int -> string -> unit
 val snapshot_page_count : t -> int
 (** Number of mapped pages (used by tests and the campaign "reboot" audit). *)
 
+(** {2 Page handles (decode-cache support)}
+
+    The CPUs' decode caches validate entries against the generation counter
+    of the page(s) the instruction bytes came from. Any mutation of a page —
+    store, poke, bit flip, permission change, restore blit, unmap — bumps its
+    generation, so a cached decode of stale bytes can never hit. *)
+
+type page
+(** A live page object. Identity is only meaningful together with
+    {!page_generation}: the same address can be backed by a different page
+    object after unmap/map or restore. *)
+
+val null_page : page
+(** A sentinel no real lookup returns and whose generation matches nothing;
+    use it to initialise cache entries. *)
+
+val page_at_opt : t -> int -> page option
+(** The page currently backing [addr], if mapped. Never demand-maps and never
+    faults. *)
+
+val page_generation : page -> int
+(** Mutation counter of this page object (monotonic while mapped). *)
+
+val cache_stats : t -> Cache_stats.t
+(** Monotonic fast-path counters for this memory (TLB hits/misses, restore
+    activity; decode fields are zero — the CPUs own those). Not part of
+    snapshots. *)
+
 type snapshot
 (** An immutable copy of the full memory state (pages, permissions, and the
     auto-map window). *)
@@ -102,4 +149,5 @@ val restore : t -> snapshot -> unit
     snapshot are unmapped, contents and permissions are rewound. After
     [restore t s], [t] is observationally identical to the memory at the time
     [s] was taken — the primitive behind the executor's cheap "logical
-    reboot". *)
+    reboot". Restoring to the same snapshot repeatedly (the per-trial reboot
+    pattern) only rewinds pages touched since the previous restore. *)

@@ -1,6 +1,18 @@
 open Ferrite_machine
 open Insn
 
+(* Decode-cache entry: instructions are one aligned word, so a single page
+   backs each entry; it is valid while that page's generation counter is
+   unchanged (stores, pokes, injected flips, remaps and restores bump it). *)
+type dentry = {
+  mutable d_pc : int;
+  mutable d_insn : Insn.t;
+  mutable d_word : int;  (* the raw word [d_insn] was decoded from *)
+  mutable d_cost : int;  (* cycles_of_insn, cached with the decode *)
+  mutable d_pg : Memory.page;
+  mutable d_wg : int;
+}
+
 type t = {
   mem : Memory.t;
   gpr : int array;
@@ -24,6 +36,12 @@ type t = {
   mutable pending_hit : Debug_regs.data_hit option;
   mutable stopped : bool;
   mutable last_store_addr : int;
+  dcache : dentry array;
+  dc_enabled : bool;
+  mutable dc_hits : int;
+  mutable dc_misses : int;
+  mutable dc_streak : int;  (* consecutive misses; long streaks bypass insert *)
+  mutable last_cost : int;  (* cycle cost of the insn decode_at just returned *)
 }
 
 let msr_ee = 0x8000
@@ -82,6 +100,27 @@ let known_spr =
   List.iter (fun n -> Hashtbl.replace tbl n ()) [ spr_xer; spr_lr; spr_ctr ];
   tbl
 
+let dcache_bits = 12
+let dcache_size = 1 lsl dcache_bits
+let dcache_mask = dcache_size - 1
+
+(* After this many consecutive misses, stop inserting: the workload is
+   marching through instructions it will never revisit (wild execution after
+   a corrupted jump), and every insert would promote the freshly decoded
+   instruction into the major heap for nothing. Hits reset the streak, so a
+   loop that comes back around re-arms caching within one pass. *)
+let dc_bypass_streak = 256
+
+let fresh_dentry () =
+  {
+    d_pc = -1;
+    d_insn = B (0, false, false);
+    d_word = 0;
+    d_cost = 0;
+    d_pg = Memory.null_page;
+    d_wg = 0;
+  }
+
 let create ~mem ~stop_addr =
   let sprs = Array.make 1024 0 in
   sprs.(spr_sdr1) <- sdr1_reset;
@@ -111,6 +150,12 @@ let create ~mem ~stop_addr =
     pending_hit = None;
     stopped = false;
     last_store_addr = 0;
+    dcache = Array.init dcache_size (fun _ -> fresh_dentry ());
+    dc_enabled = Memory.fast_paths mem;
+    dc_hits = 0;
+    dc_misses = 0;
+    dc_streak = 0;
+    last_cost = 0;
   }
 
 exception Cpu_fault of Exn.t
@@ -154,10 +199,12 @@ let[@inline] check_translation t addr ~fetch ~write =
   end
 
 let[@inline] note_data t addr len write =
-  if t.pending_hit = None then
+  match t.pending_hit with
+  | Some _ -> ()
+  | None -> (
     match Debug_regs.check_data t.dr ~addr ~len ~is_write:write with
     | Some h -> t.pending_hit <- Some h
-    | None -> ()
+    | None -> ())
 
 let width_len = function Byte -> 1 | Half -> 2 | Word -> 4
 
@@ -200,6 +247,87 @@ let ifetch32 t addr =
   check_translation t addr ~fetch:true ~write:false;
   try Memory.fetch32_be t.mem addr
   with Memory.Fault { addr; _ } -> raise (Cpu_fault (Exn.Isi { addr }))
+
+(* Amortised cycle costs on the 1.0 GHz 7455: shallower pipeline and lower
+   relative memory penalty than the P4 model. *)
+let cycles_of_insn = function
+  | Insn.Load _ | Store _ | Load_idx _ | Store_idx _ -> 7
+  | Lmw _ | Stmw _ -> 22
+  | Xarith ((Mullw | Mulhw | Mulhwu), _, _, _, _) -> 5
+  | Xarith ((Divw | Divwu), _, _, _, _) -> 25
+  | Darith (Mulli, _, _, _) -> 5
+  | B _ | Bc _ | Bclr _ | Bcctr _ -> 2
+  | Rfi -> 30
+  | Sync | Isync | Eieio -> 5
+  | _ -> 1
+
+(* PC-keyed decode cache over [ifetch32] + [Decode.word]. The translation
+   check still runs first on every path, so poisoned MSR/BAT/SDR1/segment
+   state raises the same machine check / ISI as the uncached interpreter;
+   validity is the backing page's generation counter, so stores, pokes and
+   [Engine.flip_code_bit] evict stale entries. Raises [Cpu_fault] like
+   [ifetch32] and [Decode.Undefined_opcode] like [Decode.word]. *)
+let decode_at t pc =
+  if not t.dc_enabled then begin
+    let insn = Decode.word (ifetch32 t pc) in
+    t.last_cost <- cycles_of_insn insn;
+    insn
+  end
+  else begin
+    check_translation t pc ~fetch:true ~write:false;
+    let e = Array.unsafe_get t.dcache ((pc lsr 2) land dcache_mask) in
+    if e.d_pc = pc && Memory.page_generation e.d_pg = e.d_wg then begin
+      t.dc_hits <- t.dc_hits + 1;
+      t.dc_streak <- 0;
+      t.last_cost <- e.d_cost;
+      e.d_insn
+    end
+    else begin
+      let w =
+        try Memory.fetch32_be t.mem pc
+        with Memory.Fault { addr; _ } -> raise (Cpu_fault (Exn.Isi { addr }))
+      in
+      if e.d_pc = pc && e.d_word = w then begin
+        (* Stale generation but the word itself is unchanged — the page was
+           written elsewhere (typical of wild execution that stores into its
+           own code page every iteration). [Decode.word] is pure, so the
+           cached decode is still exact; refresh the generation and reuse. *)
+        (match Memory.page_at_opt t.mem pc with
+        | None -> ()
+        | Some pg ->
+          e.d_pg <- pg;
+          e.d_wg <- Memory.page_generation pg);
+        t.dc_hits <- t.dc_hits + 1;
+        t.dc_streak <- 0;
+        t.last_cost <- e.d_cost;
+        e.d_insn
+      end
+      else begin
+        t.dc_misses <- t.dc_misses + 1;
+        let insn = Decode.word w in
+        let cost = cycles_of_insn insn in
+        t.last_cost <- cost;
+        (* an injected PC can be misaligned; don't cache a fetch that straddles
+           two pages (a single generation could not validate it) *)
+        (if t.dc_streak < dc_bypass_streak then begin
+           t.dc_streak <- t.dc_streak + 1;
+           if pc land 0xFFF <= Memory.page_size - 4 then
+             match Memory.page_at_opt t.mem pc with
+             | None -> ()
+             | Some pg ->
+               e.d_pc <- pc;
+               e.d_insn <- insn;
+               e.d_word <- w;
+               e.d_cost <- cost;
+               e.d_pg <- pg;
+               e.d_wg <- Memory.page_generation pg
+         end);
+        insn
+      end
+    end
+  end
+
+let decode_cache_stats t = (t.dc_hits, t.dc_misses)
 
 (* --- privileged state ---------------------------------------------------- *)
 
@@ -277,19 +405,6 @@ let trap_fires to_ a b =
   || (to_ land 1 <> 0 && a > b)
 
 (* --- execution ------------------------------------------------------------ *)
-
-(* Amortised cycle costs on the 1.0 GHz 7455: shallower pipeline and lower
-   relative memory penalty than the P4 model. *)
-let cycles_of_insn = function
-  | Load _ | Store _ | Load_idx _ | Store_idx _ -> 7
-  | Lmw _ | Stmw _ -> 22
-  | Xarith ((Mullw | Mulhw | Mulhwu), _, _, _, _) -> 5
-  | Xarith ((Divw | Divwu), _, _, _, _) -> 25
-  | Darith (Mulli, _, _, _) -> 5
-  | B _ | Bc _ | Bclr _ | Bcctr _ -> 2
-  | Rfi -> 30
-  | Sync | Isync | Eieio -> 5
-  | _ -> 1
 
 let ea_update t ra addr = if ra <> 0 then t.gpr.(ra) <- addr
 
@@ -533,24 +648,22 @@ let step ?(skip_ibp = false) t =
   let pc = t.pc in
   if (not skip_ibp) && Debug_regs.check_exec t.dr pc then Hit_ibp
   else begin
-    t.pending_hit <- None;
+    (match t.pending_hit with Some _ -> t.pending_hit <- None | None -> ());
     t.stopped <- false;
-    match ifetch32 t pc with
+    match decode_at t pc with
     | exception Cpu_fault e -> deliver_fault t pc e
-    | w ->
-      (match Decode.word w with
-      | exception Decode.Undefined_opcode -> deliver_fault t pc Exn.Program_illegal
-      | insn ->
-        t.pc <- Word.add pc 4;
-        (match exec t pc insn with
-        | exception Cpu_fault e -> deliver_fault t pc e
-        | () ->
-          Counters.retire t.counters ~cost:(cycles_of_insn insn);
-          if t.stopped then Stopped
-          else
-            match t.pending_hit with
-            | Some h -> Hit_dbp h
-            | None -> Retired))
+    | exception Decode.Undefined_opcode -> deliver_fault t pc Exn.Program_illegal
+    | insn ->
+      t.pc <- Word.add pc 4;
+      (match exec t pc insn with
+      | exception Cpu_fault e -> deliver_fault t pc e
+      | () ->
+        Counters.retire t.counters ~cost:t.last_cost;
+        if t.stopped then Stopped
+        else
+          match t.pending_hit with
+          | Some h -> Hit_dbp h
+          | None -> Retired)
   end
 
 (* --- system registers (the G4 injection targets, §5.2) -------------------- *)

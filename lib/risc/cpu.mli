@@ -7,6 +7,11 @@
     SPRG2 = SPR274 (kernel stack switch), SDR1 and the BAT0/segment registers
     (translation), and HID0 = SPR1008 (branch-target instruction cache). *)
 
+type dentry
+(** A decode-cache slot (see {!decode_cache_stats}); validated against the
+    backing page's generation counter so stores, pokes and injected bit flips
+    evict. *)
+
 type t = {
   mem : Ferrite_machine.Memory.t;
   gpr : int array;  (** 32 general-purpose registers; r1 = stack pointer *)
@@ -30,7 +35,21 @@ type t = {
   mutable pending_hit : Ferrite_machine.Debug_regs.data_hit option;
   mutable stopped : bool;
   mutable last_store_addr : int;
+  dcache : dentry array;  (** PC-keyed decode cache *)
+  dc_enabled : bool;
+      (** captured from [Memory.fast_paths] at {!create}; [false] forces the
+          uncached fetch+decode path (differential testing) *)
+  mutable dc_hits : int;
+  mutable dc_misses : int;
+  mutable dc_streak : int;
+      (** consecutive decode-cache misses; long streaks bypass insertion *)
+  mutable last_cost : int;
+      (** cycle cost of the instruction the last decode returned *)
 }
+
+val decode_cache_stats : t -> int * int
+(** [(hits, misses)] of the decode cache — monotonic diagnostics, excluded
+    from {!snapshot}/{!restore}. *)
 
 (** MSR bit masks (standard PowerPC encodings). *)
 

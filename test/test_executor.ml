@@ -93,8 +93,19 @@ let test_parallel_is_deterministic () =
 let test_executor_helpers () =
   check_bool "jobs<=1 is sequential" true
     (Executor.of_jobs 1 = Executor.Sequential && Executor.of_jobs 0 = Executor.Sequential);
-  check_bool "jobs>1 is parallel" true
-    (Executor.of_jobs 4 = Executor.Parallel { domains = 4 });
+  let cores = Domain.recommended_domain_count () in
+  let expected n =
+    let n = min n cores in
+    if n <= 1 then Executor.Sequential else Executor.Parallel { domains = n }
+  in
+  check_bool "jobs>1 is parallel, clamped to cores" true
+    (Executor.of_jobs 4 = expected 4);
+  check_bool "huge job counts clamp to the core count" true
+    (Executor.of_jobs 10_000 = expected 10_000);
+  check_bool "negative jobs rejected" true
+    (match Executor.of_jobs (-2) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
   check_bool "describe" true
     (Executor.describe Executor.Sequential = "sequential"
     && Executor.describe (Executor.Parallel { domains = 2 }) = "parallel:2")

@@ -233,6 +233,81 @@ let test_memory_snapshot_restore () =
   Memory.restore m s;
   check_int "snapshot unaliased" 0 (Memory.load8 m 0x1004)
 
+let test_memory_set_perm_partial_range () =
+  (* regression: a range that runs off the mapped region must leave every
+     page's permissions untouched, not downgrade the mapped prefix first *)
+  let m = mk () in
+  (match Memory.set_perm m ~addr:0x1000 ~size:0x3000 ~perm:Memory.perm_ro with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "set_perm over an unmapped tail must be rejected");
+  Memory.store8 m 0x1000 1;  (* first page still rw *)
+  Memory.store8 m 0x2FFF 2;  (* last mapped page still rw *)
+  check_int "writes landed" 1 (Memory.load8 m 0x1000)
+
+let test_memory_dirty_restore () =
+  (* back-to-back restores of the same snapshot take the dirty-page path;
+     the rewound state must be indistinguishable from a full restore *)
+  let m = mk () in
+  Memory.set_auto_map m ~lo:0x100000 ~hi:0x200000 ~perm:Memory.perm_rw;
+  Memory.store32_le m 0x1000 0xABCD;
+  let s = Memory.snapshot m in
+  Memory.restore m s;  (* arms the dirty tracker for snapshot s *)
+  let before = Memory.cache_stats m in
+  Memory.store32_le m 0x1000 0xFFFF;
+  Memory.store8 m 0x2400 9;
+  ignore (Memory.load8 m 0x150000);  (* demand-map inside the window *)
+  Memory.map m ~addr:0x7000 ~size:16 ~perm:Memory.perm_rw;
+  Memory.restore m s;
+  let after = Memory.cache_stats m in
+  check_bool "dirty fast path taken" true
+    Ferrite_machine.Cache_stats.(after.cs_restore_fast > before.cs_restore_fast);
+  check_int "contents rewound" 0xABCD (Memory.load32_le m 0x1000);
+  check_int "second dirty page rewound" 0 (Memory.load8 m 0x2400);
+  check_bool "demand-mapped page dropped" false (Memory.is_mapped m 0x150000);
+  check_bool "new page dropped" false (Memory.is_mapped m 0x7000);
+  (* a restore from a different snapshot must fall back to the full walk *)
+  let s2 = Memory.snapshot m in
+  Memory.store8 m 0x1000 3;
+  Memory.restore m s2;
+  Memory.store8 m 0x1000 4;
+  Memory.restore m s;
+  check_int "cross-snapshot restore is full and correct" 0xABCD
+    (Memory.load32_le m 0x1000)
+
+let test_memory_fast_paths_off () =
+  (* with fast paths disabled the same sequence must behave identically and
+     report zero TLB/fast-restore activity *)
+  Memory.set_fast_paths_default false;
+  Fun.protect ~finally:(fun () -> Memory.set_fast_paths_default true) (fun () ->
+      let m = mk () in
+      check_bool "fast paths off" false (Memory.fast_paths m);
+      Memory.store32_le m 0x1000 0xABCD;
+      let s = Memory.snapshot m in
+      Memory.restore m s;
+      Memory.store32_le m 0x1000 0xFFFF;
+      Memory.restore m s;
+      check_int "restore still exact" 0xABCD (Memory.load32_le m 0x1000);
+      let st = Memory.cache_stats m in
+      check_int "no tlb hits" 0 st.Ferrite_machine.Cache_stats.cs_tlb_hits;
+      check_int "no fast restores" 0 st.Ferrite_machine.Cache_stats.cs_restore_fast)
+
+let test_memory_tlb_invalidation () =
+  let m = mk () in
+  (* warm the read TLB on the page, then change its permissions: the next
+     write must fault, i.e. the stale write-class entry cannot be used *)
+  ignore (Memory.load8 m 0x1000);
+  Memory.store8 m 0x1000 1;
+  Memory.set_perm m ~addr:0x1000 ~size:0x1000 ~perm:Memory.perm_ro;
+  (match Memory.store8 m 0x1000 2 with
+  | exception Memory.Fault { kind = Memory.Protection; _ } -> ()
+  | _ -> Alcotest.fail "TLB must be flushed on set_perm");
+  (* and after unmap the page must be gone, not served from the TLB *)
+  ignore (Memory.load8 m 0x1000);
+  Memory.unmap m ~addr:0x1000 ~size:0x1000;
+  (match Memory.load8 m 0x1000 with
+  | exception Memory.Fault { kind = Memory.Unmapped; _ } -> ()
+  | _ -> Alcotest.fail "TLB must be flushed on unmap")
+
 let prop_store_load_roundtrip =
   QCheck.Test.make ~name:"store32/load32 round trip" ~count:300
     QCheck.(pair (int_bound 0x1FF0) (int_bound 0xFFFFFF))
@@ -327,6 +402,10 @@ let () =
           Alcotest.test_case "auto-map window" `Quick test_memory_auto_map;
           Alcotest.test_case "auto-map perms" `Quick test_memory_auto_map_perm;
           Alcotest.test_case "snapshot/restore" `Quick test_memory_snapshot_restore;
+          Alcotest.test_case "set_perm partial range" `Quick test_memory_set_perm_partial_range;
+          Alcotest.test_case "dirty restore" `Quick test_memory_dirty_restore;
+          Alcotest.test_case "fast paths off" `Quick test_memory_fast_paths_off;
+          Alcotest.test_case "tlb invalidation" `Quick test_memory_tlb_invalidation;
           q prop_store_load_roundtrip;
         ] );
       ( "debug_regs",
