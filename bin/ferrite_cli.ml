@@ -416,6 +416,65 @@ let trace_cmd =
           identical output for every --jobs value")
     Term.(const run $ scenario_arg $ jobs_arg $ trace_dir_arg)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let budget_arg =
+    let doc = "Wall-clock budget in seconds." in
+    Arg.(value & opt float 30.0 & info [ "time-budget" ] ~docv:"SECS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Base PRNG seed; each round derives its own stream from it." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Directory where shrunk reproducers are written." in
+    Arg.(value & opt string "test/repro" & info [ "out-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run budget seed out_dir =
+    let module Fz = Ferrite_check.Fuzz in
+    let t0 = Unix.gettimeofday () in
+    let deadline = t0 +. budget in
+    let counts = Fz.fresh_counts () in
+    let found = ref None in
+    let round = ref 0 in
+    while Option.is_none !found && Unix.gettimeofday () < deadline do
+      let rng =
+        Ferrite_machine.Rng.create_derived ~seed:(Int64.of_int seed) ~index:!round
+      in
+      incr round;
+      let passes =
+        [
+          (fun () -> Fz.fuzz_cisc_streams ~rng ~count:1_000 ~len:16 counts);
+          (fun () -> Fz.fuzz_risc_streams ~rng ~count:1_000 ~len:16 counts);
+          (fun () -> Fz.fuzz_cisc_robust ~rng ~count:300 ~len:16 counts);
+          (fun () -> Fz.fuzz_risc_robust ~rng ~count:300 ~len:16 counts);
+          (fun () -> Fz.fuzz_diff ~rng ~specs:4 ~injections:8 ~step_budget:150_000 counts);
+        ]
+      in
+      List.iter
+        (fun pass ->
+          if Option.is_none !found && Unix.gettimeofday () < deadline then
+            match pass () with Some f -> found := Some f | None -> ())
+        passes
+    done;
+    Printf.printf "fuzz: %d round(s); %s; %.1fs\n" !round (Fz.render_counts counts)
+      (Unix.gettimeofday () -. t0);
+    match !found with
+    | None -> print_endline "fuzz: no violations found"
+    | Some f ->
+      let path = Ferrite_check.Repro.save ~dir:out_dir f.Fz.f_repro in
+      Printf.printf "fuzz: VIOLATION: %s\nfuzz: reproducer written to %s\n" f.Fz.f_msg
+        path;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the instruction encoders/decoders and the differential fault-trial \
+          oracle until the time budget runs out; shrunk reproducers land in --out-dir")
+    Term.(const run $ budget_arg $ seed_arg $ out_arg)
+
 (* --- disasm --- *)
 
 let disasm_cmd =
@@ -458,4 +517,4 @@ let () =
     Cmd.info "ferrite" ~version:"1.0.0"
       ~doc:"Error sensitivity of a miniature kernel on CISC/RISC simulators (DSN 2004 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group ~default info [ boot_cmd; profile_cmd; inject_cmd; suite_cmd; report_cmd; ablate_cmd; oops_cmd; disasm_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ boot_cmd; profile_cmd; inject_cmd; suite_cmd; report_cmd; ablate_cmd; oops_cmd; disasm_cmd; trace_cmd; fuzz_cmd ]))

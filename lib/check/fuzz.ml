@@ -1,0 +1,191 @@
+(* Fuzzing campaign driver, shared by `ferrite fuzz` and the @fuzz-smoke CI
+   gate.  Each pass stops at the first violation, shrinks it (ddmin over the
+   generating instruction list, or over raw bytes for robustness findings,
+   plus step-budget minimisation for differential findings) and packages the
+   minimal reproducer as a {!Repro.t} ready to be saved under test/repro/. *)
+
+open Ferrite_machine
+module Image = Ferrite_kir.Image
+
+type counts = {
+  mutable c_cisc_streams : int;
+  mutable c_risc_streams : int;
+  mutable c_cisc_robust : int;
+  mutable c_risc_robust : int;
+  mutable c_fault_trials : int;
+}
+
+let fresh_counts () =
+  {
+    c_cisc_streams = 0;
+    c_risc_streams = 0;
+    c_cisc_robust = 0;
+    c_risc_robust = 0;
+    c_fault_trials = 0;
+  }
+
+type find = {
+  f_repro : Repro.t;
+  f_units : int;  (** instructions (stream finds) or trials (fault finds) in the shrunk repro *)
+  f_msg : string;
+}
+
+let violation_message { Oracle.v_pos; v_msg } =
+  Printf.sprintf "at byte %d: %s" v_pos v_msg
+
+(* --- canonical-stream fuzzing --------------------------------------------- *)
+
+let stream_find ~arch ~oracle ~bytes ~units msg =
+  {
+    f_repro = Repro.Stream { arch; oracle; bytes; note = msg };
+    f_units = units;
+    f_msg = msg;
+  }
+
+let fuzz_cisc_streams ?decode ~rng ~count ~len counts =
+  let check bytes = Oracle.check_cisc_stream ?decode bytes in
+  let rec go i =
+    if i >= count then None
+    else begin
+      let insns = Gen.cisc_stream rng ~len in
+      let bytes = Oracle.encode_cisc_stream insns in
+      counts.c_cisc_streams <- counts.c_cisc_streams + 1;
+      match check bytes with
+      | Ok () -> go (i + 1)
+      | Error v ->
+        let fails l = l <> [] && Result.is_error (check (Oracle.encode_cisc_stream l)) in
+        let small = Shrink.ddmin ~fails insns in
+        let bytes = Oracle.encode_cisc_stream small in
+        let msg =
+          match check bytes with Error v -> violation_message v | Ok () -> violation_message v
+        in
+        Some (stream_find ~arch:Image.Cisc ~oracle:Repro.Roundtrip ~bytes
+                ~units:(List.length small) msg)
+    end
+  in
+  go 0
+
+let fuzz_risc_streams ?decode ~rng ~count ~len counts =
+  let check bytes = Oracle.check_risc_stream ?decode bytes in
+  let rec go i =
+    if i >= count then None
+    else begin
+      let insns = Gen.risc_stream rng ~len in
+      let bytes = Oracle.encode_risc_stream insns in
+      counts.c_risc_streams <- counts.c_risc_streams + 1;
+      match check bytes with
+      | Ok () -> go (i + 1)
+      | Error v ->
+        let fails l = l <> [] && Result.is_error (check (Oracle.encode_risc_stream l)) in
+        let small = Shrink.ddmin ~fails insns in
+        let bytes = Oracle.encode_risc_stream small in
+        let msg =
+          match check bytes with Error v -> violation_message v | Ok () -> violation_message v
+        in
+        Some (stream_find ~arch:Image.Risc ~oracle:Repro.Roundtrip ~bytes
+                ~units:(List.length small) msg)
+    end
+  in
+  go 0
+
+(* --- corrupted-stream (robustness) fuzzing -------------------------------- *)
+
+let bytes_of_chars l = String.init (List.length l) (List.nth l)
+let chars_of_bytes s = List.of_seq (String.to_seq s)
+
+let fuzz_cisc_robust ?decode ~rng ~count ~len counts =
+  let check bytes = Oracle.check_cisc_robust ?decode bytes in
+  let rec go i =
+    if i >= count then None
+    else begin
+      let bytes =
+        if Rng.bool rng then
+          Gen.corrupt_bytes rng (Oracle.encode_cisc_stream (Gen.cisc_stream rng ~len))
+        else Gen.random_bytes rng ~len:(4 * len)
+      in
+      counts.c_cisc_robust <- counts.c_cisc_robust + 1;
+      match check bytes with
+      | Ok () -> go (i + 1)
+      | Error v ->
+        let fails l = l <> [] && Result.is_error (check (bytes_of_chars l)) in
+        let small = bytes_of_chars (Shrink.ddmin ~fails (chars_of_bytes bytes)) in
+        Some
+          (stream_find ~arch:Image.Cisc ~oracle:Repro.Robust ~bytes:small
+             ~units:(String.length small) (violation_message v))
+    end
+  in
+  go 0
+
+let fuzz_risc_robust ?decode ~rng ~count ~len counts =
+  let check bytes = Oracle.check_risc_robust ?decode bytes in
+  let rec go i =
+    if i >= count then None
+    else begin
+      let bytes =
+        if Rng.bool rng then
+          Gen.corrupt_bytes rng (Oracle.encode_risc_stream (Gen.risc_stream rng ~len))
+        else Gen.random_bytes rng ~len:(4 * len)
+      in
+      counts.c_risc_robust <- counts.c_risc_robust + 1;
+      match check bytes with
+      | Ok () -> go (i + 1)
+      | Error v ->
+        (* shrink word-wise so the stream stays aligned *)
+        let words =
+          List.init (String.length bytes / 4) (fun i -> String.sub bytes (4 * i) 4)
+        in
+        let fails ws = ws <> [] && Result.is_error (check (String.concat "" ws)) in
+        let small = String.concat "" (Shrink.ddmin ~fails words) in
+        Some
+          (stream_find ~arch:Image.Risc ~oracle:Repro.Robust ~bytes:small
+             ~units:(String.length small / 4) (violation_message v))
+    end
+  in
+  go 0
+
+(* --- differential fault-trial fuzzing ------------------------------------- *)
+
+let fuzz_diff ~rng ~specs ~injections ~step_budget counts =
+  let rec go i =
+    if i >= specs then None
+    else begin
+      let spec = Diff.gen_spec rng ~injections ~step_budget in
+      let r = Diff.run_spec spec in
+      counts.c_fault_trials <- counts.c_fault_trials + injections;
+      match r with
+      | Ok () -> go (i + 1)
+      | Error mm -> (
+        match Diff.isolate spec with
+        | Some (small, trial, mm) ->
+          let msg =
+            Printf.sprintf "%s diverged in %s (trial %d of %s)" mm.Diff.mm_config
+              mm.Diff.mm_what trial (Diff.describe small)
+          in
+          Some
+            {
+              f_repro = Repro.Fault { spec = small; trial; note = msg };
+              f_units = 1;
+              f_msg = msg;
+            }
+        | None ->
+          (* not reproducible on a second run: report without isolation *)
+          let msg =
+            Printf.sprintf "%s diverged in %s (unreproducible on replay, %s)"
+              mm.Diff.mm_config mm.Diff.mm_what (Diff.describe spec)
+          in
+          Some
+            {
+              f_repro = Repro.Fault { spec; trial = 0; note = msg };
+              f_units = injections;
+              f_msg = msg;
+            })
+    end
+  in
+  go 0
+
+let render_counts c =
+  Printf.sprintf
+    "instruction streams: %d p4 + %d g4 (canonical), %d p4 + %d g4 (corrupted); \
+     differential fault trials: %d"
+    c.c_cisc_streams c.c_risc_streams c.c_cisc_robust c.c_risc_robust
+    c.c_fault_trials

@@ -1,0 +1,68 @@
+(** Fuzzing passes shared by [ferrite fuzz] and the @fuzz-smoke CI gate.
+
+    Each pass runs up to [count] generated inputs through an {!Oracle} law
+    (or [specs] generated campaigns through {!Diff}), stops at the first
+    violation, shrinks it and returns the minimal {!Repro.t}.  [None] means
+    the whole pass ran clean.  The optional [decode] parameters exist so the
+    harness can plant an artificial decoder bug and prove the catch-and-
+    shrink pipeline works end to end. *)
+
+type counts = {
+  mutable c_cisc_streams : int;
+  mutable c_risc_streams : int;
+  mutable c_cisc_robust : int;
+  mutable c_risc_robust : int;
+  mutable c_fault_trials : int;
+}
+
+val fresh_counts : unit -> counts
+
+type find = {
+  f_repro : Repro.t;
+  f_units : int;
+      (** size of the shrunk reproducer: instructions (stream/robust finds,
+          words for g4 robust) or trials (fault finds) *)
+  f_msg : string;
+}
+
+val fuzz_cisc_streams :
+  ?decode:Oracle.cisc_decoder ->
+  rng:Ferrite_machine.Rng.t ->
+  count:int ->
+  len:int ->
+  counts ->
+  find option
+
+val fuzz_risc_streams :
+  ?decode:Oracle.risc_decoder ->
+  rng:Ferrite_machine.Rng.t ->
+  count:int ->
+  len:int ->
+  counts ->
+  find option
+
+val fuzz_cisc_robust :
+  ?decode:Oracle.cisc_decoder ->
+  rng:Ferrite_machine.Rng.t ->
+  count:int ->
+  len:int ->
+  counts ->
+  find option
+
+val fuzz_risc_robust :
+  ?decode:Oracle.risc_decoder ->
+  rng:Ferrite_machine.Rng.t ->
+  count:int ->
+  len:int ->
+  counts ->
+  find option
+
+val fuzz_diff :
+  rng:Ferrite_machine.Rng.t ->
+  specs:int ->
+  injections:int ->
+  step_budget:int ->
+  counts ->
+  find option
+
+val render_counts : counts -> string

@@ -1,0 +1,324 @@
+(* Weighted instruction-stream generators for the conformance fuzzer.
+
+   Coverage goal: every opcode class the kir backends can emit, plus the
+   privileged/rare encodings the decoders accept (segment and control-register
+   moves, BCD adjusts, LOOP family, traps, SPR moves), plus deliberately
+   corrupted byte streams.  All randomness flows through
+   [Ferrite_machine.Rng], so any failing stream is reproducible from its seed
+   alone.
+
+   The generators only avoid operand combinations the encoders reject by
+   construction (e.g. ALU mem,mem; MOVZX from a 32-bit source; ESP as a SIB
+   index; MOV to CS; sign-extending byte loads on PPC): everything else —
+   boundary immediates, redundant prefixes, truncated branch displacements —
+   is fair game, because the oracle compares re-encoded bytes, not values. *)
+
+open Ferrite_machine
+module CI = Ferrite_cisc.Insn
+module RI = Ferrite_risc.Insn
+
+(* --- shared immediate pools ---------------------------------------------- *)
+
+let boundary_imms =
+  [|
+    0; 1; 2; 0x7F; 0x80; 0x81; 0xFF; 0x100; 0x7FFF; 0x8000; 0xFFFF; 0x10000;
+    0x7FFFFFFF; 0x80000000; 0xFFFFFF80; 0xFFFFFFFF;
+  |]
+
+let imm32 rng = if Rng.bool rng then Rng.pick rng boundary_imms else Rng.bits32 rng
+
+(* --- CISC (P4) ------------------------------------------------------------ *)
+
+let reg rng = Rng.int rng 8
+
+let seg rng = Rng.pick rng [| CI.ES; CI.CS; CI.SS; CI.DS; CI.FS; CI.GS |]
+
+(* MOV to CS is not encodable (and #UD on real hardware) *)
+let loadable_seg rng = Rng.pick rng [| CI.ES; CI.SS; CI.DS; CI.FS; CI.GS |]
+
+let size rng = Rng.pick rng [| CI.S8; CI.S16; CI.S32 |]
+
+let cond rng =
+  Rng.pick rng
+    [|
+      CI.O; CI.NO; CI.B; CI.AE; CI.E; CI.NE; CI.BE; CI.A; CI.S; CI.NS; CI.P;
+      CI.NP; CI.L; CI.GE; CI.LE; CI.G;
+    |]
+
+let alu_op rng =
+  Rng.pick rng [| CI.Add; CI.Or; CI.Adc; CI.Sbb; CI.And; CI.Sub; CI.Xor; CI.Cmp |]
+
+let shift_op rng =
+  Rng.pick rng [| CI.Rol; CI.Ror; CI.Rcl; CI.Rcr; CI.Shl; CI.Shr; CI.Sal; CI.Sar |]
+
+let cisc_mem rng =
+  let base = if Rng.int rng 4 = 0 then None else Some (reg rng) in
+  let index =
+    if Rng.int rng 3 = 0 then
+      let r = Rng.int rng 8 in
+      if r = 4 then None (* ESP cannot index *)
+      else Some (r, Rng.pick rng [| 1; 2; 4; 8 |])
+    else None
+  in
+  let seg = if Rng.int rng 4 = 0 then Some (seg rng) else None in
+  { CI.base; index; disp = imm32 rng; seg }
+
+let rm rng = if Rng.bool rng then CI.Reg (reg rng) else CI.Mem (cisc_mem rng)
+
+let gen_alu rng =
+  let op = alu_op rng and sz = size rng in
+  match Rng.int rng 3 with
+  | 0 -> CI.Alu (op, sz, rm rng, CI.Reg (reg rng))
+  | 1 -> CI.Alu (op, sz, CI.Reg (reg rng), CI.Mem (cisc_mem rng))
+  | _ -> CI.Alu (op, sz, rm rng, CI.Imm (imm32 rng))
+
+let gen_mov rng =
+  let sz = size rng in
+  match Rng.int rng 4 with
+  | 0 -> CI.Mov (sz, rm rng, CI.Reg (reg rng))
+  | 1 -> CI.Mov (sz, CI.Reg (reg rng), CI.Mem (cisc_mem rng))
+  | 2 -> CI.Mov (sz, CI.Reg (reg rng), CI.Imm (imm32 rng))
+  | _ -> CI.Mov (sz, CI.Mem (cisc_mem rng), CI.Imm (imm32 rng))
+
+let gen_test rng =
+  let sz = size rng in
+  if Rng.bool rng then CI.Test (sz, rm rng, CI.Reg (reg rng))
+  else
+    let dst = if Rng.bool rng then CI.Reg 0 else rm rng in
+    CI.Test (sz, dst, CI.Imm (imm32 rng))
+
+let gen_widen rng =
+  let ssz = if Rng.bool rng then CI.S8 else CI.S16 in
+  if Rng.bool rng then CI.Movzx (ssz, reg rng, rm rng)
+  else CI.Movsx (ssz, reg rng, rm rng)
+
+let gen_stack rng =
+  match Rng.int rng 8 with
+  | 0 -> CI.Push (CI.Reg (reg rng))
+  | 1 -> CI.Push (CI.Imm (imm32 rng))
+  | 2 -> CI.Push (CI.Mem (cisc_mem rng))
+  | 3 -> CI.Pop (CI.Reg (reg rng))
+  | 4 -> CI.Pop (CI.Mem (cisc_mem rng))
+  | 5 -> CI.Pusha
+  | 6 -> CI.Popa
+  | _ -> if Rng.bool rng then CI.Pushf else CI.Popf
+
+let gen_incdec rng =
+  let sz = size rng in
+  if Rng.bool rng then CI.Inc (sz, rm rng) else CI.Dec (sz, rm rng)
+
+let gen_grp3 rng =
+  let g =
+    match Rng.int rng 7 with
+    | 0 -> CI.Test_imm (imm32 rng)
+    | 1 -> CI.Not
+    | 2 -> CI.Neg
+    | 3 -> CI.Mul
+    | 4 -> CI.Imul1
+    | 5 -> CI.Div
+    | _ -> CI.Idiv
+  in
+  CI.Grp3 (g, size rng, rm rng)
+
+let gen_mul rng =
+  if Rng.bool rng then CI.Imul2 (reg rng, rm rng)
+  else CI.Imul3 (reg rng, rm rng, imm32 rng)
+
+let gen_shift rng =
+  let count =
+    match Rng.int rng 3 with
+    | 0 -> CI.Count_imm 1
+    | 1 -> CI.Count_imm (Rng.int rng 256) (* the imm8 field; wider is not canonical *)
+    | _ -> CI.Count_cl
+  in
+  CI.Shift (shift_op rng, size rng, rm rng, count)
+
+let gen_branch rng =
+  match Rng.int rng 6 with
+  | 0 -> CI.Jcc (cond rng, imm32 rng)
+  | 1 -> CI.Jmp_rel (imm32 rng)
+  | 2 -> CI.Jmp_ind (rm rng)
+  | 3 -> CI.Call_rel (imm32 rng)
+  | 4 -> CI.Call_ind (rm rng)
+  | _ -> CI.Setcc (cond rng, rm rng)
+
+let gen_ret rng =
+  match Rng.int rng 5 with
+  | 0 -> CI.Ret
+  | 1 -> CI.Ret_imm (imm32 rng)
+  | 2 -> CI.Leave
+  | 3 -> CI.Int (Rng.int rng 256)
+  | _ -> CI.Int3
+
+let gen_loop rng =
+  let r = imm32 rng in
+  match Rng.int rng 4 with
+  | 0 -> CI.Loop r
+  | 1 -> CI.Loope r
+  | 2 -> CI.Loopne r
+  | _ -> CI.Jcxz r
+
+let gen_string rng =
+  let sz = size rng in
+  match Rng.int rng 3 with 0 -> CI.Movs sz | 1 -> CI.Stos sz | _ -> CI.Lods sz
+
+let gen_system rng =
+  match Rng.int rng 8 with
+  | 0 -> CI.Mov_from_seg (rm rng, seg rng)
+  | 1 -> CI.Mov_to_seg (loadable_seg rng, rm rng)
+  | 2 -> CI.Mov_from_cr (Rng.int rng 8, reg rng)
+  | 3 -> CI.Mov_to_cr (Rng.int rng 8, reg rng)
+  | 4 -> CI.Iret
+  | 5 -> if Rng.bool rng then CI.In_al else CI.Out_al
+  | 6 -> Rng.pick rng [| CI.Hlt; CI.Cli; CI.Sti |]
+  | _ -> Rng.pick rng [| CI.Clc; CI.Stc; CI.Cmc; CI.Cld; CI.Std |]
+
+let gen_misc rng =
+  match Rng.int rng 8 with
+  | 0 -> CI.Lea (reg rng, cisc_mem rng)
+  | 1 -> CI.Xchg (size rng, rm rng, reg rng)
+  | 2 -> CI.Bound (reg rng, cisc_mem rng)
+  | 3 -> if Rng.bool rng then CI.Cwde else CI.Cdq
+  | 4 -> Rng.pick rng [| CI.Nop; CI.Ud2; CI.Salc; CI.Xlat |]
+  | 5 -> Rng.pick rng [| CI.Daa; CI.Das; CI.Aaa; CI.Aas |]
+  | 6 ->
+    if Rng.bool rng then CI.Aam (Rng.int rng 256) else CI.Aad (Rng.int rng 256)
+  | _ -> CI.Nop
+
+let cisc_classes =
+  [|
+    (gen_alu, 20.); (gen_mov, 16.); (gen_test, 5.); (gen_widen, 4.);
+    (gen_stack, 8.); (gen_incdec, 5.); (gen_grp3, 4.); (gen_mul, 3.);
+    (gen_shift, 5.); (gen_branch, 10.); (gen_ret, 4.); (gen_loop, 2.);
+    (gen_string, 3.); (gen_system, 4.); (gen_misc, 7.);
+  |]
+
+let cisc_insn rng =
+  let i = (Rng.pick_weighted rng cisc_classes) rng in
+  (* F3 is meaningful on string ops but legal (and decoded) anywhere *)
+  let rep_odds = match i with CI.Movs _ | CI.Stos _ | CI.Lods _ -> 2 | _ -> 16 in
+  (i, Rng.int rng rep_odds = 0)
+
+let cisc_stream rng ~len = List.init len (fun _ -> cisc_insn rng)
+
+(* --- RISC (G4) ------------------------------------------------------------ *)
+
+let greg rng = Rng.int rng 32
+let u5 rng = Rng.int rng 32
+let simm16 rng = if Rng.bool rng then Rng.pick rng boundary_imms else Rng.int rng 0x10000
+let rc rng = Rng.bool rng
+
+let load_op rng =
+  let width = Rng.pick rng [| RI.Byte; RI.Half; RI.Word |] in
+  { RI.width; algebraic = (width = RI.Half && Rng.bool rng); update = Rng.bool rng }
+
+let store_op rng =
+  let width = Rng.pick rng [| RI.Byte; RI.Half; RI.Word |] in
+  { RI.width; algebraic = false; update = Rng.bool rng }
+
+let gen_r_darith rng =
+  RI.Darith
+    ( Rng.pick rng [| RI.Addi; RI.Addis; RI.Addic; RI.Mulli; RI.Subfic |],
+      greg rng, greg rng, simm16 rng )
+
+let gen_r_dlogic rng =
+  RI.Dlogic
+    ( Rng.pick rng [| RI.Ori; RI.Oris; RI.Xori; RI.Xoris; RI.Andi_rc; RI.Andis_rc |],
+      greg rng, greg rng, simm16 rng )
+
+let gen_r_mem rng =
+  match Rng.int rng 6 with
+  | 0 -> RI.Load (load_op rng, greg rng, greg rng, simm16 rng)
+  | 1 -> RI.Store (store_op rng, greg rng, greg rng, simm16 rng)
+  | 2 -> RI.Load_idx (load_op rng, greg rng, greg rng, greg rng)
+  | 3 -> RI.Store_idx (store_op rng, greg rng, greg rng, greg rng)
+  | 4 -> RI.Lmw (greg rng, greg rng, simm16 rng)
+  | _ -> RI.Stmw (greg rng, greg rng, simm16 rng)
+
+let gen_r_cmp rng =
+  if Rng.bool rng then RI.Cmpi (Rng.bool rng, Rng.int rng 8, greg rng, simm16 rng)
+  else RI.Cmp (Rng.bool rng, Rng.int rng 8, greg rng, greg rng)
+
+let gen_r_xarith rng =
+  RI.Xarith
+    ( Rng.pick rng
+        [|
+          RI.Add; RI.Addc; RI.Subf; RI.Subfc; RI.Mullw; RI.Mulhw; RI.Mulhwu;
+          RI.Divw; RI.Divwu;
+        |],
+      greg rng, greg rng, greg rng, rc rng )
+
+let gen_r_xlogic rng =
+  RI.Xlogic
+    ( Rng.pick rng
+        [|
+          RI.And; RI.Andc; RI.Or; RI.Orc; RI.Xor; RI.Nor; RI.Nand; RI.Eqv;
+          RI.Slw; RI.Srw; RI.Sraw;
+        |],
+      greg rng, greg rng, greg rng, rc rng )
+
+let gen_r_shift rng =
+  if Rng.bool rng then
+    RI.Rlwinm (greg rng, greg rng, u5 rng, u5 rng, u5 rng, rc rng)
+  else RI.Srawi (greg rng, greg rng, u5 rng, rc rng)
+
+let gen_r_unary rng =
+  match Rng.int rng 4 with
+  | 0 -> RI.Neg (greg rng, greg rng, rc rng)
+  | 1 -> RI.Extsb (greg rng, greg rng, rc rng)
+  | 2 -> RI.Extsh (greg rng, greg rng, rc rng)
+  | _ -> RI.Cntlzw (greg rng, greg rng, rc rng)
+
+let gen_r_branch rng =
+  match Rng.int rng 4 with
+  | 0 -> RI.B (Rng.bits32 rng land 0x03FFFFFC, Rng.bool rng, Rng.bool rng)
+  | 1 -> RI.Bc (u5 rng, u5 rng, simm16 rng land 0xFFFC, Rng.bool rng, Rng.bool rng)
+  | 2 -> RI.Bclr (u5 rng, u5 rng, Rng.bool rng)
+  | _ -> RI.Bcctr (u5 rng, u5 rng, Rng.bool rng)
+
+let gen_r_trap rng =
+  if Rng.bool rng then RI.Tw (u5 rng, greg rng, greg rng)
+  else RI.Twi (u5 rng, greg rng, simm16 rng)
+
+let gen_r_spr rng =
+  match Rng.int rng 12 with
+  | 0 -> RI.Mfspr (greg rng, Rng.int rng 1024)
+  | 1 -> RI.Mtspr (Rng.int rng 1024, greg rng)
+  | 2 -> RI.Mflr (greg rng)
+  | 3 -> RI.Mtlr (greg rng)
+  | 4 -> RI.Mfctr (greg rng)
+  | 5 -> RI.Mtctr (greg rng)
+  | 6 -> RI.Mfxer (greg rng)
+  | 7 -> RI.Mtxer (greg rng)
+  | 8 -> RI.Mfmsr (greg rng)
+  | 9 -> RI.Mtmsr (greg rng)
+  | 10 -> RI.Mfcr (greg rng)
+  | _ -> RI.Mtcrf (Rng.int rng 256, greg rng)
+
+let gen_r_sys rng = Rng.pick rng [| RI.Sc; RI.Rfi; RI.Sync; RI.Isync; RI.Eieio |]
+
+let risc_classes =
+  [|
+    (gen_r_darith, 16.); (gen_r_dlogic, 10.); (gen_r_mem, 18.); (gen_r_cmp, 6.);
+    (gen_r_xarith, 12.); (gen_r_xlogic, 12.); (gen_r_shift, 6.); (gen_r_unary, 4.);
+    (gen_r_branch, 8.); (gen_r_trap, 2.); (gen_r_spr, 4.); (gen_r_sys, 2.);
+  |]
+
+let risc_insn rng = (Rng.pick_weighted rng risc_classes) rng
+let risc_stream rng ~len = List.init len (fun _ -> risc_insn rng)
+
+(* --- corruption ----------------------------------------------------------- *)
+
+let corrupt_bytes rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    for _ = 0 to Rng.int rng 3 do
+      let i = Rng.int rng (Bytes.length b) in
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)))
+    done;
+    Bytes.to_string b
+  end
+
+let random_bytes rng ~len = String.init len (fun _ -> Char.chr (Rng.int rng 256))

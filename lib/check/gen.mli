@@ -1,0 +1,30 @@
+(** Weighted instruction-stream generators for the conformance fuzzer.
+
+    Every opcode class the kir backends can emit is reachable, plus the
+    privileged/rare encodings the decoders accept and deliberately corrupted
+    byte streams.  All randomness flows through {!Ferrite_machine.Rng}: a
+    failing stream is reproducible from its seed alone.
+
+    The generators avoid only operand combinations the encoders reject by
+    construction (ALU mem,mem; MOVZX from a 32-bit source; ESP as SIB index;
+    MOV to CS; non-halfword algebraic loads).  Boundary immediates, redundant
+    prefixes and truncated displacements are generated on purpose — the
+    oracles in {!Oracle} compare re-encoded bytes, not operand values. *)
+
+val cisc_insn : Ferrite_machine.Rng.t -> Ferrite_cisc.Insn.t * bool
+(** One weighted IA-32 instruction plus a REP-prefix flag (always encodable). *)
+
+val cisc_stream :
+  Ferrite_machine.Rng.t -> len:int -> (Ferrite_cisc.Insn.t * bool) list
+
+val risc_insn : Ferrite_machine.Rng.t -> Ferrite_risc.Insn.t
+(** One weighted PowerPC instruction (always encodable). *)
+
+val risc_stream : Ferrite_machine.Rng.t -> len:int -> Ferrite_risc.Insn.t list
+
+val corrupt_bytes : Ferrite_machine.Rng.t -> string -> string
+(** Flip 1–4 random bits of an encoded stream (a code-space injection at the
+    byte level). *)
+
+val random_bytes : Ferrite_machine.Rng.t -> len:int -> string
+(** Uniform garbage, for decoder-totality fuzzing. *)

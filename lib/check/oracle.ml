@@ -1,0 +1,168 @@
+(* Encode→decode→re-encode oracles.
+
+   Two properties, per ISA:
+
+   - [check_*_stream] (canonical streams): a stream produced by the encoder
+     must decode instruction by instruction, each decoded instruction
+     re-encoding to exactly the bytes it was decoded from.  This is the
+     strong roundtrip law — it holds because the encoders are canonical —
+     and it catches wrong field extraction, wrong lengths and desync.
+
+   - [check_*_robust] (corrupted streams): on arbitrary bytes the decoder
+     may reject ([Undefined_opcode], or the 15-byte limit on CISC) but must
+     never raise anything else, must make progress, and whatever it does
+     decode must be a fixpoint of encode∘decode (decoder aliases — short
+     Jcc forms, IN/OUT immediate forms, reserved PPC bits — canonicalise in
+     one step).
+
+   The CISC checks take the decoder as a parameter so the harness can plant
+   an artificial decoder bug and prove the fuzzer catches and shrinks it. *)
+
+module CI = Ferrite_cisc.Insn
+module CE = Ferrite_cisc.Encode
+module CD = Ferrite_cisc.Decode
+module RI = Ferrite_risc.Insn
+module RE = Ferrite_risc.Encode
+module RD = Ferrite_risc.Decode
+
+type violation = { v_pos : int; v_msg : string }
+
+let hex s =
+  String.concat " "
+    (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+       (List.of_seq (String.to_seq s)))
+
+let violation pos fmt = Printf.ksprintf (fun m -> Error { v_pos = pos; v_msg = m }) fmt
+
+(* a decode refusal that is part of the decoder's contract *)
+let rejected = function
+  | CD.Undefined_opcode | RD.Undefined_opcode | Invalid_argument _ -> true
+  | _ -> false
+
+(* --- CISC ------------------------------------------------------------------ *)
+
+type cisc_decoder = fetch:(int -> int) -> int -> CI.decoded
+
+let cisc_reference : cisc_decoder = fun ~fetch pc -> CD.decode ~fetch pc
+
+let encode_cisc_stream insns =
+  String.concat "" (List.map (fun (i, rep) -> CE.insn ~rep i) insns)
+
+let fetch_of bytes pos = if pos < String.length bytes then Char.code bytes.[pos] else 0
+
+let check_cisc_stream ?(decode = cisc_reference) bytes =
+  let len = String.length bytes in
+  let fetch = fetch_of bytes in
+  let rec go pos =
+    if pos >= len then Ok ()
+    else
+      match decode ~fetch pos with
+      | exception e -> violation pos "decoder raised %s" (Printexc.to_string e)
+      | d ->
+        if d.CI.length <= 0 || pos + d.CI.length > len then
+          violation pos "decoded length %d runs outside the stream" d.CI.length
+        else begin
+          let slice = String.sub bytes pos d.CI.length in
+          match CE.insn ~rep:d.CI.rep d.CI.insn with
+          | exception e ->
+            violation pos "encoder rejected decoded instruction: %s"
+              (Printexc.to_string e)
+          | re when re <> slice ->
+            violation pos "re-encode mismatch: [%s] decoded then re-encoded as [%s]"
+              (hex slice) (hex re)
+          | _ -> go (pos + d.CI.length)
+        end
+  in
+  go 0
+
+let check_cisc_robust ?(decode = cisc_reference) bytes =
+  let len = String.length bytes in
+  let fetch = fetch_of bytes in
+  let rec go pos =
+    if pos >= len then Ok ()
+    else
+      match decode ~fetch pos with
+      | exception e when rejected e -> go (pos + 1)
+      | exception e ->
+        violation pos "decoder raised a non-contract exception: %s"
+          (Printexc.to_string e)
+      | d ->
+        if d.CI.length < 1 || d.CI.length > 15 then
+          violation pos "decoded length %d outside [1, 15]" d.CI.length
+        else begin
+          match CE.insn ~rep:d.CI.rep d.CI.insn with
+          | exception e ->
+            violation pos "encoder rejected decoded instruction: %s"
+              (Printexc.to_string e)
+          | re -> (
+            match decode ~fetch:(fetch_of re) 0 with
+            | exception e ->
+              violation pos "canonical re-encoding [%s] does not decode: %s"
+                (hex re) (Printexc.to_string e)
+            | d2 ->
+              if
+                d2.CI.insn <> d.CI.insn || d2.CI.rep <> d.CI.rep
+                || d2.CI.length <> String.length re
+              then
+                violation pos "encode∘decode is not a fixpoint over [%s]" (hex re)
+              else go (pos + d.CI.length))
+        end
+  in
+  go 0
+
+(* --- RISC ------------------------------------------------------------------ *)
+
+type risc_decoder = int -> RI.t
+
+let risc_reference : risc_decoder = RD.word
+
+let encode_risc_stream insns =
+  let b = Buffer.create (4 * List.length insns) in
+  List.iter (fun i -> RE.emit b i) insns;
+  Buffer.contents b
+
+let word_at bytes i =
+  (Char.code bytes.[i] lsl 24) lor (Char.code bytes.[i + 1] lsl 16)
+  lor (Char.code bytes.[i + 2] lsl 8) lor Char.code bytes.[i + 3]
+
+let check_risc_words ~strong ~decode bytes =
+  let len = String.length bytes in
+  if len mod 4 <> 0 then violation len "stream length %d is not word-aligned" len
+  else begin
+    let rec go pos =
+      if pos >= len then Ok ()
+      else begin
+        let w = word_at bytes pos in
+        match decode w with
+        | exception e when (not strong) && rejected e -> go (pos + 4)
+        | exception e -> violation pos "decoder raised %s on %08x" (Printexc.to_string e) w
+        | i -> (
+          match RE.insn i with
+          | exception e ->
+            violation pos "encoder rejected decoded %08x: %s" w (Printexc.to_string e)
+          | w2 ->
+            if strong then
+              if w2 <> w then violation pos "re-encode mismatch: %08x -> %08x" w w2
+              else go (pos + 4)
+            else begin
+              (* reserved bits may canonicalise away; the canonical word must
+                 be a decode fixpoint *)
+              match decode w2 with
+              | exception e ->
+                violation pos "canonical re-encoding %08x does not decode: %s" w2
+                  (Printexc.to_string e)
+              | i2 ->
+                if i2 <> i then
+                  violation pos "encode∘decode is not a fixpoint over %08x" w2
+                else go (pos + 4)
+            end)
+      end
+    in
+    go 0
+  end
+
+let check_risc_stream ?(decode = risc_reference) bytes =
+  check_risc_words ~strong:true ~decode bytes
+
+let check_risc_robust ?(decode = risc_reference) bytes =
+  check_risc_words ~strong:false ~decode bytes

@@ -1,0 +1,43 @@
+(** Encode→decode→re-encode oracles for both ISAs.
+
+    [check_*_stream] is the strong law for encoder-produced (canonical)
+    streams: sequential decode must consume exactly the bytes of each
+    instruction and re-encode them byte-identically.  [check_*_robust] is the
+    weak law for arbitrary/corrupted bytes: the decoder may reject
+    ([Undefined_opcode] / the CISC 15-byte limit) but must never raise
+    anything else, and everything it accepts must be a fixpoint of
+    encode∘decode (aliases canonicalise in one step).
+
+    The decoders are parameters so a harness can plant an artificial decoder
+    bug and prove the fuzzer catches and shrinks it. *)
+
+type violation = { v_pos : int; v_msg : string }
+
+val hex : string -> string
+(** Space-separated lowercase hex dump. *)
+
+(** {2 CISC (P4)} *)
+
+type cisc_decoder = fetch:(int -> int) -> int -> Ferrite_cisc.Insn.decoded
+
+val cisc_reference : cisc_decoder
+(** The production decoder, {!Ferrite_cisc.Decode.decode}. *)
+
+val encode_cisc_stream : (Ferrite_cisc.Insn.t * bool) list -> string
+(** Concatenated encodings of [(insn, rep)] pairs, e.g. from {!Gen}. *)
+
+val check_cisc_stream : ?decode:cisc_decoder -> string -> (unit, violation) result
+val check_cisc_robust : ?decode:cisc_decoder -> string -> (unit, violation) result
+
+(** {2 RISC (G4)} *)
+
+type risc_decoder = int -> Ferrite_risc.Insn.t
+
+val risc_reference : risc_decoder
+(** The production decoder, {!Ferrite_risc.Decode.word}. *)
+
+val encode_risc_stream : Ferrite_risc.Insn.t list -> string
+(** Big-endian word stream, as laid out in kernel text. *)
+
+val check_risc_stream : ?decode:risc_decoder -> string -> (unit, violation) result
+val check_risc_robust : ?decode:risc_decoder -> string -> (unit, violation) result

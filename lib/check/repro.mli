@@ -1,0 +1,33 @@
+(** Replayable reproducer files (test/repro/*.repro).
+
+    A shrunk fuzz find is serialised as a small line-based text file and
+    replayed by the tier-1 suite forever after.  [Stream] repros re-check an
+    {!Oracle} stream law over pinned bytes; [Fault] repros re-run one
+    isolated differential trial via {!Diff.run_trial}. *)
+
+type oracle = Roundtrip | Robust
+
+type t =
+  | Stream of {
+      arch : Ferrite_kir.Image.arch;
+      oracle : oracle;
+      bytes : string;
+      note : string;
+    }
+  | Fault of { spec : Diff.spec; trial : int; note : string }
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val replay : t -> (unit, string) result
+(** Re-run the repro against the production decoders/pipeline.  [Ok ()] means
+    the historical failure stays fixed. *)
+
+val file_name : t -> string
+(** Deterministic name derived from a content hash. *)
+
+val save : dir:string -> t -> string
+(** Write the repro (creating [dir] if needed); returns the path. *)
+
+val load : string -> (t, string) result
+val load_dir : string -> (string * (t, string) result) list

@@ -1,0 +1,80 @@
+(* Delta debugging (Zeller & Hildebrandt's ddmin) over lists, plus a scalar
+   minimiser for step budgets.  [fails] is the oracle: it must hold on the
+   input, and the shrinker only ever returns lists on which it still holds,
+   so a shrunk fuzz find stays a reproducer by construction. *)
+
+let split_chunks items n =
+  let len = List.length items in
+  let size = max 1 (len / n) in
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = size && List.length acc < n - 1 then
+        go (List.rev (x :: cur) :: acc) [] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 1 items
+
+let remove_chunk chunks i =
+  List.concat (List.filteri (fun j _ -> j <> i) chunks)
+
+let ddmin ~fails items =
+  if not (fails items) then invalid_arg "Shrink.ddmin: input does not fail";
+  let rec go items n =
+    let len = List.length items in
+    if len <= 1 then items
+    else begin
+      let n = min n len in
+      let chunks = split_chunks items n in
+      (* try each chunk alone (reduce to subset) *)
+      match List.find_opt fails chunks with
+      | Some c -> go c 2
+      | None -> (
+        (* try each complement (reduce to complement) *)
+        let complement i = remove_chunk chunks i in
+        let rec try_compl i =
+          if i >= List.length chunks then None
+          else begin
+            let c = complement i in
+            if c <> [] && fails c then Some c else try_compl (i + 1)
+          end
+        in
+        match try_compl 0 with
+        | Some c -> go c (max (n - 1) 2)
+        | None -> if n >= len then items else go items (min len (2 * n)))
+    end
+  in
+  let reduced = go items 2 in
+  (* greedy 1-minimal pass: no single element can be dropped *)
+  let rec one_minimal items =
+    let len = List.length items in
+    let rec try_drop i =
+      if i >= len then items
+      else begin
+        let cand = List.filteri (fun j _ -> j <> i) items in
+        if cand <> [] && fails cand then one_minimal cand else try_drop (i + 1)
+      end
+    in
+    if len <= 1 then items else try_drop 0
+  in
+  one_minimal reduced
+
+let shrink_int ~fails ~lo v =
+  if not (fails v) then invalid_arg "Shrink.shrink_int: input does not fail";
+  (* walk down by halving the distance to [lo]; keep the smallest failing *)
+  let rec go best =
+    let cand = lo + ((best - lo) / 2) in
+    if cand >= best then best
+    else if cand >= lo && fails cand then go cand
+    else
+      (* binary refine between cand (passing) and best (failing) *)
+      let rec refine pass fail =
+        if fail - pass <= 1 then fail
+        else begin
+          let mid = pass + ((fail - pass) / 2) in
+          if fails mid then refine pass mid else refine mid fail
+        end
+      in
+      refine cand best
+  in
+  go v

@@ -1,0 +1,14 @@
+(** Delta-debugging shrinkers.
+
+    The returned value always still satisfies [fails], so a shrunk fuzz find
+    is a reproducer by construction. *)
+
+val ddmin : fails:('a list -> bool) -> 'a list -> 'a list
+(** Zeller-style ddmin followed by a greedy 1-minimal pass: the result fails,
+    and dropping any single element makes it pass (or empty).  Raises
+    [Invalid_argument] if the input itself does not fail. *)
+
+val shrink_int : fails:(int -> bool) -> lo:int -> int -> int
+(** Smallest value in [\[lo, v\]] reachable by halving/bisection on which
+    [fails] still holds.  Assumes rough monotonicity; always returns a
+    failing value.  Raises [Invalid_argument] if [v] does not fail. *)

@@ -200,7 +200,12 @@ let rec decode_op c =
     Alu (alu_of_index reg_field, S8, rm, Imm (imm8 c))
   | 0x83 ->
     let { reg_field; rm } = decode_modrm c in
-    Alu (alu_of_index reg_field, c.osize, rm, Imm (imm8s c))
+    (* under the 0x66 prefix the immediate is a 16-bit quantity; keep the
+       same zero-extended representation the 0x81 path produces so equal
+       instructions decode to equal values *)
+    let k = imm8s c in
+    let k = match c.osize with S16 -> k land 0xFFFF | _ -> k in
+    Alu (alu_of_index reg_field, c.osize, rm, Imm k)
   | 0x84 ->
     let { reg_field; rm } = decode_modrm c in
     Test (S8, rm, Reg reg_field)

@@ -4,6 +4,17 @@ let fits8s v =
   let v = Ferrite_machine.Word.mask v in
   Ferrite_machine.Word.sign_extend8 v = v
 
+(* The sign-extended-imm8 form choice must be made at the operand width: a
+   value whose low 16 bits fit imm8 but whose high bits do not would pick
+   the wide form yet emit only the truncated bits, so the emitted encoding
+   would no longer decode back to an equal instruction. *)
+let fits8s_at size v =
+  match size with
+  | S8 | S32 -> fits8s v
+  | S16 ->
+    let v16 = Ferrite_machine.Word.mask v land 0xFFFF in
+    v16 < 0x80 || v16 >= 0xFF80
+
 let seg_prefix = function
   | ES -> 0x26 | CS -> 0x2E | SS -> 0x36 | DS -> 0x3E | FS -> 0x64 | GS -> 0x65
 
@@ -117,7 +128,7 @@ let encode ?(rep = false) i =
         encode_modrm b (alu_index op) dst;
         add8 b v
       | S16 | S32 ->
-        if fits8s v then begin
+        if fits8s_at size v then begin
           add8 b 0x83;
           encode_modrm b (alu_index op) dst;
           add8 b v
@@ -293,11 +304,11 @@ let encode ?(rep = false) i =
   | Std -> add8 b 0xFD
   | Ud2 -> add8 b 0x0F; add8 b 0x0B
   | Movs S8 -> add8 b 0xA4
-  | Movs _ -> add8 b 0xA5
+  | Movs size -> osize_prefix b size; add8 b 0xA5
   | Stos S8 -> add8 b 0xAA
-  | Stos _ -> add8 b 0xAB
+  | Stos size -> osize_prefix b size; add8 b 0xAB
   | Lods S8 -> add8 b 0xAC
-  | Lods _ -> add8 b 0xAD
+  | Lods size -> osize_prefix b size; add8 b 0xAD
   | Mov_from_seg (op1, s) ->
     operand_prefix b op1;
     add8 b 0x8C;

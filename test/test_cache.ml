@@ -63,6 +63,52 @@ let test_risc_flip_evicts () =
   ignore (Cpu.step cpu);
   check_int "flipped word is decoded, not the cached copy" 7 cpu.Cpu.gpr.(3)
 
+(* Stores issued by the CPU itself (self-modifying code, or fault-corrupted
+   code overwriting its neighbours) must evict cached decodes just like
+   external pokes: the store path and the injector share the same memory
+   write entry points. *)
+
+let test_cisc_cpu_store_evicts () =
+  let module Cpu = Ferrite_cisc.Cpu in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:code_base ~size:0x1000 ~perm:Memory.perm_rwx;
+  (* B8 imm32: mov eax, 0x11 *)
+  Memory.poke8 mem code_base 0xB8;
+  Memory.poke32_le mem (code_base + 1) 0x11;
+  (* C7 05 disp32 imm32: mov dword [code_base+1], 0x22 — rewrites the
+     immediate of the instruction above *)
+  Memory.poke8 mem (code_base + 5) 0xC7;
+  Memory.poke8 mem (code_base + 6) 0x05;
+  Memory.poke32_le mem (code_base + 7) (code_base + 1);
+  Memory.poke32_le mem (code_base + 11) 0x22;
+  let cpu = Cpu.create ~mem ~stop_addr in
+  cpu.Cpu.eip <- code_base;
+  ignore (Cpu.step cpu);
+  check_int "first decode" 0x11 cpu.Cpu.regs.(Cpu.eax);
+  ignore (Cpu.step cpu) (* the store: self-modifying write via the CPU *);
+  cpu.Cpu.eip <- code_base;
+  ignore (Cpu.step cpu);
+  check_int "CPU store invalidated the cached decode" 0x22 cpu.Cpu.regs.(Cpu.eax)
+
+let test_risc_cpu_store_evicts () =
+  let module Cpu = Ferrite_risc.Cpu in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:code_base ~size:0x1000 ~perm:Memory.perm_rwx;
+  (* addi r3, r0, 5 (li r3, 5) *)
+  Memory.poke32_be mem code_base 0x38600005;
+  (* stw r5, 0(r6) — will overwrite the li above with li r3, 7 *)
+  Memory.poke32_be mem (code_base + 4) 0x90A60000;
+  let cpu = Cpu.create ~mem ~stop_addr in
+  cpu.Cpu.gpr.(5) <- 0x38600007;
+  cpu.Cpu.gpr.(6) <- code_base;
+  cpu.Cpu.pc <- code_base;
+  ignore (Cpu.step cpu);
+  check_int "li executed" 5 cpu.Cpu.gpr.(3);
+  ignore (Cpu.step cpu) (* the store *);
+  cpu.Cpu.pc <- code_base;
+  ignore (Cpu.step cpu);
+  check_int "CPU store invalidated the cached decode" 7 cpu.Cpu.gpr.(3)
+
 (* --- differential property ------------------------------------------------ *)
 
 let run_campaign ~fast ~executor cfg =
@@ -127,6 +173,8 @@ let () =
         [
           Alcotest.test_case "cisc poke evicts" `Quick test_cisc_poke_evicts;
           Alcotest.test_case "risc flip evicts" `Quick test_risc_flip_evicts;
+          Alcotest.test_case "cisc CPU store evicts" `Quick test_cisc_cpu_store_evicts;
+          Alcotest.test_case "risc CPU store evicts" `Quick test_risc_cpu_store_evicts;
         ] );
       ( "differential",
         [

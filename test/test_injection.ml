@@ -440,6 +440,24 @@ let test_collector_rate () =
   let frac = float_of_int (Collector.lost c) /. 2000.0 in
   check_bool "about 20% lost" true (frac > 0.15 && frac < 0.25)
 
+(* The parallel executor merges per-worker partial tallies in whatever order
+   the domains finish, so the merge must be a commutative monoid on stats. *)
+let stats_arb =
+  QCheck.map
+    (fun (r, l) -> { Collector.st_received = r; st_lost = l })
+    QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+
+let prop_collector_merge_monoid =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"merge_stats is a commutative monoid" ~count:200
+       (QCheck.triple stats_arb stats_arb stats_arb)
+       (fun (a, b, c) ->
+         let ( + ) = Collector.merge_stats in
+         a + (b + c) = a + b + c
+         && a + b = b + a
+         && Collector.zero_stats + a = a
+         && a + Collector.zero_stats = a))
+
 (* ---------- campaign ---------- *)
 
 let test_campaign_deterministic () =
@@ -505,6 +523,7 @@ let () =
           Alcotest.test_case "lossless" `Quick test_collector_lossless;
           Alcotest.test_case "total loss" `Quick test_collector_lossy;
           Alcotest.test_case "loss rate" `Quick test_collector_rate;
+          prop_collector_merge_monoid;
         ] );
       ( "campaign",
         [

@@ -550,6 +550,50 @@ let prop_differential_arith =
       | Ok a, Ok b -> a = b
       | _ -> false)
 
+(* ---------- encode/decode roundtrip of emitted code ---------- *)
+
+(* Every instruction the backends can emit must survive
+   encode→decode→re-encode byte-identically; otherwise a code flip near it
+   would corrupt the wrong bytes when the engine re-injects. The kernel image
+   is the exhaustive catalogue of backend output, so walk every function. *)
+let test_backend_output_roundtrips () =
+  List.iter
+    (fun arch ->
+      let image = Ferrite_kernel.Boot.build_image arch in
+      Array.iter
+        (fun f ->
+          let body =
+            String.sub image.Image.img_text
+              (f.Image.fs_addr - image.Image.img_text_base)
+              f.Image.fs_size
+          in
+          let checked =
+            match arch with
+            | Image.Cisc -> Ferrite_check.Oracle.check_cisc_stream body
+            | Image.Risc -> Ferrite_check.Oracle.check_risc_stream body
+          in
+          match checked with
+          | Ok () -> ()
+          | Error v ->
+            Alcotest.failf "%s+%d: %s" f.Image.fs_name v.Ferrite_check.Oracle.v_pos
+              v.Ferrite_check.Oracle.v_msg)
+        image.Image.img_funcs)
+    [ Image.Cisc; Image.Risc ]
+
+(* The same law over the fuzzer's weighted generators, which cover encodings
+   the current kernel happens not to contain. *)
+let prop_generated_streams_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"generated instruction streams roundtrip" ~count:300
+       QCheck.(pair bool (int_range 0 1_000_000))
+       (fun (cisc, seed) ->
+         let rng = Rng.create ~seed:(Int64.of_int seed) in
+         let module O = Ferrite_check.Oracle in
+         let module G = Ferrite_check.Gen in
+         Result.is_ok
+           (if cisc then O.check_cisc_stream (O.encode_cisc_stream (G.cisc_stream rng ~len:12))
+            else O.check_risc_stream (O.encode_risc_stream (G.risc_stream rng ~len:12)))))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "ferrite_kir"
@@ -588,5 +632,11 @@ let () =
           Alcotest.test_case "function_at" `Quick test_function_at;
           Alcotest.test_case "Ha16/Lo16 boundary address" `Quick test_linker_ha16_boundary;
           q prop_differential_random_programs;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "backend output roundtrips" `Quick
+            test_backend_output_roundtrips;
+          prop_generated_streams_roundtrip;
         ] );
     ]

@@ -143,6 +143,7 @@ let scenario_render ?executor name =
 
 let test_golden_fig7 () = check_golden "fig7" (scenario_render "fig7")
 let test_golden_fig13 () = check_golden "fig13" (scenario_render "fig13")
+let test_golden_fig14 () = check_golden "fig14" (scenario_render "fig14")
 
 let test_scenarios_executor_independent () =
   List.iter
@@ -208,6 +209,7 @@ let () =
         [
           Alcotest.test_case "fig7" `Quick test_golden_fig7;
           Alcotest.test_case "fig13" `Quick test_golden_fig13;
+          Alcotest.test_case "fig14" `Quick test_golden_fig14;
           Alcotest.test_case "executor independent" `Quick test_scenarios_executor_independent;
         ] );
       ( "campaign",

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Coverage workflow for ferrite.
+#
+# Every library carries an `(instrumentation (backend bisect_ppx))` stanza;
+# dune resolves the backend lazily, so the instrumentation costs nothing
+# unless explicitly requested. `dune build @coverage` (which this script
+# wraps) therefore works on any machine, while the actual measurement needs
+# the bisect_ppx opam package.
+#
+# Usage: tools/coverage.sh            # run tests instrumented, print summary
+#        tools/coverage.sh html       # also render the HTML report
+
+set -e
+cd "$(dirname "$0")/.."
+
+if ! ocamlfind query bisect_ppx >/dev/null 2>&1; then
+  echo "coverage: bisect_ppx is not installed in this switch." >&2
+  echo "coverage: validating the instrumentation wiring only (dune build @coverage)." >&2
+  echo "coverage: to measure for real:  opam install bisect_ppx  &&  tools/coverage.sh" >&2
+  dune build @coverage
+  exit 0
+fi
+
+rm -rf _coverage
+mkdir -p _coverage
+BISECT_FILE="$(pwd)/_coverage/bisect" dune runtest --force --instrument-with bisect_ppx
+bisect-ppx-report summary --coverage-path _coverage
+if [ "$1" = "html" ]; then
+  bisect-ppx-report html --coverage-path _coverage -o _coverage/html
+  echo "coverage: report in _coverage/html/index.html"
+fi
