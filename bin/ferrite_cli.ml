@@ -18,6 +18,8 @@ module Boot = Ferrite_kernel.Boot
 module Campaign = Ferrite_injection.Campaign
 module Target = Ferrite_injection.Target
 module Crash_cause = Ferrite_injection.Crash_cause
+module Supervisor = Ferrite_injection.Supervisor
+module Journal = Ferrite_injection.Journal
 
 let arch_conv =
   let parse = function
@@ -149,10 +151,33 @@ let print_campaign (res : Campaign.result) =
   Printf.printf "fail silence:    %d (%.1f%%)\n" s.Campaign.fsv (pct s.Campaign.fsv);
   Printf.printf "known crash:     %d (%.1f%%)\n" s.Campaign.known_crash (pct s.Campaign.known_crash);
   Printf.printf "hang/unknown:    %d (%.1f%%)\n" s.Campaign.hang_or_unknown (pct s.Campaign.hang_or_unknown);
+  if s.Campaign.infrastructure > 0 then
+    Printf.printf "quarantined:     %d (harness failures, excluded above)\n"
+      s.Campaign.infrastructure;
   Printf.printf "reboots:         %d\n" res.Campaign.reboots;
+  let col = res.Campaign.collector in
   Printf.printf "dumps delivered: %d (%d lost in transit)\n"
-    res.Campaign.collector.Ferrite_injection.Collector.st_received
-    res.Campaign.collector.Ferrite_injection.Collector.st_lost;
+    col.Ferrite_injection.Collector.st_received col.Ferrite_injection.Collector.st_lost;
+  if res.Campaign.cfg.Campaign.collector_retries > 0 then
+    Printf.printf "retransmissions: %d (%d dumps gave up, %d duplicates dropped)\n"
+      col.Ferrite_injection.Collector.st_retransmitted
+      col.Ferrite_injection.Collector.st_gave_up
+      col.Ferrite_injection.Collector.st_dup_dropped;
+  Option.iter
+    (fun (sup : Supervisor.report) ->
+      Printf.printf "supervision:     %d retried, %d quarantined, %d resumed from journal\n"
+        sup.Supervisor.sup_retries
+        (List.length sup.Supervisor.sup_quarantined)
+        sup.Supervisor.sup_resume_skips;
+      if sup.Supervisor.sup_journal_truncated > 0 then
+        Printf.printf "journal:         %d torn-tail byte(s) discarded on recovery\n"
+          sup.Supervisor.sup_journal_truncated;
+      List.iter
+        (fun (q : Supervisor.quarantine) ->
+          Printf.printf "  trial %d quarantined after %d attempt(s): %s\n"
+            q.Supervisor.q_index q.Supervisor.q_attempts q.Supervisor.q_reason)
+        sup.Supervisor.sup_quarantined)
+    res.Campaign.supervision;
   let causes = Campaign.crash_causes res in
   let total = List.fold_left (fun a (_, n) -> a + n) 0 causes in
   if total > 0 then begin
@@ -204,10 +229,105 @@ let trace_dir_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
 
+(* --- supervision flags (inject) --- *)
+
+let journal_arg =
+  let doc =
+    "Checkpoint every completed trial to $(docv) (CRC-framed, append-only). \
+     Names a new journal: an existing file at the path is replaced."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume the campaign recorded in $(docv): trials already journalled are \
+     served from the file instead of re-run, the torn tail (if the previous \
+     run was killed mid-append) is truncated, and new trials keep appending. \
+     The result is byte-identical to an uninterrupted run for every --jobs. \
+     A journal written for a different plan (seed, kind, count, ...) is \
+     rejected."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let max_retries_arg =
+  let doc =
+    "Retry a trial that crashed the harness (or overran its host deadline) \
+     up to $(docv) times from a fresh boot, with exponential backoff, before \
+     quarantining it as an infrastructure failure; quarantined trials are \
+     excluded from the outcome percentages. Passing the flag enables \
+     supervision even without a journal."
+  in
+  Arg.(value & opt (some int) None & info [ "max-retries" ] ~docv:"N" ~doc)
+
+let chaos_arg =
+  let doc =
+    "Chaos drill: plant worker exceptions, a host-deadline overrun and a \
+     collector outage window at seeded trial indices, then let supervision \
+     prove it degrades gracefully."
+  in
+  Arg.(value & flag & info [ "chaos" ] ~doc)
+
+let collector_loss_arg =
+  let doc = "Crash-dump loss probability of the collector channel (default 0.12)." in
+  Arg.(value & opt (some float) None & info [ "collector-loss" ] ~docv:"P" ~doc)
+
+let collector_retries_arg =
+  let doc =
+    "Bounded dump-retransmission budget per crash (default 0 = the paper's \
+     single-shot channel). Duplicates are dropped by sequence number."
+  in
+  Arg.(value & opt (some int) None & info [ "collector-retries" ] ~docv:"N" ~doc)
+
+let supervision_of ~journal ~resume ~max_retries ~chaos ~seed ~injections =
+  match (journal, resume, max_retries, chaos) with
+  | None, None, None, false -> None
+  | _ ->
+    let journal, resume_flag =
+      match (resume, journal) with
+      | Some r, Some j when r <> j ->
+        Printf.eprintf
+          "ferrite: --journal and --resume name different files; --resume %s already \
+           appends to the journal it resumes\n"
+          r;
+        exit 2
+      | Some r, _ -> (Some r, true)
+      | None, j -> (j, false)
+    in
+    let policy =
+      match max_retries with
+      | None -> Supervisor.default_policy
+      | Some n -> { Supervisor.default_policy with Supervisor.sp_max_retries = n }
+    in
+    let chaos =
+      if chaos then Supervisor.drill_plan ~seed ~injections else Supervisor.no_chaos
+    in
+    Some
+      {
+        Campaign.sv_policy = policy;
+        sv_chaos = chaos;
+        sv_journal = journal;
+        sv_resume = resume_flag;
+      }
+
 let inject_cmd =
-  let run arch kind n seed progress jobs trace_dir =
+  let run arch kind n seed progress jobs trace_dir journal resume max_retries chaos
+      collector_loss collector_retries =
     let cfg =
       { (Campaign.default ~arch ~kind ~injections:n) with Campaign.seed = Int64.of_int seed }
+    in
+    let cfg =
+      match collector_loss with
+      | None -> cfg
+      | Some p -> { cfg with Campaign.collector_loss = p }
+    in
+    let cfg =
+      match collector_retries with
+      | None -> cfg
+      | Some r -> { cfg with Campaign.collector_retries = r }
+    in
+    let supervision =
+      supervision_of ~journal ~resume ~max_retries ~chaos ~seed:cfg.Campaign.seed
+        ~injections:n
     in
     let progress_fn ~done_ ~total =
       if progress && (done_ mod 100 = 0 || done_ = total) then
@@ -219,7 +339,21 @@ let inject_cmd =
       | Some _ -> Ferrite_trace.Tracer.default_config
     in
     let res =
-      Campaign.run ~progress:progress_fn ~executor:(executor_of_jobs jobs) ~tracer cfg
+      try
+        Campaign.run ~progress:progress_fn ~executor:(executor_of_jobs jobs) ~tracer
+          ?supervision cfg
+      with
+      | Journal.Header_mismatch { hm_path; hm_expected; hm_found } ->
+        Printf.eprintf
+          "ferrite: %s was written for a different campaign plan (journal hash %Lx, \
+           this plan %Lx); refusing to mix campaigns. Re-run with matching \
+           --arch/--kind/-n/--seed/... flags, or start a fresh journal with \
+           --journal.\n"
+          hm_path hm_found hm_expected;
+        exit 2
+      | Journal.Not_a_journal path ->
+        Printf.eprintf "ferrite: %s is not a ferrite journal; refusing to touch it\n" path;
+        exit 2
     in
     if progress then Printf.eprintf "\n";
     print_campaign res;
@@ -228,7 +362,8 @@ let inject_cmd =
   Cmd.v (Cmd.info "inject" ~doc:"Run one error-injection campaign")
     Term.(
       const run $ arch_arg $ kind_arg $ count_arg $ seed_arg $ progress_arg $ jobs_arg
-      $ trace_dir_arg)
+      $ trace_dir_arg $ journal_arg $ resume_arg $ max_retries_arg $ chaos_arg
+      $ collector_loss_arg $ collector_retries_arg)
 
 (* --- suite / report --- *)
 

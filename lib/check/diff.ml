@@ -94,6 +94,7 @@ let env_of s =
       Engine.validated
         { Engine.default_config with Engine.step_budget = s.df_step_budget };
     env_collector_loss = (Campaign.default ~arch:s.df_arch ~kind:s.df_kind ~injections:1).Campaign.collector_loss;
+    env_collector_retries = 0;
   }
 
 let with_fast fast f =

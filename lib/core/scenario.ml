@@ -134,6 +134,7 @@ let run ?(executor = Executor.Sequential) ?(trace = Tracer.default_config) sc =
       env_hot = [];
       env_engine = Engine.default_config;
       env_collector_loss = 0.0;
+      env_collector_retries = 0;
     }
   in
   let out = Executor.run ~trace executor env [| spec_of sc target |] in

@@ -9,6 +9,7 @@ type config = {
   seed : int64;
   ops_per_run : int;
   collector_loss : float;
+  collector_retries : int;  (* bounded dump-retransmission budget *)
   engine : Engine.config;
   variant : Boot.variant;  (* kernel build variant (ablations) *)
 }
@@ -21,8 +22,24 @@ let default ~arch ~kind ~injections =
     seed = 0xF3A11B17L;
     ops_per_run = 12;
     collector_loss = 0.12;
+    collector_retries = 0;
     engine = Engine.default_config;
     variant = Boot.standard;
+  }
+
+type supervision = {
+  sv_policy : Supervisor.policy;
+  sv_chaos : Supervisor.chaos;
+  sv_journal : string option;  (* checkpoint journal path *)
+  sv_resume : bool;  (* recover completed trials from it before running *)
+}
+
+let default_supervision =
+  {
+    sv_policy = Supervisor.default_policy;
+    sv_chaos = Supervisor.no_chaos;
+    sv_journal = None;
+    sv_resume = false;
   }
 
 type result = {
@@ -34,6 +51,7 @@ type result = {
   reboots : int;
   collector : Collector.stats;
   cache : Ferrite_machine.Cache_stats.t;
+  supervision : Supervisor.report option;  (* Some iff run under supervision *)
 }
 
 let hot_profile image arch =
@@ -48,6 +66,50 @@ let hot_profile image arch =
 
 let plan cfg = Trial.plan ~seed:cfg.seed ~injections:cfg.injections ~variant:cfg.variant
 
+(* The canonical plan description hashed into a journal header. Everything
+   that changes a trial record belongs here; [--jobs] (the executor) must
+   not, or a journal written under --jobs 4 could not seed a --jobs 1
+   resume. Floats are rendered with %h (hex, exact round-trip). *)
+let plan_fingerprint ?supervision cfg =
+  let arch = match cfg.arch with Image.Cisc -> "cisc" | Image.Risc -> "risc" in
+  let kind =
+    match cfg.kind with
+    | Target.Code -> "code"
+    | Target.Stack -> "stack"
+    | Target.Data -> "data"
+    | Target.Register -> "register"
+  in
+  let v = cfg.variant in
+  let e = cfg.engine in
+  let base =
+    Printf.sprintf
+      "ferrite-plan-v1;arch=%s;kind=%s;injections=%d;seed=%Ld;ops=%d;loss=%h;col-retries=%d;engine=%d,%d,%d,%d;variant=%s,%s,%b,%b,%b"
+      arch kind cfg.injections cfg.seed cfg.ops_per_run cfg.collector_loss
+      cfg.collector_retries e.Engine.step_budget e.Engine.tick_interval
+      e.Engine.handler_cycles_cisc e.Engine.handler_cycles_risc
+      (match v.Boot.v_mode with
+      | None -> "default"
+      | Some Ferrite_kir.Layout.Packed -> "packed"
+      | Some Ferrite_kir.Layout.Widened -> "widened")
+      (match v.Boot.v_promote with None -> "default" | Some n -> string_of_int n)
+      v.Boot.v_g4_wrapper v.Boot.v_p4_wrapper v.Boot.v_assertions
+  in
+  match supervision with
+  | None -> base
+  | Some sv ->
+    (* chaos and the retry ceiling shape quarantined records, so resuming a
+       chaos journal without --chaos (or vice versa) is also a mismatch *)
+    let pairs ps =
+      String.concat "," (List.map (fun (i, n) -> Printf.sprintf "%d:%d" i n) ps)
+    in
+    Printf.sprintf "%s;max-retries=%d;raise=[%s];overrun=[%s];outage=%s" base
+      sv.sv_policy.Supervisor.sp_max_retries
+      (pairs sv.sv_chaos.Supervisor.ch_raise)
+      (pairs sv.sv_chaos.Supervisor.ch_overrun)
+      (match sv.sv_chaos.Supervisor.ch_outage with
+      | None -> "none"
+      | Some (lo, hi) -> Printf.sprintf "%d-%d" lo hi)
+
 let env_of cfg image hot =
   {
     Trial.env_arch = cfg.arch;
@@ -56,16 +118,43 @@ let env_of cfg image hot =
     env_hot = hot;
     env_engine = Engine.validated cfg.engine;
     env_collector_loss = cfg.collector_loss;
+    env_collector_retries = cfg.collector_retries;
   }
 
 let run ?(progress = fun ~done_:_ ~total:_ -> ()) ?(executor = Executor.default)
-    ?(tracer = Ferrite_trace.Tracer.telemetry_only) cfg =
+    ?(tracer = Ferrite_trace.Tracer.telemetry_only) ?supervision cfg =
   (* plan → execute → merge: build shared read-only inputs once, decompose
      the campaign into pure trial specs, hand them to the executor *)
   let image = Boot.build_image ~variant:cfg.variant cfg.arch in
   let hot = hot_profile image cfg.arch in
   let specs = plan cfg in
-  let out = Executor.run ~progress ~trace:tracer executor (env_of cfg image hot) specs in
+  let supervisor, writer =
+    match supervision with
+    | None -> (None, None)
+    | Some sv ->
+      let hash = Journal.plan_hash_of_string (plan_fingerprint ~supervision:sv cfg) in
+      let writer, recovery =
+        match sv.sv_journal with
+        | None -> (None, Journal.empty_recovery)
+        | Some path ->
+          (* without --resume the path names a *new* journal: an old file
+             there (same plan or not) is replaced, never continued *)
+          if (not sv.sv_resume) && Sys.file_exists path then Sys.remove path;
+          let w, rc = Journal.open_for_append ~path ~plan_hash:hash in
+          (Some w, rc)
+      in
+      ( Some
+          (Supervisor.create ~policy:sv.sv_policy ~chaos:sv.sv_chaos ?journal:writer
+             ~recovery ()),
+        writer )
+  in
+  let out =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Journal.close writer)
+      (fun () ->
+        Executor.run ~progress ~trace:tracer ?supervisor executor (env_of cfg image hot)
+          specs)
+  in
   {
     cfg;
     records = Array.to_list out.Executor.records;
@@ -76,6 +165,7 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ?(executor = Executor.default)
     reboots = out.Executor.reboots;
     collector = out.Executor.collector;
     cache = out.Executor.cache;
+    supervision = Option.map Supervisor.report supervisor;
   }
 
 type summary = {
@@ -86,13 +176,22 @@ type summary = {
   fsv : int;
   known_crash : int;
   hang_or_unknown : int;
+  infrastructure : int;
 }
 
 let summarize result =
-  let records = result.records in
+  (* Quarantined trials are harness casualties, not kernel behaviour: they
+     drop out of [injected] (every percentage denominator) and surface only
+     in [infrastructure]. *)
+  let records =
+    List.filter
+      (fun r -> not (Outcome.is_infrastructure r.Outcome.r_outcome))
+      result.records
+  in
   let count f = List.length (List.filter f records) in
   {
     injected = List.length records;
+    infrastructure = List.length result.records - List.length records;
     activated = count (fun r -> r.Outcome.r_activated);
     activation_known = result.cfg.kind <> Target.Register;
     not_manifested =

@@ -18,12 +18,46 @@ type config = {
   seed : int64;
   ops_per_run : int;  (** workload length per injection run *)
   collector_loss : float;
+  collector_retries : int;
+      (** bounded dump-retransmission budget per crash (0 = the paper's
+          single-shot UDP channel); together with [collector_loss] this makes
+          the Unknown-Hang sensitivity to dump loss a measurable knob *)
   engine : Engine.config;
   variant : Ferrite_kernel.Boot.variant;  (** kernel build variant (ablations) *)
 }
 
 val default :
   arch:Ferrite_kir.Image.arch -> kind:Target.kind -> injections:int -> config
+
+(** {2 Supervision}
+
+    Campaigns run unsupervised by default — any harness failure aborts the
+    run, exactly as before. Passing [?supervision] to {!run} threads every
+    trial through {!Supervisor}: crash containment with retry/backoff and
+    quarantine, optional chaos drills, and an optional checkpoint journal. *)
+
+type supervision = {
+  sv_policy : Supervisor.policy;
+  sv_chaos : Supervisor.chaos;
+  sv_journal : string option;
+      (** checkpoint journal path. Without [sv_resume] the path names a
+          {e new} journal — an existing file there is replaced. *)
+  sv_resume : bool;
+      (** recover the journal's completed trials first and skip them; the
+          resumed campaign's records/collector/traces/telemetry are
+          byte-identical to an uninterrupted run under any executor *)
+}
+
+val default_supervision : supervision
+(** {!Supervisor.default_policy}, no chaos, no journal, no resume. *)
+
+val plan_fingerprint : ?supervision:supervision -> config -> string
+(** The canonical, jobs-independent plan description whose
+    {!Journal.plan_hash_of_string} binds a journal to one campaign: every
+    config field that shapes a trial record is included, the executor choice
+    deliberately is not (a journal written under [--jobs 4] must seed a
+    [--jobs 1] resume). With [?supervision], the chaos plan and retry ceiling
+    are appended, since they shape quarantined records. *)
 
 type result = {
   cfg : config;
@@ -40,6 +74,9 @@ type result = {
   cache : Ferrite_machine.Cache_stats.t;
       (** TLB / dirty-restore / decode-cache counters summed over workers —
           scheduling-dependent diagnostics, like [reboots] *)
+  supervision : Supervisor.report option;
+      (** retry / quarantine / resume bookkeeping; [Some] iff {!run} was
+          given [?supervision] *)
 }
 
 val plan : config -> Trial.spec array
@@ -49,6 +86,7 @@ val run :
   ?progress:(done_:int -> total:int -> unit) ->
   ?executor:Executor.t ->
   ?tracer:Ferrite_trace.Tracer.config ->
+  ?supervision:supervision ->
   config ->
   result
 (** Run every trial. [executor] defaults to {!Executor.default}
@@ -58,7 +96,10 @@ val run :
     most one boot per extra worker.
     [tracer] defaults to {!Ferrite_trace.Tracer.telemetry_only}: counters are
     always exact; pass a positive capacity to retain per-trial event
-    timelines. *)
+    timelines.
+    [supervision] enables crash containment (see {!supervision} above); with
+    [sv_resume], a journal written for a {e different} plan fingerprint
+    raises {!Journal.Header_mismatch} instead of silently mixing campaigns. *)
 
 (** {2 Aggregate views (the rows of Tables 5/6)} *)
 
@@ -70,6 +111,9 @@ type summary = {
   fsv : int;
   known_crash : int;
   hang_or_unknown : int;
+  infrastructure : int;
+      (** quarantined trials — harness casualties, excluded from [injected]
+          and hence from every Table 5/6 percentage *)
 }
 
 val summarize : result -> summary

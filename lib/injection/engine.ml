@@ -155,8 +155,12 @@ let run_one ?tracer ~sys ~runner ~target ~collector config =
           ci_function = symbolize sys (System.pc sys);
         }
       in
-      (* ...and ships the dump over the lossy UDP path *)
-      (match Collector.send collector info with
+      (* ...and ships the dump over the lossy UDP path (with bounded
+         retransmission when the collector is configured for it) *)
+      let result, dv = Collector.send_detail collector info in
+      if dv.Collector.dv_retransmits > 0 then
+        emit (Event.Collector_retransmit { retries = dv.Collector.dv_retransmits });
+      (match result with
       | Some info ->
         emit (Event.Collector_send { delivered = true });
         finish (Outcome.Known_crash info)

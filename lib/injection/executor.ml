@@ -42,7 +42,29 @@ let merge_telemetry traces =
 
 let no_progress ~done_:_ ~total:_ = ()
 
-let run_sequential ~progress ~trace env specs =
+(* One trial, through the supervision layer when present: a trial already
+   completed by a previous run (journal recovery) is served verbatim from its
+   entry — never re-run, so resumed campaigns reproduce uninterrupted ones
+   byte for byte — and a freshly-run trial is streamed to the journal before
+   the executor moves on, so a kill can only lose the trial in flight. *)
+let run_spec ~supervisor ~trace env cache (spec : Trial.spec) =
+  match supervisor with
+  | None -> Trial.run ~trace env cache spec
+  | Some sv -> (
+    match Supervisor.lookup sv spec.Trial.index with
+    | Some e ->
+      Supervisor.note_skip sv spec.Trial.index;
+      (e.Journal.je_record, e.Journal.je_stats, e.Journal.je_trace)
+    | None ->
+      let ((record, st, tr) : Outcome.record * Collector.stats * Ferrite_trace.Tracer.trial)
+          =
+        Supervisor.run_trial sv ~trace env cache spec
+      in
+      Supervisor.journal_append sv
+        { Journal.je_index = spec.Trial.index; je_record = record; je_stats = st; je_trace = tr };
+      (record, st, tr))
+
+let run_sequential ~progress ~trace ~supervisor env specs =
   let total = Array.length specs in
   let cache = Trial.cache_create () in
   let stats = ref Collector.zero_stats in
@@ -50,7 +72,7 @@ let run_sequential ~progress ~trace env specs =
   let records =
     Array.mapi
       (fun i spec ->
-        let record, st, tr = Trial.run ~trace env cache spec in
+        let record, st, tr = run_spec ~supervisor ~trace env cache spec in
         stats := Collector.merge_stats !stats st;
         traces.(i) <- Some tr;
         progress ~done_:(i + 1) ~total;
@@ -74,7 +96,7 @@ let run_sequential ~progress ~trace env specs =
    Not-Activated run and a watchdog Hang. The records array is indexed by
    trial index and each slot is written by exactly one worker, so the merged
    output is already in campaign order — bit-identical to Sequential. *)
-let run_parallel ~progress ~trace ~domains env specs =
+let run_parallel ~progress ~trace ~supervisor ~domains env specs =
   let total = Array.length specs in
   (* Never spin up a worker for fewer than ~4 trials: a worker's first act is
      a full boot, which only amortises over a handful of trials. *)
@@ -82,7 +104,11 @@ let run_parallel ~progress ~trace ~domains env specs =
   let chunk = max 1 (total / (domains * 8)) in
   let results = Array.make total None in
   let next = Atomic.make 0 in
-  let finished = Atomic.make 0 in
+  (* [finished] is read and bumped inside the mutex: the progress callback
+     sees a strictly increasing [done_] (see the .mli contract), which a
+     fetch-and-add outside the lock could not guarantee — two workers could
+     acquire the mutex in the opposite order of their increments. *)
+  let finished = ref 0 in
   let progress_mutex = Mutex.create () in
   let worker () =
     let cache = Trial.cache_create () in
@@ -92,11 +118,12 @@ let run_parallel ~progress ~trace ~domains env specs =
       if lo < total then begin
         let hi = min total (lo + chunk) in
         for i = lo to hi - 1 do
-          let record, st, tr = Trial.run ~trace env cache specs.(i) in
+          let record, st, tr = run_spec ~supervisor ~trace env cache specs.(i) in
           results.(i) <- Some (record, tr);
           stats := Collector.merge_stats !stats st;
-          let done_ = Atomic.fetch_and_add finished 1 + 1 in
-          Mutex.protect progress_mutex (fun () -> progress ~done_ ~total)
+          Mutex.protect progress_mutex (fun () ->
+              incr finished;
+              progress ~done_:!finished ~total)
         done;
         claim ()
       end
@@ -122,8 +149,8 @@ let run_parallel ~progress ~trace ~domains env specs =
   in
   { records; traces; telemetry = merge_telemetry traces; reboots; collector = stats; cache }
 
-let run ?(progress = no_progress) ?(trace = Ferrite_trace.Tracer.telemetry_only) t env specs
-    =
+let run ?(progress = no_progress) ?(trace = Ferrite_trace.Tracer.telemetry_only) ?supervisor
+    t env specs =
   if Array.length specs = 0 then
     {
       records = [||];
@@ -139,8 +166,8 @@ let run ?(progress = no_progress) ?(trace = Ferrite_trace.Tracer.telemetry_only)
         (min (Domain.recommended_domain_count ()) (max 1 (Array.length specs / 4)))
     in
     match t with
-    | Sequential -> run_sequential ~progress ~trace env specs
+    | Sequential -> run_sequential ~progress ~trace ~supervisor env specs
     | Parallel { domains } when effective_domains domains <= 1 ->
-      run_sequential ~progress ~trace env specs
+      run_sequential ~progress ~trace ~supervisor env specs
     | Parallel { domains } ->
-      run_parallel ~progress ~trace ~domains:(effective_domains domains) env specs
+      run_parallel ~progress ~trace ~supervisor ~domains:(effective_domains domains) env specs

@@ -54,11 +54,27 @@ type outcome = {
 val run :
   ?progress:(done_:int -> total:int -> unit) ->
   ?trace:Ferrite_trace.Tracer.config ->
+  ?supervisor:Supervisor.t ->
   t ->
   Trial.env ->
   Trial.spec array ->
   outcome
-(** Execute every trial. With [Parallel], [progress] is invoked from worker
-    domains under a mutex; [done_] counts completed trials, not trial
-    indices. [trace] (default {!Ferrite_trace.Tracer.telemetry_only}) sets
-    each trial's tracer capacity. *)
+(** Execute every trial.
+
+    {b Progress ordering guarantee.} [progress] calls are serialized behind a
+    mutex, and the completed-trial counter is incremented {e inside} that
+    mutex: under every executor the callback observes [done_] = 1, 2, …,
+    [total], each exactly once and strictly increasing. With [Parallel] the
+    calls come from worker domains (not the calling domain), so the callback
+    must not touch domain-local state; [done_] counts completed trials, not
+    trial indices.
+
+    [trace] (default {!Ferrite_trace.Tracer.telemetry_only}) sets each
+    trial's tracer capacity.
+
+    [supervisor] threads every trial through the supervision layer
+    ({!Supervisor.run_trial}): trials already present in its recovery set are
+    served from the journal (resume skip) instead of re-run, fresh results
+    are streamed to its journal, and contained failures yield quarantined
+    {!Outcome.Infrastructure_failure} records. Without a supervisor the
+    executor behaves exactly as before — any exception aborts the run. *)

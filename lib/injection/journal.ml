@@ -1,0 +1,199 @@
+(* Append-only, CRC-framed campaign journal (checkpoint/resume).
+
+   Layout:
+
+     header  := magic "FERRITEJ" (8) | version (1) | plan_hash (8, LE)
+     frame   := payload_len (4, LE) | crc32(payload) (4, LE) | payload
+     payload := Marshal of one {!entry}
+
+   The file is written append-only, one flushed frame per completed trial, so
+   a crash (or SIGKILL) can only ever leave a *torn tail*: a partial header,
+   a partial frame, or a frame whose payload was cut short. Recovery walks
+   frames from the start and stops at the first frame that is incomplete or
+   fails its CRC; everything before that point is the longest valid prefix,
+   everything after is truncated. The header's plan hash ties the journal to
+   one campaign plan (suite/seed/engine — everything except the executor and
+   job count, which never affect records), so resuming against the wrong
+   campaign is rejected instead of silently mixing trials. *)
+
+let magic = "FERRITEJ"
+let version = '\001'
+let header_size = String.length magic + 1 + 8 (* magic | version | plan hash *)
+
+exception
+  Header_mismatch of {
+    hm_path : string;
+    hm_expected : int64;
+    hm_found : int64;
+  }
+
+exception Not_a_journal of string
+
+(* ---------- CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) ---------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ---------- plan hash (FNV-1a 64 over a canonical fingerprint) ---------- *)
+
+let plan_hash_of_string s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+(* ---------- entries ---------- *)
+
+type entry = {
+  je_index : int;
+  je_record : Outcome.record;
+  je_stats : Collector.stats;
+  je_trace : Ferrite_trace.Tracer.trial;
+}
+
+let encode_entry e = Marshal.to_string e []
+
+let decode_entry s : entry option =
+  match Marshal.from_string s 0 with
+  | e -> Some e
+  | exception _ -> None (* CRC-valid but undecodable: treat as torn *)
+
+(* ---------- little-endian u32 ---------- *)
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let get_u32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let put_u64le buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let get_u64le s off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !v
+
+let header_bytes ~plan_hash =
+  let buf = Buffer.create header_size in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf version;
+  put_u64le buf plan_hash;
+  Buffer.contents buf
+
+let frame_bytes payload =
+  let buf = Buffer.create (8 + String.length payload) in
+  put_u32 buf (String.length payload);
+  put_u32 buf (crc32 payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* ---------- recovery ---------- *)
+
+type recovery = {
+  rc_entries : entry list;  (* longest valid prefix, in append order *)
+  rc_valid_bytes : int;  (* end offset of the last valid frame (or 0) *)
+  rc_truncated_bytes : int;  (* torn-tail bytes beyond the valid prefix *)
+}
+
+let empty_recovery = { rc_entries = []; rc_valid_bytes = 0; rc_truncated_bytes = 0 }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A frame length field can be arbitrary garbage on a torn tail; anything
+   beyond this bound is rejected before we try to allocate it. *)
+let max_frame_payload = 64 * 1024 * 1024
+
+let recover ~path ~plan_hash =
+  if not (Sys.file_exists path) then empty_recovery
+  else begin
+    let data = read_file path in
+    let len = String.length data in
+    if len < header_size then
+      (* torn mid-header: the whole file is the tail *)
+      { rc_entries = []; rc_valid_bytes = 0; rc_truncated_bytes = len }
+    else begin
+      if String.sub data 0 (String.length magic) <> magic then raise (Not_a_journal path);
+      let found = get_u64le data (String.length magic + 1) in
+      if data.[String.length magic] <> version || found <> plan_hash then
+        raise (Header_mismatch { hm_path = path; hm_expected = plan_hash; hm_found = found });
+      let rec walk off acc =
+        if off + 8 > len then (off, acc)
+        else begin
+          let plen = get_u32 data off in
+          let crc = get_u32 data (off + 4) in
+          if plen < 0 || plen > max_frame_payload || off + 8 + plen > len then (off, acc)
+          else begin
+            let payload = String.sub data (off + 8) plen in
+            if crc32 payload <> crc then (off, acc)
+            else
+              match decode_entry payload with
+              | None -> (off, acc)
+              | Some e -> walk (off + 8 + plen) (e :: acc)
+          end
+        end
+      in
+      let valid, acc = walk header_size [] in
+      {
+        rc_entries = List.rev acc;
+        rc_valid_bytes = valid;
+        rc_truncated_bytes = len - valid;
+      }
+    end
+  end
+
+(* ---------- writer ---------- *)
+
+type writer = { w_path : string; w_oc : out_channel }
+
+let open_for_append ~path ~plan_hash =
+  let rc = recover ~path ~plan_hash in
+  (* chop the torn tail before appending; [rc_valid_bytes] is 0 when the
+     header itself was torn, in which case the file restarts from scratch *)
+  if rc.rc_truncated_bytes > 0 then Unix.truncate path rc.rc_valid_bytes;
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  if rc.rc_valid_bytes = 0 then begin
+    output_string oc (header_bytes ~plan_hash);
+    flush oc
+  end;
+  ({ w_path = path; w_oc = oc }, rc)
+
+let append w entry =
+  output_string w.w_oc (frame_bytes (encode_entry entry));
+  flush w.w_oc
+
+let close w = close_out_noerr w.w_oc

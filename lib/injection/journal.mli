@@ -1,0 +1,74 @@
+(** Append-only, CRC-framed campaign journal — the checkpoint/resume half of
+    the supervision layer.
+
+    One flushed frame per completed trial means a killed campaign can only
+    leave a {e torn tail}; {!recover} walks the longest valid prefix (length +
+    CRC32 per frame) and reports how many bytes of tail were discarded, and
+    {!open_for_append} truncates that tail before appending. The header binds
+    the file to one campaign plan via a jobs-independent hash, so resuming
+    against a journal written by a different suite/seed/config raises
+    {!Header_mismatch} instead of silently mixing campaigns.
+
+    Writers are single-threaded: the executor serializes appends behind the
+    supervisor's lock. *)
+
+exception
+  Header_mismatch of {
+    hm_path : string;
+    hm_expected : int64;
+    hm_found : int64;
+  }
+(** The file is a valid journal for a {e different} campaign plan. *)
+
+exception Not_a_journal of string
+(** The file exists, is at least header-sized, and does not start with the
+    journal magic — almost certainly not ours to truncate. *)
+
+val plan_hash_of_string : string -> int64
+(** FNV-1a 64 of a canonical plan fingerprint (see
+    {!Campaign.plan_fingerprint}). *)
+
+val crc32 : string -> int
+(** IEEE CRC32 of a string (exposed for tests). *)
+
+val header_size : int
+
+type entry = {
+  je_index : int;  (** trial index *)
+  je_record : Outcome.record;
+  je_stats : Collector.stats;
+  je_trace : Ferrite_trace.Tracer.trial;
+}
+(** Everything the executor merge needs, so a resumed campaign reproduces an
+    uninterrupted run's records, collector stats, traces and telemetry
+    byte for byte. *)
+
+type recovery = {
+  rc_entries : entry list;  (** longest valid prefix, in append order *)
+  rc_valid_bytes : int;
+      (** end offset of the last valid frame; [header_size] for a journal with
+          a valid header and no complete frame, 0 when the header itself was
+          torn *)
+  rc_truncated_bytes : int;  (** torn-tail bytes beyond the valid prefix *)
+}
+
+val empty_recovery : recovery
+
+val recover : path:string -> plan_hash:int64 -> recovery
+(** Read-only recovery. Never raises on torn/truncated/corrupt {e tails} —
+    they shorten the valid prefix — and treats a missing file as empty.
+    Raises {!Header_mismatch} / {!Not_a_journal} only for a complete header
+    that belongs to another campaign or another format. *)
+
+type writer
+
+val open_for_append : path:string -> plan_hash:int64 -> writer * recovery
+(** Recover, truncate the torn tail, and open for appending (creating the
+    file and writing the header when absent or torn mid-header). The returned
+    {!recovery} is what was preserved. *)
+
+val append : writer -> entry -> unit
+(** Frame, write and flush one entry, so a kill after [append] returns never
+    loses that trial. *)
+
+val close : writer -> unit

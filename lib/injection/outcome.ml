@@ -14,6 +14,8 @@ type t =
   | Known_crash of crash_info
   | Hang
   | Unknown_crash  (* crashed, but no dump reached the collector *)
+  | Infrastructure_failure of { if_error : string; if_attempts : int }
+      (* the harness, not the target, failed: quarantined by the supervisor *)
 
 type record = {
   r_target : Target.t;
@@ -29,7 +31,10 @@ let outcome_label = function
   | Known_crash _ -> "Known Crash"
   | Hang -> "Hang"
   | Unknown_crash -> "Unknown Crash"
+  | Infrastructure_failure _ -> "Infrastructure Failure"
 
 let is_manifested = function
-  | Not_activated | Not_manifested -> false
+  | Not_activated | Not_manifested | Infrastructure_failure _ -> false
   | Fail_silence_violation | Known_crash _ | Hang | Unknown_crash -> true
+
+let is_infrastructure = function Infrastructure_failure _ -> true | _ -> false

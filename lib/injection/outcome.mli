@@ -15,6 +15,12 @@ type t =
   | Known_crash of crash_info  (** crash whose dump reached the collector *)
   | Hang  (** watchdog expired (deadlock / livelock / lost progress) *)
   | Unknown_crash  (** crashed, but no dump escaped (double fault / UDP loss) *)
+  | Infrastructure_failure of { if_error : string; if_attempts : int }
+      (** the {e harness} failed, not the target: an unexpected exception or
+          host-deadline overrun survived every supervisor retry. Quarantined —
+          excluded from the Table 5/6 percentages, reported separately. The
+          record's [r_target] is a placeholder (the failure may predate target
+          generation). *)
 
 type record = {
   r_target : Target.t;
@@ -26,4 +32,7 @@ type record = {
 val outcome_label : t -> string
 
 val is_manifested : t -> bool
-(** Everything except Not_activated / Not_manifested. *)
+(** Everything except Not_activated / Not_manifested / Infrastructure_failure
+    (a quarantined trial says nothing about the target). *)
+
+val is_infrastructure : t -> bool

@@ -43,6 +43,7 @@ type env = {
   env_hot : (string * float) list;
   env_engine : Engine.config;
   env_collector_loss : float;
+  env_collector_retries : int;  (* bounded retransmission budget per dump *)
 }
 
 type cache = {
@@ -55,6 +56,15 @@ type cache = {
 let cache_create () = { booted = None; pristine = false; policy_reboot = false; reboots = 0 }
 
 let reboots cache = cache.reboots
+
+(* Drop the cached machine entirely. After a contained harness failure the
+   machine may be mid-trial in an arbitrary state (the exception could have
+   escaped from anywhere), so the supervisor discards it; the next trial
+   performs a full boot, which is counted as a reboot as usual. *)
+let cache_invalidate cache =
+  cache.booted <- None;
+  cache.pristine <- false;
+  cache.policy_reboot <- false
 
 let cache_stats cache =
   match cache.booted with
@@ -97,7 +107,8 @@ let run ?(trace = Ferrite_trace.Tracer.telemetry_only) env cache spec =
     | None -> Target.generate sys env.env_kind ~hot:env.env_hot target_rng
   in
   let collector =
-    Collector.create ~loss_rate:env.env_collector_loss ~seed:spec.collector_seed ()
+    Collector.create ~loss_rate:env.env_collector_loss ~retries:env.env_collector_retries
+      ~seed:spec.collector_seed ()
   in
   let tracer = Ferrite_trace.Tracer.create trace in
   let stamp () =

@@ -34,6 +34,7 @@ type env = {
   env_hot : (string * float) list;  (** profiled function weights for code targets *)
   env_engine : Engine.config;
   env_collector_loss : float;
+  env_collector_retries : int;  (** bounded retransmission budget per dump *)
 }
 
 type cache
@@ -47,6 +48,12 @@ type cache
 
 val cache_create : unit -> cache
 val reboots : cache -> int
+
+val cache_invalidate : cache -> unit
+(** Drop the cached machine (but keep the reboot tally). Used by the
+    supervisor after a contained harness failure, whose machine may be stuck
+    mid-trial in an arbitrary state: the next {!run} performs a full boot, so
+    every retry starts from a genuinely fresh machine. *)
 
 val cache_stats : cache -> Ferrite_machine.Cache_stats.t
 (** Cache-layer counters of the cache's machine ({!Ferrite_kernel.System.cache_stats});

@@ -37,7 +37,11 @@ type t =
   | Handler_done of { fault : string; cycles : int }
   | Classified of { cause : string option; latency : int }
   | Collector_send of { delivered : bool }
+  | Collector_retransmit of { retries : int }
   | Watchdog_expired of { steps : int }
+  | Trial_retry of { trial : int; attempt : int; reason : string }
+  | Trial_quarantined of { trial : int; attempts : int; reason : string }
+  | Resume_skip of { trial : int }
 
 (* Stable machine-readable tag, used by the JSONL exporter. *)
 let tag = function
@@ -55,7 +59,11 @@ let tag = function
   | Handler_done _ -> "handler-done"
   | Classified _ -> "classified"
   | Collector_send _ -> "collector-send"
+  | Collector_retransmit _ -> "collector-retransmit"
   | Watchdog_expired _ -> "watchdog-expired"
+  | Trial_retry _ -> "trial-retry"
+  | Trial_quarantined _ -> "trial-quarantined"
+  | Resume_skip _ -> "resume-skip"
 
 (* One-line human-readable description (no stamp; the printer prepends it). *)
 let describe = function
@@ -86,4 +94,14 @@ let describe = function
     Printf.sprintf "no crash dump produced (latency %d)" latency
   | Collector_send { delivered = true } -> "crash dump delivered to collector"
   | Collector_send { delivered = false } -> "crash dump lost in transit"
+  | Collector_retransmit { retries } ->
+    Printf.sprintf "crash dump retransmitted %d time%s" retries (if retries = 1 then "" else "s")
   | Watchdog_expired { steps } -> Printf.sprintf "watchdog expired after %d steps" steps
+  | Trial_retry { trial; attempt; reason } ->
+    Printf.sprintf "trial %d attempt %d failed (%s) — retrying from a fresh boot" trial attempt
+      reason
+  | Trial_quarantined { trial; attempts; reason } ->
+    Printf.sprintf "trial %d quarantined after %d attempt%s (%s)" trial attempts
+      (if attempts = 1 then "" else "s")
+      reason
+  | Resume_skip { trial } -> Printf.sprintf "trial %d recovered from journal (resume skip)" trial

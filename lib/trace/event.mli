@@ -35,7 +35,16 @@ type t =
   | Classified of { cause : string option; latency : int }
       (** Table 3/4 verdict; [None] when no dump could be produced *)
   | Collector_send of { delivered : bool }  (** lossy UDP dump channel *)
+  | Collector_retransmit of { retries : int }
+      (** the dump needed [retries] retransmissions (loss or lost acks) *)
   | Watchdog_expired of { steps : int }  (** step-budget watchdog fired *)
+  | Trial_retry of { trial : int; attempt : int; reason : string }
+      (** supervisor: an attempt failed; the trial restarts from a fresh boot *)
+  | Trial_quarantined of { trial : int; attempts : int; reason : string }
+      (** supervisor: every attempt failed; the trial is quarantined as an
+          infrastructure failure and excluded from Table 5/6 percentages *)
+  | Resume_skip of { trial : int }
+      (** supervisor: trial result recovered from the journal, not re-run *)
 
 val tag : t -> string
 (** Stable machine-readable tag (the JSONL ["event"] field). *)

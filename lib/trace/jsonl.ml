@@ -49,7 +49,13 @@ let payload (ev : Event.t) =
       ("latency", string_of_int latency);
     ]
   | Event.Collector_send { delivered } -> [ ("delivered", bool delivered) ]
+  | Event.Collector_retransmit { retries } -> [ ("retries", string_of_int retries) ]
   | Event.Watchdog_expired { steps } -> [ ("steps", string_of_int steps) ]
+  | Event.Trial_retry { attempt; reason; _ } ->
+    [ ("attempt", string_of_int attempt); ("reason", str reason) ]
+  | Event.Trial_quarantined { attempts; reason; _ } ->
+    [ ("attempts", string_of_int attempts); ("reason", str reason) ]
+  | Event.Resume_skip _ -> []
 
 let event_line ~trial ((s : Event.stamp), ev) =
   let fields =

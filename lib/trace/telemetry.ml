@@ -16,6 +16,9 @@ type t = {
   tl_exceptions : int;
   tl_dumps_sent : int;
   tl_dumps_lost : int;
+  tl_retransmits : int;  (* dump retransmissions over the lossy channel *)
+  tl_retries : int;  (* supervisor retry attempts recorded in trial traces *)
+  tl_quarantines : int;  (* trials quarantined as infrastructure failures *)
   tl_boots : int;  (* per-worker boots + policy reboots; executor-dependent *)
   tl_events : int;  (* events recorded, including those dropped by the ring *)
   tl_dropped : int;
@@ -32,6 +35,9 @@ let zero =
     tl_exceptions = 0;
     tl_dumps_sent = 0;
     tl_dumps_lost = 0;
+    tl_retransmits = 0;
+    tl_retries = 0;
+    tl_quarantines = 0;
     tl_boots = 0;
     tl_events = 0;
     tl_dropped = 0;
@@ -48,6 +54,9 @@ let merge a b =
     tl_exceptions = a.tl_exceptions + b.tl_exceptions;
     tl_dumps_sent = a.tl_dumps_sent + b.tl_dumps_sent;
     tl_dumps_lost = a.tl_dumps_lost + b.tl_dumps_lost;
+    tl_retransmits = a.tl_retransmits + b.tl_retransmits;
+    tl_retries = a.tl_retries + b.tl_retries;
+    tl_quarantines = a.tl_quarantines + b.tl_quarantines;
     tl_boots = a.tl_boots + b.tl_boots;
     tl_events = a.tl_events + b.tl_events;
     tl_dropped = a.tl_dropped + b.tl_dropped;
@@ -66,6 +75,9 @@ let fields t =
     ("exceptions", t.tl_exceptions);
     ("dumps_sent", t.tl_dumps_sent);
     ("dumps_lost", t.tl_dumps_lost);
+    ("retransmits", t.tl_retransmits);
+    ("retries", t.tl_retries);
+    ("quarantines", t.tl_quarantines);
     ("boots", t.tl_boots);
     ("events", t.tl_events);
     ("events_dropped", t.tl_dropped);

@@ -24,7 +24,14 @@ type t = {
   tl_watchdog_expiries : int;
   tl_exceptions : int;  (** hardware exceptions delivered to the crash path *)
   tl_dumps_sent : int;
-  tl_dumps_lost : int;
+  tl_dumps_lost : int;  (** dumps abandoned after every (re)transmission was lost *)
+  tl_retransmits : int;  (** dump retransmissions over the lossy channel *)
+  tl_retries : int;
+      (** supervisor retry attempts recorded in trial traces (only quarantined
+          trials carry their failed attempts; a retried-then-successful trial
+          keeps its clean trace so records stay executor- and resume-invariant
+          — the supervisor's own report tallies those) *)
+  tl_quarantines : int;  (** trials quarantined as infrastructure failures *)
   tl_boots : int;  (** worker boots + policy reboots (executor-dependent) *)
   tl_events : int;
   tl_dropped : int;

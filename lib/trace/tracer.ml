@@ -30,6 +30,9 @@ type t = {
   mutable exceptions : int;
   mutable dumps_sent : int;
   mutable dumps_lost : int;
+  mutable retransmits : int;
+  mutable retries : int;
+  mutable quarantines : int;
 }
 
 let create config =
@@ -47,6 +50,9 @@ let create config =
     exceptions = 0;
     dumps_sent = 0;
     dumps_lost = 0;
+    retransmits = 0;
+    retries = 0;
+    quarantines = 0;
   }
 
 let count t ev =
@@ -62,6 +68,10 @@ let count t ev =
   | Event.Exn_raised _ -> t.exceptions <- t.exceptions + 1
   | Event.Collector_send { delivered = true } -> t.dumps_sent <- t.dumps_sent + 1
   | Event.Collector_send { delivered = false } -> t.dumps_lost <- t.dumps_lost + 1
+  | Event.Collector_retransmit { retries } -> t.retransmits <- t.retransmits + retries
+  | Event.Trial_retry _ -> t.retries <- t.retries + 1
+  | Event.Trial_quarantined _ -> t.quarantines <- t.quarantines + 1
+  | Event.Resume_skip _ -> ()
   | Event.Trial_end _ | Event.Arm_bp _ | Event.Restore _
   | Event.Bp_hit { stray = false; _ } | Event.Watch_hit _ | Event.Handler_done _
   | Event.Classified _ -> ()
@@ -97,6 +107,9 @@ let telemetry t =
     tl_exceptions = t.exceptions;
     tl_dumps_sent = t.dumps_sent;
     tl_dumps_lost = t.dumps_lost;
+    tl_retransmits = t.retransmits;
+    tl_retries = t.retries;
+    tl_quarantines = t.quarantines;
     tl_boots = 0;
     tl_events = t.total;
     tl_dropped = dropped t;

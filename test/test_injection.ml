@@ -444,8 +444,18 @@ let test_collector_rate () =
    the domains finish, so the merge must be a commutative monoid on stats. *)
 let stats_arb =
   QCheck.map
-    (fun (r, l) -> { Collector.st_received = r; st_lost = l })
-    QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+    (fun ((r, l), (rt, g, d)) ->
+      {
+        Collector.st_received = r;
+        st_lost = l;
+        st_retransmitted = rt;
+        st_gave_up = g;
+        st_dup_dropped = d;
+      })
+    QCheck.(
+      pair
+        (pair (int_range 0 10_000) (int_range 0 10_000))
+        (triple (int_range 0 10_000) (int_range 0 10_000) (int_range 0 10_000)))
 
 let prop_collector_merge_monoid =
   QCheck_alcotest.to_alcotest
