@@ -129,6 +129,8 @@ let run_campaign_throughput () =
   "kind": "stack",
   "injections": %d,
   "seed": %Ld,
+  "fault_model": "%s",
+  "targeting": "%s",
   "cores_available": %d,
   "sequential": { "seconds": %.3f, "injections_per_sec": %.2f },
   "parallel": { "executor": "%s", "requested_domains": %d, "seconds": %.3f, "injections_per_sec": %.2f },
@@ -137,7 +139,10 @@ let run_campaign_throughput () =
   "cache": %s
 }
 |}
-    n seed cores ts (rate ts) (Executor.describe executor) domains tp (rate tp)
+    n seed
+    (Ferrite_injection.Fault_model.tag cfg.Campaign.fault_model)
+    (Ferrite_injection.Target.targeting_tag cfg.Campaign.targeting)
+    cores ts (rate ts) (Executor.describe executor) domains tp (rate tp)
     (ts /. tp) identical
     (Ferrite_machine.Cache_stats.to_json rs.Campaign.cache);
   close_out oc;

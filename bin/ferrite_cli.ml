@@ -20,6 +20,7 @@ module Target = Ferrite_injection.Target
 module Crash_cause = Ferrite_injection.Crash_cause
 module Supervisor = Ferrite_injection.Supervisor
 module Journal = Ferrite_injection.Journal
+module Fault_model = Ferrite_injection.Fault_model
 
 let arch_conv =
   let parse = function
@@ -135,6 +136,33 @@ let kind_arg =
 let count_arg =
   let doc = "Number of error injections." in
   Arg.(value & opt int 500 & info [ "n" ] ~docv:"N" ~doc)
+
+let fault_model_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Fault_model.of_string s) in
+  let print fmt m = Format.pp_print_string fmt (Fault_model.tag m) in
+  Arg.conv (parse, print)
+
+let fault_model_arg =
+  let doc =
+    "Fault model to inject (default single_bit, the paper's transient flip). \
+     Accepts " ^ Fault_model.spec_doc ^ "."
+  in
+  Arg.(
+    value
+    & opt fault_model_conv Fault_model.Single_bit_transient
+    & info [ "fault-model" ] ~docv:"MODEL" ~doc)
+
+let targeting_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Target.targeting_of_string s) in
+  let print fmt t = Format.pp_print_string fmt (Target.targeting_tag t) in
+  Arg.conv (parse, print)
+
+let targeting_arg =
+  let doc =
+    "Targeting policy for the STEP-1 draw (default uniform, the paper's). \
+     Accepts " ^ Target.targeting_doc ^ "."
+  in
+  Arg.(value & opt targeting_conv Target.Uniform & info [ "targeting" ] ~docv:"POLICY" ~doc)
 
 let print_campaign (res : Campaign.result) =
   let s = Campaign.summarize res in
@@ -311,9 +339,14 @@ let supervision_of ~journal ~resume ~max_retries ~chaos ~seed ~injections =
 
 let inject_cmd =
   let run arch kind n seed progress jobs trace_dir journal resume max_retries chaos
-      collector_loss collector_retries =
+      collector_loss collector_retries fault_model targeting =
     let cfg =
-      { (Campaign.default ~arch ~kind ~injections:n) with Campaign.seed = Int64.of_int seed }
+      {
+        (Campaign.default ~arch ~kind ~injections:n) with
+        Campaign.seed = Int64.of_int seed;
+        fault_model;
+        targeting;
+      }
     in
     let cfg =
       match collector_loss with
@@ -357,13 +390,98 @@ let inject_cmd =
     in
     if progress then Printf.eprintf "\n";
     print_campaign res;
+    (* non-legacy config: add the per-model Table 5/6 breakout (a resumed
+       journal may carry several models, hence groups, not one row) *)
+    if fault_model <> Fault_model.Single_bit_transient || targeting <> Target.Uniform
+    then begin
+      print_newline ();
+      print_endline (Ferrite.Report.model_breakout res)
+    end;
     Option.iter (fun dir -> dump_campaign_trace dir res) trace_dir
   in
   Cmd.v (Cmd.info "inject" ~doc:"Run one error-injection campaign")
     Term.(
       const run $ arch_arg $ kind_arg $ count_arg $ seed_arg $ progress_arg $ jobs_arg
       $ trace_dir_arg $ journal_arg $ resume_arg $ max_retries_arg $ chaos_arg
-      $ collector_loss_arg $ collector_retries_arg)
+      $ collector_loss_arg $ collector_retries_arg $ fault_model_arg $ targeting_arg)
+
+(* --- matrix --- *)
+
+let matrix_cmd =
+  let arch_opt_arg =
+    let doc = "Restrict the sweep to one platform (default: both p4 and g4)." in
+    Arg.(value & opt (some arch_conv) None & info [ "a"; "arch" ] ~docv:"ARCH" ~doc)
+  in
+  let matrix_count_arg =
+    let doc = "Injections per (model, platform) cell." in
+    Arg.(value & opt int 200 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let run arch_opt kind n seed progress jobs targeting =
+    let module Table = Ferrite_stats.Table in
+    let arches =
+      match arch_opt with Some a -> [ a ] | None -> [ Image.Cisc; Image.Risc ]
+    in
+    let executor = executor_of_jobs jobs in
+    let cell arch model =
+      let cfg =
+        {
+          (Campaign.default ~arch ~kind ~injections:n) with
+          Campaign.seed = Int64.of_int seed;
+          fault_model = model;
+          targeting;
+        }
+      in
+      let progress_fn ~done_ ~total =
+        if progress && (done_ mod 50 = 0 || done_ = total) then
+          Printf.eprintf "\r%-4s %-16s %5d/%d%!"
+            (match arch with Image.Cisc -> "P4" | Image.Risc -> "G4")
+            (Fault_model.tag model) done_ total
+      in
+      let res = Campaign.run ~progress:progress_fn ~executor cfg in
+      let s = Campaign.summarize res in
+      let d =
+        if s.Campaign.activation_known then max 1 s.Campaign.activated
+        else max 1 s.Campaign.injected
+      in
+      [
+        (match arch with Image.Cisc -> "P4" | Image.Risc -> "G4")
+        ^ " " ^ kind_name kind;
+        string_of_int s.Campaign.injected;
+        (if s.Campaign.activation_known then
+           Printf.sprintf "%d (%s)" s.Campaign.activated
+             (Table.pct s.Campaign.activated s.Campaign.injected)
+         else "N/A");
+        Table.count_pct s.Campaign.not_manifested d;
+        Table.count_pct s.Campaign.fsv d;
+        Table.count_pct s.Campaign.known_crash d;
+        Table.count_pct s.Campaign.hang_or_unknown d;
+      ]
+    in
+    let groups =
+      List.map
+        (fun model ->
+          (Printf.sprintf "%s — %s" (Fault_model.tag model) (Fault_model.describe model),
+           List.map (fun arch -> cell arch model) arches))
+        Fault_model.sweep_models
+    in
+    if progress then Printf.eprintf "\n";
+    let header =
+      [ "Campaign"; "Injected"; "Activated"; "Not Manifested"; "FSV"; "Known Crash";
+        "Hang/Unknown" ]
+    in
+    Printf.printf "Fault-model matrix (%s targets, %s targeting, %d injections per cell)\n"
+      (kind_name kind) (Target.targeting_tag targeting) n;
+    print_string (Table.render_grouped ~header groups);
+    print_endline "\n(percentages w.r.t. activated errors; activation w.r.t. injected)"
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+         "Sweep the canonical fault models over one campaign kind on both \
+          platforms and print the grouped Table 5/6-style breakout")
+    Term.(
+      const run $ arch_opt_arg $ kind_arg $ matrix_count_arg $ seed_arg $ progress_arg
+      $ jobs_arg $ targeting_arg)
 
 (* --- suite / report --- *)
 
@@ -652,4 +770,4 @@ let () =
     Cmd.info "ferrite" ~version:"1.0.0"
       ~doc:"Error sensitivity of a miniature kernel on CISC/RISC simulators (DSN 2004 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group ~default info [ boot_cmd; profile_cmd; inject_cmd; suite_cmd; report_cmd; ablate_cmd; oops_cmd; disasm_cmd; trace_cmd; fuzz_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ boot_cmd; profile_cmd; inject_cmd; matrix_cmd; suite_cmd; report_cmd; ablate_cmd; oops_cmd; disasm_cmd; trace_cmd; fuzz_cmd ]))

@@ -77,25 +77,26 @@ let table4 () =
 let denominator (s : Campaign.summary) =
   if s.Campaign.activation_known then max 1 s.Campaign.activated else max 1 s.Campaign.injected
 
-let campaign_rows name (r : Campaign.result) (paper : Paper.campaign_row) =
-  let s = Campaign.summarize r in
+let summary_row label (s : Campaign.summary) =
   let d = denominator s in
   let act_str =
     if s.Campaign.activation_known then
       Printf.sprintf "%d (%s)" s.Campaign.activated (Table.pct s.Campaign.activated s.Campaign.injected)
     else "N/A"
   in
-  let measured =
-    [
-      name ^ " [ferrite]";
-      string_of_int s.Campaign.injected;
-      act_str;
-      Table.count_pct s.Campaign.not_manifested d;
-      Table.count_pct s.Campaign.fsv d;
-      Table.count_pct s.Campaign.known_crash d;
-      Table.count_pct s.Campaign.hang_or_unknown d;
-    ]
-  in
+  [
+    label;
+    string_of_int s.Campaign.injected;
+    act_str;
+    Table.count_pct s.Campaign.not_manifested d;
+    Table.count_pct s.Campaign.fsv d;
+    Table.count_pct s.Campaign.known_crash d;
+    Table.count_pct s.Campaign.hang_or_unknown d;
+  ]
+
+let campaign_rows name (r : Campaign.result) (paper : Paper.campaign_row) =
+  let s = Campaign.summarize r in
+  let measured = summary_row (name ^ " [ferrite]") s in
   let p = paper in
   let paper_row =
     [
@@ -137,6 +138,38 @@ let table6 suite =
   activation_table
     "Table 6: Statistics on Error Activation and Failure Distribution on G4 Processor" suite
     [ Paper.g4_stack; Paper.g4_sysreg; Paper.g4_data; Paper.g4_code ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-fault-model breakouts (Table 5/6 rows, one group per model)     *)
+(* ------------------------------------------------------------------ *)
+
+let model_breakout ?title (r : Campaign.result) =
+  let kind = r.Campaign.cfg.Campaign.kind in
+  let groups =
+    List.map
+      (fun (tag, records) ->
+        let s = Campaign.summarize_records ~kind records in
+        (Printf.sprintf "fault model: %s" tag, [ summary_row tag s ]))
+      (Campaign.group_by_model r)
+  in
+  let header =
+    [ "Model"; "Injected"; "Activated"; "Not Manifested"; "FSV"; "Known Crash"; "Hang/Unknown" ]
+  in
+  let title =
+    match title with
+    | Some t -> t
+    | None ->
+      Printf.sprintf "Per-fault-model breakout (%s, %s)"
+        (match r.Campaign.cfg.Campaign.arch with Image.Cisc -> "P4" | Image.Risc -> "G4")
+        (match kind with
+        | Target.Code -> "code"
+        | Target.Stack -> "stack"
+        | Target.Data -> "data"
+        | Target.Register -> "register")
+  in
+  title ^ "\n"
+  ^ Table.render_grouped ~header groups
+  ^ "\n(percentages w.r.t. each model's activated errors; activation w.r.t. injected)"
 
 (* ------------------------------------------------------------------ *)
 (* Campaign telemetry                                                  *)

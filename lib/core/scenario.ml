@@ -118,6 +118,7 @@ let spec_of sc target =
     target_seed = 0L;  (* unused: the target is forced *)
     workload_seed = sc.sc_workload_seed;
     collector_seed = 1L;
+    fault_seed = 0L;  (* scenarios replay the paper's single-bit flips *)
     variant = Boot.standard;
     forced_target = Some target;
   }
@@ -135,6 +136,8 @@ let run ?(executor = Executor.Sequential) ?(trace = Tracer.default_config) sc =
       env_engine = Engine.default_config;
       env_collector_loss = 0.0;
       env_collector_retries = 0;
+      env_fault_model = Ferrite_injection.Fault_model.Single_bit_transient;
+      env_targeting = Target.Uniform;
     }
   in
   let out = Executor.run ~trace executor env [| spec_of sc target |] in

@@ -12,6 +12,8 @@ type config = {
   collector_retries : int;  (* bounded dump-retransmission budget *)
   engine : Engine.config;
   variant : Boot.variant;  (* kernel build variant (ablations) *)
+  fault_model : Fault_model.t;
+  targeting : Target.targeting;
 }
 
 let default ~arch ~kind ~injections =
@@ -25,6 +27,8 @@ let default ~arch ~kind ~injections =
     collector_retries = 0;
     engine = Engine.default_config;
     variant = Boot.standard;
+    fault_model = Fault_model.Single_bit_transient;
+    targeting = Target.Uniform;
   }
 
 type supervision = {
@@ -94,6 +98,16 @@ let plan_fingerprint ?supervision cfg =
       (match v.Boot.v_promote with None -> "default" | Some n -> string_of_int n)
       v.Boot.v_g4_wrapper v.Boot.v_p4_wrapper v.Boot.v_assertions
   in
+  (* The legacy configuration renders the exact v1 fingerprint, so journals
+     written before the fault-model refactor still hash-match their plans;
+     any other model/targeting choice extends the string (and the hash). *)
+  let base =
+    match (cfg.fault_model, cfg.targeting) with
+    | Fault_model.Single_bit_transient, Target.Uniform -> base
+    | model, targeting ->
+      Printf.sprintf "%s;fault-model=%s;targeting=%s" base (Fault_model.tag model)
+        (Target.targeting_tag targeting)
+  in
   match supervision with
   | None -> base
   | Some sv ->
@@ -119,6 +133,8 @@ let env_of cfg image hot =
     env_engine = Engine.validated cfg.engine;
     env_collector_loss = cfg.collector_loss;
     env_collector_retries = cfg.collector_retries;
+    env_fault_model = Fault_model.validated cfg.fault_model;
+    env_targeting = cfg.targeting;
   }
 
 let run ?(progress = fun ~done_:_ ~total:_ -> ()) ?(executor = Executor.default)
@@ -179,21 +195,19 @@ type summary = {
   infrastructure : int;
 }
 
-let summarize result =
+let summarize_records ~kind all =
   (* Quarantined trials are harness casualties, not kernel behaviour: they
      drop out of [injected] (every percentage denominator) and surface only
      in [infrastructure]. *)
   let records =
-    List.filter
-      (fun r -> not (Outcome.is_infrastructure r.Outcome.r_outcome))
-      result.records
+    List.filter (fun r -> not (Outcome.is_infrastructure r.Outcome.r_outcome)) all
   in
   let count f = List.length (List.filter f records) in
   {
     injected = List.length records;
-    infrastructure = List.length result.records - List.length records;
+    infrastructure = List.length all - List.length records;
     activated = count (fun r -> r.Outcome.r_activated);
-    activation_known = result.cfg.kind <> Target.Register;
+    activation_known = kind <> Target.Register;
     not_manifested =
       count (fun r -> r.Outcome.r_outcome = Outcome.Not_manifested);
     fsv = count (fun r -> r.Outcome.r_outcome = Outcome.Fail_silence_violation);
@@ -206,6 +220,8 @@ let summarize result =
           | _ -> false);
   }
 
+let summarize result = summarize_records ~kind:result.cfg.kind result.records
+
 let crash_causes result =
   let tbl = Hashtbl.create 16 in
   List.iter
@@ -217,6 +233,22 @@ let crash_causes result =
     result.records;
   Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(* Records bucketed by fault-model tag (insertion order = first appearance,
+   i.e. campaign order), for the per-model Table 5/6 breakouts. Quarantined
+   trials are excluded as in [summarize]. *)
+let group_by_model result =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      if not (Outcome.is_infrastructure r.Outcome.r_outcome) then begin
+        let tag = Fault_model.tag r.Outcome.r_model in
+        if not (Hashtbl.mem tbl tag) then order := tag :: !order;
+        Hashtbl.replace tbl tag (r :: Option.value (Hashtbl.find_opt tbl tag) ~default:[])
+      end)
+    result.records;
+  List.rev_map (fun tag -> (tag, List.rev (Hashtbl.find tbl tag))) !order
 
 let latencies result =
   List.filter_map

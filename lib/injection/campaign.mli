@@ -24,10 +24,17 @@ type config = {
           the Unknown-Hang sensitivity to dump loss a measurable knob *)
   engine : Engine.config;
   variant : Ferrite_kernel.Boot.variant;  (** kernel build variant (ablations) *)
+  fault_model : Fault_model.t;
+      (** what kind of corruption every trial lands; {!default} picks
+          {!Fault_model.Single_bit_transient}, the paper's model *)
+  targeting : Target.targeting;
+      (** where the STEP-1 draw aims; {!default} picks {!Target.Uniform} *)
 }
 
 val default :
   arch:Ferrite_kir.Image.arch -> kind:Target.kind -> injections:int -> config
+(** The paper's configuration: single-bit transient faults, uniform
+    targeting. *)
 
 (** {2 Supervision}
 
@@ -118,8 +125,17 @@ type summary = {
 
 val summarize : result -> summary
 
+val summarize_records : kind:Target.kind -> Outcome.record list -> summary
+(** Tally an arbitrary record slice (e.g. one {!group_by_model} bucket) the
+    same way {!summarize} tallies a whole campaign. *)
+
 val crash_causes : result -> (Crash_cause.t * int) list
 (** Known-crash cause counts, descending. *)
 
 val latencies : result -> int list
 (** Cycles-to-crash of every known crash. *)
+
+val group_by_model : result -> (string * Outcome.record list) list
+(** Records bucketed by {!Fault_model.tag}, in order of first appearance;
+    quarantined trials excluded. One bucket per model actually run — the
+    rows of the per-model Table 5/6 breakouts. *)

@@ -22,6 +22,7 @@ type t = {
   mutable retransmitted : int;
   mutable gave_up : int;
   mutable dup_dropped : int;
+  by_model : (string, int) Hashtbl.t;  (* delivered dumps per fault-model tag *)
 }
 
 let create ?(loss_rate = 0.03) ?(retries = 0) ~seed () =
@@ -36,6 +37,7 @@ let create ?(loss_rate = 0.03) ?(retries = 0) ~seed () =
     retransmitted = 0;
     gave_up = 0;
     dup_dropped = 0;
+    by_model = Hashtbl.create 8;
   }
 
 type delivery = {
@@ -44,7 +46,7 @@ type delivery = {
   dv_dups : int;  (* duplicate deliveries dropped by seq-number dedup *)
 }
 
-let send_detail t info =
+let send_detail ?(model = "single_bit") t info =
   t.seq <- t.seq + 1;
   let delivered = ref false in
   let dups = ref 0 in
@@ -73,6 +75,9 @@ let send_detail t info =
     incr attempt
   done;
   t.retransmitted <- t.retransmitted + (!transmissions - 1);
+  if !delivered then
+    Hashtbl.replace t.by_model model
+      (1 + Option.value (Hashtbl.find_opt t.by_model model) ~default:0);
   if not !delivered then t.gave_up <- t.gave_up + 1;
   let dv =
     { dv_delivered = !delivered; dv_retransmits = !transmissions - 1; dv_dups = !dups }
@@ -84,16 +89,28 @@ let send t info = fst (send_detail t info)
 let received t = t.received
 let lost t = t.lost
 
+(* [st_by_model] is last: the journal's v1 stats payload predates it and is
+   upgraded by appending the legacy breakdown, so field order is part of the
+   on-disk format. The assoc list is kept sorted by tag so merged stats are
+   canonical regardless of merge order. *)
 type stats = {
   st_received : int;
   st_lost : int;
   st_retransmitted : int;
   st_gave_up : int;
   st_dup_dropped : int;
+  st_by_model : (string * int) list;
 }
 
 let zero_stats =
-  { st_received = 0; st_lost = 0; st_retransmitted = 0; st_gave_up = 0; st_dup_dropped = 0 }
+  {
+    st_received = 0;
+    st_lost = 0;
+    st_retransmitted = 0;
+    st_gave_up = 0;
+    st_dup_dropped = 0;
+    st_by_model = [];
+  }
 
 let stats t =
   {
@@ -102,7 +119,16 @@ let stats t =
     st_retransmitted = t.retransmitted;
     st_gave_up = t.gave_up;
     st_dup_dropped = t.dup_dropped;
+    st_by_model =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_model []);
   }
+
+let merge_by_model a b =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (k, v) -> Hashtbl.replace tbl k (v + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+    (a @ b);
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let merge_stats a b =
   {
@@ -111,4 +137,5 @@ let merge_stats a b =
     st_retransmitted = a.st_retransmitted + b.st_retransmitted;
     st_gave_up = a.st_gave_up + b.st_gave_up;
     st_dup_dropped = a.st_dup_dropped + b.st_dup_dropped;
+    st_by_model = merge_by_model a.st_by_model b.st_by_model;
   }

@@ -61,7 +61,8 @@ type state = {
   mutable injected : bool;  (* register targets: has the flip happened yet *)
 }
 
-let run_one ?tracer ~sys ~runner ~target ~collector config =
+let run_one ?tracer ?(model = Fault_model.Single_bit_transient) ?(fault_seed = 0L) ~sys
+    ~runner ~target ~collector config =
   let config = validated config in
   let counters = System.counters sys in
   let dr = System.debug_regs sys in
@@ -81,19 +82,75 @@ let run_one ?tracer ~sys ~runner ~target ~collector config =
   let activate cycle =
     if st.activation = None then st.activation <- Some cycle
   in
+  let fm = Fault_model.instantiate model ~fault_seed in
+  (* Mechanics the model borrows from the machine: arch-aware word-bit
+     access for memory targets, read-modify-write for register targets, and
+     page swapping for the TLB structure fault. *)
+  let word_bit_get addr bit =
+    let byte_in_word = bit / 8 in
+    let byte_addr =
+      match sys.System.arch with
+      | Image.Cisc -> addr + byte_in_word
+      | Image.Risc -> addr + (3 - byte_in_word)
+    in
+    (Memory.peek8 sys.System.mem byte_addr lsr (bit mod 8)) land 1
+  in
+  let partner_page addr =
+    (* a mapped page whose address differs in exactly one page-number bit —
+       the neighbour a corrupted translation entry would alias to *)
+    let rec go k =
+      if k > 31 then None
+      else
+        let p = (addr lxor (1 lsl k)) land 0xFFFFFFFF in
+        if Memory.is_mapped sys.System.mem p then Some p else go (k + 1)
+    in
+    go 12
+  in
+  let mem_ops =
+    {
+      Fault_model.o_flip = (fun addr bit -> flip_word_bit sys addr bit);
+      o_get = word_bit_get;
+      o_swap_pages = (fun a b -> Memory.swap_page_contents sys.System.mem a b);
+      o_partner = partner_page;
+      o_emit = emit;
+    }
+  in
+  let reg_ops index =
+    let r = (System.system_registers sys).(index) in
+    {
+      Fault_model.o_flip = (fun _ bit -> r.System.set (Word.flip_bit (r.System.get ()) bit));
+      o_get = (fun _ bit -> (r.System.get () lsr bit) land 1);
+      o_swap_pages = (fun _ _ -> ());
+      o_partner = (fun _ -> None);
+      o_emit = emit;
+    }
+  in
+  (* Only width/span models care how many bits an instruction offers, and
+     only they pay for a CISC decode; the legacy model never decodes. *)
+  let code_bit_limit addr bit =
+    match model with
+    | Fault_model.Multi_bit _ | Fault_model.Burst _ -> (
+      match sys.System.arch with
+      | Image.Risc -> 32
+      | Image.Cisc -> (
+        let fetch a = Memory.peek8 sys.System.mem a in
+        match Ferrite_cisc.Decode.decode ~fetch addr with
+        | d -> 8 * d.Ferrite_cisc.Insn.length
+        | exception _ -> max 8 (bit + 1)))
+    | _ -> max 32 (bit + 1)
+  in
   (* STEP 2: arm the injection *)
   (match target with
   | Target.Code_target { addr; _ } ->
     Debug_regs.set_instruction_bp dr addr;
     emit (Event.Arm_bp { kind = Event.Instruction; addr })
   | Target.Stack_target { addr; bit; _ } | Target.Data_target { addr; bit } ->
-    flip_word_bit sys addr bit;
     let space =
       match target with
       | Target.Stack_target _ -> Event.Stack_space
       | _ -> Event.Data_space
     in
-    emit (Event.Flip { space; addr; bit });
+    Fault_model.apply_mem fm mem_ops ~space ~addr ~bit ~limit:32;
     Debug_regs.set_data_bp dr ~addr ~len:4;
     emit (Event.Arm_bp { kind = Event.Data; addr })
   | Target.Reg_target _ -> ());
@@ -101,12 +158,26 @@ let run_one ?tracer ~sys ~runner ~target ~collector config =
     match target with
     | Target.Reg_target { index; name; bit; _ } ->
       let r = (System.system_registers sys).(index) in
-      r.System.set (Word.flip_bit (r.System.get ()) bit);
+      Fault_model.apply_reg fm (reg_ops index) ~reg:name ~index ~bit ~bits:r.System.bits;
       st.injected <- true;
       activate counters.Counters.cycles;
-      emit (Event.Reg_flip { reg = name; bit });
       emit (Event.Activated { via = "register" })
     | _ -> ()
+  in
+  (* Time base for models that need one (intermittent presence toggling,
+     stuck-at register re-forcing); the unit thunk keeps the legacy loop
+     branch-free. *)
+  let fm_tick =
+    if Fault_model.needs_tick model (Target.kind_of target) then
+      match target with
+      | Target.Stack_target { addr; bit; _ }
+      | Target.Data_target { addr; bit }
+      | Target.Code_target { addr; bit; _ } ->
+        fun () -> Fault_model.on_tick fm mem_ops ~addr ~bit
+      | Target.Reg_target { index; bit; _ } ->
+        let ops = reg_ops index in
+        fun () -> Fault_model.on_tick fm ops ~addr:index ~bit
+    else fun () -> ()
   in
   let finish outcome =
     Debug_regs.clear_all dr;
@@ -115,6 +186,7 @@ let run_one ?tracer ~sys ~runner ~target ~collector config =
       r_outcome = outcome;
       r_activated = st.activation <> None;
       r_activation_cycle = st.activation;
+      r_model = model;
     }
   in
   let crash fault =
@@ -157,7 +229,7 @@ let run_one ?tracer ~sys ~runner ~target ~collector config =
       in
       (* ...and ships the dump over the lossy UDP path (with bounded
          retransmission when the collector is configured for it) *)
-      let result, dv = Collector.send_detail collector info in
+      let result, dv = Collector.send_detail ~model:(Fault_model.tag model) collector info in
       if dv.Collector.dv_retransmits > 0 then
         emit (Event.Collector_retransmit { retries = dv.Collector.dv_retransmits });
       (match result with
@@ -171,9 +243,7 @@ let run_one ?tracer ~sys ~runner ~target ~collector config =
   (* STEP 3: undo a never-activated memory error so it leaves no trace *)
   let restore_unactivated () =
     match target with
-    | Target.Stack_target { addr; bit; _ } | Target.Data_target { addr; bit } ->
-      flip_word_bit sys addr bit;
-      emit (Event.Restore { addr; bit })
+    | Target.Stack_target _ | Target.Data_target _ -> Fault_model.undo fm mem_ops
     | Target.Code_target _ | Target.Reg_target _ -> ()
   in
   let workload_done () =
@@ -198,6 +268,7 @@ let run_one ?tracer ~sys ~runner ~target ~collector config =
     end
     else begin
       if steps land tick_mask = 0 then begin
+        fm_tick ();
         if Runner.tick runner = Runner.Done then workload_done () else step_once steps skip_ibp
       end
       else step_once steps skip_ibp
@@ -217,9 +288,9 @@ let run_one ?tracer ~sys ~runner ~target ~collector config =
       (match target with
       | Target.Code_target { addr; bit; _ } when System.pc sys = addr ->
         emit (Event.Bp_hit { addr = System.pc sys; stray = false });
-        flip_code_bit sys addr bit;
+        Fault_model.apply_mem fm mem_ops ~space:Event.Code_space ~addr ~bit
+          ~limit:(code_bit_limit addr bit);
         activate counters.Counters.cycles;
-        emit (Event.Flip { space = Event.Code_space; addr; bit });
         emit (Event.Activated { via = "instruction breakpoint" });
         Debug_regs.clear_all dr;
         loop steps false

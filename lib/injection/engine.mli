@@ -44,6 +44,8 @@ val flip_code_bit : Ferrite_kernel.System.t -> int -> int -> unit
 
 val run_one :
   ?tracer:Ferrite_trace.Tracer.t ->
+  ?model:Fault_model.t ->
+  ?fault_seed:int64 ->
   sys:Ferrite_kernel.System.t ->
   runner:Ferrite_workload.Runner.t ->
   target:Target.t ->
@@ -53,4 +55,10 @@ val run_one :
 (** [tracer], when given, receives the full event stream of the run —
     arm/flip/re-inject/restore, breakpoint and watchpoint hits, exception
     raise/handler/classify, collector sends and watchdog expiry — each
-    stamped with the cycle/instruction counters and the current PC. *)
+    stamped with the cycle/instruction counters and the current PC.
+
+    [model] (default {!Fault_model.Single_bit_transient}) selects what kind
+    of corruption lands; the default reproduces the legacy engine
+    byte-for-byte. [fault_seed] (default [0L]) seeds the model's own fault
+    stream (extra multi-bit positions, intermittent phase); the legacy model
+    never draws from it. *)

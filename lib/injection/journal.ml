@@ -17,7 +17,14 @@
    campaign is rejected instead of silently mixing trials. *)
 
 let magic = "FERRITEJ"
-let version = '\001'
+
+(* v2: [Outcome.record] carries the fault model and [Collector.stats] the
+   per-model delivery breakdown. v1 journals (pre-fault-model) are still
+   recovered — their payloads decode through the compat types below and are
+   upgraded entry by entry — and [open_for_append] migrates the file to v2
+   before appending. *)
+let version = '\002'
+let v1_version = '\001'
 let header_size = String.length magic + 1 + 8 (* magic | version | plan hash *)
 
 exception
@@ -75,6 +82,69 @@ let decode_entry s : entry option =
   | e -> Some e
   | exception _ -> None (* CRC-valid but undecodable: treat as torn *)
 
+(* ---------- v1 payload compatibility ----------
+
+   Marshal is structural: these types mirror the exact v1 field shapes of
+   [Outcome.record] (4 fields, no model) and [Collector.stats] (5 counters,
+   no per-model breakdown). [Target.t], [Outcome.t] and the trace types are
+   shape-identical across versions (new [Event] constructors are appended,
+   which Marshal tolerates in payloads that never contain them). *)
+
+type v1_record = {
+  v1_target : Target.t;
+  v1_outcome : Outcome.t;
+  v1_activated : bool;
+  v1_activation_cycle : int option;
+}
+
+type v1_stats = {
+  v1_received : int;
+  v1_lost : int;
+  v1_retransmitted : int;
+  v1_gave_up : int;
+  v1_dup_dropped : int;
+}
+
+type v1_entry = {
+  v1_index : int;
+  v1_entry_record : v1_record;
+  v1_entry_stats : v1_stats;
+  v1_trace : Ferrite_trace.Tracer.trial;
+}
+
+(* Every v1 trial was a single-bit transient, which is also what a fresh
+   legacy-config run records — so upgraded entries are byte-identical to
+   re-running the campaign under v2. *)
+let upgrade_v1_entry (e : v1_entry) =
+  let r = e.v1_entry_record in
+  let s = e.v1_entry_stats in
+  {
+    je_index = e.v1_index;
+    je_record =
+      {
+        Outcome.r_target = r.v1_target;
+        r_outcome = r.v1_outcome;
+        r_activated = r.v1_activated;
+        r_activation_cycle = r.v1_activation_cycle;
+        r_model = Fault_model.Single_bit_transient;
+      };
+    je_stats =
+      {
+        Collector.st_received = s.v1_received;
+        st_lost = s.v1_lost;
+        st_retransmitted = s.v1_retransmitted;
+        st_gave_up = s.v1_gave_up;
+        st_dup_dropped = s.v1_dup_dropped;
+        st_by_model = (if s.v1_received > 0 then [ ("single_bit", s.v1_received) ] else []);
+      };
+    je_trace = e.v1_trace;
+  }
+
+let decode_v1_entry s : entry option =
+  match (Marshal.from_string s 0 : v1_entry) with
+  | e -> Some (upgrade_v1_entry e)
+  | exception _ -> None
+
 (* ---------- little-endian u32 ---------- *)
 
 let put_u32 buf v =
@@ -122,9 +192,11 @@ type recovery = {
   rc_entries : entry list;  (* longest valid prefix, in append order *)
   rc_valid_bytes : int;  (* end offset of the last valid frame (or 0) *)
   rc_truncated_bytes : int;  (* torn-tail bytes beyond the valid prefix *)
+  rc_format : int;  (* header version the file was written under (1 or 2) *)
 }
 
-let empty_recovery = { rc_entries = []; rc_valid_bytes = 0; rc_truncated_bytes = 0 }
+let empty_recovery =
+  { rc_entries = []; rc_valid_bytes = 0; rc_truncated_bytes = 0; rc_format = 2 }
 
 let read_file path =
   let ic = open_in_bin path in
@@ -143,12 +215,14 @@ let recover ~path ~plan_hash =
     let len = String.length data in
     if len < header_size then
       (* torn mid-header: the whole file is the tail *)
-      { rc_entries = []; rc_valid_bytes = 0; rc_truncated_bytes = len }
+      { rc_entries = []; rc_valid_bytes = 0; rc_truncated_bytes = len; rc_format = 2 }
     else begin
       if String.sub data 0 (String.length magic) <> magic then raise (Not_a_journal path);
       let found = get_u64le data (String.length magic + 1) in
-      if data.[String.length magic] <> version || found <> plan_hash then
+      let ver = data.[String.length magic] in
+      if (ver <> version && ver <> v1_version) || found <> plan_hash then
         raise (Header_mismatch { hm_path = path; hm_expected = plan_hash; hm_found = found });
+      let decode = if ver = v1_version then decode_v1_entry else decode_entry in
       let rec walk off acc =
         if off + 8 > len then (off, acc)
         else begin
@@ -159,7 +233,7 @@ let recover ~path ~plan_hash =
             let payload = String.sub data (off + 8) plen in
             if crc32 payload <> crc then (off, acc)
             else
-              match decode_entry payload with
+              match decode payload with
               | None -> (off, acc)
               | Some e -> walk (off + 8 + plen) (e :: acc)
           end
@@ -170,6 +244,7 @@ let recover ~path ~plan_hash =
         rc_entries = List.rev acc;
         rc_valid_bytes = valid;
         rc_truncated_bytes = len - valid;
+        rc_format = (if ver = v1_version then 1 else 2);
       }
     end
   end
@@ -180,13 +255,23 @@ type writer = { w_path : string; w_oc : out_channel }
 
 let open_for_append ~path ~plan_hash =
   let rc = recover ~path ~plan_hash in
-  (* chop the torn tail before appending; [rc_valid_bytes] is 0 when the
-     header itself was torn, in which case the file restarts from scratch *)
-  if rc.rc_truncated_bytes > 0 then Unix.truncate path rc.rc_valid_bytes;
+  if rc.rc_format <> 2 then begin
+    (* v1 journal: migrate in place — rewrite the v2 header and re-encode
+       the recovered (upgraded) entries, dropping any torn tail with them *)
+    let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 path in
+    output_string oc (header_bytes ~plan_hash);
+    List.iter (fun e -> output_string oc (frame_bytes (encode_entry e))) rc.rc_entries;
+    flush oc;
+    close_out oc
+  end
+  else if rc.rc_truncated_bytes > 0 then
+    (* chop the torn tail before appending; [rc_valid_bytes] is 0 when the
+       header itself was torn, in which case the file restarts from scratch *)
+    Unix.truncate path rc.rc_valid_bytes;
   let oc =
     open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
   in
-  if rc.rc_valid_bytes = 0 then begin
+  if rc.rc_format = 2 && rc.rc_valid_bytes = 0 then begin
     output_string oc (header_bytes ~plan_hash);
     flush oc
   end;

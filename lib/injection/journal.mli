@@ -50,6 +50,11 @@ type recovery = {
           a valid header and no complete frame, 0 when the header itself was
           torn *)
   rc_truncated_bytes : int;  (** torn-tail bytes beyond the valid prefix *)
+  rc_format : int;
+      (** header version the file was written under: 1 for a pre-fault-model
+          journal (entries are upgraded on decode: legacy model appended to
+          each record, legacy delivery breakdown to each stats), 2 for the
+          current format. 2 for missing/empty files. *)
 }
 
 val empty_recovery : recovery
@@ -58,14 +63,19 @@ val recover : path:string -> plan_hash:int64 -> recovery
 (** Read-only recovery. Never raises on torn/truncated/corrupt {e tails} —
     they shorten the valid prefix — and treats a missing file as empty.
     Raises {!Header_mismatch} / {!Not_a_journal} only for a complete header
-    that belongs to another campaign or another format. *)
+    that belongs to another campaign or another format. v1 journals (see
+    [rc_format]) are decoded through compatibility types and their entries
+    upgraded in place; the upgrade is exact — a v1 trial re-run under the
+    legacy config produces the identical upgraded entry. *)
 
 type writer
 
 val open_for_append : path:string -> plan_hash:int64 -> writer * recovery
 (** Recover, truncate the torn tail, and open for appending (creating the
     file and writing the header when absent or torn mid-header). The returned
-    {!recovery} is what was preserved. *)
+    {!recovery} is what was preserved. A v1 journal is migrated in place
+    first — v2 header, upgraded entries re-encoded — so appended frames are
+    always v2. *)
 
 val append : writer -> entry -> unit
 (** Frame, write and flush one entry, so a kill after [append] returns never

@@ -17,11 +17,15 @@ type t =
   | Infrastructure_failure of { if_error : string; if_attempts : int }
       (* the harness, not the target, failed: quarantined by the supervisor *)
 
+(* [r_model] is last: v1 journal entries (which predate the field) decode
+   through a compat type in [Journal] and are converted by appending the
+   legacy model, so field order here is part of the on-disk format. *)
 type record = {
   r_target : Target.t;
   r_outcome : t;
   r_activated : bool;
   r_activation_cycle : int option;
+  r_model : Fault_model.t;
 }
 
 let outcome_label = function

@@ -27,6 +27,10 @@ type record = {
   r_outcome : t;
   r_activated : bool;
   r_activation_cycle : int option;
+  r_model : Fault_model.t;
+      (** which fault model the trial injected; the journal's v1 format
+          predates this field, so it must stay last — v1 entries are
+          upgraded by appending [Single_bit_transient] *)
 }
 
 val outcome_label : t -> string

@@ -202,7 +202,7 @@ let note_retry t index attempt reason =
    stay dense), a zero collector tally, and a synthesized trace whose events
    carry the failed attempts — that trace is where tl_retries/tl_quarantines
    come from, and it is deterministic because chaos plans are. *)
-let quarantined_result t ~trace (spec : Trial.spec) reasons =
+let quarantined_result t ~trace ~model (spec : Trial.spec) reasons =
   let attempts = List.length reasons in
   let last_reason = List.nth reasons (attempts - 1) in
   let index = spec.Trial.index in
@@ -232,6 +232,7 @@ let quarantined_result t ~trace (spec : Trial.spec) reasons =
       r_outcome = outcome;
       r_activated = false;
       r_activation_cycle = None;
+      r_model = model;
     }
   in
   let trial_trace =
@@ -284,6 +285,8 @@ let run_trial t ~trace env cache (spec : Trial.spec) =
         if pause > 0.0 then Unix.sleepf pause;
         go (attempt + 1) (reason :: reasons)
       end
-      else quarantined_result t ~trace spec (List.rev (reason :: reasons))
+      else
+        quarantined_result t ~trace ~model:env.Trial.env_fault_model spec
+          (List.rev (reason :: reasons))
   in
   go 0 []

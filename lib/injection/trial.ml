@@ -11,6 +11,7 @@ type spec = {
   target_seed : int64;
   workload_seed : int64;
   collector_seed : int64;
+  fault_seed : int64;
   variant : Boot.variant;
   forced_target : Target.t option;
 }
@@ -26,12 +27,21 @@ let plan ~seed ~injections ~variant =
          mix — pre-generated breakpoints in subsystems the drawn program does
          not exercise are what keeps activation partial (§3.2). *)
       let workload = Rng.pick rng programs in
+      (* the historical draw order is collector, workload, target — the
+         original spec literal evaluated its fields right-to-left — and the
+         fault stream is drawn LAST: pre-refactor journals replay only if the
+         legacy seeds stay bit-identical *)
+      let collector_seed = Rng.next64 rng in
+      let workload_seed = Rng.next64 rng in
+      let target_seed = Rng.next64 rng in
+      let fault_seed = Rng.next64 rng in
       {
         index;
         workload;
-        target_seed = Rng.next64 rng;
-        workload_seed = Rng.next64 rng;
-        collector_seed = Rng.next64 rng;
+        target_seed;
+        workload_seed;
+        collector_seed;
+        fault_seed;
         variant;
         forced_target = None;
       })
@@ -44,6 +54,8 @@ type env = {
   env_engine : Engine.config;
   env_collector_loss : float;
   env_collector_retries : int;  (* bounded retransmission budget per dump *)
+  env_fault_model : Fault_model.t;
+  env_targeting : Target.targeting;
 }
 
 type cache = {
@@ -104,7 +116,8 @@ let run ?(trace = Ferrite_trace.Tracer.telemetry_only) env cache spec =
   let target =
     match spec.forced_target with
     | Some t -> t
-    | None -> Target.generate sys env.env_kind ~hot:env.env_hot target_rng
+    | None ->
+      Target.generate sys env.env_kind ~targeting:env.env_targeting ~hot:env.env_hot target_rng
   in
   let collector =
     Collector.create ~loss_rate:env.env_collector_loss ~retries:env.env_collector_retries
@@ -125,7 +138,10 @@ let run ?(trace = Ferrite_trace.Tracer.telemetry_only) env cache spec =
   in
   Ferrite_trace.Tracer.record tracer (stamp ())
     (Event.Trial_begin { trial = spec.index; target = Target.describe target });
-  let record = Engine.run_one ~tracer ~sys ~runner ~target ~collector env.env_engine in
+  let record =
+    Engine.run_one ~tracer ~model:env.env_fault_model ~fault_seed:spec.fault_seed ~sys ~runner
+      ~target ~collector env.env_engine
+  in
   Ferrite_trace.Tracer.record tracer (stamp ())
     (Event.Trial_end
        { trial = spec.index; outcome = Outcome.outcome_label record.Outcome.r_outcome });

@@ -15,6 +15,10 @@ type spec = {
   target_seed : int64;  (** stream for STEP 1 target generation *)
   workload_seed : int64;  (** stream for the workload's operation list *)
   collector_seed : int64;  (** stream for the lossy dump channel *)
+  fault_seed : int64;
+      (** stream for the fault model itself (extra multi-bit positions,
+          intermittent phase); drawn after the three legacy seeds so
+          pre-refactor plans are reproduced draw for draw *)
   variant : Ferrite_kernel.Boot.variant;  (** kernel build variant (ablations) *)
   forced_target : Target.t option;
       (** bypass STEP 1 and inject exactly this target ([plan] always sets
@@ -35,6 +39,8 @@ type env = {
   env_engine : Engine.config;
   env_collector_loss : float;
   env_collector_retries : int;  (** bounded retransmission budget per dump *)
+  env_fault_model : Fault_model.t;  (** what kind of corruption every trial lands *)
+  env_targeting : Target.targeting;  (** where the STEP-1 draw aims *)
 }
 
 type cache

@@ -429,6 +429,23 @@ let flip_bit t ~addr ~bit =
 let blit_string t ~addr s =
   String.iteri (fun i c -> poke8 t (addr + i) (Char.code c)) s
 
+(* Swap the contents of the two mapped pages containing [a] and [b]. Goes
+   through [touch] so decode caches see a new write generation and the dirty
+   list covers both pages; the TLB is flushed because a structure fault on a
+   translation entry invalidates whatever translations were cached. *)
+let swap_page_contents t a b =
+  let ia = page_index a and ib = page_index b in
+  if ia = ib then invalid_arg "Memory.swap_page_contents: same page";
+  match (Hashtbl.find_opt t.pages ia, Hashtbl.find_opt t.pages ib) with
+  | Some pa, Some pb ->
+    let tmp = Bytes.copy pa.data in
+    Bytes.blit pb.data 0 pa.data 0 page_size;
+    Bytes.blit tmp 0 pb.data 0 page_size;
+    touch t ia pa;
+    touch t ib pb;
+    tlb_flush t
+  | _ -> invalid_arg "Memory.swap_page_contents: both pages must be mapped"
+
 let snapshot_page_count t = Hashtbl.length t.pages
 
 type snapshot = {

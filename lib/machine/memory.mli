@@ -105,6 +105,14 @@ val flip_bit : t -> addr:int -> bit:int -> unit
 val blit_string : t -> addr:int -> string -> unit
 (** Copy raw bytes into memory (loader primitive, bypasses permissions). *)
 
+val swap_page_contents : t -> int -> int -> unit
+(** [swap_page_contents t a b] exchanges the byte contents of the two mapped
+    pages containing addresses [a] and [b] (permissions stay put), bumping
+    both pages' write generations and flushing the TLB. This models a
+    corrupted translation structure: accesses to either page now resolve to
+    the other's data. Raises [Invalid_argument] if the addresses share a page
+    or either page is unmapped. *)
+
 val snapshot_page_count : t -> int
 (** Number of mapped pages (used by tests and the campaign "reboot" audit). *)
 

@@ -43,6 +43,40 @@ let render ?aligns ~header rows =
   Buffer.add_string buf hline;
   Buffer.contents buf
 
+(* Grouped rendering: the same boxed table, with a full-width label row
+   introducing each group of rows (the per-fault-model breakouts). *)
+let render_grouped ?aligns ~header groups =
+  let rows = List.concat_map snd groups in
+  let base = render ?aligns ~header rows in
+  match String.split_on_char '\n' base with
+  | hline :: hrow :: hline2 :: body ->
+    let width = String.length hline - 2 in
+    let label_row name =
+      let text = " " ^ name in
+      let text =
+        if String.length text > width then String.sub text 0 width
+        else text ^ String.make (width - String.length text) ' '
+      in
+      "|" ^ text ^ "|"
+    in
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf (hline ^ "\n" ^ hrow ^ "\n" ^ hline2 ^ "\n");
+    let body = Array.of_list body in
+    let i = ref 0 in
+    List.iter
+      (fun (name, grows) ->
+        Buffer.add_string buf (label_row name ^ "\n");
+        List.iter
+          (fun _ ->
+            Buffer.add_string buf (body.(!i) ^ "\n");
+            incr i)
+          grows;
+        Buffer.add_string buf (hline ^ "\n"))
+      groups;
+    let out = Buffer.contents buf in
+    String.sub out 0 (String.length out - 1)
+  | _ -> base
+
 let pct n d = if d = 0 then "-" else Printf.sprintf "%.1f%%" (100.0 *. float_of_int n /. float_of_int d)
 
 let count_pct n d =

@@ -7,6 +7,13 @@ val render : ?aligns:align list -> header:string list -> string list list -> str
     from the header; short rows are padded. Default alignment: first column
     left, the rest right. *)
 
+val render_grouped :
+  ?aligns:align list -> header:string list -> (string * string list list) list -> string
+(** [render_grouped ~header groups] renders one boxed table where each
+    [(label, rows)] group is introduced by a full-width label row and closed
+    with a rule — the shape of the per-fault-model Table 5/6 breakouts.
+    Column widths are computed over all groups, so the groups align. *)
+
 val pct : int -> int -> string
 (** [pct n d] formats [n/d] as ["12.3%"] (["-"] when [d = 0]). *)
 

@@ -120,6 +120,8 @@ let test_repro_string_roundtrip () =
             df_seed = 0x123456789ABCDEFL;
             df_injections = 8;
             df_step_budget = 50_000;
+            df_model = Ferrite_injection.Fault_model.Stuck_at { value = 1 };
+            df_targeting = Ferrite_injection.Target.Profile_weighted;
           };
         trial = 3;
         note = "example";
@@ -167,6 +169,8 @@ let test_diff_small_spec_clean () =
       df_seed = 0xD1FFL;
       df_injections = 3;
       df_step_budget = 60_000;
+      df_model = Ferrite_injection.Fault_model.Single_bit_transient;
+      df_targeting = Ferrite_injection.Target.Uniform;
     }
   in
   (match Diff.run_spec spec with

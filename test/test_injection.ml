@@ -451,6 +451,7 @@ let stats_arb =
         st_retransmitted = rt;
         st_gave_up = g;
         st_dup_dropped = d;
+        st_by_model = (if r > 0 then [ ("single_bit", r) ] else []);
       })
     QCheck.(
       pair

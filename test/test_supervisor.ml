@@ -43,6 +43,7 @@ let mk_entry i =
         r_outcome = (if i mod 2 = 0 then Outcome.Not_manifested else Outcome.Hang);
         r_activated = true;
         r_activation_cycle = Some (100 + i);
+        r_model = Ferrite_injection.Fault_model.Single_bit_transient;
       };
     je_stats =
       {
@@ -51,6 +52,7 @@ let mk_entry i =
         st_retransmitted = 0;
         st_gave_up = 0;
         st_dup_dropped = 0;
+        st_by_model = (if i > 0 then [ ("single_bit", i) ] else []);
       };
     je_trace = Tracer.trial_of tracer ~index:i ~target:"t" ~outcome:"ok";
   }
