@@ -154,29 +154,44 @@ let run_one ?tracer ?(model = Fault_model.Single_bit_transient) ?(fault_seed = 0
     Debug_regs.set_data_bp dr ~addr ~len:4;
     emit (Event.Arm_bp { kind = Event.Data; addr })
   | Target.Reg_target _ -> ());
+  let reg_activate () =
+    if st.activation = None then begin
+      activate counters.Counters.cycles;
+      emit (Event.Activated { via = "register" })
+    end
+  in
   let reg_inject () =
     match target with
     | Target.Reg_target { index; name; bit; _ } ->
       let r = (System.system_registers sys).(index) in
-      Fault_model.apply_reg fm (reg_ops index) ~reg:name ~index ~bit ~bits:r.System.bits;
+      let landed =
+        Fault_model.apply_reg fm (reg_ops index) ~reg:name ~index ~bit ~bits:r.System.bits
+      in
       st.injected <- true;
-      activate counters.Counters.cycles;
-      emit (Event.Activated { via = "register" })
+      (* a no-op apply (stuck-at bit already at the stuck value, dormant
+         intermittent phase) corrupts nothing: not an activation. If the
+         model asserts later, [fm_tick] reports and activates it. *)
+      if landed then reg_activate ()
     | _ -> ()
   in
   (* Time base for models that need one (intermittent presence toggling,
      stuck-at register re-forcing); the unit thunk keeps the legacy loop
      branch-free. *)
   let fm_tick =
-    if Fault_model.needs_tick model (Target.kind_of target) then
+    if Fault_model.needs_tick model (Target.kind_of target) then begin
       match target with
       | Target.Stack_target { addr; bit; _ }
       | Target.Data_target { addr; bit }
       | Target.Code_target { addr; bit; _ } ->
-        fun () -> Fault_model.on_tick fm mem_ops ~addr ~bit
+        (* memory activation stays watchpoint-driven; a tick assertion alone
+           is not a kernel access to the erroneous location *)
+        fun () -> ignore (Fault_model.on_tick fm mem_ops ~addr ~bit : bool)
       | Target.Reg_target { index; bit; _ } ->
         let ops = reg_ops index in
-        fun () -> Fault_model.on_tick fm ops ~addr:index ~bit
+        fun () ->
+          if Fault_model.on_tick fm ops ~addr:index ~bit && st.injected then
+            reg_activate ()
+    end
     else fun () -> ()
   in
   let finish outcome =
@@ -302,15 +317,15 @@ let run_one ?tracer ?(model = Fault_model.Single_bit_transient) ?(fault_seed = 0
       (match target with
       | Target.Stack_target { addr; bit; _ } | Target.Data_target { addr; bit } ->
         emit (Event.Watch_hit { addr; is_write = hit.Debug_regs.is_write });
-        if st.activation = None then begin
+        (* a dormant intermittent fault reads clean: the hit is not an
+           activation *)
+        if st.activation = None && not (Fault_model.blocks_activation fm) then begin
           activate counters.Counters.cycles;
           emit (Event.Activated { via = "data watchpoint" })
         end;
-        (* a write overwrote the error: re-inject it (§3.3) *)
-        if hit.Debug_regs.is_write then begin
-          flip_word_bit sys addr bit;
-          emit (Event.Reinject { addr; bit })
-        end
+        (* a write overwrote the error: re-assert it per model semantics
+           (§3.3 — the legacy model re-injects the single bit) *)
+        if hit.Debug_regs.is_write then Fault_model.on_write_hit fm mem_ops ~addr ~bit
       | Target.Code_target _ | Target.Reg_target _ -> ());
       loop (steps + 1) false
     | System.Stopped ->

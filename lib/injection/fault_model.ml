@@ -165,6 +165,14 @@ let positions inst ~bit ~limit =
 
 let log_bit inst ~addr ~bit = inst.i_applied <- Mem_bit { addr; bit } :: inst.i_applied
 
+(* Whether an intermittent fault's duty cycle says the corruption is present
+   in the current tick window — the same predicate [on_tick] uses, evaluated
+   at arm time so short trials honour the phase too. *)
+let intermittent_present_now inst =
+  match inst.i_model with
+  | Intermittent { period; duty; _ } -> (inst.i_ticks + inst.i_phase) mod period < duty
+  | _ -> true
+
 (* Flip one bit as part of a non-legacy model, with the model-tagged event. *)
 let model_flip inst ops ~space ~addr ~bit =
   ops.o_flip addr bit;
@@ -189,8 +197,12 @@ let apply_mem inst ops ~space ~addr ~bit ~limit =
     end;
     ops.o_emit (Event.Model_flip { model = tag inst.i_model; space; addr; bit })
   | Intermittent _ ->
-    inst.i_present <- true;
-    model_flip inst ops ~space ~addr ~bit
+    (* honour the phase at arm time: a dormant phase leaves the target clean
+       (and [blocks_activation] true) until [on_tick] asserts it *)
+    if intermittent_present_now inst then begin
+      inst.i_present <- true;
+      model_flip inst ops ~space ~addr ~bit
+    end
   | Tlb_entry -> (
     match ops.o_partner addr with
     | Some partner ->
@@ -219,12 +231,27 @@ let apply_reg inst ops ~reg ~index ~bit ~bits =
   match inst.i_model with
   | Single_bit_transient | Tlb_entry | Decode_cache_line ->
     (* structure faults have no register analogue: degrade to single-bit *)
-    flip bit
-  | Multi_bit _ | Burst _ -> List.iter flip (positions inst ~bit ~limit:bits)
-  | Stuck_at { value } -> if ops.o_get index bit <> value then flip bit
+    flip bit;
+    true
+  | Multi_bit _ | Burst _ ->
+    List.iter flip (positions inst ~bit ~limit:bits);
+    true
+  | Stuck_at { value } ->
+    (* no flip when the bit already holds the stuck value: nothing corrupted
+       yet, so the caller must not count an activation ([on_tick] reports one
+       if the workload later clears the bit and we re-force it) *)
+    if ops.o_get index bit <> value then begin
+      flip bit;
+      true
+    end
+    else false
   | Intermittent _ ->
-    inst.i_present <- true;
-    flip bit
+    if intermittent_present_now inst then begin
+      inst.i_present <- true;
+      flip bit;
+      true
+    end
+    else false
 
 let blocks_activation inst =
   match inst.i_model with Intermittent _ -> not inst.i_present | _ -> false
@@ -278,20 +305,26 @@ let on_tick inst ops ~addr ~bit =
         inst.i_present <- active;
         if active then begin
           ops.o_emit (Event.Reassert { model = tag inst.i_model; addr; bit });
-          inst.i_applied <- [ Mem_bit { addr; bit } ]
+          inst.i_applied <- [ Mem_bit { addr; bit } ];
+          true
         end
         else begin
           ops.o_emit (Event.Restore { addr; bit });
-          inst.i_applied <- []
+          inst.i_applied <- [];
+          false
         end
       end
+      else false
     end
+    else false
   | Stuck_at { value } ->
     if inst.i_armed && ops.o_get addr bit <> value then begin
       ops.o_flip addr bit;
-      ops.o_emit (Event.Reassert { model = tag inst.i_model; addr; bit })
+      ops.o_emit (Event.Reassert { model = tag inst.i_model; addr; bit });
+      true
     end
-  | _ -> ()
+    else false
+  | _ -> false
 
 let undo inst ops =
   List.iter

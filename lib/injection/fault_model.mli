@@ -106,9 +106,14 @@ val apply_mem :
     the legacy [Flip] event; other models emit [Model_flip] per bit or
     [Structure_fault] for a page swap. *)
 
-val apply_reg : instance -> ops -> reg:string -> index:int -> bit:int -> bits:int -> unit
+val apply_reg : instance -> ops -> reg:string -> index:int -> bit:int -> bits:int -> bool
 (** Land the corruption on a register ([Reg_flip] events, one per bit
-    position actually flipped). Structure faults degrade to single-bit. *)
+    position actually flipped). Structure faults degrade to single-bit.
+    Returns [true] iff at least one bit actually flipped — [false] for a
+    stuck-at whose bit already holds the stuck value, or an intermittent
+    fault armed in a dormant phase — so the engine only counts an
+    activation when corruption landed ({!on_tick} reports any later
+    assertion by a persistent model). *)
 
 val blocks_activation : instance -> bool
 (** [true] while an intermittent fault is dormant: the engine must not count
@@ -120,10 +125,12 @@ val on_write_hit : instance -> ops -> addr:int -> bit:int -> unit
     [Reinject] event; persistent models emit [Reassert]; a dormant
     intermittent fault and a completed page swap do nothing. *)
 
-val on_tick : instance -> ops -> addr:int -> bit:int -> unit
+val on_tick : instance -> ops -> addr:int -> bit:int -> bool
 (** Advance the model's time base (only called when {!needs_tick}):
     intermittent faults toggle presence, stuck-at register faults are
-    re-forced if the workload cleared them. *)
+    re-forced if the workload cleared them. Returns [true] iff this tick
+    asserted corruption onto the target — the engine uses it to activate a
+    register fault whose {!apply_reg} was a no-op. *)
 
 val undo : instance -> ops -> unit
 (** STEP 3: the error never activated — restore every corruption in reverse

@@ -256,13 +256,24 @@ type writer = { w_path : string; w_oc : out_channel }
 let open_for_append ~path ~plan_hash =
   let rc = recover ~path ~plan_hash in
   if rc.rc_format <> 2 then begin
-    (* v1 journal: migrate in place — rewrite the v2 header and re-encode
-       the recovered (upgraded) entries, dropping any torn tail with them *)
-    let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 path in
-    output_string oc (header_bytes ~plan_hash);
-    List.iter (fun e -> output_string oc (frame_bytes (encode_entry e))) rc.rc_entries;
-    flush oc;
-    close_out oc
+    (* v1 journal: migrate via a temp file in the same directory, fsynced
+       and atomically renamed over the original — a crash or kill at any
+       point leaves either the intact v1 file or the complete v2 one, never
+       a half-rewritten journal. The rewrite re-encodes the recovered
+       (upgraded) entries, dropping any torn tail with them. *)
+    let tmp = path ^ ".migrate.tmp" in
+    let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 tmp in
+    (try
+       output_string oc (header_bytes ~plan_hash);
+       List.iter (fun e -> output_string oc (frame_bytes (encode_entry e))) rc.rc_entries;
+       flush oc;
+       Unix.fsync (Unix.descr_of_out_channel oc);
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Sys.rename tmp path
   end
   else if rc.rc_truncated_bytes > 0 then
     (* chop the torn tail before appending; [rc_valid_bytes] is 0 when the

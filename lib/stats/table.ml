@@ -47,14 +47,43 @@ let render ?aligns ~header rows =
    introducing each group of rows (the per-fault-model breakouts). *)
 let render_grouped ?aligns ~header groups =
   let rows = List.concat_map snd groups in
+  (* Widen the table when a group label would overflow its full-width row:
+     pad the first header cell past the widest first-column cell so the
+     column grows by exactly the deficit. *)
+  let label_need =
+    List.fold_left (fun w (name, _) -> max w (String.length name + 1)) 0 groups
+  in
+  let inner_width rendered =
+    (match String.index_opt rendered '\n' with
+    | Some i -> i
+    | None -> String.length rendered)
+    - 2
+  in
   let base = render ?aligns ~header rows in
+  let base =
+    let deficit = label_need - inner_width base in
+    if deficit <= 0 then base
+    else
+      match header with
+      | [] -> base
+      | h0 :: rest ->
+        let col0 =
+          List.fold_left
+            (fun w row -> match row with c :: _ -> max w (String.length c) | [] -> w)
+            (String.length h0) rows
+        in
+        render ?aligns ~header:(pad Left (col0 + deficit) h0 :: rest) rows
+  in
   match String.split_on_char '\n' base with
   | hline :: hrow :: hline2 :: body ->
     let width = String.length hline - 2 in
     let label_row name =
       let text = " " ^ name in
       let text =
-        if String.length text > width then String.sub text 0 width
+        if String.length text > width then
+          (* unreachable after widening, but never chop silently *)
+          if width > 3 then String.sub text 0 (width - 3) ^ "..."
+          else String.sub text 0 width
         else text ^ String.make (width - String.length text) ' '
       in
       "|" ^ text ^ "|"

@@ -98,6 +98,100 @@ let test_validated_rejects_nonsense () =
     (raises (Fault_model.Intermittent { period = 4; duty = 5; seed = 0L }));
   List.iter (fun m -> check_bool "valid passes" true (Fault_model.validated m = m)) all_models
 
+(* ---------- per-model write-hit / dormancy semantics ----------
+
+   Drive an instance directly against a fake one-word target so the exact
+   corruption semantics — what a workload overwrite leaves behind, whether a
+   dormant fault blocks activation, whether a no-op apply counts — are
+   pinned without a whole campaign in the way. *)
+
+let fake_word ?(initial = 0) () =
+  let word = ref initial in
+  let ops =
+    {
+      Fault_model.o_flip = (fun _ bit -> word := !word lxor (1 lsl bit));
+      o_get = (fun _ bit -> (!word lsr bit) land 1);
+      o_swap_pages = (fun _ _ -> ());
+      o_partner = (fun _ -> None);
+      o_emit = (fun _ -> ());
+    }
+  in
+  (word, ops)
+
+let bit_of word b = (!word lsr b) land 1
+
+let test_stuck_at_write_hit () =
+  (* bit 5 starts at 1; stuck-at-0 forces it low and must keep it low
+     whatever the workload writes — including the stuck value itself *)
+  let word, ops = fake_word ~initial:(1 lsl 5) () in
+  let fm = Fault_model.instantiate (Fault_model.Stuck_at { value = 0 }) ~fault_seed:1L in
+  Fault_model.apply_mem fm ops ~space:Event.Data_space ~addr:0 ~bit:5 ~limit:32;
+  check_int "forced low at arm" 0 (bit_of word 5);
+  (* workload writes the stuck value: re-assert must NOT toggle it back up *)
+  Fault_model.on_write_hit fm ops ~addr:0 ~bit:5;
+  check_int "write of the stuck value stays stuck" 0 (bit_of word 5);
+  (* workload writes the opposite value: re-assert forces it again *)
+  word := 1 lsl 5;
+  Fault_model.on_write_hit fm ops ~addr:0 ~bit:5;
+  check_int "write of the opposite value re-stuck" 0 (bit_of word 5)
+
+let test_multi_bit_write_hit () =
+  (* an overwrite clobbers the whole word: every landed bit re-asserts, not
+     just the primary one *)
+  let word, ops = fake_word () in
+  let fm = Fault_model.instantiate (Fault_model.Multi_bit { width = 3 }) ~fault_seed:7L in
+  Fault_model.apply_mem fm ops ~space:Event.Data_space ~addr:0 ~bit:4 ~limit:32;
+  let corrupted = !word in
+  check_bool "three bits landed" true
+    (corrupted land (1 lsl 4) <> 0
+    && List.length (List.filter (fun b -> corrupted land (1 lsl b) <> 0) (List.init 32 Fun.id))
+       = 3);
+  word := 0;
+  Fault_model.on_write_hit fm ops ~addr:0 ~bit:4;
+  check_int "overwrite re-asserts every landed bit" corrupted !word
+
+let test_intermittent_dormant_phase () =
+  (* period 2 / duty 1 with phase 1: dormant in the arm window, asserted in
+     the first tick window, restored in the second *)
+  let model = Fault_model.Intermittent { period = 2; duty = 1; seed = 1L } in
+  let word, ops = fake_word () in
+  let fm = Fault_model.instantiate model ~fault_seed:0L in
+  Fault_model.apply_mem fm ops ~space:Event.Data_space ~addr:0 ~bit:3 ~limit:32;
+  check_int "dormant phase leaves the target clean" 0 !word;
+  check_bool "dormant fault blocks activation" true (Fault_model.blocks_activation fm);
+  Fault_model.on_write_hit fm ops ~addr:0 ~bit:3;
+  check_int "dormant write hit asserts nothing" 0 !word;
+  check_bool "tick asserts it" true (Fault_model.on_tick fm ops ~addr:0 ~bit:3);
+  check_int "present" 1 (bit_of word 3);
+  check_bool "asserted fault no longer blocks" false (Fault_model.blocks_activation fm);
+  check_bool "next tick restores" false (Fault_model.on_tick fm ops ~addr:0 ~bit:3);
+  check_int "clean again" 0 !word;
+  (* the complementary phase is present at arm time *)
+  let word2, ops2 = fake_word () in
+  let fm2 = Fault_model.instantiate model ~fault_seed:1L in
+  Fault_model.apply_mem fm2 ops2 ~space:Event.Data_space ~addr:0 ~bit:3 ~limit:32;
+  check_int "present phase flips at arm" 1 (bit_of word2 3);
+  check_bool "present fault does not block" false (Fault_model.blocks_activation fm2)
+
+let test_apply_reg_reports_landing () =
+  (* stuck-at whose bit already holds the value: nothing corrupted, no
+     activation — until a tick re-forces a workload write *)
+  let word, ops = fake_word ~initial:(1 lsl 3) () in
+  let fm = Fault_model.instantiate (Fault_model.Stuck_at { value = 1 }) ~fault_seed:2L in
+  check_bool "no-op apply reports no landing" false
+    (Fault_model.apply_reg fm ops ~reg:"r3" ~index:0 ~bit:3 ~bits:32);
+  check_int "register untouched" (1 lsl 3) !word;
+  check_bool "clean tick is quiet" false (Fault_model.on_tick fm ops ~addr:0 ~bit:3);
+  word := 0;
+  check_bool "tick re-forces a cleared bit and reports it" true
+    (Fault_model.on_tick fm ops ~addr:0 ~bit:3);
+  check_int "re-forced" 1 (bit_of word 3);
+  (* and a plain single-bit apply always lands *)
+  let _, ops2 = fake_word () in
+  let fm2 = Fault_model.instantiate Fault_model.Single_bit_transient ~fault_seed:2L in
+  check_bool "legacy apply lands" true
+    (Fault_model.apply_reg fm2 ops2 ~reg:"r3" ~index:0 ~bit:3 ~bits:32)
+
 (* ---------- targeting-policy weight validation ---------- *)
 
 let test_generate_validates_weights () =
@@ -474,6 +568,13 @@ let () =
           Alcotest.test_case "tag roundtrip" `Quick test_tag_roundtrip;
           Alcotest.test_case "of_string aliases" `Quick test_of_string_aliases;
           Alcotest.test_case "validated rejects nonsense" `Quick test_validated_rejects_nonsense;
+        ] );
+      ( "model semantics",
+        [
+          Alcotest.test_case "stuck-at write hit" `Quick test_stuck_at_write_hit;
+          Alcotest.test_case "multi-bit write hit" `Quick test_multi_bit_write_hit;
+          Alcotest.test_case "intermittent dormant phase" `Quick test_intermittent_dormant_phase;
+          Alcotest.test_case "apply_reg reports landing" `Quick test_apply_reg_reports_landing;
         ] );
       ( "targeting",
         [

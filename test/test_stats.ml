@@ -68,6 +68,27 @@ let test_table_render_plain () =
   let t2 = Table.render ~header:[ "a"; "b" ] [ [ "only" ] ] in
   check_bool "short row ok" true (contains t2 "only")
 
+let test_table_grouped_long_label () =
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  (* a group label far wider than the columns (a Density_weighted targeting
+     tag spells out its whole table): the table widens instead of silently
+     chopping the label *)
+  let label = "density:fs=0.30,mm=0.25,net=0.20,drivers=0.15,kernel=0.10" in
+  let t =
+    Table.render_grouped ~header:[ "a"; "b" ]
+      [ (label, [ [ "x"; "1" ] ]); ("short", [ [ "y"; "2" ] ]) ]
+  in
+  check_bool "long label intact" true (contains t label);
+  check_bool "short label intact" true (contains t "short");
+  (* every line of the box stays the same width *)
+  let lines = String.split_on_char '\n' t in
+  let w = String.length (List.hd lines) in
+  List.iter (fun l -> check_bool "uniform width" true (String.length l = w)) lines
+
 let test_pct_formatting () =
   Alcotest.(check string) "pct" "50.0%" (Table.pct 1 2);
   Alcotest.(check string) "zero denominator" "-" (Table.pct 1 0);
@@ -148,6 +169,7 @@ let () =
       ( "tables",
         [
           Alcotest.test_case "render" `Quick test_table_render_plain;
+          Alcotest.test_case "grouped long label" `Quick test_table_grouped_long_label;
           Alcotest.test_case "pct" `Quick test_pct_formatting;
         ] );
       ( "figures",
