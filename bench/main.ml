@@ -121,6 +121,22 @@ let run_campaign_throughput () =
     (ts /. tp) cores identical;
   Printf.printf "caches (sequential run): %s\n"
     (Format.asprintf "%a" Ferrite_machine.Cache_stats.render rs.Campaign.cache);
+  (* columnar store footprint and scan throughput over the same records *)
+  let store_path = Filename.temp_file "ferrite_bench" ".fstore" in
+  let w = Ferrite_store.Store.create store_path in
+  Ferrite_injection.Result_store.append_result w rs;
+  Ferrite_store.Store.close w;
+  let store_bytes = (Unix.stat store_path).Unix.st_size in
+  let _, scan_time =
+    time (fun () -> Ferrite_injection.Result_store.aggregate store_path)
+  in
+  let store_rows = (Ferrite_store.Store.scan store_path).Ferrite_store.Store.sc_rows in
+  Sys.remove store_path;
+  let scan_rate = float_of_int store_rows /. scan_time in
+  Printf.printf "store: %d rows in %d bytes (%.1f B/row), scanned at %.0f rows/s\n"
+    store_rows store_bytes
+    (float_of_int store_bytes /. float_of_int (max 1 store_rows))
+    scan_rate;
   let oc = open_out "BENCH_campaign.json" in
   Printf.fprintf oc
     {|{
@@ -136,6 +152,7 @@ let run_campaign_throughput () =
   "parallel": { "executor": "%s", "requested_domains": %d, "seconds": %.3f, "injections_per_sec": %.2f },
   "speedup": %.3f,
   "records_identical": %b,
+  "store": { "rows": %d, "bytes": %d, "bytes_per_row": %.2f, "scan_seconds": %.4f, "scan_rows_per_sec": %.0f },
   "cache": %s
 }
 |}
@@ -143,7 +160,9 @@ let run_campaign_throughput () =
     (Ferrite_injection.Fault_model.tag cfg.Campaign.fault_model)
     (Ferrite_injection.Target.targeting_tag cfg.Campaign.targeting)
     cores ts (rate ts) (Executor.describe executor) domains tp (rate tp)
-    (ts /. tp) identical
+    (ts /. tp) identical store_rows store_bytes
+    (float_of_int store_bytes /. float_of_int (max 1 store_rows))
+    scan_time scan_rate
     (Ferrite_machine.Cache_stats.to_json rs.Campaign.cache);
   close_out oc;
   Printf.printf "wrote BENCH_campaign.json\n"

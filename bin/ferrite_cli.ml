@@ -9,7 +9,8 @@
      ablate    rebuild with one mechanism changed and measure the effect
      oops      inject until a crash, then print the kernel crash dump
      disasm    disassemble a kernel function on either platform
-     trace     replay a paper scenario (fig7/fig13/fig14) as an event timeline *)
+     trace     replay a paper scenario (fig7/fig13/fig14) as an event timeline
+     triage    bucket crashes into the paper's sec. 5 root-cause families *)
 
 open Cmdliner
 module Image = Ferrite_kir.Image
@@ -21,6 +22,9 @@ module Crash_cause = Ferrite_injection.Crash_cause
 module Supervisor = Ferrite_injection.Supervisor
 module Journal = Ferrite_injection.Journal
 module Fault_model = Ferrite_injection.Fault_model
+module Result_store = Ferrite_injection.Result_store
+module Store = Ferrite_store.Store
+module Triage = Ferrite_injection.Triage
 
 let arch_conv =
   let parse = function
@@ -257,6 +261,43 @@ let trace_dir_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
 
+(* --- columnar result store --- *)
+
+let store_arg =
+  let doc =
+    "Write every trial's result (outcome, cause, latency, triage bucket, \
+     ...) to the columnar store at $(docv); an existing file is replaced \
+     unless --store-append is given. Query later with 'report --from-store' \
+     and 'triage --from-store'."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"FILE" ~doc)
+
+let store_append_arg =
+  let doc = "With --store, append to an existing store instead of replacing it." in
+  Arg.(value & flag & info [ "store-append" ] ~doc)
+
+let write_store ?(append = false) path results =
+  let w = if append then Store.open_append path else Store.create path in
+  List.iter (Result_store.append_result w) results;
+  Store.close w;
+  let sc = Store.scan path in
+  Printf.eprintf "wrote %s (%d rows, %d blocks, %d bytes)\n" path sc.Store.sc_rows
+    sc.Store.sc_blocks sc.Store.sc_bytes
+
+let load_aggregates path =
+  match Result_store.aggregate path with
+  | aggs, sc ->
+    if sc.Store.sc_truncated_bytes > 0 then
+      Printf.eprintf "note: %s has a torn tail; %d byte(s) ignored\n" path
+        sc.Store.sc_truncated_bytes;
+    (aggs, sc)
+  | exception Store.Not_a_store p ->
+    Printf.eprintf "ferrite: %s is not a ferrite result store\n" p;
+    exit 2
+  | exception Sys_error msg ->
+    Printf.eprintf "ferrite: %s\n" msg;
+    exit 2
+
 (* --- supervision flags (inject) --- *)
 
 let journal_arg =
@@ -339,7 +380,7 @@ let supervision_of ~journal ~resume ~max_retries ~chaos ~seed ~injections =
 
 let inject_cmd =
   let run arch kind n seed progress jobs trace_dir journal resume max_retries chaos
-      collector_loss collector_retries fault_model targeting =
+      collector_loss collector_retries fault_model targeting store store_append =
     let cfg =
       {
         (Campaign.default ~arch ~kind ~injections:n) with
@@ -397,13 +438,15 @@ let inject_cmd =
       print_newline ();
       print_endline (Ferrite.Report.model_breakout res)
     end;
-    Option.iter (fun dir -> dump_campaign_trace dir res) trace_dir
+    Option.iter (fun dir -> dump_campaign_trace dir res) trace_dir;
+    Option.iter (fun path -> write_store ~append:store_append path [ res ]) store
   in
   Cmd.v (Cmd.info "inject" ~doc:"Run one error-injection campaign")
     Term.(
       const run $ arch_arg $ kind_arg $ count_arg $ seed_arg $ progress_arg $ jobs_arg
       $ trace_dir_arg $ journal_arg $ resume_arg $ max_retries_arg $ chaos_arg
-      $ collector_loss_arg $ collector_retries_arg $ fault_model_arg $ targeting_arg)
+      $ collector_loss_arg $ collector_retries_arg $ fault_model_arg $ targeting_arg
+      $ store_arg $ store_append_arg)
 
 (* --- matrix --- *)
 
@@ -500,8 +543,16 @@ let progress_fn progress arch =
         name done_ total)
   else fun _ ~done_:_ ~total:_ -> ()
 
+let suite_campaigns (suite : Ferrite.Suite.t) =
+  [
+    suite.Ferrite.Suite.stack;
+    suite.Ferrite.Suite.sysreg;
+    suite.Ferrite.Suite.data;
+    suite.Ferrite.Suite.code;
+  ]
+
 let suite_cmd =
-  let run arch scale seed progress jobs =
+  let run arch scale seed progress jobs store store_append =
     let sc = Ferrite.Suite.scaled arch scale in
     let suite =
       Ferrite.Suite.run ~seed:(Int64.of_int seed) ~progress:(progress_fn progress arch)
@@ -512,32 +563,56 @@ let suite_cmd =
       (match arch with
       | Image.Cisc -> Ferrite.Report.table5 suite
       | Image.Risc -> Ferrite.Report.table6 suite);
-    print_newline ()
+    print_newline ();
+    Option.iter
+      (fun path -> write_store ~append:store_append path (suite_campaigns suite))
+      store
   in
   Cmd.v (Cmd.info "suite" ~doc:"Run the four campaigns of Table 5/6 for one platform")
-    Term.(const run $ arch_arg $ scale_arg $ seed_arg $ progress_arg $ jobs_arg)
+    Term.(
+      const run $ arch_arg $ scale_arg $ seed_arg $ progress_arg $ jobs_arg $ store_arg
+      $ store_append_arg)
+
+let from_store_arg =
+  let doc =
+    "Answer from the columnar result store at $(docv) instead of running \
+     campaigns: a single streaming pass rebuilds Table 5/6, the per-model \
+     breakouts and the triage tables — byte-identical to the in-memory \
+     report over the same records."
+  in
+  Arg.(value & opt (some string) None & info [ "from-store" ] ~docv:"FILE" ~doc)
 
 let report_cmd =
-  let run scale seed progress jobs =
-    let seed = Int64.of_int seed in
-    let executor = executor_of_jobs jobs in
-    let p4 =
-      Ferrite.Suite.run ~seed ~progress:(progress_fn progress Image.Cisc) ~executor
-        ~scale:(Ferrite.Suite.scaled Image.Cisc scale) Image.Cisc
-    in
-    if progress then Printf.eprintf "\n";
-    let g4 =
-      Ferrite.Suite.run ~seed ~progress:(progress_fn progress Image.Risc) ~executor
-        ~scale:(Ferrite.Suite.scaled Image.Risc scale) Image.Risc
-    in
-    if progress then Printf.eprintf "\n";
-    print_string (Ferrite.Report.full_report ~p4 ~g4);
-    print_newline ()
+  let run scale seed progress jobs from_store =
+    match from_store with
+    | Some path ->
+      let aggs, sc = load_aggregates path in
+      print_string (Ferrite.Report.from_store_report aggs);
+      print_newline ();
+      Printf.eprintf "(%d rows scanned in %d blocks, %d bytes)\n" sc.Store.sc_rows
+        sc.Store.sc_blocks sc.Store.sc_bytes
+    | None ->
+      let seed = Int64.of_int seed in
+      let executor = executor_of_jobs jobs in
+      let p4 =
+        Ferrite.Suite.run ~seed ~progress:(progress_fn progress Image.Cisc) ~executor
+          ~scale:(Ferrite.Suite.scaled Image.Cisc scale) Image.Cisc
+      in
+      if progress then Printf.eprintf "\n";
+      let g4 =
+        Ferrite.Suite.run ~seed ~progress:(progress_fn progress Image.Risc) ~executor
+          ~scale:(Ferrite.Suite.scaled Image.Risc scale) Image.Risc
+      in
+      if progress then Printf.eprintf "\n";
+      print_string (Ferrite.Report.full_report ~p4 ~g4);
+      print_newline ()
   in
   Cmd.v
     (Cmd.info "report"
-       ~doc:"Run both platforms and regenerate every table and figure of the paper")
-    Term.(const run $ scale_arg $ seed_arg $ progress_arg $ jobs_arg)
+       ~doc:
+         "Run both platforms and regenerate every table and figure of the paper \
+          (or answer from a result store with --from-store)")
+    Term.(const run $ scale_arg $ seed_arg $ progress_arg $ jobs_arg $ from_store_arg)
 
 (* --- oops --- *)
 
@@ -669,6 +744,74 @@ let trace_cmd =
           identical output for every --jobs value")
     Term.(const run $ scenario_arg $ jobs_arg $ trace_dir_arg)
 
+(* --- triage --- *)
+
+let triage_cmd =
+  let scenario_arg =
+    let doc =
+      "Scenario to triage: fig7, fig13 or fig14 (omit to triage all three). \
+       Ignored with --from-store."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
+  in
+  let run name jobs from_store =
+    match from_store with
+    | Some path ->
+      let aggs, sc = load_aggregates path in
+      List.iteri
+        (fun i (a : Result_store.agg) ->
+          if i > 0 then print_newline ();
+          print_endline
+            (Ferrite.Report.triage_table ~arch:a.Result_store.ag_arch
+               ~kind:a.Result_store.ag_kind a.Result_store.ag_triage))
+        aggs;
+      Printf.eprintf "(%d rows scanned in %d blocks, %d bytes)\n" sc.Store.sc_rows
+        sc.Store.sc_blocks sc.Store.sc_bytes
+    | None ->
+      let scenarios =
+        match name with
+        | None -> Ferrite.Scenario.all
+        | Some n ->
+          (match Ferrite.Scenario.find n with
+          | Some sc -> [ sc ]
+          | None ->
+            Printf.eprintf "unknown scenario %S; available: %s\n" n
+              (String.concat ", "
+                 (List.map (fun sc -> sc.Ferrite.Scenario.sc_name) Ferrite.Scenario.all));
+            exit 2)
+      in
+      let executor = executor_of_jobs jobs in
+      List.iteri
+        (fun i sc ->
+          if i > 0 then print_newline ();
+          let r = Ferrite.Scenario.run ~executor sc in
+          let record = r.Ferrite.Scenario.outcome in
+          Printf.printf "%s\n" sc.Ferrite.Scenario.sc_title;
+          Printf.printf "  target:  %s\n" (Target.describe r.Ferrite.Scenario.target);
+          Printf.printf "  outcome: %s\n"
+            (Ferrite_injection.Outcome.outcome_label
+               record.Ferrite_injection.Outcome.r_outcome);
+          (match Triage.of_record record r.Ferrite.Scenario.dump with
+          | None -> Printf.printf "  triage:  (not a failure)\n"
+          | Some bucket -> Printf.printf "  triage:  %s\n" (Triage.label bucket));
+          Option.iter
+            (fun (d : Ferrite_injection.Crash_dump.t) ->
+              Printf.printf "  crash:   pc=%s in %s; SP %s; repeat signature: %s\n"
+                (Ferrite_machine.Word.to_hex d.Ferrite_injection.Crash_dump.cd_pc)
+                d.Ferrite_injection.Crash_dump.cd_function
+                (if d.Ferrite_injection.Crash_dump.cd_sp_in_stack then "in a kernel stack"
+                 else "outside every kernel stack")
+                (if d.Ferrite_injection.Crash_dump.cd_stack_repeat then "yes" else "no"))
+            r.Ferrite.Scenario.dump)
+        scenarios
+  in
+  Cmd.v
+    (Cmd.info "triage"
+       ~doc:
+         "Bucket crashes into the paper's sec. 5 root-cause families - either a \
+          stored campaign (--from-store) or the Figs. 7/13/14 scenario replays")
+    Term.(const run $ scenario_arg $ jobs_arg $ from_store_arg)
+
 (* --- fuzz --- *)
 
 let fuzz_cmd =
@@ -770,4 +913,4 @@ let () =
     Cmd.info "ferrite" ~version:"1.0.0"
       ~doc:"Error sensitivity of a miniature kernel on CISC/RISC simulators (DSN 2004 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group ~default info [ boot_cmd; profile_cmd; inject_cmd; matrix_cmd; suite_cmd; report_cmd; ablate_cmd; oops_cmd; disasm_cmd; trace_cmd; fuzz_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ boot_cmd; profile_cmd; inject_cmd; matrix_cmd; suite_cmd; report_cmd; ablate_cmd; oops_cmd; disasm_cmd; trace_cmd; triage_cmd; fuzz_cmd ]))

@@ -94,8 +94,9 @@ let summary_row label (s : Campaign.summary) =
     Table.count_pct s.Campaign.hang_or_unknown d;
   ]
 
-let campaign_rows name (r : Campaign.result) (paper : Paper.campaign_row) =
-  let s = Campaign.summarize r in
+(* one measured + one paper row; takes a summary, not a result, so the same
+   renderer serves in-memory campaigns and store aggregates byte-identically *)
+let campaign_rows name (s : Campaign.summary) (paper : Paper.campaign_row) =
   let measured = summary_row (name ^ " [ferrite]") s in
   let p = paper in
   let paper_row =
@@ -111,46 +112,62 @@ let campaign_rows name (r : Campaign.result) (paper : Paper.campaign_row) =
   in
   [ measured; paper_row ]
 
-let activation_table title suite rows_paper =
+let activation_table title summaries rows_paper =
   let header =
     [ "Campaign"; "Injected"; "Activated"; "Not Manifested"; "FSV"; "Known Crash"; "Hang/Unknown" ]
   in
-  let rows =
-    List.concat
-      [
-        campaign_rows "Stack" suite.Suite.stack (List.nth rows_paper 0);
-        campaign_rows "System Registers" suite.Suite.sysreg (List.nth rows_paper 1);
-        campaign_rows "Data" suite.Suite.data (List.nth rows_paper 2);
-        campaign_rows "Code" suite.Suite.code (List.nth rows_paper 3);
-      ]
-  in
+  let rows = List.concat (List.map2 (fun (name, s) p -> campaign_rows name s p) summaries rows_paper) in
   title ^ "\n" ^ Table.render ~header rows
   ^ "\n(percentages w.r.t. activated errors; activation w.r.t. injected)"
 
+let suite_summaries suite =
+  [
+    ("Stack", Campaign.summarize suite.Suite.stack);
+    ("System Registers", Campaign.summarize suite.Suite.sysreg);
+    ("Data", Campaign.summarize suite.Suite.data);
+    ("Code", Campaign.summarize suite.Suite.code);
+  ]
+
+let table5_title =
+  "Table 5: Statistics on Error Activation and Failure Distribution on P4 Processor"
+
+let table6_title =
+  "Table 6: Statistics on Error Activation and Failure Distribution on G4 Processor"
+
+let table5_of summaries =
+  activation_table table5_title summaries
+    [ Paper.p4_stack; Paper.p4_sysreg; Paper.p4_data; Paper.p4_code ]
+
+let table6_of summaries =
+  activation_table table6_title summaries
+    [ Paper.g4_stack; Paper.g4_sysreg; Paper.g4_data; Paper.g4_code ]
+
 let table5 suite =
   assert (suite.Suite.arch = Image.Cisc);
-  activation_table
-    "Table 5: Statistics on Error Activation and Failure Distribution on P4 Processor" suite
-    [ Paper.p4_stack; Paper.p4_sysreg; Paper.p4_data; Paper.p4_code ]
+  table5_of (suite_summaries suite)
 
 let table6 suite =
   assert (suite.Suite.arch = Image.Risc);
-  activation_table
-    "Table 6: Statistics on Error Activation and Failure Distribution on G4 Processor" suite
-    [ Paper.g4_stack; Paper.g4_sysreg; Paper.g4_data; Paper.g4_code ]
+  table6_of (suite_summaries suite)
 
 (* ------------------------------------------------------------------ *)
 (* Per-fault-model breakouts (Table 5/6 rows, one group per model)     *)
 (* ------------------------------------------------------------------ *)
 
-let model_breakout ?title (r : Campaign.result) =
-  let kind = r.Campaign.cfg.Campaign.kind in
+let arch_short = function Image.Cisc -> "P4" | Image.Risc -> "G4"
+
+let kind_name = function
+  | Target.Code -> "code"
+  | Target.Stack -> "stack"
+  | Target.Data -> "data"
+  | Target.Register -> "register"
+
+(* the summary-based core; [groups] in campaign (first-appearance) order *)
+let model_breakout_of ?title ~arch ~kind groups =
   let groups =
     List.map
-      (fun (tag, records) ->
-        let s = Campaign.summarize_records ~kind records in
-        (Printf.sprintf "fault model: %s" tag, [ summary_row tag s ]))
-      (Campaign.group_by_model r)
+      (fun (tag, s) -> (Printf.sprintf "fault model: %s" tag, [ summary_row tag s ]))
+      groups
   in
   let header =
     [ "Model"; "Injected"; "Activated"; "Not Manifested"; "FSV"; "Known Crash"; "Hang/Unknown" ]
@@ -158,18 +175,87 @@ let model_breakout ?title (r : Campaign.result) =
   let title =
     match title with
     | Some t -> t
-    | None ->
-      Printf.sprintf "Per-fault-model breakout (%s, %s)"
-        (match r.Campaign.cfg.Campaign.arch with Image.Cisc -> "P4" | Image.Risc -> "G4")
-        (match kind with
-        | Target.Code -> "code"
-        | Target.Stack -> "stack"
-        | Target.Data -> "data"
-        | Target.Register -> "register")
+    | None -> Printf.sprintf "Per-fault-model breakout (%s, %s)" (arch_short arch) (kind_name kind)
   in
   title ^ "\n"
   ^ Table.render_grouped ~header groups
   ^ "\n(percentages w.r.t. each model's activated errors; activation w.r.t. injected)"
+
+let model_breakout ?title (r : Campaign.result) =
+  let kind = r.Campaign.cfg.Campaign.kind in
+  model_breakout_of ?title ~arch:r.Campaign.cfg.Campaign.arch ~kind
+    (List.map
+       (fun (tag, records) -> (tag, Campaign.summarize_records ~kind records))
+       (Campaign.group_by_model r))
+
+(* ------------------------------------------------------------------ *)
+(* Crash triage (§5 root-cause families)                               *)
+(* ------------------------------------------------------------------ *)
+
+module Triage = Ferrite_injection.Triage
+module Result_store = Ferrite_injection.Result_store
+
+let triage_table ?title ~arch ~kind counts =
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 counts in
+  let rows =
+    List.map
+      (fun (b, n) -> [ Triage.label b; Table.count_pct n (max 1 total) ])
+      counts
+  in
+  let title =
+    match title with
+    | Some t -> t
+    | None ->
+      Printf.sprintf "Crash triage (%s, %s): root-cause families of sec. 5"
+        (arch_short arch) (kind_name kind)
+  in
+  title ^ "\n"
+  ^ Table.render ~header:[ "Root-cause family"; "Failures" ] rows
+  ^ "\n(share w.r.t. all triaged failures of this campaign)"
+
+(* ------------------------------------------------------------------ *)
+(* Store-backed report (ferrite report --from-store)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Tables 5/6 need all four campaign kinds for an architecture; partial
+   stores fall back to just breakouts and triage for what is present. The
+   summaries come from [Result_store.aggregate]'s single pass, so over the
+   same records these sections are byte-identical to the in-memory ones. *)
+let from_store_report (aggs : Result_store.agg list) =
+  let find kind arch = Result_store.find_agg aggs ~arch ~kind in
+  let activation arch table_of =
+    match
+      (find Target.Stack arch, find Target.Register arch, find Target.Data arch,
+       find Target.Code arch)
+    with
+    | Some st, Some rg, Some dt, Some cd ->
+      [
+        table_of
+          [
+            ("Stack", st.Result_store.ag_summary);
+            ("System Registers", rg.Result_store.ag_summary);
+            ("Data", dt.Result_store.ag_summary);
+            ("Code", cd.Result_store.ag_summary);
+          ];
+      ]
+    | _ -> []
+  in
+  let breakouts =
+    List.map
+      (fun (a : Result_store.agg) ->
+        model_breakout_of ~arch:a.Result_store.ag_arch ~kind:a.Result_store.ag_kind
+          a.Result_store.ag_models)
+      aggs
+  in
+  let triages =
+    List.map
+      (fun (a : Result_store.agg) ->
+        triage_table ~arch:a.Result_store.ag_arch ~kind:a.Result_store.ag_kind
+          a.Result_store.ag_triage)
+      aggs
+  in
+  String.concat "\n\n"
+    (activation Image.Cisc table5_of @ activation Image.Risc table6_of @ breakouts @ triages)
 
 (* ------------------------------------------------------------------ *)
 (* Campaign telemetry                                                  *)

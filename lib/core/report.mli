@@ -20,6 +20,31 @@ val table5 : Suite.t -> string
 val table6 : Suite.t -> string
 (** G4 equivalent (expects a RISC suite). *)
 
+val table5_of :
+  (string * Ferrite_injection.Campaign.summary) list -> string
+(** {!table5} from pre-tallied summaries (Stack, System Registers, Data,
+    Code — in that order, paired with the paper rows). {!table5} and the
+    store-backed report both render through this, which is what makes
+    [report --from-store] byte-identical over the same records. *)
+
+val table6_of :
+  (string * Ferrite_injection.Campaign.summary) list -> string
+
+val triage_table :
+  ?title:string ->
+  arch:Ferrite_kir.Image.arch ->
+  kind:Ferrite_injection.Target.kind ->
+  (Ferrite_injection.Triage.bucket * int) list ->
+  string
+(** Root-cause family breakdown (the paper's §5 case-study families) with
+    shares w.r.t. all triaged failures. Zero-count families are kept, so the
+    table shape is stable across campaigns. *)
+
+val from_store_report : Ferrite_injection.Result_store.agg list -> string
+(** The [report --from-store] body: Table 5 and/or 6 when the store holds
+    all four campaign kinds for that architecture, then one per-fault-model
+    breakout and one triage table per (arch, kind) in store order. *)
+
 val fig4 : Suite.t -> string
 val fig5 : Suite.t -> string
 val fig6 : p4:Suite.t -> g4:Suite.t -> string

@@ -109,6 +109,7 @@ type result = {
   target : Target.t;
   outcome : Outcome.record;
   trace : Tracer.trial;
+  dump : Ferrite_injection.Crash_dump.t option;  (* Some iff Known_crash *)
 }
 
 let spec_of sc target =
@@ -141,7 +142,13 @@ let run ?(executor = Executor.Sequential) ?(trace = Tracer.default_config) sc =
     }
   in
   let out = Executor.run ~trace executor env [| spec_of sc target |] in
-  { scenario = sc; target; outcome = out.Executor.records.(0); trace = out.Executor.traces.(0) }
+  {
+    scenario = sc;
+    target;
+    outcome = out.Executor.records.(0);
+    trace = out.Executor.traces.(0);
+    dump = out.Executor.dumps.(0);
+  }
 
 let render r =
   let buf = Buffer.create 4096 in

@@ -35,6 +35,9 @@ type result = {
   target : Ferrite_injection.Target.t;  (** the resolved concrete target *)
   outcome : Ferrite_injection.Outcome.record;
   trace : Ferrite_trace.Tracer.trial;
+  dump : Ferrite_injection.Crash_dump.t option;
+      (** structured dump for triage; [Some] iff the replay ended in a
+          delivered [Known_crash] *)
 }
 
 val run :

@@ -50,6 +50,7 @@ type result = {
   cfg : config;
   records : Outcome.record list;
   traces : Ferrite_trace.Tracer.trial list;
+  dumps : Crash_dump.t option list;  (* same order as records *)
   telemetry : Ferrite_trace.Telemetry.t;
   hot_profile : (string * float) list;
   reboots : int;
@@ -175,6 +176,7 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ?(executor = Executor.default)
     cfg;
     records = Array.to_list out.Executor.records;
     traces = Array.to_list out.Executor.traces;
+    dumps = Array.to_list out.Executor.dumps;
     telemetry =
       Ferrite_trace.Telemetry.with_boots out.Executor.telemetry out.Executor.reboots;
     hot_profile = hot;

@@ -72,6 +72,10 @@ type result = {
   traces : Ferrite_trace.Tracer.trial list;
       (** per-trial event traces in trial order (empty event lists unless a
           retaining [tracer] config was passed to {!run}) *)
+  dumps : Crash_dump.t option list;
+      (** structured crash dumps in trial order; [Some] exactly for
+          [Known_crash] records of freshly-run trials (journal-resumed trials
+          carry [None] — the v2 journal format predates dumps) *)
   telemetry : Ferrite_trace.Telemetry.t;
       (** exact campaign counters; [tl_boots] is filled from [reboots] and is
           the only executor-dependent field *)

@@ -50,13 +50,17 @@ let classify_p4 sys (e : CExn.t) =
    r1 itself, so a pointer that lands inside some other task's stack still
    passes the check. *)
 let g4_stack_overflow sys =
+  (* early exit: the first containing stack settles it — this runs on every
+     G4 exception entry, so the full-task scan is pure waste once SP is known
+     to be in range *)
   let sp = System.sp sys in
-  let in_some_stack = ref false in
-  for i = 0 to Abi.ntasks - 1 do
+  let rec scan i =
+    i < Abi.ntasks
+    &&
     let lo, hi = System.task_stack_range sys i in
-    if sp >= lo && sp < hi then in_some_stack := true
-  done;
-  not !in_some_stack
+    (sp >= lo && sp < hi) || scan (i + 1)
+  in
+  not (scan 0)
 
 let wrapper_enabled sys =
   sys.System.image.Ferrite_kir.Image.img_g4_wrapper

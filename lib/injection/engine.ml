@@ -61,8 +61,8 @@ type state = {
   mutable injected : bool;  (* register targets: has the flip happened yet *)
 }
 
-let run_one ?tracer ?(model = Fault_model.Single_bit_transient) ?(fault_seed = 0L) ~sys
-    ~runner ~target ~collector config =
+let run_one ?tracer ?(model = Fault_model.Single_bit_transient) ?(fault_seed = 0L)
+    ?(on_dump = fun (_ : Crash_dump.t) -> ()) ~sys ~runner ~target ~collector config =
   let config = validated config in
   let counters = System.counters sys in
   let dr = System.debug_regs sys in
@@ -250,6 +250,23 @@ let run_one ?tracer ?(model = Fault_model.Single_bit_transient) ?(fault_seed = 0
       (match result with
       | Some info ->
         emit (Event.Collector_send { delivered = true });
+        (* the dump reached the collector: capture its structured form while
+           the machine is still at the crash point (a lost dump stays a
+           Silent Drop for triage, exactly as in the paper) *)
+        let events =
+          match tracer with
+          | None -> []
+          | Some tr ->
+            let evs = Ferrite_trace.Tracer.events tr in
+            let n = List.length evs in
+            let skip = max 0 (n - 8) in
+            List.filteri (fun i _ -> i >= skip) evs
+            |> List.map (fun ((st : Event.stamp), ev) ->
+                   Printf.sprintf "[cyc %d] %s" st.Event.s_cycles (Event.describe ev))
+        in
+        on_dump
+          (Crash_dump.capture ~events ~model:(Fault_model.tag model) ~target
+             ?activation_cycle:st.activation ~latency sys fault);
         finish (Outcome.Known_crash info)
       | None ->
         emit (Event.Collector_send { delivered = false });

@@ -46,6 +46,7 @@ val run_one :
   ?tracer:Ferrite_trace.Tracer.t ->
   ?model:Fault_model.t ->
   ?fault_seed:int64 ->
+  ?on_dump:(Crash_dump.t -> unit) ->
   sys:Ferrite_kernel.System.t ->
   runner:Ferrite_workload.Runner.t ->
   target:Target.t ->
@@ -61,4 +62,10 @@ val run_one :
     of corruption lands; the default reproduces the legacy engine
     byte-for-byte. [fault_seed] (default [0L]) seeds the model's own fault
     stream (extra multi-bit positions, intermittent phase); the legacy model
-    never draws from it. *)
+    never draws from it.
+
+    [on_dump] (default: ignore) fires exactly when a crash dump is delivered
+    to the collector (i.e. for every [Known_crash]), with the structured
+    {!Crash_dump.t} captured while the machine is still at the crash point.
+    A lost dump fires nothing — for triage that crash stays a silent drop,
+    as in the paper. *)

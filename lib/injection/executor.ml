@@ -24,6 +24,7 @@ let describe = function
 type outcome = {
   records : Outcome.record array;  (* indexed by trial index *)
   traces : Ferrite_trace.Tracer.trial array;  (* same indexing *)
+  dumps : Crash_dump.t option array;  (* same indexing; [Some] iff Known_crash *)
   telemetry : Ferrite_trace.Telemetry.t;
   reboots : int;
   collector : Collector.stats;
@@ -54,27 +55,29 @@ let run_spec ~supervisor ~trace env cache (spec : Trial.spec) =
     match Supervisor.lookup sv spec.Trial.index with
     | Some e ->
       Supervisor.note_skip sv spec.Trial.index;
-      (e.Journal.je_record, e.Journal.je_stats, e.Journal.je_trace)
+      (* journal-served trials carry no dump — the v2 on-disk format predates
+         structured dumps, and re-running the trial to recover one would break
+         the resumed == uninterrupted byte-identity *)
+      (e.Journal.je_record, e.Journal.je_stats, e.Journal.je_trace, None)
     | None ->
-      let ((record, st, tr) : Outcome.record * Collector.stats * Ferrite_trace.Tracer.trial)
-          =
-        Supervisor.run_trial sv ~trace env cache spec
-      in
+      let record, st, tr, dump = Supervisor.run_trial sv ~trace env cache spec in
       Supervisor.journal_append sv
         { Journal.je_index = spec.Trial.index; je_record = record; je_stats = st; je_trace = tr };
-      (record, st, tr))
+      (record, st, tr, dump))
 
 let run_sequential ~progress ~trace ~supervisor env specs =
   let total = Array.length specs in
   let cache = Trial.cache_create () in
   let stats = ref Collector.zero_stats in
   let traces = Array.make total None in
+  let dumps = Array.make total None in
   let records =
     Array.mapi
       (fun i spec ->
-        let record, st, tr = run_spec ~supervisor ~trace env cache spec in
+        let record, st, tr, dump = run_spec ~supervisor ~trace env cache spec in
         stats := Collector.merge_stats !stats st;
         traces.(i) <- Some tr;
+        dumps.(i) <- dump;
         progress ~done_:(i + 1) ~total;
         record)
       specs
@@ -83,6 +86,7 @@ let run_sequential ~progress ~trace ~supervisor env specs =
   {
     records;
     traces;
+    dumps;
     telemetry = merge_telemetry traces;
     reboots = Trial.reboots cache;
     collector = !stats;
@@ -118,8 +122,8 @@ let run_parallel ~progress ~trace ~supervisor ~domains env specs =
       if lo < total then begin
         let hi = min total (lo + chunk) in
         for i = lo to hi - 1 do
-          let record, st, tr = run_spec ~supervisor ~trace env cache specs.(i) in
-          results.(i) <- Some (record, tr);
+          let record, st, tr, dump = run_spec ~supervisor ~trace env cache specs.(i) in
+          results.(i) <- Some (record, tr, dump);
           stats := Collector.merge_stats !stats st;
           Mutex.protect progress_mutex (fun () ->
               incr finished;
@@ -141,13 +145,16 @@ let run_parallel ~progress ~trace ~supervisor ~domains env specs =
   in
   let records =
     Array.map
-      (function Some (r, _) -> r | None -> assert false (* every slot claimed *))
+      (function Some (r, _, _) -> r | None -> assert false (* every slot claimed *))
       results
   in
   let traces =
-    Array.map (function Some (_, t) -> t | None -> assert false) results
+    Array.map (function Some (_, t, _) -> t | None -> assert false) results
   in
-  { records; traces; telemetry = merge_telemetry traces; reboots; collector = stats; cache }
+  let dumps =
+    Array.map (function Some (_, _, d) -> d | None -> assert false) results
+  in
+  { records; traces; dumps; telemetry = merge_telemetry traces; reboots; collector = stats; cache }
 
 let run ?(progress = no_progress) ?(trace = Ferrite_trace.Tracer.telemetry_only) ?supervisor
     t env specs =
@@ -155,6 +162,7 @@ let run ?(progress = no_progress) ?(trace = Ferrite_trace.Tracer.telemetry_only)
     {
       records = [||];
       traces = [||];
+      dumps = [||];
       telemetry = Ferrite_trace.Telemetry.zero;
       reboots = 0;
       collector = Collector.zero_stats;

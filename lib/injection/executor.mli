@@ -39,6 +39,10 @@ type outcome = {
       (** per-trial event traces, same indexing — they survive the parallel
           merge in trial order, so Sequential and Parallel render the same
           timelines byte for byte *)
+  dumps : Crash_dump.t option array;
+      (** structured crash dumps, same indexing; [Some] exactly for
+          [Known_crash] records of freshly-run trials. Journal-served trials
+          (resume) carry [None]: the v2 on-disk format predates dumps. *)
   telemetry : Ferrite_trace.Telemetry.t;
       (** folded from [traces] in index order; every field except [tl_boots]
           (filled by the campaign) is executor-independent *)

@@ -1,153 +1,94 @@
+(* Kernel crash-dump ("oops") rendering.
+
+   The machine-state extraction lives in [Crash_dump]; this module is the
+   pretty-printer. [render] captures a structured dump from the live machine
+   and formats it, and [render_dump] formats an already-captured dump — the
+   same bytes either way, so triage and reporting can work from stored dumps
+   without the machine. *)
+
 module System = Ferrite_kernel.System
-module Image = Ferrite_kir.Image
 module Word = Ferrite_machine.Word
-module CExn = Ferrite_cisc.Exn
-module RExn = Ferrite_risc.Exn
 
 let hex = Word.to_hex
 
-let banner sys fault =
-  match fault with
-  | System.Cisc_fault e ->
-    (match e with
-    | CExn.Page_fault { addr; _ } when Ferrite_machine.Layout.is_null_deref addr ->
-      Printf.sprintf "Unable to handle kernel NULL pointer dereference at virtual address %s"
-        (hex addr)
-    | CExn.Page_fault { addr; _ } ->
-      Printf.sprintf "Unable to handle kernel paging request at virtual address %s" (hex addr)
-    | CExn.Invalid_opcode ->
-      if System.global sys "panic_code" <> 0 then
-        Printf.sprintf "Kernel panic: code %d" (System.global sys "panic_code")
-      else "invalid operand: 0000"
-    | CExn.General_protection _ -> "general protection fault: 0000"
-    | CExn.Invalid_tss -> "invalid TSS: 0000"
-    | CExn.Divide_error -> "divide error: 0000"
-    | CExn.Bounds -> "bounds: 0000"
-    | CExn.Double_fault -> "double fault (no dump)"
-    | CExn.Software_panic { message } -> "Kernel panic: " ^ message
-    | CExn.Debug_trap | CExn.Breakpoint_trap -> "unexpected trap")
-  | System.Risc_fault e ->
-    (match e with
-    | RExn.Dsi { addr; _ } | RExn.Isi { addr } ->
-      Printf.sprintf "kernel access of bad area at %s" (hex addr)
-    | RExn.Program_illegal -> "kernel tried to execute an illegal instruction"
-    | RExn.Program_trap ->
-      if System.global sys "panic_code" <> 0 then
-        Printf.sprintf "Kernel panic!!! code %d" (System.global sys "panic_code")
-      else "kernel BUG"
-    | RExn.Alignment { addr } -> Printf.sprintf "alignment exception at %s" (hex addr)
-    | RExn.Machine_check _ -> "machine check in kernel mode"
-    | RExn.Program_privileged -> "bad trap: privileged instruction"
-    | RExn.Unexpected_syscall -> "bad trap: unexpected system call"
-    | RExn.Software_panic { message } -> "checkstop: " ^ message)
+let banner = Crash_dump.banner
+let stack_overflow_signature = Crash_dump.stack_repeat_signature
 
-let registers sys =
-  match sys.System.cpu with
-  | System.Ccpu c ->
-    let r = c.Ferrite_cisc.Cpu.regs in
+let render_registers arch regs =
+  let v name = Option.value ~default:0 (List.assoc_opt name regs) in
+  match arch with
+  | Ferrite_kir.Image.Cisc ->
     String.concat "\n"
       [
-        Printf.sprintf "eax: %s   ebx: %s   ecx: %s   edx: %s" (hex r.(0)) (hex r.(3)) (hex r.(1))
-          (hex r.(2));
-        Printf.sprintf "esi: %s   edi: %s   ebp: %s   esp: %s" (hex r.(6)) (hex r.(7)) (hex r.(5))
-          (hex r.(4));
-        Printf.sprintf "eip: %s   eflags: %s   cr2: %s" (hex c.Ferrite_cisc.Cpu.eip)
-          (hex c.Ferrite_cisc.Cpu.eflags) (hex c.Ferrite_cisc.Cpu.cr2);
+        Printf.sprintf "eax: %s   ebx: %s   ecx: %s   edx: %s" (hex (v "eax")) (hex (v "ebx"))
+          (hex (v "ecx")) (hex (v "edx"));
+        Printf.sprintf "esi: %s   edi: %s   ebp: %s   esp: %s" (hex (v "esi")) (hex (v "edi"))
+          (hex (v "ebp")) (hex (v "esp"));
+        Printf.sprintf "eip: %s   eflags: %s   cr2: %s" (hex (v "eip")) (hex (v "eflags"))
+          (hex (v "cr2"));
       ]
-  | System.Rcpu c ->
-    let g = c.Ferrite_risc.Cpu.gpr in
+  | Ferrite_kir.Image.Risc ->
     let rows = ref [] in
     for row = 0 to 7 do
       let cells =
         List.init 4 (fun k ->
             let i = (row * 4) + k in
-            Printf.sprintf "r%-2d: %s" i (hex g.(i)))
+            Printf.sprintf "r%-2d: %s" i (hex (v (Printf.sprintf "r%d" i))))
       in
       rows := String.concat "   " cells :: !rows
     done;
     String.concat "\n"
       (List.rev
-         (Printf.sprintf "pc : %s   lr : %s   ctr: %s   cr : %s" (hex c.Ferrite_risc.Cpu.pc)
-            (hex c.Ferrite_risc.Cpu.lr) (hex c.Ferrite_risc.Cpu.ctr) (hex c.Ferrite_risc.Cpu.cr)
+         (Printf.sprintf "pc : %s   lr : %s   ctr: %s   cr : %s" (hex (v "pc")) (hex (v "lr"))
+            (hex (v "ctr")) (hex (v "cr"))
          :: !rows))
 
-let symbolize sys pc =
-  match Image.function_at sys.System.image pc with
-  | Some f -> Printf.sprintf "%s+0x%x" f.Image.fs_name (pc - f.Image.fs_addr)
-  | None -> "(no symbol)"
+let registers sys = render_registers sys.System.arch (Crash_dump.registers sys)
 
-let code_window sys =
-  let pc = System.pc sys in
-  let header = Printf.sprintf "EIP/PC is at %s" (symbolize sys pc) in
-  let body =
-    match sys.System.arch with
-    | Image.Cisc ->
-      (match Ferrite_cisc.Disasm.window ~count:4 ~mem:sys.System.mem pc with
-      | lines ->
-        String.concat "\n"
-          (List.map (fun (a, _, text) -> Printf.sprintf "  %s: %s" (hex a) text) lines)
-      | exception _ -> "  (code unreadable)")
-    | Image.Risc ->
-      (match Ferrite_risc.Disasm.window ~count:4 ~mem:sys.System.mem pc with
-      | lines ->
-        String.concat "\n" (List.map (fun (a, text) -> Printf.sprintf "  %s: %s" (hex a) text) lines)
-      | exception _ -> "  (code unreadable)")
-  in
-  header ^ "\n" ^ body
+let code_window sys = String.concat "\n" (Crash_dump.code_window_lines sys)
 
-let peek_word sys addr = try Some (System.peek32 sys addr) with _ -> None
-
-let stack_dump ?(words = 16) sys =
-  let sp = System.sp sys in
+(* Four words per row; every row — including a trailing partial one — starts
+   with a single space before each word and ends with a newline. Triage and
+   the golden-format test parse this, so the shape is a contract. *)
+let stack_rows words =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf (Printf.sprintf "Stack: (esp/r1 = %s)\n" (hex sp));
-  for i = 0 to words - 1 do
-    if i mod 4 = 0 then Buffer.add_string buf " ";
-    (match peek_word sys (sp + (4 * i)) with
-    | Some w -> Buffer.add_string buf (" " ^ hex w)
-    | None -> Buffer.add_string buf " ????????");
-    if i mod 4 = 3 then Buffer.add_char buf '\n'
-  done;
+  let n = List.length words in
+  List.iteri
+    (fun i w ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (match w with Some w -> hex w | None -> "????????");
+      if i mod 4 = 3 || i = n - 1 then Buffer.add_char buf '\n')
+    words;
   Buffer.contents buf
 
-(* Figure 7's off-line heuristic: a runaway stack leaves a short repeating
-   pattern of return addresses. We look for a period-<=4 repetition of
-   text-section words over a window above the stack pointer. *)
-let stack_overflow_signature sys =
-  let sp = System.sp sys in
-  let window = 32 in
-  let word i = peek_word sys (sp + (4 * i)) in
-  let text_base = sys.System.image.Image.img_text_base in
-  let text_end = text_base + Image.text_size sys.System.image in
-  let is_text w = w >= text_base && w < text_end in
-  let rec try_period p =
-    if p > 4 then false
-    else begin
-      let matches = ref 0 in
-      let total = ref 0 in
-      for i = 0 to window - p - 1 do
-        match word i, word (i + p) with
-        | Some a, Some b when is_text a ->
-          incr total;
-          if a = b then incr matches
-        | _ -> ()
-      done;
-      (!total >= 6 && !matches * 10 >= !total * 8) || try_period (p + 1)
-    end
-  in
-  try_period 1
+let stack_dump ?(words = 16) sys =
+  Printf.sprintf "Stack: (esp/r1 = %s)\n" (hex (System.sp sys))
+  ^ stack_rows (Crash_dump.stack_words ~words sys)
 
-let render sys fault =
-  String.concat "\n"
-    [
-      banner sys fault;
-      "";
-      registers sys;
-      "";
-      code_window sys;
-      "";
-      stack_dump sys;
-      (if stack_overflow_signature sys then
-         "Note: repeating return-address pattern - stack overflow suspected (Fig. 7)"
-       else "");
-    ]
+(* ---------- dump pretty-printer ---------- *)
+
+let render_dump (d : Crash_dump.t) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%s" d.Crash_dump.cd_banner;
+  line "";
+  line "%s" (render_registers d.Crash_dump.cd_arch d.Crash_dump.cd_registers);
+  line "";
+  List.iter (fun l -> line "%s" l) d.Crash_dump.cd_code;
+  line "";
+  line "Stack: (esp/r1 = %s)" (hex d.Crash_dump.cd_sp);
+  Buffer.add_string buf (stack_rows d.Crash_dump.cd_stack_words);
+  if d.Crash_dump.cd_backtrace <> [] then begin
+    line "Call Trace:";
+    List.iter (fun (a, sym) -> line " [<%s>] %s" (hex a) sym) d.Crash_dump.cd_backtrace
+  end;
+  if d.Crash_dump.cd_events <> [] then begin
+    line "Last events:";
+    List.iter (fun e -> line "  %s" e) d.Crash_dump.cd_events
+  end;
+  if d.Crash_dump.cd_stack_repeat then
+    line "Note: repeating return-address pattern - stack overflow suspected (Fig. 7)"
+  else line "";
+  Buffer.contents buf
+
+let render sys fault = render_dump (Crash_dump.capture sys fault)

@@ -1,0 +1,211 @@
+(* Bridge between campaign results and the columnar [Ferrite_store.Store]:
+   row encoding in merged trial order (so the store file is byte-identical
+   under every executor), and a single-pass streaming aggregation that
+   rebuilds exactly the values the report layer renders — Table 5/6
+   summaries, per-model breakout groups, crash-cause counts, triage-family
+   counts and the latency population. *)
+
+module Image = Ferrite_kir.Image
+module Store = Ferrite_store.Store
+
+let arch_tag = function Image.Cisc -> "cisc" | Image.Risc -> "risc"
+
+let kind_tag = function
+  | Target.Code -> "code"
+  | Target.Stack -> "stack"
+  | Target.Data -> "data"
+  | Target.Register -> "register"
+
+let arch_of_tag = function
+  | "cisc" -> Some Image.Cisc
+  | "risc" -> Some Image.Risc
+  | _ -> None
+
+let kind_of_tag = function
+  | "code" -> Some Target.Code
+  | "stack" -> Some Target.Stack
+  | "data" -> Some Target.Data
+  | "register" -> Some Target.Register
+  | _ -> None
+
+let row_of ~arch ~kind ~index (record : Outcome.record) dump =
+  let cause, latency, pc, func =
+    match record.Outcome.r_outcome with
+    | Outcome.Known_crash ci ->
+      ( Some (Crash_cause.label ci.Outcome.ci_cause),
+        Some ci.Outcome.ci_latency,
+        Some ci.Outcome.ci_pc,
+        ci.Outcome.ci_function )
+    | _ -> (None, None, None, None)
+  in
+  {
+    Store.r_index = index;
+    r_arch = arch_tag arch;
+    r_kind = kind_tag kind;
+    r_model = Fault_model.tag record.Outcome.r_model;
+    r_outcome = Outcome.outcome_label record.Outcome.r_outcome;
+    r_activated = record.Outcome.r_activated;
+    r_activation_cycle = record.Outcome.r_activation_cycle;
+    r_cause = cause;
+    r_latency = latency;
+    r_pc = pc;
+    r_function = func;
+    r_triage = Option.map Triage.tag (Triage.of_record record dump);
+  }
+
+let append_result w (result : Campaign.result) =
+  let arch = result.Campaign.cfg.Campaign.arch in
+  let kind = result.Campaign.cfg.Campaign.kind in
+  List.iteri
+    (fun index (record, dump) ->
+      Store.append w (row_of ~arch ~kind ~index record dump))
+    (List.combine result.Campaign.records result.Campaign.dumps)
+
+(* ---------- streaming aggregation ---------- *)
+
+(* mutable tally mirroring [Campaign.summary]; one per (group, model) *)
+type tally = {
+  mutable t_injected : int;  (* non-quarantined rows *)
+  mutable t_activated : int;
+  mutable t_not_manifested : int;
+  mutable t_fsv : int;
+  mutable t_known_crash : int;
+  mutable t_hang_or_unknown : int;
+  mutable t_infrastructure : int;
+}
+
+let new_tally () =
+  {
+    t_injected = 0;
+    t_activated = 0;
+    t_not_manifested = 0;
+    t_fsv = 0;
+    t_known_crash = 0;
+    t_hang_or_unknown = 0;
+    t_infrastructure = 0;
+  }
+
+let bump t (row : Store.row) =
+  match row.Store.r_outcome with
+  | "Infrastructure Failure" -> t.t_infrastructure <- t.t_infrastructure + 1
+  | label ->
+    t.t_injected <- t.t_injected + 1;
+    if row.Store.r_activated then t.t_activated <- t.t_activated + 1;
+    (match label with
+    | "Not Manifested" -> t.t_not_manifested <- t.t_not_manifested + 1
+    | "Fail Silence Violation" -> t.t_fsv <- t.t_fsv + 1
+    | "Known Crash" -> t.t_known_crash <- t.t_known_crash + 1
+    | "Hang" | "Unknown Crash" -> t.t_hang_or_unknown <- t.t_hang_or_unknown + 1
+    | _ -> ())
+
+let summary_of_tally ~kind t =
+  {
+    Campaign.injected = t.t_injected;
+    activated = t.t_activated;
+    activation_known = kind <> Target.Register;
+    not_manifested = t.t_not_manifested;
+    fsv = t.t_fsv;
+    known_crash = t.t_known_crash;
+    hang_or_unknown = t.t_hang_or_unknown;
+    infrastructure = t.t_infrastructure;
+  }
+
+(* one aggregation group = one campaign's worth of rows *)
+type group = {
+  g_arch : Image.arch;
+  g_kind : Target.kind;
+  g_total : tally;
+  mutable g_models : (string * tally) list;  (* newest first; reversed at the end *)
+  g_causes : (string, int) Hashtbl.t;
+  g_triage : (string, int) Hashtbl.t;
+  mutable g_latencies : int list;  (* newest first *)
+}
+
+type agg = {
+  ag_arch : Image.arch;
+  ag_kind : Target.kind;
+  ag_summary : Campaign.summary;
+  ag_models : (string * Campaign.summary) list;  (* first-appearance order *)
+  ag_causes : (string * int) list;  (* crash-cause label counts, descending *)
+  ag_triage : (Triage.bucket * int) list;  (* in Triage.all order; zeros kept *)
+  ag_latencies : int list;  (* cycles-to-crash in row order *)
+}
+
+let bump_tbl tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let aggregate path =
+  let order = ref [] in
+  let groups : (string * string, group) Hashtbl.t = Hashtbl.create 8 in
+  let absorb () (row : Store.row) =
+    match (arch_of_tag row.Store.r_arch, kind_of_tag row.Store.r_kind) with
+    | None, _ | _, None -> ()  (* unknown tag: a newer writer; skip, don't guess *)
+    | Some arch, Some kind ->
+      let key = (row.Store.r_arch, row.Store.r_kind) in
+      let g =
+        match Hashtbl.find_opt groups key with
+        | Some g -> g
+        | None ->
+          let g =
+            {
+              g_arch = arch;
+              g_kind = kind;
+              g_total = new_tally ();
+              g_models = [];
+              g_causes = Hashtbl.create 8;
+              g_triage = Hashtbl.create 8;
+              g_latencies = [];
+            }
+          in
+          Hashtbl.add groups key g;
+          order := key :: !order;
+          g
+      in
+      bump g.g_total row;
+      (* per-model tallies keep first-appearance order, matching
+         [Campaign.group_by_model] on the same record stream; quarantined
+         rows are excluded exactly as there *)
+      if row.Store.r_outcome <> "Infrastructure Failure" then begin
+        let mt =
+          match List.assoc_opt row.Store.r_model g.g_models with
+          | Some t -> t
+          | None ->
+            let t = new_tally () in
+            g.g_models <- (row.Store.r_model, t) :: g.g_models;
+            t
+        in
+        bump mt row
+      end;
+      Option.iter (fun c -> bump_tbl g.g_causes c) row.Store.r_cause;
+      Option.iter (fun tr -> bump_tbl g.g_triage tr) row.Store.r_triage;
+      Option.iter (fun l -> g.g_latencies <- l :: g.g_latencies) row.Store.r_latency
+  in
+  let (), sc = Store.fold path absorb () in
+  let aggs =
+    List.rev_map
+      (fun key ->
+        let g = Hashtbl.find groups key in
+        {
+          ag_arch = g.g_arch;
+          ag_kind = g.g_kind;
+          ag_summary = summary_of_tally ~kind:g.g_kind g.g_total;
+          ag_models =
+            List.rev_map
+              (fun (tag, t) -> (tag, summary_of_tally ~kind:g.g_kind t))
+              g.g_models;
+          ag_causes =
+            Hashtbl.fold (fun c n acc -> (c, n) :: acc) g.g_causes []
+            |> List.sort (fun (_, a) (_, b) -> compare b a);
+          ag_triage =
+            List.map
+              (fun b ->
+                (b, Option.value ~default:0 (Hashtbl.find_opt g.g_triage (Triage.tag b))))
+              Triage.all;
+          ag_latencies = List.rev g.g_latencies;
+        })
+      !order
+  in
+  (aggs, sc)
+
+let find_agg aggs ~arch ~kind =
+  List.find_opt (fun a -> a.ag_arch = arch && a.ag_kind = kind) aggs

@@ -1,0 +1,53 @@
+(** Campaign results ⇄ the columnar {!Ferrite_store} file.
+
+    Writing: rows are emitted in merged trial order, so the store file bytes
+    depend only on the campaign plan — never on the executor or [--jobs].
+
+    Reading: {!aggregate} makes a single streaming pass and rebuilds exactly
+    the values the report layer renders, so [report --from-store] output is
+    byte-identical to the in-memory tables over the same records. *)
+
+module Store = Ferrite_store.Store
+
+val arch_tag : Ferrite_kir.Image.arch -> string
+val kind_tag : Target.kind -> string
+val arch_of_tag : string -> Ferrite_kir.Image.arch option
+val kind_of_tag : string -> Target.kind option
+
+val row_of :
+  arch:Ferrite_kir.Image.arch ->
+  kind:Target.kind ->
+  index:int ->
+  Outcome.record ->
+  Crash_dump.t option ->
+  Store.row
+(** One store row for one trial. The triage column is
+    [Triage.of_record record dump] — deterministic, so two stores of the same
+    campaign are byte-identical. *)
+
+val append_result : Store.writer -> Campaign.result -> unit
+(** Append every record of a campaign, in trial order. *)
+
+(** {2 Streaming aggregation} *)
+
+type agg = {
+  ag_arch : Ferrite_kir.Image.arch;
+  ag_kind : Target.kind;
+  ag_summary : Campaign.summary;  (** same tallies as {!Campaign.summarize} *)
+  ag_models : (string * Campaign.summary) list;
+      (** per-fault-model summaries, first-appearance order — the
+          {!Campaign.group_by_model} breakout rows *)
+  ag_causes : (string * int) list;  (** crash-cause label counts, descending *)
+  ag_triage : (Triage.bucket * int) list;
+      (** triage-family counts in {!Triage.all} order (zeros kept) *)
+  ag_latencies : int list;  (** cycles-to-crash of known crashes, row order *)
+}
+
+val aggregate : string -> agg list * Store.scan
+(** Fold the whole store once; one [agg] per (arch, kind) campaign, in
+    first-appearance (file) order. Memory is bounded by the aggregates, not
+    the row count. Rows with unrecognised arch/kind tags (a newer writer) are
+    skipped. *)
+
+val find_agg :
+  agg list -> arch:Ferrite_kir.Image.arch -> kind:Target.kind -> agg option

@@ -244,7 +244,7 @@ let quarantined_result t ~trace ~model (spec : Trial.spec) reasons =
         { q_index = index; q_attempts = attempts; q_reason = last_reason } :: t.quarantined;
       Tracer.record t.tracer zero_stamp
         (Event.Trial_quarantined { trial = index; attempts; reason = last_reason }));
-  (record, Collector.zero_stats, trial_trace)
+  (record, Collector.zero_stats, trial_trace, None)
 
 let run_trial t ~trace env cache (spec : Trial.spec) =
   let index = spec.Trial.index in

@@ -121,7 +121,7 @@ val run_trial :
   Trial.env ->
   Trial.cache ->
   Trial.spec ->
-  Outcome.record * Collector.stats * Ferrite_trace.Tracer.trial
+  Outcome.record * Collector.stats * Ferrite_trace.Tracer.trial * Crash_dump.t option
 (** {!Trial.run} wrapped in containment: chaos is applied, unexpected
     exceptions and deadline overruns invalidate the worker's machine cache
     (so the retry starts from a fresh boot), retries back off exponentially,

@@ -1,0 +1,85 @@
+(* Mechanical crash triage: bucket structured dumps into the paper's §5
+   root-cause families. The paper derived these by reading oops dumps by
+   hand (Figs. 7, 13, 14); the classifiers below promote those readings into
+   deterministic, testable rules over [Crash_dump.t]:
+
+   - Stack overwrite (§5.1, Fig. 7): the kernel ran on a clobbered stack —
+     explicit Stack Overflow cause, the repeating return-address signature,
+     or a stack pointer outside every task stack.
+   - Corrupted-instruction resync (§5.4, Fig. 14): a code error whose
+     corrupted bytes were consumed and execution crashed somewhere else —
+     the decoder re-synchronised and carried on before dying.
+   - Bad-pointer propagation (§5.3, Fig. 13): a data/stack/register error
+     that propagated into a detected failure (including detection by a
+     magic-value check, whose report is famously misleading).
+   - Silent drop: the crash produced no dump at the collector (lost in
+     transit) or never produced one (hang / wild execution) — the paper's
+     Hang/Unknown column.
+   - Unknown: a crash the rules cannot attribute (e.g. a code error detected
+     exactly at the injection point — clean detection, no propagation story). *)
+
+type bucket = Resync | Stack_overwrite | Bad_pointer | Silent_drop | Unknown
+
+let all = [ Resync; Stack_overwrite; Bad_pointer; Silent_drop; Unknown ]
+
+let tag = function
+  | Resync -> "resync"
+  | Stack_overwrite -> "stack_overwrite"
+  | Bad_pointer -> "bad_pointer"
+  | Silent_drop -> "silent_drop"
+  | Unknown -> "unknown"
+
+let label = function
+  | Resync -> "Corrupted-Instruction Resync"
+  | Stack_overwrite -> "Stack Overwrite"
+  | Bad_pointer -> "Bad-Pointer Propagation"
+  | Silent_drop -> "Silent Drop"
+  | Unknown -> "Unknown"
+
+let of_tag s = List.find_opt (fun b -> tag b = s) all
+
+(* A crash cause that *is* the immediate detection of the corrupted
+   instruction itself: not a resync story. *)
+let immediate_code_detection = function
+  | Some (Crash_cause.P4 Crash_cause.Invalid_instruction)
+  | Some (Crash_cause.G4 Crash_cause.Illegal_instruction) ->
+    true
+  | _ -> false
+
+let classify (d : Crash_dump.t) =
+  let stack_overwrite =
+    d.Crash_dump.cd_cause = Some (Crash_cause.G4 Crash_cause.Stack_overflow)
+    || d.Crash_dump.cd_stack_repeat
+    || not d.Crash_dump.cd_sp_in_stack
+  in
+  if stack_overwrite then Stack_overwrite
+  else
+    match d.Crash_dump.cd_target with
+    | Some (Target.Code_target { addr; _ }) ->
+      (* the decoder consumed the corrupted bytes and crashed elsewhere *)
+      if d.Crash_dump.cd_pc <> addr && not (immediate_code_detection d.Crash_dump.cd_cause)
+      then Resync
+      else Unknown
+    | Some (Target.Stack_target _ | Target.Data_target _ | Target.Reg_target _) ->
+      Bad_pointer
+    | None -> Unknown
+
+(* Dump-free fallback for records without machine state (journal-resumed
+   trials): the dump-derived signals (stack signature, SP range, crash PC)
+   are gone, so only the cause and the target kind remain. *)
+let fallback (r : Outcome.record) (info : Outcome.crash_info) =
+  if info.Outcome.ci_cause = Crash_cause.G4 Crash_cause.Stack_overflow then Stack_overwrite
+  else
+    match Target.kind_of r.Outcome.r_target with
+    | Target.Code ->
+      if immediate_code_detection (Some info.Outcome.ci_cause) then Unknown else Resync
+    | Target.Stack | Target.Data | Target.Register -> Bad_pointer
+
+let of_record (r : Outcome.record) dump =
+  match r.Outcome.r_outcome with
+  | Outcome.Known_crash info ->
+    Some (match dump with Some d -> classify d | None -> fallback r info)
+  | Outcome.Hang | Outcome.Unknown_crash -> Some Silent_drop
+  | Outcome.Not_activated | Outcome.Not_manifested | Outcome.Fail_silence_violation
+  | Outcome.Infrastructure_failure _ ->
+    None

@@ -1,0 +1,35 @@
+(** Mechanical crash triage into the paper's §5 root-cause families.
+
+    [classify] works on a structured {!Crash_dump.t} (machine-state signals:
+    stack-repeat signature, SP range, crash PC vs injection point);
+    [of_record] adds the outcome-level buckets (silent drop) and a
+    cause/kind fallback for records that carry no dump (journal-resumed
+    trials). Both are pure, so bucket assignment is deterministic for every
+    executor and [--jobs] value. *)
+
+type bucket =
+  | Resync  (** §5.4, Fig. 14: corrupted instruction stream re-synchronised *)
+  | Stack_overwrite  (** §5.1, Fig. 7: execution on a clobbered stack *)
+  | Bad_pointer  (** §5.3, Fig. 13: corrupted data/pointer propagated to a detected failure *)
+  | Silent_drop  (** crash with no dump at the collector, hang, or wild execution *)
+  | Unknown
+
+val all : bucket list
+(** In report order. *)
+
+val tag : bucket -> string
+(** Stable machine-readable tag (also the store's dictionary entry). *)
+
+val label : bucket -> string
+(** Human-readable family name. *)
+
+val of_tag : string -> bucket option
+
+val classify : Crash_dump.t -> bucket
+(** Bucket one structured dump (never [Silent_drop]: a dump exists exactly
+    when the collector received it). *)
+
+val of_record : Outcome.record -> Crash_dump.t option -> bucket option
+(** Bucket a trial record, using its dump when one was captured. [None] for
+    outcomes that are not failures (not activated, not manifested, FSV,
+    quarantined). *)

@@ -138,9 +138,11 @@ let run ?(trace = Ferrite_trace.Tracer.telemetry_only) env cache spec =
   in
   Ferrite_trace.Tracer.record tracer (stamp ())
     (Event.Trial_begin { trial = spec.index; target = Target.describe target });
+  let dump = ref None in
   let record =
-    Engine.run_one ~tracer ~model:env.env_fault_model ~fault_seed:spec.fault_seed ~sys ~runner
-      ~target ~collector env.env_engine
+    Engine.run_one ~tracer ~model:env.env_fault_model ~fault_seed:spec.fault_seed
+      ~on_dump:(fun d -> dump := Some d)
+      ~sys ~runner ~target ~collector env.env_engine
   in
   Ferrite_trace.Tracer.record tracer (stamp ())
     (Event.Trial_end
@@ -155,4 +157,4 @@ let run ?(trace = Ferrite_trace.Tracer.telemetry_only) env cache spec =
     Ferrite_trace.Tracer.trial_of tracer ~index:spec.index ~target:(Target.describe target)
       ~outcome:(Outcome.outcome_label record.Outcome.r_outcome)
   in
-  (record, Collector.stats collector, trial_trace)
+  (record, Collector.stats collector, trial_trace, !dump)

@@ -72,11 +72,12 @@ val run :
   env ->
   cache ->
   spec ->
-  Outcome.record * Collector.stats * Ferrite_trace.Tracer.trial
+  Outcome.record * Collector.stats * Ferrite_trace.Tracer.trial * Crash_dump.t option
 (** Execute one trial: restore/boot a pristine system from the cache, draw
     the target and workload from the spec's seeds, run the §3.2 automaton,
-    and report the record plus the trial's collector delivery tally and its
-    event trace.  [trace] defaults to {!Ferrite_trace.Tracer.telemetry_only}
-    (exact counters, no retained events), so campaigns always collect
-    telemetry for free; pass a positive capacity to keep the event
-    timeline. *)
+    and report the record plus the trial's collector delivery tally, its
+    event trace, and the structured crash dump ([Some] exactly for
+    [Known_crash] outcomes — a dump the collector received).  [trace]
+    defaults to {!Ferrite_trace.Tracer.telemetry_only} (exact counters, no
+    retained events), so campaigns always collect telemetry for free; pass a
+    positive capacity to keep the event timeline. *)

@@ -30,15 +30,31 @@ let fractions t =
   if t.total = 0 then Array.make bucket_count 0.0
   else Array.map (fun c -> float_of_int c /. float_of_int t.total) t.counts
 
+(* Whole buckets below the threshold count fully; the bucket containing the
+   threshold contributes the linear share of its width below the threshold.
+   The histogram has no sub-bucket information, so the interpolation assumes
+   samples spread uniformly inside a bucket — but it no longer silently
+   *drops* the containing bucket: the old code truncated to bucket
+   granularity, reporting 1/3 for [1k;4k;6k] below 5,000 where the
+   interpolated answer is ~0.52. At exact bucket bounds the share term is
+   zero, so those calls are unchanged. Inside the open-ended last bucket
+   (>1G) there is no width to interpolate over; the fraction snaps down to
+   the closed buckets' sum. *)
 let fraction_below t ~cycles =
   if t.total = 0 then 0.0
   else begin
     let limit = bucket_of cycles in
-    let below = ref 0 in
+    let below = ref 0.0 in
     for i = 0 to limit - 1 do
-      below := !below + t.counts.(i)
+      below := !below +. float_of_int t.counts.(i)
     done;
-    float_of_int !below /. float_of_int t.total
+    if limit < Array.length bounds then begin
+      let lo = if limit = 0 then 0 else bounds.(limit - 1) in
+      let hi = bounds.(limit) in
+      let share = float_of_int (cycles - lo) /. float_of_int (hi - lo) in
+      below := !below +. (share *. float_of_int t.counts.(limit))
+    end;
+    !below /. float_of_int t.total
   end
 
 let merge a b =

@@ -25,7 +25,11 @@ val bucket_of : int -> int
 (** Index of the bucket a latency falls in. *)
 
 val fraction_below : t -> cycles:int -> float
-(** Fraction of samples strictly below the given cycle count's bucket
-    boundary (used for "80% of crashes within 3,000 cycles"-style checks). *)
+(** Fraction of samples below [cycles]: whole buckets under the threshold
+    count fully, and the bucket containing it contributes linearly (uniform
+    spread assumed) — at exact bucket bounds this equals the plain
+    whole-bucket sum. Inside the open-ended [>1G] bucket the value snaps down
+    to the closed buckets' sum (no width to interpolate over). Used for
+    "80% of crashes within 3,000 cycles"-style checks. *)
 
 val merge : t -> t -> t

@@ -192,6 +192,39 @@ let test_oops_banner_null_vs_paging () =
   check_bool "paging wording (the Figure 7 message)" true
     (contains b "paging request at virtual address 170fc2a5")
 
+let test_banner_survives_stripped_panic_code () =
+  (* regression: the banner used to read the [panic_code] global unguarded,
+     so an image without that symbol (stripped or ablated builds) raised
+     Invalid_argument from inside the crash path instead of rendering. *)
+  let sys = Boot.boot Image.Cisc in
+  Hashtbl.remove sys.System.image.Image.img_symtab "panic_code";
+  (match Oops.banner sys (System.Cisc_fault Ferrite_cisc.Exn.Invalid_opcode) with
+  | b -> check_bool "generic CISC wording" true (contains b "invalid operand")
+  | exception e -> Alcotest.failf "CISC banner raised %s" (Printexc.to_string e));
+  let rsys = Boot.boot Image.Risc in
+  Hashtbl.remove rsys.System.image.Image.img_symtab "panic_code";
+  (match Oops.banner rsys (System.Risc_fault Ferrite_risc.Exn.Program_trap) with
+  | b -> check_bool "generic RISC wording" true (contains b "kernel BUG")
+  | exception e -> Alcotest.failf "RISC banner raised %s" (Printexc.to_string e))
+
+let test_stack_dump_golden_format () =
+  (* golden format: one space before every word, a newline after every row —
+     including a trailing partial one. The pre-fix renderer doubled the
+     leading space on full rows and left partial rows without a newline. *)
+  let sys = Boot.boot Image.Cisc in
+  let sp = 0xC0802000 in
+  (match sys.System.cpu with
+  | System.Ccpu c -> c.Ferrite_cisc.Cpu.regs.(Ferrite_cisc.Cpu.esp) <- sp
+  | _ -> assert false);
+  for i = 0 to 5 do
+    System.poke32 sys (sp + (4 * i)) (0xC0000000 + i)
+  done;
+  Alcotest.(check string) "six-word dump (partial second row)"
+    "Stack: (esp/r1 = c0802000)\n\
+    \ c0000000 c0000001 c0000002 c0000003\n\
+    \ c0000004 c0000005\n"
+    (Oops.stack_dump ~words:6 sys)
+
 let test_stack_overflow_signature () =
   let sys = Boot.boot Image.Cisc in
   (* fabricate the Figure 7 pattern: a repeating 4-word cycle of text
@@ -228,6 +261,9 @@ let () =
           Alcotest.test_case "P4 oops" `Quick test_oops_p4;
           Alcotest.test_case "G4 oops" `Quick test_oops_g4;
           Alcotest.test_case "NULL vs paging banner" `Quick test_oops_banner_null_vs_paging;
+          Alcotest.test_case "banner without panic_code symbol" `Quick
+            test_banner_survives_stripped_panic_code;
+          Alcotest.test_case "stack dump golden format" `Quick test_stack_dump_golden_format;
           Alcotest.test_case "Fig. 7 stack signature" `Quick test_stack_overflow_signature;
         ] );
     ]

@@ -38,6 +38,22 @@ let test_fraction_below () =
   check_float "below 10k" 0.75 (Hist.fraction_below h ~cycles:10_000);
   check_float "empty" 0.0 (Hist.fraction_below (Hist.create ()) ~cycles:3_000)
 
+let test_fraction_below_interpolates () =
+  (* regression: fraction_below used to truncate to bucket granularity — the
+     4,000-cycle sample below the 5,000 threshold was dropped along with the
+     rest of its 3k-10k bucket, reporting 1/3 here instead of the
+     interpolated (1 + 2/7 * 2) / 3 = 11/21. *)
+  let h = Hist.of_list [ 1_000; 4_000; 6_000 ] in
+  check_float "interpolated" (11.0 /. 21.0) (Hist.fraction_below h ~cycles:5_000);
+  (* exact bucket bounds: the share term is zero, so the pre-fix values are
+     preserved (the Fig. 8/9 shape checks call at 3k/10k/100k exactly) *)
+  check_float "exact bound 3k" (1.0 /. 3.0) (Hist.fraction_below h ~cycles:3_000);
+  check_float "exact bound 10k" 1.0 (Hist.fraction_below h ~cycles:10_000);
+  (* the open-ended >1G bucket has no width to interpolate over: the value
+     snaps down to the closed buckets' sum *)
+  let g = Hist.of_list [ 100; 2_000_000_000 ] in
+  check_float "open-ended bucket" 0.5 (Hist.fraction_below g ~cycles:3_000_000_000)
+
 let test_merge () =
   let a = Hist.of_list [ 1; 2 ] and b = Hist.of_list [ 5_000 ] in
   let m = Hist.merge a b in
@@ -163,6 +179,8 @@ let () =
           Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
           Alcotest.test_case "counts" `Quick test_histogram_counts;
           Alcotest.test_case "fraction_below" `Quick test_fraction_below;
+          Alcotest.test_case "fraction_below interpolates" `Quick
+            test_fraction_below_interpolates;
           Alcotest.test_case "merge" `Quick test_merge;
           q prop_fractions_sum_to_one;
         ] );

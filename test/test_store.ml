@@ -1,0 +1,245 @@
+(* Columnar result store: encoding roundtrips, framing/torn-tail recovery,
+   cross-session append, executor invariance of the file bytes, and the
+   byte-identity of store-backed reporting against the in-memory tables. *)
+
+open Ferrite_injection
+module Image = Ferrite_kir.Image
+module Store = Ferrite_store.Store
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let tmp_store () = Filename.temp_file "ferrite_store" ".fstore"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Edge-value rows: varint length boundaries, zigzag option sentinels, empty
+   and control-character strings through the dictionary layer. *)
+let edge_rows =
+  [
+    {
+      Store.r_index = 0; r_arch = "cisc"; r_kind = "stack"; r_model = "single_bit";
+      r_outcome = "Known Crash"; r_activated = true; r_activation_cycle = Some 0;
+      r_cause = Some ""; r_latency = Some 127; r_pc = Some 0xFFFF_FFFF;
+      r_function = Some "free_pages_ok+0x70"; r_triage = Some "stack_overwrite";
+    };
+    {
+      Store.r_index = 1; r_arch = "risc"; r_kind = "code"; r_model = "burst:4";
+      r_outcome = "Not Manifested"; r_activated = false; r_activation_cycle = None;
+      r_cause = None; r_latency = Some 128; r_pc = None; r_function = Some "\x01odd";
+      r_triage = None;
+    };
+    {
+      Store.r_index = 0x7FFF_FFFF; r_arch = "cisc"; r_kind = "data"; r_model = "single_bit";
+      r_outcome = "Hang"; r_activated = true; r_activation_cycle = Some 0x3FFF_FFFF_FFFF;
+      r_cause = None; r_latency = None; r_pc = Some 0; r_function = None;
+      r_triage = Some "silent_drop";
+    };
+  ]
+
+let test_roundtrip () =
+  let path = tmp_store () in
+  let w = Store.create path in
+  List.iter (Store.append w) edge_rows;
+  Store.close w;
+  let rows, scan = Store.read_all path in
+  check_bool "rows roundtrip" true (rows = edge_rows);
+  check_int "scan rows" 3 scan.Store.sc_rows;
+  check_int "one block" 1 scan.Store.sc_blocks;
+  check_int "no torn tail" 0 scan.Store.sc_truncated_bytes;
+  Sys.remove path
+
+let test_tiny_blocks () =
+  (* block_rows:2 over 8 rows forces four flushed blocks *)
+  let path = tmp_store () in
+  let many = List.concat [ edge_rows; edge_rows; List.tl edge_rows ] in
+  let w = Store.create ~block_rows:2 path in
+  List.iter (Store.append w) many;
+  check_int "rows_written counts buffered rows" 8 (Store.rows_written w);
+  Store.close w;
+  let rows, scan = Store.read_all path in
+  check_bool "multi-block roundtrip" true (rows = many);
+  check_int "four blocks" 4 scan.Store.sc_blocks;
+  Sys.remove path
+
+let test_torn_tail_recovery () =
+  let path = tmp_store () in
+  let w = Store.create ~block_rows:2 path in
+  List.iter (Store.append w) edge_rows;
+  Store.close w;
+  let intact = Store.scan path in
+  (* garbage after the last valid frame: reader keeps the valid prefix *)
+  write_file path (read_file path ^ "torn!");
+  let rows, scan = Store.read_all path in
+  check_int "all rows survive garbage tail" 3 (List.length rows);
+  check_int "tail counted" 5 scan.Store.sc_truncated_bytes;
+  (* cut inside the final frame: its rows are lost, earlier blocks survive *)
+  write_file path (String.sub (read_file path) 0 (intact.Store.sc_bytes - 3));
+  let rows, scan = Store.read_all path in
+  check_int "first block survives a mid-frame cut" 2 (List.length rows);
+  check_bool "cut tail counted" true (scan.Store.sc_truncated_bytes > 0);
+  Sys.remove path
+
+let test_append_across_sessions () =
+  let path = tmp_store () in
+  let w = Store.create path in
+  List.iter (Store.append w) edge_rows;
+  Store.close w;
+  (* second session appends; third opens a store with a torn tail, which
+     open_append truncates before continuing *)
+  let w = Store.open_append path in
+  check_int "existing rows counted" 3 (Store.rows_written w);
+  List.iter (Store.append w) edge_rows;
+  Store.close w;
+  write_file path (read_file path ^ "half-written frame");
+  let w = Store.open_append path in
+  List.iter (Store.append w) (List.tl edge_rows);
+  Store.close w;
+  let rows, scan = Store.read_all path in
+  check_bool "all three sessions readable" true
+    (rows = List.concat [ edge_rows; edge_rows; List.tl edge_rows ]);
+  check_int "no residual torn tail" 0 scan.Store.sc_truncated_bytes;
+  Sys.remove path
+
+let test_not_a_store () =
+  let path = tmp_store () in
+  write_file path "NOTASTOREFILE....";
+  (match Store.read_all path with
+  | exception Store.Not_a_store _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  Sys.remove path
+
+(* ---------- campaign integration ---------- *)
+
+let campaign kind injections =
+  Campaign.default ~arch:Image.Cisc ~kind ~injections
+
+let write_result path result =
+  let w = Store.create path in
+  Result_store.append_result w result;
+  Store.close w
+
+let test_store_bytes_executor_invariant () =
+  (* same campaign, sequential vs parallel: byte-identical store files (rows
+     are merged in trial order and dictionaries are first-appearance) *)
+  let cfg = { (campaign Target.Data 30) with Campaign.seed = 0xF00DL } in
+  let p1 = tmp_store () and p4 = tmp_store () in
+  write_result p1 (Campaign.run ~executor:Executor.Sequential cfg);
+  write_result p4 (Campaign.run ~executor:(Executor.Parallel { domains = 4 }) cfg);
+  check_string "store bytes identical across executors" (read_file p1) (read_file p4);
+  Sys.remove p1;
+  Sys.remove p4
+
+let test_aggregate_matches_in_memory () =
+  let cfg = campaign Target.Code 40 in
+  let result = Campaign.run cfg in
+  let path = tmp_store () in
+  write_result path result;
+  let aggs, scan = Result_store.aggregate path in
+  check_int "rows = injections" 40 scan.Store.sc_rows;
+  (match Result_store.find_agg aggs ~arch:Image.Cisc ~kind:Target.Code with
+  | None -> Alcotest.fail "campaign agg missing"
+  | Some agg ->
+    check_bool "summary identical" true (agg.Result_store.ag_summary = Campaign.summarize result);
+    check_bool "model summaries identical" true
+      (agg.Result_store.ag_models
+      = List.map
+          (fun (m, rs) -> (m, Campaign.summarize_records ~kind:cfg.Campaign.kind rs))
+          (Campaign.group_by_model result));
+    check_bool "latencies identical" true
+      (agg.Result_store.ag_latencies = Campaign.latencies result);
+    let triaged = List.fold_left (fun n (_, c) -> n + c) 0 agg.Result_store.ag_triage in
+    let failures =
+      List.fold_left
+        (fun n (r, d) -> if Triage.of_record r d <> None then n + 1 else n)
+        0
+        (List.combine result.Campaign.records result.Campaign.dumps)
+    in
+    check_int "every failure triaged" failures triaged);
+  Sys.remove path
+
+(* The acceptance bar: a >=10^5-row store whose Table 5 renders byte-identical
+   to the in-memory table over the same records. Campaign records are
+   replicated row-wise (a pure data operation), so both sides tally the same
+   100k+ records — the store path streams them back through [aggregate]. *)
+let test_table5_byte_identical_at_scale () =
+  let kinds =
+    [
+      ("Stack", Target.Stack, 40); ("System Registers", Target.Register, 40);
+      ("Data", Target.Data, 40); ("Code", Target.Code, 40);
+    ]
+  in
+  let results =
+    List.map (fun (name, kind, n) -> (name, kind, Campaign.run (campaign kind n))) kinds
+  in
+  let copies = 700 (* 4 kinds x 40 rows x 700 = 112,000 rows *) in
+  let path = tmp_store () in
+  let w = Store.create path in
+  List.iter
+    (fun (_, kind, res) ->
+      let rows = List.combine res.Campaign.records res.Campaign.dumps in
+      for copy = 0 to copies - 1 do
+        List.iteri
+          (fun i (record, dump) ->
+            Store.append w
+              (Result_store.row_of ~arch:Image.Cisc ~kind
+                 ~index:((copy * List.length rows) + i)
+                 record dump))
+          rows
+      done)
+    results;
+  Store.close w;
+  let aggs, scan = Result_store.aggregate path in
+  check_int "store holds 112k rows" 112_000 scan.Store.sc_rows;
+  let in_memory =
+    Ferrite.Report.table5_of
+      (List.map
+         (fun (name, kind, res) ->
+           let replicated =
+             List.concat (List.init copies (fun _ -> res.Campaign.records))
+           in
+           (name, Campaign.summarize_records ~kind replicated))
+         results)
+  in
+  let from_store =
+    Ferrite.Report.table5_of
+      (List.map
+         (fun (name, kind, _) ->
+           match Result_store.find_agg aggs ~arch:Image.Cisc ~kind with
+           | Some agg -> (name, agg.Result_store.ag_summary)
+           | None -> Alcotest.failf "missing agg for %s" name)
+         results)
+  in
+  check_string "Table 5 byte-identical from the store" in_memory from_store;
+  Sys.remove path
+
+let () =
+  Alcotest.run "ferrite_store"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "tiny blocks" `Quick test_tiny_blocks;
+          Alcotest.test_case "torn tail" `Quick test_torn_tail_recovery;
+          Alcotest.test_case "append across sessions" `Quick test_append_across_sessions;
+          Alcotest.test_case "bad magic" `Quick test_not_a_store;
+        ] );
+      ( "campaigns",
+        [
+          Alcotest.test_case "executor-invariant bytes" `Quick test_store_bytes_executor_invariant;
+          Alcotest.test_case "aggregate = in-memory" `Quick test_aggregate_matches_in_memory;
+          Alcotest.test_case "Table 5 byte-identity at 112k rows" `Slow
+            test_table5_byte_identical_at_scale;
+        ] );
+    ]
