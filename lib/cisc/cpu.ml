@@ -14,6 +14,30 @@ type dentry = {
   mutable d_wg1 : int;
   mutable d_pg2 : Memory.page;
   mutable d_wg2 : int;
+  mutable d_warm : bool;  (* installed by the post-boot pre-warm pass *)
+}
+
+(* Superblock: a straight-line run of decoded instructions flattened into
+   parallel arrays and executed in a tight loop with no per-step dispatch
+   (no breakpoint poll, no decode-cache probe, batched counter accounting).
+   Validity is the same page-generation scheme as the decode cache: any
+   store, poke, injected flip or restore blit to a backing page bumps its
+   generation and the block misses on entry. Micro-ops run through the same
+   [exec]/[data_read]/[data_write]/fault-delivery paths as [step], so the
+   layer is observationally invisible. *)
+type sblock = {
+  mutable b_pc : int;  (* entry pc, or -1 *)
+  mutable b_len : int;
+  b_decs : Insn.decoded array;
+  b_pcs : int array;  (* per micro-op pc *)
+  b_nexts : int array;  (* per micro-op fall-through pc *)
+  b_succ : int array;  (* expected post-exec pc: the followed branch target
+                          for jmp/call/predicted jcc, else the fall-through *)
+  b_flags : int array;  (* bits 0-15 cycle cost; bit 16 cf; bit 17 may-store *)
+  mutable b_pg1 : Memory.page;  (* backing pages (at most two distinct) *)
+  mutable b_wg1 : int;
+  mutable b_pg2 : Memory.page;
+  mutable b_wg2 : int;
 }
 
 type t = {
@@ -48,7 +72,17 @@ type t = {
   mutable dc_hits : int;
   mutable dc_misses : int;
   mutable dc_streak : int;  (* consecutive misses; long streaks bypass insert *)
+  wm_memo : dentry array;  (* content-keyed decode memos, by first byte *)
   mutable last_cost : int;  (* cycle cost of the insn decode_at just returned *)
+  sbcache : sblock array;
+  mutable sb_enabled : bool;
+  mutable sb_hits : int;  (* block entries served from the cache *)
+  mutable sb_blocks : int;  (* blocks built *)
+  mutable sb_insns : int;  (* micro-ops retired inside blocks *)
+  mutable sb_fallbacks : int;  (* precise-interpreter excursions *)
+  mutable dc_warm_hits : int;  (* decode hits on pre-warmed entries *)
+  mutable prewarmed : int;  (* entries + blocks installed by [prewarm] *)
+  mutable warming : bool;  (* inside [prewarm]: mark inserts as warm *)
 }
 
 let eax = 0
@@ -102,6 +136,35 @@ let fresh_dentry () =
     d_wg1 = 0;
     d_pg2 = Memory.null_page;
     d_wg2 = 0;
+    d_warm = false;
+  }
+
+let sbcache_bits = 12
+let sbcache_size = 1 lsl sbcache_bits
+let sbcache_mask = sbcache_size - 1
+
+(* 32 micro-ops of at most 15 bytes. The builder additionally caps a block at
+   two distinct backing pages so two generation checks validate the whole
+   run. *)
+let sb_max = 32
+
+let sb_cost_mask = 0xFFFF
+let sb_flag_cf = 0x10000
+let sb_flag_st = 0x20000
+
+let fresh_sblock () =
+  {
+    b_pc = -1;
+    b_len = 0;
+    b_decs = Array.make sb_max { insn = Hlt; length = 1; rep = false };
+    b_pcs = Array.make sb_max 0;
+    b_nexts = Array.make sb_max 0;
+    b_succ = Array.make sb_max 0;
+    b_flags = Array.make sb_max 0;
+    b_pg1 = Memory.null_page;
+    b_wg1 = 0;
+    b_pg2 = Memory.null_page;
+    b_wg2 = 0;
   }
 
 let create ~mem ~stop_addr =
@@ -135,7 +198,17 @@ let create ~mem ~stop_addr =
     dc_hits = 0;
     dc_misses = 0;
     dc_streak = 0;
+    wm_memo = Array.init 256 (fun _ -> fresh_dentry ());
     last_cost = 0;
+    sbcache = Array.init sbcache_size (fun _ -> fresh_sblock ());
+    sb_enabled = Memory.superblocks mem;
+    sb_hits = 0;
+    sb_blocks = 0;
+    sb_insns = 0;
+    sb_fallbacks = 0;
+    dc_warm_hits = 0;
+    prewarmed = 0;
+    warming = false;
   }
 
 let getf t bit = t.eflags land (1 lsl bit) <> 0
@@ -218,27 +291,42 @@ let check_override t = function
   | Some GS -> if not (valid_data_selector t.gs) || t.gs = 0 then gp ()
   | Some (ES | CS | SS | DS) | None -> ()
 
+(* Register indices come from the decoder and are always 0-7 (the S8
+   high-byte forms use [r - 4], still in range), so the operand funnel can
+   skip the bounds checks. *)
+
 let ea t m =
   check_override t m.seg;
-  let base = match m.base with Some r -> t.regs.(r) | None -> 0 in
-  let index = match m.index with Some (r, s) -> t.regs.(r) * s | None -> 0 in
+  let base = match m.base with Some r -> Array.unsafe_get t.regs r | None -> 0 in
+  let index =
+    match m.index with Some (r, s) -> Array.unsafe_get t.regs r * s | None -> 0
+  in
   Word.mask (base + index + m.disp)
 
 (* --- operand access ----------------------------------------------------- *)
 
 let read_reg t size r =
   match size with
-  | S32 -> t.regs.(r)
-  | S16 -> t.regs.(r) land 0xFFFF
-  | S8 -> if r < 4 then t.regs.(r) land 0xFF else (t.regs.(r - 4) lsr 8) land 0xFF
+  | S32 -> Array.unsafe_get t.regs r
+  | S16 -> Array.unsafe_get t.regs r land 0xFFFF
+  | S8 ->
+    if r < 4 then Array.unsafe_get t.regs r land 0xFF
+    else (Array.unsafe_get t.regs (r - 4) lsr 8) land 0xFF
 
 let write_reg t size r v =
   match size with
-  | S32 -> t.regs.(r) <- Word.mask v
-  | S16 -> t.regs.(r) <- (t.regs.(r) land 0xFFFF0000) lor (v land 0xFFFF)
+  | S32 -> Array.unsafe_set t.regs r (Word.mask v)
+  | S16 ->
+    Array.unsafe_set t.regs r
+      (Array.unsafe_get t.regs r land 0xFFFF0000 lor (v land 0xFFFF))
   | S8 ->
-    if r < 4 then t.regs.(r) <- (t.regs.(r) land 0xFFFFFF00) lor (v land 0xFF)
-    else t.regs.(r - 4) <- (t.regs.(r - 4) land 0xFFFF00FF) lor ((v land 0xFF) lsl 8)
+    if r < 4 then
+      Array.unsafe_set t.regs r
+        (Array.unsafe_get t.regs r land 0xFFFFFF00 lor (v land 0xFF))
+    else
+      Array.unsafe_set t.regs (r - 4)
+        (Array.unsafe_get t.regs (r - 4) land 0xFFFF00FF
+        lor ((v land 0xFF) lsl 8))
 
 let read_operand t size = function
   | Reg r -> read_reg t size r
@@ -825,6 +913,7 @@ let decode_at t pc =
       && Memory.page_generation e.d_pg2 = e.d_wg2
     then begin
       t.dc_hits <- t.dc_hits + 1;
+      if e.d_warm then t.dc_warm_hits <- t.dc_warm_hits + 1;
       t.dc_streak <- 0;
       t.last_cost <- e.d_cost;
       e.d_dec
@@ -836,15 +925,51 @@ let decode_at t pc =
          function of the fetched bytes, so the cached decode is still
          exact; refresh the generations and reuse it. *)
       t.dc_hits <- t.dc_hits + 1;
+      if e.d_warm then t.dc_warm_hits <- t.dc_warm_hits + 1;
       t.dc_streak <- 0;
       t.last_cost <- e.d_cost;
       e.d_dec
     end
     else if t.dc_streak >= dc_bypass_streak then begin
+      (* Wild-march memo: during a bypass streak the pcs never repeat, but
+         the bytes under them usually do (zero- or pattern-filled memory
+         executed as code after a corrupted jump). A small content-keyed
+         table indexed by the first opcode byte, compared byte-for-byte
+         through [ifetch] on every probe — the same streaming argument as
+         [revalidate] makes the reuse exact, and re-reading the live bytes
+         makes staleness impossible — turns the megastep march from a full
+         decode per step into a byte compare. *)
       t.dc_misses <- t.dc_misses + 1;
-      let d = Decode.decode ~fetch:(ifetch t) pc in
-      t.last_cost <- cycles_of_insn d.insn;
-      d
+      let b0 = ifetch t pc in
+      let wm = Array.unsafe_get t.wm_memo b0 in
+      let len = if wm.d_pc >= 0 then wm.d_dec.length else 0 in
+      let rec matches k =
+        k >= len
+        || ifetch t (pc + k) = Char.code (Bytes.unsafe_get wm.d_bytes k)
+           && matches (k + 1)
+      in
+      if len > 0 && matches 1 then begin
+        t.last_cost <- wm.d_cost;
+        wm.d_dec
+      end
+      else begin
+        wm.d_pc <- -1;
+        let d =
+          Decode.decode
+            ~fetch:(fun addr ->
+              let b = ifetch t addr in
+              let k = addr - pc in
+              if k >= 0 && k < 15 then
+                Bytes.unsafe_set wm.d_bytes k (Char.unsafe_chr b);
+              b)
+            pc
+        in
+        t.last_cost <- cycles_of_insn d.insn;
+        wm.d_pc <- pc;
+        wm.d_dec <- d;
+        wm.d_cost <- t.last_cost;
+        d
+      end
     end
     else begin
       t.dc_misses <- t.dc_misses + 1;
@@ -883,7 +1008,9 @@ let decode_at t pc =
           e.d_pg1 <- pg1;
           e.d_wg1 <- Memory.page_generation pg1;
           e.d_pg2 <- pg2;
-          e.d_wg2 <- Memory.page_generation pg2));
+          e.d_wg2 <- Memory.page_generation pg2;
+          e.d_warm <- t.warming;
+          if t.warming then t.prewarmed <- t.prewarmed + 1));
       d
     end
   end
@@ -937,6 +1064,367 @@ let step ?(skip_ibp = false) t =
             | Some h -> Hit_dbp h
             | None -> Retired))
   end
+
+(* --- superblock translation --------------------------------------------- *)
+
+(* Instructions excluded from blocks and executed by the precise [step]:
+   [Hlt] needs the step epilogue's halt/spin handling, [Iret]/[Int]/[Int3]/
+   [Ud2] raise by design, and [Mov_to_cr] can poison translation, which the
+   per-fetch [poison_check] of the precise path must observe on the very
+   next instruction. *)
+let is_sb_terminator = function
+  | Hlt | Iret | Int _ | Int3 | Ud2 | Mov_to_cr _ -> true
+  | _ -> false
+
+(* Unconditional redirects. The builder follows the direct ones (jmp rel,
+   call rel — their targets are static) and ends the block after the
+   indirect ones, whose targets are only known at run time. [prewarm] also
+   uses this set to seed block entry points at redirect fall-throughs. *)
+let sb_ends_block = function
+  | Jmp_rel _ | Jmp_ind _ | Call_rel _ | Call_ind _ | Ret | Ret_imm _ -> true
+  | _ -> false
+
+(* Micro-ops that may rewrite EIP (including restartable REP strings, which
+   park EIP on themselves when the iteration budget runs out). *)
+let sb_is_cf (d : decoded) =
+  d.rep
+  ||
+  match d.insn with
+  | Jcc _ | Jmp_rel _ | Jmp_ind _ | Call_rel _ | Call_ind _ | Ret | Ret_imm _
+  | Loop _ | Loope _ | Loopne _ | Jcxz _ -> true
+  | _ -> false
+
+(* Conservative over-approximation of "may call [data_write]": used to
+   re-check the block's backing generations after the micro-op, so a store
+   into the block's own code bytes falls back before executing stale
+   micro-ops. *)
+let sb_may_store (d : decoded) =
+  let mem_op = function Mem _ -> true | Reg _ | Imm _ -> false in
+  match d.insn with
+  | Mov (_, dst, _) -> mem_op dst
+  | Alu (_, _, dst, _) -> mem_op dst
+  | Xchg (_, op, _) | Inc (_, op) | Dec (_, op) | Setcc (_, op)
+  | Grp3 (_, _, op) | Shift (_, _, op, _) | Pop op -> mem_op op
+  | Push _ | Pusha | Pushf | Call_rel _ | Call_ind _ -> true
+  | Movs _ | Stos _ -> true
+  | _ -> false
+
+(* Decode a run of instructions starting at [pc] into [b], following
+   statically-known branch targets: unconditional jmp/call continue at the
+   target, and a backward jcc is predicted taken (the common shape of a loop
+   back-edge), so tight loops unroll into the block instead of paying the
+   block-entry overhead every iteration. [b_succ] records each micro-op's
+   expected post-exec pc; execution compares EIP against it and leaves the
+   block precisely — with EIP already exact — on any mispredicted or
+   indirect redirect. Returns [true] when at least one micro-op was
+   recorded. Stops at capacity, a terminator, an indirect redirect, the
+   two-distinct-page cap, or a fetch/decode fault — the faulting pc is left
+   outside the block, so the precise interpreter delivers that exception
+   with exact semantics if execution ever reaches it. *)
+let sb_build t b pc =
+  b.b_pc <- -1;
+  let n = ref 0 in
+  let p = ref pc in
+  (* a block is validated by two generation checks, so its micro-ops may
+     live on at most two distinct backing pages; [claim] registers the page
+     under [addr] and fails on a third *)
+  let npg = ref 0 in
+  let pg1 = ref Memory.null_page and pg2 = ref Memory.null_page in
+  let claim addr =
+    match Memory.page_at_opt t.mem addr with
+    | None -> false
+    | Some pg ->
+      if !npg > 0 && pg == !pg1 then true
+      else if !npg > 1 && pg == !pg2 then true
+      else if !npg = 0 then begin
+        pg1 := pg;
+        npg := 1;
+        true
+      end
+      else if !npg = 1 then begin
+        pg2 := pg;
+        npg := 2;
+        true
+      end
+      else false
+  in
+  (try
+     while !n < sb_max do
+       (* followed targets must satisfy the same wrap guard as entry pcs *)
+       if !p < 0 || !p > 0xFFFFFE00 then raise Exit;
+       let d = decode_at t !p in
+       if is_sb_terminator d.insn then raise Exit;
+       let last = !p + d.length - 1 in
+       if not (claim !p && (!p lsr 12 = last lsr 12 || claim last)) then
+         raise Exit;
+       let next = !p + d.length in
+       let succ, ends =
+         match d.insn with
+         | Jmp_rel rel | Call_rel rel -> (Word.add next rel, false)
+         | Jcc (_, rel) ->
+           let target = Word.add next rel in
+           if target < !p then (target, false)  (* backward: predict taken *)
+           else (next, false)
+         | i -> (next, sb_ends_block i)
+       in
+       b.b_decs.(!n) <- d;
+       b.b_pcs.(!n) <- !p;
+       b.b_nexts.(!n) <- next;
+       b.b_succ.(!n) <- succ;
+       b.b_flags.(!n) <-
+         t.last_cost
+         lor (if sb_is_cf d then sb_flag_cf else 0)
+         lor (if sb_may_store d then sb_flag_st else 0);
+       incr n;
+       p := succ;
+       if ends then raise Exit
+     done
+   with
+  | Exit | Cpu_fault _ | Decode.Undefined_opcode | Invalid_argument _
+  | Memory.Fault _ -> ());
+  !n > 0
+  && begin
+    if !npg = 1 then pg2 := !pg1;
+    b.b_len <- !n;
+    b.b_pg1 <- !pg1;
+    b.b_wg1 <- Memory.page_generation !pg1;
+    b.b_pg2 <- !pg2;
+    b.b_wg2 <- Memory.page_generation !pg2;
+    b.b_pc <- pc;
+    true
+  end
+
+(* Run up to [max_steps] instructions, preferring translated superblock
+   execution and falling back to the precise [step] whenever translation
+   cannot reproduce its observable semantics (armed execute breakpoints,
+   poisoned translation, a terminator instruction). Same contract as the
+   RISC twin: returns [(n, r)] with [n] the cleanly retired count; for
+   [Hit_dbp]/[Stopped] the event-carrying instruction has retired (counters
+   include it) but is excluded from [n]; for [Faulted] the exception has
+   been delivered exactly as [step] would. *)
+let run t ~max_steps =
+  if max_steps <= 0 then invalid_arg "Cpu.run: max_steps must be positive";
+  let retired = ref 0 in
+  let fin = ref None in
+  (* [sb_enabled] and the debug registers cannot change inside one [run]
+     call; translation poison can, but only under the precise interpreter
+     (control-register writes are terminators), so the eligibility chain is
+     re-evaluated after fallback excursions instead of at every entry *)
+  let forced_static = (not t.sb_enabled) || Debug_regs.exec_armed t.dr in
+  let forced = ref (forced_static || t.tlb_poisoned) in
+  while !fin = None && !retired < max_steps do
+    let pc = t.eip in
+    if
+      !forced
+      || pc < 0
+      || pc > 0xFFFFFE00  (* a block near the top of the space would wrap *)
+    then begin
+      t.sb_fallbacks <- t.sb_fallbacks + 1;
+      (match step t with
+      | Retired | Halted -> incr retired
+      | r -> fin := Some r);
+      forced := forced_static || t.tlb_poisoned
+    end
+    else begin
+      let b = Array.unsafe_get t.sbcache (pc land sbcache_mask) in
+      let valid =
+        b.b_pc = pc
+        && Memory.page_generation b.b_pg1 = b.b_wg1
+        && Memory.page_generation b.b_pg2 = b.b_wg2
+      in
+      if valid then t.sb_hits <- t.sb_hits + 1;
+      let have =
+        valid
+        || t.dc_streak < dc_bypass_streak  (* wild execution: don't build *)
+           && (let built = sb_build t b pc in
+               if built then t.sb_blocks <- t.sb_blocks + 1;
+               built)
+      in
+      if not have then begin
+        t.sb_fallbacks <- t.sb_fallbacks + 1;
+        match step t with
+        | Retired | Halted -> incr retired
+        | r -> fin := Some r
+      end
+      else begin
+        (* the tight loop: no per-step dispatch, batched accounting *)
+        let decs = b.b_decs and flags = b.b_flags in
+        let pcs = b.b_pcs and nexts = b.b_nexts and succs = b.b_succ in
+        let limit =
+          let budget = max_steps - !retired in
+          if b.b_len < budget then b.b_len else budget
+        in
+        (match t.pending_hit with Some _ -> t.pending_hit <- None | None -> ());
+        t.stopped <- false;
+        (* block-invariant: nothing inside a block writes the debug
+           registers, so when no watchpoint is armed [pending_hit] can never
+           become [Some] and the per-op check is skipped *)
+        let watched = Debug_regs.armed_count t.dr > 0 in
+        let i = ref 0 in
+        let cyc = ref 0 in
+        let exit_block = ref false in
+        (* the handler is installed once for the whole block, not per
+           micro-op; [i] still indexes the faulting micro-op there because it
+           is only advanced after a clean return *)
+        (try
+          while (not !exit_block) && !i < limit do
+            let k = !i in
+            let mpc = Array.unsafe_get pcs k in
+            let fl = Array.unsafe_get flags k in
+            (* branch micro-ops compute their target from the pre-set
+               fall-through EIP; no other micro-op reads it, so the write is
+               elided for them and every block exit re-establishes EIP *)
+            if fl land sb_flag_cf <> 0 then t.eip <- Array.unsafe_get nexts k;
+            exec t mpc (Array.unsafe_get decs k);
+            cyc := !cyc + (fl land sb_cost_mask);
+            incr i;
+            (* same observation order as the [step] epilogue: stop sentinel
+               first, then watchpoints; an off-predicted-path redirect merely
+               ends the block with EIP already exact. Only redirect micro-ops
+               (RET/IRET/JMP-indirect) can raise the stop sentinel, so
+               straight-line micro-ops skip that load entirely. *)
+            if fl land sb_flag_cf <> 0 then begin
+              if t.stopped then begin
+                fin := Some Stopped;
+                exit_block := true
+              end
+              else begin
+                (if watched then
+                   match t.pending_hit with
+                   | Some h ->
+                     fin := Some (Hit_dbp h);
+                     exit_block := true
+                   | None -> ());
+                if not !exit_block then
+                  if t.eip <> Array.unsafe_get succs k then
+                    exit_block := true  (* mispredict / indirect / REP park *)
+                  else if
+                    fl land sb_flag_st <> 0
+                    && not
+                         (Memory.page_generation b.b_pg1 = b.b_wg1
+                         && Memory.page_generation b.b_pg2 = b.b_wg2)
+                  then begin
+                    exit_block := true  (* call pushed into the block *)
+                  end
+              end
+            end
+            else begin
+              (if watched then
+                 match t.pending_hit with
+                 | Some h ->
+                   t.eip <- Array.unsafe_get succs k;
+                   fin := Some (Hit_dbp h);
+                   exit_block := true
+                 | None -> ());
+              if
+                (not !exit_block)
+                && fl land sb_flag_st <> 0
+                && not
+                     (Memory.page_generation b.b_pg1 = b.b_wg1
+                     && Memory.page_generation b.b_pg2 = b.b_wg2)
+              then begin
+                t.eip <- Array.unsafe_get succs k;
+                exit_block := true  (* store into the block itself *)
+              end
+            end
+          done
+        with
+        | Cpu_fault e ->
+          exit_block := true;
+          fin := Some (deliver_fault t (Array.unsafe_get pcs !i) e)
+        | Memory.Fault { addr; kind = Memory.Unmapped; _ } ->
+          exit_block := true;
+          fin :=
+            Some
+              (deliver_fault t
+                 (Array.unsafe_get pcs !i)
+                 (Exn.Page_fault { addr; write = false; fetch = false }))
+        | Memory.Fault { addr; kind = Memory.Protection; _ } ->
+          exit_block := true;
+          fin :=
+            Some
+              (deliver_fault t
+                 (Array.unsafe_get pcs !i)
+                 (Exn.General_protection { addr = Some addr })));
+        if (not !exit_block) && !i > 0 then
+          (* natural end: the elided per-op EIP writes collapse into one
+             store of the last micro-op's successor *)
+          t.eip <- Array.unsafe_get succs (!i - 1);
+        (* batched accounting for the retired prefix *)
+        t.counters.Counters.cycles <- t.counters.Counters.cycles + !cyc;
+        t.counters.Counters.instructions <- t.counters.Counters.instructions + !i;
+        t.sb_insns <- t.sb_insns + !i;
+        (match !fin with
+        | Some (Hit_dbp _) | Some Stopped ->
+          (* the event-carrying micro-op retired (counted above) but is
+             reported as the event, not as a clean step *)
+          retired := !retired + !i - 1;
+          t.sb_fallbacks <- t.sb_fallbacks + 1
+        | Some _ ->
+          retired := !retired + !i;
+          t.sb_fallbacks <- t.sb_fallbacks + 1
+        | None -> retired := !retired + !i)
+      end
+    end
+  done;
+  (!retired, match !fin with None -> Retired | Some r -> r)
+
+(* Pre-warm the decode and superblock caches from the kernel image's function
+   ranges, so the first trial does not pay the cold-miss tail on paths the
+   boot never executed. Touches only caches and diagnostics — architectural
+   state, counters and snapshots are unaffected. *)
+let prewarm t funcs =
+  if t.dc_enabled then begin
+    t.warming <- true;
+    List.iter
+      (fun (addr, size) ->
+        let fin = addr + size in
+        (* decode pass: follow instruction lengths, collecting block entry
+           points (branch targets and fall-throughs of block enders) *)
+        let entries = ref [ addr ] in
+        let p = ref addr in
+        (try
+           while !p < fin do
+             t.dc_streak <- 0;
+             let d = decode_at t !p in
+             let nx = !p + d.length in
+             (match d.insn with
+             | Jcc (_, rel) | Jmp_rel rel | Call_rel rel | Loop rel
+             | Loope rel | Loopne rel | Jcxz rel ->
+               entries := Word.add nx rel :: !entries
+             | _ -> ());
+             if sb_ends_block d.insn || is_sb_terminator d.insn then
+               entries := nx :: !entries;
+             p := nx
+           done
+         with
+        | Cpu_fault _ | Decode.Undefined_opcode | Invalid_argument _
+        | Memory.Fault _ ->
+          (* embedded data desynchronised the walk; abandon this range *)
+          ());
+        if t.sb_enabled then
+          List.iter
+            (fun e ->
+              if e >= addr && e < fin then begin
+                let b = Array.unsafe_get t.sbcache (e land sbcache_mask) in
+                let valid =
+                  b.b_pc = e
+                  && Memory.page_generation b.b_pg1 = b.b_wg1
+                  && Memory.page_generation b.b_pg2 = b.b_wg2
+                in
+                t.dc_streak <- 0;
+                if (not valid) && sb_build t b e then begin
+                  t.sb_blocks <- t.sb_blocks + 1;
+                  t.prewarmed <- t.prewarmed + 1
+                end
+              end)
+            !entries)
+      funcs;
+    t.warming <- false
+  end
+
+let superblock_stats t = (t.sb_hits, t.sb_blocks, t.sb_insns, t.sb_fallbacks)
+let decode_warm_stats t = (t.dc_warm_hits, t.prewarmed)
 
 (* --- system registers (the P4 injection targets, §5.2) ------------------ *)
 

@@ -288,6 +288,7 @@ let run_one ?tracer ?(model = Fault_model.Single_bit_transient) ?(fault_seed = 0
     else finish Outcome.Not_manifested
   in
   let tick_mask = config.tick_interval - 1 in
+  let use_sb = System.superblocks_on sys in
   let rec loop steps skip_ibp =
     if steps >= config.step_budget then begin
       (* Watchdog expiry: the run is hung regardless of activation. If the
@@ -314,40 +315,70 @@ let run_one ?tracer ?(model = Fault_model.Single_bit_transient) ?(fault_seed = 0
       when (not st.injected) && counters.Counters.instructions >= at_instr ->
       reg_inject ()
     | _ -> ());
+    (* Superblock fast path: outside the injection window (no armed execute
+       breakpoint, no pending skip), batch execution up to the next event
+       the precise loop would observe — the next workload tick, the watchdog
+       budget, or an un-fired register injection's instruction boundary.
+       Every retired instruction advances the counter by exactly one, so
+       bounding the batch by [at_instr - instructions] reproduces the
+       per-step poll exactly. *)
+    if use_sb && (not skip_ibp) && not (Debug_regs.exec_armed dr) then begin
+      let allow =
+        let a = config.tick_interval - (steps land tick_mask) in
+        let a = min a (config.step_budget - steps) in
+        match target with
+        | Target.Reg_target { at_instr; _ } when not st.injected ->
+          min a (at_instr - counters.Counters.instructions)
+        | _ -> a
+      in
+      if allow > 1 then begin
+        match System.run sys ~max_steps:allow with
+        | n, (System.Retired | System.Halted) -> loop (steps + n) false
+        | n, System.Hit_ibp -> on_hit_ibp (steps + n)
+        | n, System.Hit_dbp hit -> on_hit_dbp (steps + n) hit
+        | _, System.Stopped -> finish Outcome.Unknown_crash
+        | _, System.Faulted fault -> crash fault
+      end
+      else precise_step steps skip_ibp
+    end
+    else precise_step steps skip_ibp
+  and precise_step steps skip_ibp =
     match System.step ~skip_ibp sys with
     | System.Retired | System.Halted -> loop (steps + 1) false
-    | System.Hit_ibp ->
-      (match target with
-      | Target.Code_target { addr; bit; _ } when System.pc sys = addr ->
-        emit (Event.Bp_hit { addr = System.pc sys; stray = false });
-        Fault_model.apply_mem fm mem_ops ~space:Event.Code_space ~addr ~bit
-          ~limit:(code_bit_limit addr bit);
-        activate counters.Counters.cycles;
-        emit (Event.Activated { via = "instruction breakpoint" });
-        Debug_regs.clear_all dr;
-        loop steps false
-      | _ ->
-        (* stray breakpoint (e.g. after wild control flow): step over it *)
-        emit (Event.Bp_hit { addr = System.pc sys; stray = true });
-        loop steps true)
-    | System.Hit_dbp hit ->
-      (match target with
-      | Target.Stack_target { addr; bit; _ } | Target.Data_target { addr; bit } ->
-        emit (Event.Watch_hit { addr; is_write = hit.Debug_regs.is_write });
-        (* a dormant intermittent fault reads clean: the hit is not an
-           activation *)
-        if st.activation = None && not (Fault_model.blocks_activation fm) then begin
-          activate counters.Counters.cycles;
-          emit (Event.Activated { via = "data watchpoint" })
-        end;
-        (* a write overwrote the error: re-assert it per model semantics
-           (§3.3 — the legacy model re-injects the single bit) *)
-        if hit.Debug_regs.is_write then Fault_model.on_write_hit fm mem_ops ~addr ~bit
-      | Target.Code_target _ | Target.Reg_target _ -> ());
-      loop (steps + 1) false
+    | System.Hit_ibp -> on_hit_ibp steps
+    | System.Hit_dbp hit -> on_hit_dbp steps hit
     | System.Stopped ->
       (* wild control flow reached the harness sentinel: no dump, no progress *)
       finish Outcome.Unknown_crash
     | System.Faulted fault -> crash fault
+  and on_hit_ibp steps =
+    match target with
+    | Target.Code_target { addr; bit; _ } when System.pc sys = addr ->
+      emit (Event.Bp_hit { addr = System.pc sys; stray = false });
+      Fault_model.apply_mem fm mem_ops ~space:Event.Code_space ~addr ~bit
+        ~limit:(code_bit_limit addr bit);
+      activate counters.Counters.cycles;
+      emit (Event.Activated { via = "instruction breakpoint" });
+      Debug_regs.clear_all dr;
+      loop steps false
+    | _ ->
+      (* stray breakpoint (e.g. after wild control flow): step over it *)
+      emit (Event.Bp_hit { addr = System.pc sys; stray = true });
+      loop steps true
+  and on_hit_dbp steps hit =
+    (match target with
+    | Target.Stack_target { addr; bit; _ } | Target.Data_target { addr; bit } ->
+      emit (Event.Watch_hit { addr; is_write = hit.Debug_regs.is_write });
+      (* a dormant intermittent fault reads clean: the hit is not an
+         activation *)
+      if st.activation = None && not (Fault_model.blocks_activation fm) then begin
+        activate counters.Counters.cycles;
+        emit (Event.Activated { via = "data watchpoint" })
+      end;
+      (* a write overwrote the error: re-assert it per model semantics
+         (§3.3 — the legacy model re-injects the single bit) *)
+      if hit.Debug_regs.is_write then Fault_model.on_write_hit fm mem_ops ~addr ~bit
+    | Target.Code_target _ | Target.Reg_target _ -> ());
+    loop (steps + 1) false
   in
   loop 1 false

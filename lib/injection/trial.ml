@@ -92,6 +92,9 @@ let cache_system env cache =
   match cache.booted with
   | None ->
     let sys = Boot.boot ~image:env.env_image env.env_arch in
+    (* warm the decode/superblock caches from the image before the first
+       trial; cache-only, so the snapshot below is unaffected *)
+    System.prewarm sys;
     let snap = System.snapshot sys in
     cache.booted <- Some (sys, snap);
     cache.pristine <- true;

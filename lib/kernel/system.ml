@@ -44,6 +44,51 @@ let step ?(skip_ibp = false) t =
     | Ferrite_risc.Cpu.Stopped -> Stopped
     | Ferrite_risc.Cpu.Faulted e -> Faulted (Risc_fault e))
 
+let run t ~max_steps =
+  match t.cpu with
+  | Ccpu cpu ->
+    let n, r = Ferrite_cisc.Cpu.run cpu ~max_steps in
+    ( n,
+      match r with
+      | Ferrite_cisc.Cpu.Retired -> Retired
+      | Ferrite_cisc.Cpu.Halted -> Halted
+      | Ferrite_cisc.Cpu.Hit_ibp -> Hit_ibp
+      | Ferrite_cisc.Cpu.Hit_dbp h -> Hit_dbp h
+      | Ferrite_cisc.Cpu.Stopped -> Stopped
+      | Ferrite_cisc.Cpu.Faulted e -> Faulted (Cisc_fault e) )
+  | Rcpu cpu ->
+    let n, r = Ferrite_risc.Cpu.run cpu ~max_steps in
+    ( n,
+      match r with
+      | Ferrite_risc.Cpu.Retired -> Retired
+      | Ferrite_risc.Cpu.Halted -> Halted
+      | Ferrite_risc.Cpu.Hit_ibp -> Hit_ibp
+      | Ferrite_risc.Cpu.Hit_dbp h -> Hit_dbp h
+      | Ferrite_risc.Cpu.Stopped -> Stopped
+      | Ferrite_risc.Cpu.Faulted e -> Faulted (Risc_fault e) )
+
+let superblocks_on t =
+  match t.cpu with
+  | Ccpu c -> c.Ferrite_cisc.Cpu.sb_enabled
+  | Rcpu r -> r.Ferrite_risc.Cpu.sb_enabled
+
+let set_superblocks t on =
+  match t.cpu with
+  | Ccpu c -> c.Ferrite_cisc.Cpu.sb_enabled <- on
+  | Rcpu r -> r.Ferrite_risc.Cpu.sb_enabled <- on
+
+let prewarm t =
+  let funcs =
+    Array.fold_right
+      (fun (f : Image.func_sym) acc ->
+        if f.Image.fs_size > 0 then (f.Image.fs_addr, f.Image.fs_size) :: acc
+        else acc)
+      t.image.Image.img_funcs []
+  in
+  match t.cpu with
+  | Ccpu c -> Ferrite_cisc.Cpu.prewarm c funcs
+  | Rcpu r -> Ferrite_risc.Cpu.prewarm r funcs
+
 let pc t = match t.cpu with Ccpu c -> c.Ferrite_cisc.Cpu.eip | Rcpu r -> r.Ferrite_risc.Cpu.pc
 
 let set_pc t v =
@@ -135,12 +180,29 @@ let idle_cycles t n = Counters.idle (counters t) n
 
 let cache_stats t =
   let mem = Memory.cache_stats t.mem in
-  let hits, misses =
+  let (hits, misses), (warm_hits, prewarmed), (sb_hits, sb_blocks, sb_insns, sb_fallbacks)
+      =
     match t.cpu with
-    | Ccpu c -> Ferrite_cisc.Cpu.decode_cache_stats c
-    | Rcpu r -> Ferrite_risc.Cpu.decode_cache_stats r
+    | Ccpu c ->
+      ( Ferrite_cisc.Cpu.decode_cache_stats c,
+        Ferrite_cisc.Cpu.decode_warm_stats c,
+        Ferrite_cisc.Cpu.superblock_stats c )
+    | Rcpu r ->
+      ( Ferrite_risc.Cpu.decode_cache_stats r,
+        Ferrite_risc.Cpu.decode_warm_stats r,
+        Ferrite_risc.Cpu.superblock_stats r )
   in
-  { mem with Cache_stats.cs_decode_hits = hits; cs_decode_misses = misses }
+  {
+    mem with
+    Cache_stats.cs_decode_hits = hits;
+    cs_decode_misses = misses;
+    cs_decode_warm_hits = warm_hits;
+    cs_prewarmed = prewarmed;
+    cs_sb_hits = sb_hits;
+    cs_sb_blocks = sb_blocks;
+    cs_sb_insns = sb_insns;
+    cs_sb_fallbacks = sb_fallbacks;
+  }
 
 (* --- snapshot/restore ------------------------------------------------- *)
 

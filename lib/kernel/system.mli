@@ -29,6 +29,29 @@ val arch_name : t -> string
 
 val step : ?skip_ibp:bool -> t -> step_result
 
+val run : t -> max_steps:int -> int * step_result
+(** [run t ~max_steps] executes up to [max_steps] instructions through the
+    CPU's superblock engine, falling back to the precise per-step interpreter
+    whenever translated execution could not reproduce its observable
+    semantics. Returns [(n, r)]: [n] cleanly retired instructions and the
+    first event [r] ([Retired] when the budget ran out). For [Hit_dbp]/
+    [Stopped] the event-carrying instruction has retired (counters include
+    it) but is excluded from [n]; for [Faulted] the exception has been
+    delivered. Observable behaviour is bit-identical to a {!step} loop. *)
+
+val superblocks_on : t -> bool
+(** Whether this CPU executes through superblocks (set at creation from
+    {!Ferrite_machine.Memory.superblocks}; can be overridden per CPU). *)
+
+val set_superblocks : t -> bool -> unit
+(** Per-CPU override of the superblock toggle (used by differential tests
+    and the [--no-superblocks] CLI flag plumbing). *)
+
+val prewarm : t -> unit
+(** Pre-decode the image's function ranges into the decode cache and build
+    superblocks at likely entry points. Called once on the post-boot machine
+    by the trial executor; touches only caches and diagnostic counters. *)
+
 val pc : t -> int
 val set_pc : t -> int -> unit
 

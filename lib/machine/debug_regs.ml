@@ -37,6 +37,8 @@ let restore t s =
 
 let armed_count t = List.length t.instr + List.length t.data
 
+let[@inline] exec_armed t = t.instr <> []
+
 let[@inline] check_exec t pc =
   match t.instr with
   | [] -> false

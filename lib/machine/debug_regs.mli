@@ -33,6 +33,12 @@ val restore : t -> snapshot -> unit
 
 val armed_count : t -> int
 
+val exec_armed : t -> bool
+(** Whether any {e instruction} breakpoint is armed. The superblock engine
+    consults this before entering translated execution: armed execute
+    breakpoints force the precise per-step interpreter (data watchpoints do
+    not — they are checked inside the load/store helpers either way). *)
+
 val check_exec : t -> int -> bool
 (** [check_exec t pc] is [true] when an instruction breakpoint is armed at
     [pc]. The CPU consults this before executing each instruction. *)

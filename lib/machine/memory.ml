@@ -41,6 +41,14 @@ let fast_default = ref true
 
 let set_fast_paths_default b = fast_default := b
 
+(* Superblock translation is toggled the same way: a process-global default
+   captured by [create], mirrored by the CPUs into their own enable flag.
+   Kept separate from [fast_default] so the differential tests can exercise
+   all four combinations of {decode caches, superblocks}. *)
+let sb_default = ref true
+
+let set_superblocks_default b = sb_default := b
+
 type t = {
   pages : (int, page) Hashtbl.t;
   (* Direct-mapped ("lowmem") window: pages in [lo, hi) materialise
@@ -50,6 +58,7 @@ type t = {
   mutable auto_hi : int;
   mutable auto_perm : perm;
   fast : bool;  (* fast paths enabled (TLB, word accessors, dirty restore) *)
+  sb : bool;  (* superblock translation enabled for CPUs on this memory *)
   tlb_r_idx : int array;
   tlb_r_pg : page array;
   tlb_w_idx : int array;
@@ -72,6 +81,7 @@ let create () =
     auto_hi = 0;
     auto_perm = perm_rw;
     fast = !fast_default;
+    sb = !sb_default;
     tlb_r_idx = Array.make tlb_size (-1);
     tlb_r_pg = Array.make tlb_size null_page;
     tlb_w_idx = Array.make tlb_size (-1);
@@ -88,6 +98,7 @@ let create () =
   }
 
 let fast_paths t = t.fast
+let superblocks t = t.sb
 
 let tlb_flush t =
   Array.fill t.tlb_r_idx 0 tlb_size (-1);
@@ -553,4 +564,10 @@ let cache_stats t =
     cs_restore_pages = t.stat_restore_pages;
     cs_decode_hits = 0;
     cs_decode_misses = 0;
+    cs_decode_warm_hits = 0;
+    cs_prewarmed = 0;
+    cs_sb_hits = 0;
+    cs_sb_blocks = 0;
+    cs_sb_insns = 0;
+    cs_sb_fallbacks = 0;
   }

@@ -53,6 +53,15 @@ val set_fast_paths_default : bool -> unit
 val fast_paths : t -> bool
 (** Whether this memory was created with fast paths enabled. *)
 
+val set_superblocks_default : bool -> unit
+(** Enable/disable superblock translation for CPUs attached to memories
+    created {e after} this call ([true] initially). Orthogonal to
+    {!set_fast_paths_default}, so the differential tests can exercise every
+    combination of {decode caches, superblocks}. *)
+
+val superblocks : t -> bool
+(** Whether this memory was created with superblock translation enabled. *)
+
 val map : t -> addr:int -> size:int -> perm:perm -> unit
 (** [map t ~addr ~size ~perm] maps (and zeroes) all pages overlapping
     [\[addr, addr+size)]. Remapping an existing page only updates its

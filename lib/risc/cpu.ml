@@ -11,6 +11,29 @@ type dentry = {
   mutable d_cost : int;  (* cycles_of_insn, cached with the decode *)
   mutable d_pg : Memory.page;
   mutable d_wg : int;
+  mutable d_warm : bool;  (* installed by the post-boot pre-warm pass *)
+}
+
+(* Superblock: a straight-line run of decoded instructions flattened into
+   parallel arrays and executed in a tight loop with no per-step dispatch
+   (no breakpoint poll, no decode-cache probe, batched counter accounting).
+   Validity is the same page-generation scheme as the decode cache: any
+   store, poke, injected flip or restore blit to a backing page bumps its
+   generation and the block misses on entry. Micro-ops run through the same
+   [exec]/[data_read]/[data_write]/fault-delivery paths as [step], so the
+   layer is observationally invisible. *)
+type sblock = {
+  mutable b_pc : int;  (* entry pc, or -1 *)
+  mutable b_len : int;
+  b_insns : Insn.t array;
+  b_pcs : int array;  (* per micro-op pc (non-contiguous across branches) *)
+  b_succ : int array;  (* expected post-exec pc: the followed branch target
+                          for b/bl/predicted bc, else the fall-through *)
+  b_flags : int array;  (* bits 0-15 cycle cost; bit 16 cf; bit 17 may-store *)
+  mutable b_pg1 : Memory.page;  (* backing pages (at most two distinct) *)
+  mutable b_wg1 : int;
+  mutable b_pg2 : Memory.page;
+  mutable b_wg2 : int;
 }
 
 type t = {
@@ -42,6 +65,15 @@ type t = {
   mutable dc_misses : int;
   mutable dc_streak : int;  (* consecutive misses; long streaks bypass insert *)
   mutable last_cost : int;  (* cycle cost of the insn decode_at just returned *)
+  sbcache : sblock array;
+  mutable sb_enabled : bool;
+  mutable sb_hits : int;  (* block entries served from the cache *)
+  mutable sb_blocks : int;  (* blocks built *)
+  mutable sb_insns : int;  (* micro-ops retired inside blocks *)
+  mutable sb_fallbacks : int;  (* precise-interpreter excursions *)
+  mutable dc_warm_hits : int;  (* decode hits on pre-warmed entries *)
+  mutable prewarmed : int;  (* entries + blocks installed by [prewarm] *)
+  mutable warming : bool;  (* inside [prewarm]: mark inserts as warm *)
 }
 
 let msr_ee = 0x8000
@@ -119,6 +151,34 @@ let fresh_dentry () =
     d_cost = 0;
     d_pg = Memory.null_page;
     d_wg = 0;
+    d_warm = false;
+  }
+
+let sbcache_bits = 11
+let sbcache_size = 1 lsl sbcache_bits
+let sbcache_mask = sbcache_size - 1
+
+(* 32 micro-ops of 4 bytes. The builder follows direct branches, so the ops
+   need not be contiguous; it caps a block at two distinct backing pages so
+   two generation checks validate the whole run. *)
+let sb_max = 32
+
+let sb_cost_mask = 0xFFFF
+let sb_flag_cf = 0x10000
+let sb_flag_st = 0x20000
+
+let fresh_sblock () =
+  {
+    b_pc = -1;
+    b_len = 0;
+    b_insns = Array.make sb_max Insn.Sync;
+    b_pcs = Array.make sb_max 0;
+    b_succ = Array.make sb_max 0;
+    b_flags = Array.make sb_max 0;
+    b_pg1 = Memory.null_page;
+    b_wg1 = 0;
+    b_pg2 = Memory.null_page;
+    b_wg2 = 0;
   }
 
 let create ~mem ~stop_addr =
@@ -156,6 +216,15 @@ let create ~mem ~stop_addr =
     dc_misses = 0;
     dc_streak = 0;
     last_cost = 0;
+    sbcache = Array.init sbcache_size (fun _ -> fresh_sblock ());
+    sb_enabled = Memory.superblocks mem;
+    sb_hits = 0;
+    sb_blocks = 0;
+    sb_insns = 0;
+    sb_fallbacks = 0;
+    dc_warm_hits = 0;
+    prewarmed = 0;
+    warming = false;
   }
 
 exception Cpu_fault of Exn.t
@@ -278,6 +347,7 @@ let decode_at t pc =
     let e = Array.unsafe_get t.dcache ((pc lsr 2) land dcache_mask) in
     if e.d_pc = pc && Memory.page_generation e.d_pg = e.d_wg then begin
       t.dc_hits <- t.dc_hits + 1;
+      if e.d_warm then t.dc_warm_hits <- t.dc_warm_hits + 1;
       t.dc_streak <- 0;
       t.last_cost <- e.d_cost;
       e.d_insn
@@ -298,6 +368,7 @@ let decode_at t pc =
           e.d_pg <- pg;
           e.d_wg <- Memory.page_generation pg);
         t.dc_hits <- t.dc_hits + 1;
+        if e.d_warm then t.dc_warm_hits <- t.dc_warm_hits + 1;
         t.dc_streak <- 0;
         t.last_cost <- e.d_cost;
         e.d_insn
@@ -320,7 +391,9 @@ let decode_at t pc =
                e.d_word <- w;
                e.d_cost <- cost;
                e.d_pg <- pg;
-               e.d_wg <- Memory.page_generation pg
+               e.d_wg <- Memory.page_generation pg;
+               e.d_warm <- t.warming;
+               if t.warming then t.prewarmed <- t.prewarmed + 1
          end);
         insn
       end
@@ -665,6 +738,310 @@ let step ?(skip_ibp = false) t =
           | Some h -> Hit_dbp h
           | None -> Retired)
   end
+
+(* --- superblock translation ---------------------------------------------- *)
+
+(* Instructions excluded from blocks and executed by the precise [step]:
+   [Sc]/[Rfi] raise or rewrite the MSR, and [Mtspr]/[Mtmsr] can poison
+   translation, which the per-fetch [check_translation] of the precise path
+   must observe on the very next instruction. *)
+let is_sb_terminator = function
+  | Sc | Rfi | Mtspr _ | Mtmsr _ -> true
+  | _ -> false
+
+(* Unconditional redirects. The builder follows [B] (its target is static)
+   and ends the block at [Bclr]/[Bcctr], whose targets live in LR/CTR and
+   flow through the side-effecting [indirect_target]. [prewarm] also uses
+   this set to seed block entry points at redirect fall-throughs. *)
+let sb_ends_block = function B _ | Bclr _ | Bcctr _ -> true | _ -> false
+
+let sb_is_cf = function B _ | Bc _ | Bclr _ | Bcctr _ -> true | _ -> false
+
+(* Exact on this ISA: [data_write] is reached only from these forms. *)
+let sb_may_store = function Store _ | Store_idx _ | Stmw _ -> true | _ -> false
+
+(* Decode a run of instructions starting at the 4-aligned [pc] into [b],
+   following statically-known branch targets: [b]/[bl] continue at the
+   target, and a backward [bc] is predicted taken (the common shape of a
+   loop back-edge), so tight loops unroll into the block instead of paying
+   the block-entry overhead every iteration. [b_succ] records each
+   micro-op's expected post-exec pc; execution compares PC against it and
+   leaves the block precisely — with PC already exact — on any mispredicted
+   or indirect redirect. Returns [true] when at least one micro-op was
+   recorded. Stops at capacity, a terminator, an indirect redirect, the
+   two-distinct-page cap, or a fetch/decode fault — the faulting pc is left
+   outside the block, so the precise interpreter delivers that exception
+   with exact semantics if execution ever reaches it. *)
+let sb_build t b pc =
+  b.b_pc <- -1;
+  let n = ref 0 in
+  let p = ref pc in
+  (* a block is validated by two generation checks, so its micro-ops may
+     live on at most two distinct backing pages; [claim] registers the page
+     under [addr] and fails on a third *)
+  let npg = ref 0 in
+  let pg1 = ref Memory.null_page and pg2 = ref Memory.null_page in
+  let claim addr =
+    match Memory.page_at_opt t.mem addr with
+    | None -> false
+    | Some pg ->
+      if !npg > 0 && pg == !pg1 then true
+      else if !npg > 1 && pg == !pg2 then true
+      else if !npg = 0 then begin
+        pg1 := pg;
+        npg := 1;
+        true
+      end
+      else if !npg = 1 then begin
+        pg2 := pg;
+        npg := 2;
+        true
+      end
+      else false
+  in
+  (try
+     while !n < sb_max do
+       (* followed targets must satisfy the same wrap guard as entry pcs *)
+       if !p < 0 || !p > 0xFFFFFF00 then raise Exit;
+       let insn = decode_at t !p in
+       if is_sb_terminator insn then raise Exit;
+       if not (claim !p) then raise Exit;
+       let next = !p + 4 in
+       let succ, ends =
+         match insn with
+         | B (li, aa, _) ->
+           (Word.mask (if aa then li else Word.add !p li), false)
+         | Bc (_, _, bd, aa, _) ->
+           let target = Word.mask (if aa then bd else Word.add !p bd) in
+           if target < !p then (target, false)  (* backward: predict taken *)
+           else (next, false)
+         | i -> (next, sb_ends_block i)
+       in
+       b.b_insns.(!n) <- insn;
+       b.b_pcs.(!n) <- !p;
+       b.b_succ.(!n) <- succ;
+       b.b_flags.(!n) <-
+         t.last_cost
+         lor (if sb_is_cf insn then sb_flag_cf else 0)
+         lor (if sb_may_store insn then sb_flag_st else 0);
+       incr n;
+       p := succ;
+       if ends then raise Exit
+     done
+   with Exit | Cpu_fault _ | Decode.Undefined_opcode -> ());
+  !n > 0
+  && begin
+    if !npg = 1 then pg2 := !pg1;
+    b.b_len <- !n;
+    b.b_pg1 <- !pg1;
+    b.b_wg1 <- Memory.page_generation !pg1;
+    b.b_pg2 <- !pg2;
+    b.b_wg2 <- Memory.page_generation !pg2;
+    b.b_pc <- pc;
+    true
+  end
+
+(* Run up to [max_steps] instructions, preferring translated superblock
+   execution and falling back to the precise [step] whenever translation
+   cannot reproduce its observable semantics (armed execute breakpoints,
+   poisoned address translation, misaligned or wrapping pc, a terminator
+   instruction). Returns [(n, r)] where [n] counts cleanly retired
+   instructions and [r] is the first event, or [Retired] when the budget was
+   exhausted without one. For [Hit_dbp]/[Stopped] the event-carrying
+   instruction has retired (counters include it) but is not part of [n];
+   for [Faulted] the faulting instruction did not retire and the exception
+   has been delivered exactly as [step] would. *)
+let sb_poisoned t =
+  t.translation_broken || t.bat_poisoned || t.sdr1_poisoned
+  || t.sr_poisoned.(12) || t.sr_poisoned.(13) || t.sr_poisoned.(14)
+  || t.sr_poisoned.(15)
+
+let run t ~max_steps =
+  if max_steps <= 0 then invalid_arg "Cpu.run: max_steps must be positive";
+  let retired = ref 0 in
+  let fin = ref None in
+  (* [sb_enabled] and the debug registers cannot change inside one [run]
+     call; translation poison can, but only under the precise interpreter
+     ([Mtspr]/[Mtmsr]/[Rfi] are terminators), so the eligibility chain is
+     re-evaluated after fallback excursions instead of at every entry *)
+  let forced_static = (not t.sb_enabled) || Debug_regs.exec_armed t.dr in
+  let forced = ref (forced_static || sb_poisoned t) in
+  while !fin = None && !retired < max_steps do
+    let pc = t.pc in
+    if
+      !forced
+      || pc land 3 <> 0
+      || pc < 0
+      || pc > 0xFFFFFF00  (* a block near the top of the space would wrap *)
+    then begin
+      t.sb_fallbacks <- t.sb_fallbacks + 1;
+      (match step t with
+      | Retired | Halted -> incr retired
+      | r -> fin := Some r);
+      forced := forced_static || sb_poisoned t
+    end
+    else begin
+      let b = Array.unsafe_get t.sbcache ((pc lsr 2) land sbcache_mask) in
+      let valid =
+        b.b_pc = pc
+        && Memory.page_generation b.b_pg1 = b.b_wg1
+        && Memory.page_generation b.b_pg2 = b.b_wg2
+      in
+      if valid then t.sb_hits <- t.sb_hits + 1;
+      let have =
+        valid
+        || t.dc_streak < dc_bypass_streak  (* wild execution: don't build *)
+           && (let built = sb_build t b pc in
+               if built then t.sb_blocks <- t.sb_blocks + 1;
+               built)
+      in
+      if not have then begin
+        t.sb_fallbacks <- t.sb_fallbacks + 1;
+        match step t with
+        | Retired | Halted -> incr retired
+        | r -> fin := Some r
+      end
+      else begin
+        (* the tight loop: no per-step dispatch, batched accounting *)
+        let insns = b.b_insns and flags = b.b_flags in
+        let pcs = b.b_pcs and succs = b.b_succ in
+        let limit =
+          let budget = max_steps - !retired in
+          if b.b_len < budget then b.b_len else budget
+        in
+        (match t.pending_hit with Some _ -> t.pending_hit <- None | None -> ());
+        t.stopped <- false;
+        (* block-invariant: nothing inside a block writes the debug
+           registers, so when no watchpoint is armed [pending_hit] can never
+           become [Some] and the per-op check is skipped *)
+        let watched = Debug_regs.armed_count t.dr > 0 in
+        let i = ref 0 in
+        let cyc = ref 0 in
+        let exit_block = ref false in
+        (* the handler is installed once for the whole block, not per
+           micro-op; [i] still indexes the faulting micro-op there because it
+           is only advanced after a clean return *)
+        (try
+          while (not !exit_block) && !i < limit do
+            let k = !i in
+            let mpc = Array.unsafe_get pcs k in
+            let fl = Array.unsafe_get flags k in
+            (* a not-taken branch leaves PC untouched, so pre-set the
+               fall-through for the successor comparison below; non-branch
+               micro-ops never read or write PC and the write is elided *)
+            if fl land sb_flag_cf <> 0 then t.pc <- mpc + 4;
+            exec t mpc (Array.unsafe_get insns k);
+            cyc := !cyc + (fl land sb_cost_mask);
+            incr i;
+            if fl land sb_flag_cf <> 0 then begin
+              if t.stopped then begin
+                fin := Some Stopped;
+                exit_block := true
+              end
+              else if t.pc <> Array.unsafe_get succs k then
+                exit_block := true  (* off the predicted path, PC exact *)
+            end
+            else begin
+              (if watched then
+                 match t.pending_hit with
+                 | Some h ->
+                   t.pc <- Array.unsafe_get succs k;
+                   fin := Some (Hit_dbp h);
+                   exit_block := true
+                 | None -> ());
+              if
+                (not !exit_block)
+                && fl land sb_flag_st <> 0
+                && not
+                     (Memory.page_generation b.b_pg1 = b.b_wg1
+                     && Memory.page_generation b.b_pg2 = b.b_wg2)
+              then begin
+                t.pc <- Array.unsafe_get succs k;
+                exit_block := true  (* store into the block itself *)
+              end
+            end
+          done
+        with Cpu_fault e ->
+          (* the faulting micro-op does not retire; the completed prefix is
+             charged below, then the fault is delivered exactly as [step]
+             would deliver it *)
+          exit_block := true;
+          fin := Some (deliver_fault t (Array.unsafe_get pcs !i) e));
+        if (not !exit_block) && !i > 0 then
+          (* natural end: the elided per-op PC writes collapse into one
+             store of the last micro-op's successor *)
+          t.pc <- Array.unsafe_get succs (!i - 1);
+        (* batched accounting for the retired prefix *)
+        t.counters.Counters.cycles <- t.counters.Counters.cycles + !cyc;
+        t.counters.Counters.instructions <- t.counters.Counters.instructions + !i;
+        t.sb_insns <- t.sb_insns + !i;
+        (match !fin with
+        | Some (Hit_dbp _) | Some Stopped ->
+          (* the event-carrying micro-op retired (counted above) but is
+             reported as the event, not as a clean step *)
+          retired := !retired + !i - 1;
+          t.sb_fallbacks <- t.sb_fallbacks + 1
+        | Some _ ->
+          retired := !retired + !i;
+          t.sb_fallbacks <- t.sb_fallbacks + 1
+        | None -> retired := !retired + !i)
+      end
+    end
+  done;
+  (!retired, match !fin with None -> Retired | Some r -> r)
+
+(* Pre-warm the decode and superblock caches from the kernel image's function
+   ranges, so the first trial does not pay the cold-miss tail on paths the
+   boot never executed. Touches only caches and diagnostics — architectural
+   state, counters and snapshots are unaffected. *)
+let prewarm t funcs =
+  if t.dc_enabled then begin
+    t.warming <- true;
+    List.iter
+      (fun (addr, size) ->
+        let fin = addr + size in
+        (* decode pass: warm every aligned word, collecting block entry
+           points (branch targets and fall-throughs of block enders) *)
+        let entries = ref [ addr ] in
+        let p = ref addr in
+        while !p < fin do
+          t.dc_streak <- 0;
+          (match decode_at t !p with
+          | insn ->
+            (match insn with
+            | B (li, aa, _) -> entries := (if aa then li else Word.add !p li) :: !entries
+            | Bc (_, _, bd, aa, _) ->
+              entries := (if aa then bd else Word.add !p bd) :: !entries
+            | _ -> ());
+            if sb_ends_block insn || is_sb_terminator insn then
+              entries := (!p + 4) :: !entries
+          | exception Cpu_fault _ -> ()
+          | exception Decode.Undefined_opcode -> ());
+          p := !p + 4
+        done;
+        if t.sb_enabled then
+          List.iter
+            (fun e ->
+              if e >= addr && e < fin && e land 3 = 0 then begin
+                let b = Array.unsafe_get t.sbcache ((e lsr 2) land sbcache_mask) in
+                let valid =
+                  b.b_pc = e
+                  && Memory.page_generation b.b_pg1 = b.b_wg1
+                  && Memory.page_generation b.b_pg2 = b.b_wg2
+                in
+                t.dc_streak <- 0;
+                if (not valid) && sb_build t b e then begin
+                  t.sb_blocks <- t.sb_blocks + 1;
+                  t.prewarmed <- t.prewarmed + 1
+                end
+              end)
+            !entries)
+      funcs;
+    t.warming <- false
+  end
+
+let superblock_stats t = (t.sb_hits, t.sb_blocks, t.sb_insns, t.sb_fallbacks)
+let decode_warm_stats t = (t.dc_warm_hits, t.prewarmed)
 
 (* --- system registers (the G4 injection targets, §5.2) -------------------- *)
 

@@ -12,6 +12,11 @@ type dentry
     backing page's generation counter so stores, pokes and injected bit flips
     evict. *)
 
+type sblock
+(** A superblock: a straight-line instruction run flattened into parallel
+    micro-op arrays and executed by {!run} with no per-step dispatch.
+    Validated by the same page-generation scheme as the decode cache. *)
+
 type t = {
   mem : Ferrite_machine.Memory.t;
   gpr : int array;  (** 32 general-purpose registers; r1 = stack pointer *)
@@ -45,6 +50,17 @@ type t = {
       (** consecutive decode-cache misses; long streaks bypass insertion *)
   mutable last_cost : int;
       (** cycle cost of the instruction the last decode returned *)
+  sbcache : sblock array;  (** PC-keyed superblock cache *)
+  mutable sb_enabled : bool;
+      (** captured from [Memory.superblocks] at {!create}; [false] makes
+          {!run} take the precise per-step path for every instruction *)
+  mutable sb_hits : int;
+  mutable sb_blocks : int;
+  mutable sb_insns : int;
+  mutable sb_fallbacks : int;
+  mutable dc_warm_hits : int;
+  mutable prewarmed : int;
+  mutable warming : bool;
 }
 
 val decode_cache_stats : t -> int * int
@@ -82,6 +98,35 @@ type step_result =
   | Faulted of Exn.t
 
 val step : ?skip_ibp:bool -> t -> step_result
+
+val run : t -> max_steps:int -> int * step_result
+(** [run t ~max_steps] executes up to [max_steps] instructions, using cached
+    superblocks (built on demand) for straight-line code and falling back to
+    the precise {!step} whenever translated execution could not reproduce its
+    observable semantics: armed execute breakpoints, poisoned address
+    translation, misaligned pc, or a terminator instruction ([sc]/[rfi]/
+    [mtspr]/[mtmsr]). Returns [(n, r)] where [n] is the number of cleanly
+    retired instructions and [r] the first event ([Retired] when the budget
+    ran out). For [Hit_dbp]/[Stopped] the event-carrying instruction has
+    retired (counters include it) but is excluded from [n]; for [Faulted]
+    the exception has been delivered exactly as {!step} would. Observable
+    behaviour is bit-identical to calling {!step} [in a loop]; only the
+    diagnostic cache counters differ. *)
+
+val prewarm : t -> (int * int) list -> unit
+(** [prewarm t funcs] pre-decodes the given [(addr, size)] code ranges into
+    the decode cache and builds superblocks at likely entry points (function
+    starts, branch targets, fall-throughs of block enders), so a campaign's
+    first trials do not pay the cold-miss tail. Touches only caches and
+    diagnostic counters; architectural state is unaffected. No-op when the
+    decode cache is disabled. *)
+
+val superblock_stats : t -> int * int * int * int
+(** [(hits, blocks_built, insns_retired_in_blocks, fallbacks)] — monotonic
+    diagnostics, excluded from {!snapshot}/{!restore}. *)
+
+val decode_warm_stats : t -> int * int
+(** [(warm_hits, prewarmed_entries)] of the decode/superblock pre-warm. *)
 
 type sysreg = {
   sr_name : string;
