@@ -1,0 +1,79 @@
+(* dist-smoke: a seconds-scale distributed-merge gate for CI.
+
+   Runs one short campaign twice — sequentially, and on the fabric with two
+   forked workers of which one is SIGKILLed mid-campaign and a replacement
+   joins late — and exits non-zero unless both produce bit-identical records,
+   traces, dumps, collector stats, telemetry (boots excepted: they are a
+   scheduling diagnostic), columnar-store bytes and the rendered per-model
+   breakout. The kill must actually land mid-flight, and the death must show
+   up in the fabric report — otherwise the gate proved nothing. *)
+
+module Image = Ferrite_kir.Image
+module Campaign = Ferrite_injection.Campaign
+module Target = Ferrite_injection.Target
+module Result_store = Ferrite_injection.Result_store
+module Telemetry = Ferrite_trace.Telemetry
+module Fabric = Ferrite_fabric.Fabric
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("dist-smoke: " ^ s); exit 1) fmt
+
+let store_bytes res =
+  let path = Filename.temp_file "ferrite_dist_smoke" ".fstore" in
+  let w = Ferrite_store.Store.create path in
+  Result_store.append_result w res;
+  Ferrite_store.Store.close w;
+  let ic = open_in_bin path in
+  let bytes = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  bytes
+
+let boots_blind t = Telemetry.with_boots t 0
+
+let () =
+  let cfg =
+    { (Campaign.default ~arch:Image.Cisc ~kind:Target.Stack ~injections:48) with
+      Campaign.seed = 0x2004L }
+  in
+  let reference = Campaign.run cfg in
+  let t = Fabric.Controller.create cfg in
+  let first = Fabric.Controller.add_worker t in
+  ignore (Fabric.Controller.add_worker t);
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  while Fabric.Controller.completed t < 4 && Unix.gettimeofday () < deadline do
+    Fabric.Controller.step t ~timeout:0.05
+  done;
+  if Fabric.Controller.finished t then
+    fail "campaign finished before the kill could land; grow the campaign";
+  (match Fabric.Controller.worker_pid t first with
+  | Some pid -> Unix.kill pid Sys.sigkill
+  | None -> fail "forked worker has no pid");
+  ignore (Fabric.Controller.add_worker t);
+  let r, report = Fabric.Controller.finish t in
+  if report.Fabric.fb_worker_deaths <> 1 then
+    fail "expected exactly one worker death, saw %d" report.Fabric.fb_worker_deaths;
+  if report.Fabric.fb_quarantined <> [] then
+    fail "a healthy campaign quarantined %d trial(s)"
+      (List.length report.Fabric.fb_quarantined);
+  if report.Fabric.fb_workers <> 3 then
+    fail "expected three workers ever joined, saw %d" report.Fabric.fb_workers;
+  if r.Campaign.records <> reference.Campaign.records then
+    fail "records differ between the fabric merge and the sequential run";
+  if r.Campaign.traces <> reference.Campaign.traces then
+    fail "traces differ between the fabric merge and the sequential run";
+  if r.Campaign.dumps <> reference.Campaign.dumps then
+    fail "crash dumps differ between the fabric merge and the sequential run";
+  if r.Campaign.collector <> reference.Campaign.collector then
+    fail "collector stats differ between the fabric merge and the sequential run";
+  if boots_blind r.Campaign.telemetry <> boots_blind reference.Campaign.telemetry then
+    fail "telemetry differs between the fabric merge and the sequential run";
+  if store_bytes r <> store_bytes reference then
+    fail "store bytes differ between the fabric merge and the sequential run";
+  if Ferrite.Report.model_breakout r <> Ferrite.Report.model_breakout reference then
+    fail "the rendered model breakout differs between fabric and sequential";
+  Printf.printf
+    "dist-smoke ok: 48 injections over a 2-worker fabric with one SIGKILL and \
+     one late join — records/traces/dumps/collector/telemetry/store bytes \
+     byte-identical to the sequential run (%d fresh results, %d re-leased, %d \
+     duplicate(s) dropped)\n"
+    report.Fabric.fb_results report.Fabric.fb_requeued report.Fabric.fb_dup_results

@@ -125,12 +125,20 @@ let run_campaign_throughput () =
       (fun () -> time (fun () -> Campaign.run cfg))
   in
   let rp, tp = time (fun () -> Campaign.run ~executor cfg) in
+  (* the process-fleet row: same campaign over the distributed fabric, two
+     forked workers; byte-identity is the fabric's contract, so it is
+     asserted here alongside the timing *)
+  let dist_workers = 2 in
+  let (rd, dist_report), td =
+    time (fun () -> Ferrite_fabric.Fabric.run_campaign ~workers:dist_workers cfg)
+  in
   let rate t = float_of_int n /. t in
   let cores = Domain.recommended_domain_count () in
   let identical =
     rs.Campaign.records = rp.Campaign.records
     && rs.Campaign.records = r0.Campaign.records
   in
+  let dist_identical = rd.Campaign.records = rs.Campaign.records in
   let cache = rs.Campaign.cache in
   let sb_hit_rate = Ferrite_machine.Cache_stats.sb_hit_rate cache in
   Printf.printf "%-24s %10.1f inj/s   (%d injections in %.2f s)\n"
@@ -139,8 +147,17 @@ let run_campaign_throughput () =
     "sequential/no-superblocks" (rate t0) n t0;
   Printf.printf "%-24s %10.1f inj/s   (%d injections in %.2f s)\n"
     (Executor.describe executor) (rate tp) n tp;
+  Printf.printf "%-24s %10.1f inj/s   (%d injections in %.2f s)\n"
+    (Printf.sprintf "fabric/%d workers" dist_workers)
+    (rate td) n td;
   Printf.printf "superblock speedup %.2fx (sequential, translated vs precise)\n"
     (t0 /. ts);
+  Printf.printf
+    "fabric speedup %.2fx over %d worker process(es); records identical: %b \
+     (%d fresh, %d duplicate(s) dropped)\n"
+    (ts /. td) dist_workers dist_identical
+    dist_report.Ferrite_fabric.Fabric.fb_results
+    dist_report.Ferrite_fabric.Fabric.fb_dup_results;
   if ran_parallel then
     Printf.printf
       "parallel speedup %.2fx on %d effective domain(s) (%d requested, %d \
@@ -191,6 +208,8 @@ let run_campaign_throughput () =
   "superblock_speedup": %.3f,
   "parallel": { "executor": "%s", "requested_domains": %d, "effective_domains": %d, "ran_parallel": %b, "seconds": %.3f, "injections_per_sec": %.2f },
   "parallel_speedup": %s,
+  "distributed": { "workers": %d, "seconds": %.3f, "injections_per_sec": %.2f, "fresh_results": %d, "duplicates_dropped": %d, "records_identical": %b },
+  "distributed_speedup": %.3f,
   "records_identical": %b,
   "superblocks": { "sb_blocks": %d, "sb_insns_retired": %d, "sb_fallbacks": %d, "sb_hit_rate": %.4f },
   "store": { "rows": %d, "bytes": %d, "bytes_per_row": %.2f, "scan_seconds": %.4f, "scan_rows_per_sec": %.0f },
@@ -202,7 +221,10 @@ let run_campaign_throughput () =
     (Ferrite_injection.Target.targeting_tag cfg.Campaign.targeting)
     cores ts (rate ts) t0 (rate t0) (t0 /. ts)
     (Executor.describe executor) domains effective_domains ran_parallel tp
-    (rate tp) parallel_speedup identical
+    (rate tp) parallel_speedup dist_workers td (rate td)
+    dist_report.Ferrite_fabric.Fabric.fb_results
+    dist_report.Ferrite_fabric.Fabric.fb_dup_results dist_identical
+    (ts /. td) identical
     cache.Ferrite_machine.Cache_stats.cs_sb_blocks
     cache.Ferrite_machine.Cache_stats.cs_sb_insns
     cache.Ferrite_machine.Cache_stats.cs_sb_fallbacks sb_hit_rate store_rows

@@ -10,7 +10,8 @@
      oops      inject until a crash, then print the kernel crash dump
      disasm    disassemble a kernel function on either platform
      trace     replay a paper scenario (fig7/fig13/fig14) as an event timeline
-     triage    bucket crashes into the paper's sec. 5 root-cause families *)
+     triage    bucket crashes into the paper's sec. 5 root-cause families
+     worker    serve one campaign as a fabric worker over stdin/stdout *)
 
 open Cmdliner
 module Image = Ferrite_kir.Image
@@ -25,6 +26,8 @@ module Fault_model = Ferrite_injection.Fault_model
 module Result_store = Ferrite_injection.Result_store
 module Store = Ferrite_store.Store
 module Triage = Ferrite_injection.Triage
+module Fabric = Ferrite_fabric.Fabric
+module Wire = Ferrite_fabric.Wire
 
 let arch_conv =
   let parse = function
@@ -71,6 +74,94 @@ let jobs_arg =
 let executor_of_jobs jobs =
   if jobs = 0 then Ferrite_injection.Executor.auto ()
   else Ferrite_injection.Executor.of_jobs jobs
+
+(* --- distributed fabric flags (inject) --- *)
+
+let workers_arg =
+  let doc =
+    "Run the campaign on the distributed fabric with $(docv) worker \
+     processes (forked; see --distributed for exec'd workers). The merged \
+     records, traces and store bytes are byte-identical to --jobs 1 for \
+     every worker count; only the fabric diagnostics differ."
+  in
+  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc)
+
+let distributed_arg =
+  let doc =
+    "Spawn fabric workers as fresh 'ferrite worker' processes over \
+     stdin/stdout links instead of forked copies (implies --workers 2 \
+     unless --workers is given)."
+  in
+  Arg.(value & flag & info [ "distributed" ] ~doc)
+
+let wire_chaos_conv =
+  let parse s =
+    let mk d u r = { Wire.wc_drop = d; wc_dup = u; wc_reorder = r } in
+    let chaos =
+      match List.map float_of_string_opt (String.split_on_char ',' s) with
+      | [ Some d ] -> Some (mk d 0.0 0.0)
+      | [ Some d; Some u; Some r ] -> Some (mk d u r)
+      | _ -> None
+    in
+    match chaos with
+    | None ->
+      Error (`Msg (Printf.sprintf "%S is not DROP or DROP,DUP,REORDER" s))
+    | Some c ->
+      (match Wire.validated_chaos c with
+      | c -> Ok c
+      | exception Invalid_argument msg -> Error (`Msg msg))
+  in
+  let print fmt c =
+    Format.fprintf fmt "%g,%g,%g" c.Wire.wc_drop c.Wire.wc_dup c.Wire.wc_reorder
+  in
+  Arg.conv (parse, print)
+
+let wire_chaos_arg =
+  let doc =
+    "Arm seeded drop/duplicate/reorder chaos on every fabric link, both \
+     directions ($(docv) = DROP or DROP,DUP,REORDER, rates in [0,1]). The \
+     campaign still merges byte-identical; only retransmission and lease \
+     diagnostics move. Requires --workers/--distributed."
+  in
+  Arg.(value & opt (some wire_chaos_conv) None & info [ "wire-chaos" ] ~docv:"RATES" ~doc)
+
+let print_fabric_report (rep : Fabric.report) =
+  Printf.printf "fabric:          %d worker(s): %d fresh result(s), %d duplicate(s) dropped\n"
+    rep.Fabric.fb_workers rep.Fabric.fb_results rep.Fabric.fb_dup_results;
+  if rep.Fabric.fb_steals > 0 || rep.Fabric.fb_expired > 0 then
+    Printf.printf "  work stealing: %d steal(s), %d non-empty return(s), %d lease(s) expired\n"
+      rep.Fabric.fb_steals rep.Fabric.fb_steal_returns rep.Fabric.fb_expired;
+  if rep.Fabric.fb_worker_deaths > 0 || rep.Fabric.fb_left > 0 then
+    Printf.printf "  fleet churn:   %d death(s) (%d trial(s) re-leased), %d orderly leave(s)\n"
+      rep.Fabric.fb_worker_deaths rep.Fabric.fb_requeued rep.Fabric.fb_left;
+  if rep.Fabric.fb_retransmitted > 0 then
+    Printf.printf "  retransmitted: %d result send(s) repeated\n" rep.Fabric.fb_retransmitted;
+  List.iter
+    (fun (i, reason) -> Printf.printf "  trial %d quarantined: %s\n" i reason)
+    rep.Fabric.fb_quarantined
+
+(* Drive the controller by hand (rather than [Fabric.run_campaign]) so
+   --progress can watch trials merge. *)
+let run_fabric ~workers ~distributed ?policy ?chaos ~tracer ?wire_chaos ~progress cfg =
+  let c = Fabric.Controller.create ?policy ?chaos ~tracer ?wire_chaos cfg in
+  for _ = 1 to workers do
+    if distributed then
+      ignore
+        (Fabric.Controller.add_exec_worker c ~prog:Sys.executable_name
+           ~args:[| Sys.executable_name; "worker" |])
+    else ignore (Fabric.Controller.add_worker c)
+  done;
+  let total = cfg.Campaign.injections in
+  let last = ref (-1) in
+  while not (Fabric.Controller.finished c) do
+    Fabric.Controller.step c ~timeout:0.05;
+    let done_ = Fabric.Controller.completed c in
+    if progress && done_ <> !last && (done_ mod 100 = 0 || done_ = total) then begin
+      last := done_;
+      Printf.eprintf "\r%d/%d%!" done_ total
+    end
+  done;
+  Fabric.Controller.finish c
 
 let no_superblocks_arg =
   let doc =
@@ -393,7 +484,7 @@ let supervision_of ~journal ~resume ~max_retries ~chaos ~seed ~injections =
 let inject_cmd =
   let run arch kind n seed progress jobs no_superblocks trace_dir journal resume
       max_retries chaos collector_loss collector_retries fault_model targeting store
-      store_append =
+      store_append workers distributed wire_chaos =
     apply_superblocks no_superblocks;
     let cfg =
       {
@@ -413,38 +504,73 @@ let inject_cmd =
       | None -> cfg
       | Some r -> { cfg with Campaign.collector_retries = r }
     in
-    let supervision =
-      supervision_of ~journal ~resume ~max_retries ~chaos ~seed:cfg.Campaign.seed
-        ~injections:n
-    in
-    let progress_fn ~done_ ~total =
-      if progress && (done_ mod 100 = 0 || done_ = total) then
-        Printf.eprintf "\r%d/%d%!" done_ total
-    in
     let tracer =
       match trace_dir with
       | None -> Ferrite_trace.Tracer.telemetry_only
       | Some _ -> Ferrite_trace.Tracer.default_config
     in
-    let res =
-      try
-        Campaign.run ~progress:progress_fn ~executor:(executor_of_jobs jobs) ~tracer
-          ?supervision cfg
-      with
-      | Journal.Header_mismatch { hm_path; hm_expected; hm_found } ->
-        Printf.eprintf
-          "ferrite: %s was written for a different campaign plan (journal hash %Lx, \
-           this plan %Lx); refusing to mix campaigns. Re-run with matching \
-           --arch/--kind/-n/--seed/... flags, or start a fresh journal with \
-           --journal.\n"
-          hm_path hm_found hm_expected;
-        exit 2
-      | Journal.Not_a_journal path ->
-        Printf.eprintf "ferrite: %s is not a ferrite journal; refusing to touch it\n" path;
-        exit 2
+    let res, fabric_report =
+      if workers > 0 || distributed then begin
+        if journal <> None || resume <> None then begin
+          Printf.eprintf
+            "ferrite: --journal/--resume belong to the in-process supervisor and are \
+             not available with --workers/--distributed (the fabric's result channel \
+             is its own checkpoint stream)\n";
+          exit 2
+        end;
+        let policy =
+          Option.map
+            (fun r -> { Supervisor.default_policy with Supervisor.sp_max_retries = r })
+            max_retries
+        in
+        let chaos =
+          if chaos then Some (Supervisor.drill_plan ~seed:cfg.Campaign.seed ~injections:n)
+          else None
+        in
+        let r, rep =
+          run_fabric
+            ~workers:(if workers > 0 then workers else 2)
+            ~distributed ?policy ?chaos ~tracer ?wire_chaos ~progress cfg
+        in
+        (r, Some rep)
+      end
+      else begin
+        if wire_chaos <> None then begin
+          Printf.eprintf "ferrite: --wire-chaos needs --workers or --distributed\n";
+          exit 2
+        end;
+        let supervision =
+          supervision_of ~journal ~resume ~max_retries ~chaos ~seed:cfg.Campaign.seed
+            ~injections:n
+        in
+        let progress_fn ~done_ ~total =
+          if progress && (done_ mod 100 = 0 || done_ = total) then
+            Printf.eprintf "\r%d/%d%!" done_ total
+        in
+        let res =
+          try
+            Campaign.run ~progress:progress_fn ~executor:(executor_of_jobs jobs) ~tracer
+              ?supervision cfg
+          with
+          | Journal.Header_mismatch { hm_path; hm_expected; hm_found } ->
+            Printf.eprintf
+              "ferrite: %s was written for a different campaign plan (journal hash %Lx, \
+               this plan %Lx); refusing to mix campaigns. Re-run with matching \
+               --arch/--kind/-n/--seed/... flags, or start a fresh journal with \
+               --journal.\n"
+              hm_path hm_found hm_expected;
+            exit 2
+          | Journal.Not_a_journal path ->
+            Printf.eprintf "ferrite: %s is not a ferrite journal; refusing to touch it\n"
+              path;
+            exit 2
+        in
+        (res, None)
+      end
     in
     if progress then Printf.eprintf "\n";
     print_campaign res;
+    Option.iter print_fabric_report fabric_report;
     (* non-legacy config: add the per-model Table 5/6 breakout (a resumed
        journal may carry several models, hence groups, not one row) *)
     if fault_model <> Fault_model.Single_bit_transient || targeting <> Target.Uniform
@@ -460,7 +586,8 @@ let inject_cmd =
       const run $ arch_arg $ kind_arg $ count_arg $ seed_arg $ progress_arg $ jobs_arg
       $ no_superblocks_arg $ trace_dir_arg $ journal_arg $ resume_arg $ max_retries_arg
       $ chaos_arg $ collector_loss_arg $ collector_retries_arg $ fault_model_arg
-      $ targeting_arg $ store_arg $ store_append_arg)
+      $ targeting_arg $ store_arg $ store_append_arg $ workers_arg $ distributed_arg
+      $ wire_chaos_arg)
 
 (* --- matrix --- *)
 
@@ -887,6 +1014,21 @@ let fuzz_cmd =
           oracle until the time budget runs out; shrunk reproducers land in --out-dir")
     Term.(const run $ budget_arg $ seed_arg $ out_arg)
 
+(* --- worker --- *)
+
+let worker_cmd =
+  let run () =
+    (* stdout is the wire: nothing in the serve path may print to it *)
+    Fabric.Worker.serve ~input:Unix.stdin ~output:Unix.stdout ()
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Serve one campaign as a distributed-fabric worker: speak the fabric \
+          protocol over stdin/stdout until the controller says goodbye. \
+          Normally spawned by 'ferrite inject --distributed', not by hand.")
+    Term.(const run $ const ())
+
 (* --- disasm --- *)
 
 let disasm_cmd =
@@ -929,4 +1071,4 @@ let () =
     Cmd.info "ferrite" ~version:"1.0.0"
       ~doc:"Error sensitivity of a miniature kernel on CISC/RISC simulators (DSN 2004 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group ~default info [ boot_cmd; profile_cmd; inject_cmd; matrix_cmd; suite_cmd; report_cmd; ablate_cmd; oops_cmd; disasm_cmd; trace_cmd; triage_cmd; fuzz_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ boot_cmd; profile_cmd; inject_cmd; matrix_cmd; suite_cmd; report_cmd; ablate_cmd; oops_cmd; disasm_cmd; trace_cmd; triage_cmd; fuzz_cmd; worker_cmd ]))

@@ -1,0 +1,136 @@
+(** The distributed campaign fabric: one controller, a fleet of worker
+    processes, and a byte-identical merge.
+
+    The fabric is the process-level sibling of
+    {!Ferrite_injection.Executor.Parallel}: the same plan → execute → merge
+    decomposition, with OS processes over stream sockets instead of domains
+    over shared memory. The controller owns the {!Lease} table and the merge
+    arrays; workers own everything expensive (boot, profile, trial
+    execution). Workers self-schedule by leasing trial-index chunks, steal
+    work from each other through the controller when the tail drains, may
+    join and leave mid-campaign, and are survived by it: a killed worker's
+    in-flight chunk is re-leased, and a trial that keeps killing its owners
+    is quarantined as {!Ferrite_injection.Outcome.Infrastructure_failure} —
+    exactly the in-process supervisor's verdict for a trial that keeps
+    failing.
+
+    {b Determinism.} Trial records are pure functions of trial specs
+    ({!Ferrite_injection.Trial}), specs are derived counter-style from the
+    campaign config, and the controller merges by trial index. So records,
+    traces, collector stats, telemetry counters and the result-store bytes
+    are byte-identical to a sequential run under {e any} worker count,
+    join/leave schedule, kill schedule or wire-chaos seed — only the
+    diagnostics ([reboots], [cache], and boots-derived [tl_boots]) depend on
+    scheduling, as they already do under the domain-pool executor. *)
+
+module Campaign = Ferrite_injection.Campaign
+module Supervisor = Ferrite_injection.Supervisor
+
+type report = {
+  fb_workers : int;  (** workers that ever joined *)
+  fb_results : int;  (** fresh results merged *)
+  fb_dup_results : int;  (** retransmitted / post-expiry duplicates dropped *)
+  fb_retransmitted : int;  (** result re-sends reported by departing workers *)
+  fb_steals : int;  (** steal requests sent to victims *)
+  fb_steal_returns : int;  (** non-empty steal returns *)
+  fb_expired : int;  (** leases reclaimed by timeout *)
+  fb_worker_deaths : int;  (** links that died without a goodbye *)
+  fb_requeued : int;  (** trials re-leased after a death *)
+  fb_left : int;  (** orderly mid-campaign departures *)
+  fb_quarantined : (int * string) list;
+      (** poisoned trials (index, reason) — these are the only records that
+          may differ from a sequential run, and they differ the same way an
+          in-process quarantine does *)
+}
+(** Fabric bookkeeping — the knobs chaos is allowed to move. Every
+    convergence test asserts that records stay identical while {e only}
+    these counters change. *)
+
+module Worker : sig
+  val serve :
+    ?die_at:int ->
+    ?max_leases:int ->
+    input:Unix.file_descr ->
+    output:Unix.file_descr ->
+    unit ->
+    unit
+  (** Serve one campaign over a controller link ([input] and [output] may be
+      the same socket). Says [Hello], waits for the [Welcome] briefing,
+      rebuilds the plan and environment locally from the wire config, then
+      leases, executes and streams results until the controller says [Bye]
+      (or [max_leases] leases are done — the orderly mid-campaign leave).
+      [die_at] is the crash test hook: the process exits without warning
+      just before executing that trial index. *)
+end
+
+module Controller : sig
+  type t
+
+  val create :
+    ?policy:Supervisor.policy ->
+    ?chaos:Supervisor.chaos ->
+    ?tracer:Ferrite_trace.Tracer.config ->
+    ?wire_chaos:Wire.wire_chaos ->
+    ?wire_seed:int64 ->
+    ?chunk:int ->
+    ?lease_timeout:float ->
+    ?max_worker_deaths:int ->
+    Campaign.config ->
+    t
+  (** A controller with no workers yet. [chunk] defaults to
+      {!Ferrite_injection.Executor.chunk_size} over four workers;
+      [lease_timeout] (default 5 s) is the liveness backstop for lost
+      messages and silent workers; a trial orphaned by more than
+      [max_worker_deaths] (default 2) deaths is quarantined. [wire_chaos]
+      arms seeded message drop/duplication/reordering on {e every} link, in
+      both directions. *)
+
+  val add_worker : ?die_at:int -> ?max_leases:int -> t -> int
+  (** Fork a worker process connected over a socketpair and brief it;
+      returns its worker id. May be called at any time — late joiners are
+      how a killed worker is replaced. *)
+
+  val add_exec_worker : t -> prog:string -> args:string array -> int
+  (** Spawn a worker as a fresh executable (its stdin/stdout become the
+      link) — the [ferrite worker] path, one rung closer to real multi-host
+      operation than {!add_worker}'s forked address-space copy. *)
+
+  val step : t -> timeout:float -> unit
+  (** One event-loop turn: expire stale leases, wait up to [timeout] seconds
+      for traffic, absorb messages, detect deaths. *)
+
+  val finished : t -> bool
+
+  val completed : t -> int
+  (** Trials merged (or quarantined) so far — kill tests aim mid-campaign. *)
+
+  val workers_alive : t -> int
+
+  val worker_pid : t -> int -> int option
+  (** The OS pid behind a worker id (kill tests aim here). *)
+
+  val finish : t -> Campaign.result * report
+  (** Drive {!step} until every trial is merged, then exchange goodbyes,
+      reap the fleet and build the campaign result. The result's [records],
+      [traces], [dumps], [collector] and [telemetry] counters are
+      byte-identical to [Campaign.run cfg] — see the module preamble.
+      [supervision] is [None]; fabric bookkeeping lives in the returned
+      {!report}. Raises [Failure] if every worker is gone and trials remain
+      (the caller controls the fleet, so an empty fleet is its bug, not a
+      hang). *)
+end
+
+val run_campaign :
+  ?workers:int ->
+  ?policy:Supervisor.policy ->
+  ?chaos:Supervisor.chaos ->
+  ?tracer:Ferrite_trace.Tracer.config ->
+  ?wire_chaos:Wire.wire_chaos ->
+  ?wire_seed:int64 ->
+  ?chunk:int ->
+  ?lease_timeout:float ->
+  ?max_worker_deaths:int ->
+  Campaign.config ->
+  Campaign.result * report
+(** Create a controller, fork [workers] (default 2) workers, run to
+    completion. *)

@@ -1,0 +1,225 @@
+type decision =
+  | Grant of { d_lease : int; d_lo : int; d_hi : int }
+  | Steal_from of { d_victim : int; d_lease : int }
+  | Wait
+  | Drained
+
+type completion = Fresh | Duplicate
+
+type lease = {
+  l_id : int;
+  l_worker : int;
+  l_lo : int;
+  mutable l_hi : int;  (* exclusive; shrinks when a steal returns the tail *)
+  mutable l_deadline : float;
+  mutable l_steal_sent : bool;  (* at most one outstanding steal per lease *)
+}
+
+type t = {
+  total : int;
+  chunk : int;
+  timeout : float;
+  max_deaths : int;
+  mutable pending : (int * int) list;
+      (* disjoint [lo, hi) ranges not currently leased; may contain trials
+         that completed after their lease expired (skipped on grant) *)
+  done_ : bool array;
+  mutable ndone : int;
+  mutable leases : lease list;  (* insertion order *)
+  mutable next_id : int;
+  deaths : int array;  (* worker deaths charged per trial *)
+}
+
+let create ~total ~chunk ~timeout ~max_deaths =
+  if total <= 0 then invalid_arg "Lease.create: total must be positive";
+  if chunk <= 0 then invalid_arg "Lease.create: chunk must be positive";
+  if timeout <= 0.0 then invalid_arg "Lease.create: timeout must be positive";
+  if max_deaths < 0 then invalid_arg "Lease.create: negative max_deaths";
+  {
+    total;
+    chunk;
+    timeout;
+    max_deaths;
+    pending = [ (0, total) ];
+    done_ = Array.make total false;
+    ndone = 0;
+    leases = [];
+    next_id = 0;
+    deaths = Array.make total 0;
+  }
+
+let incomplete_in t lo hi =
+  let n = ref 0 in
+  for i = lo to hi - 1 do
+    if not t.done_.(i) then incr n
+  done;
+  !n
+
+(* Append the incomplete runs of [lo, hi) back to pending (requeue order is
+   irrelevant to the merge — records land by trial index). *)
+let requeue t lo hi =
+  let runs = ref [] in
+  let n = ref 0 in
+  let i = ref lo in
+  while !i < hi do
+    if t.done_.(!i) then incr i
+    else begin
+      let s = !i in
+      while !i < hi && not t.done_.(!i) do
+        incr i
+      done;
+      runs := (s, !i) :: !runs;
+      n := !n + (!i - s)
+    end
+  done;
+  t.pending <- t.pending @ List.rev !runs;
+  !n
+
+(* Pop the next chunk of incomplete trials off the pending ranges. *)
+let rec pop_chunk t =
+  match t.pending with
+  | [] -> None
+  | (lo, hi) :: rest ->
+    let lo = ref lo in
+    while !lo < hi && t.done_.(!lo) do
+      incr lo
+    done;
+    if !lo >= hi then begin
+      t.pending <- rest;
+      pop_chunk t
+    end
+    else begin
+      let glo = !lo in
+      let ghi = min hi (glo + t.chunk) in
+      t.pending <- (if ghi < hi then (ghi, hi) :: rest else rest);
+      Some (glo, ghi)
+    end
+
+let request t ~worker ~now =
+  if t.ndone = t.total then Drained
+  else
+    match List.find_opt (fun l -> l.l_worker = worker) t.leases with
+    | Some l ->
+      (* the worker is asking for work it already owns: its grant was lost.
+         Re-issue verbatim — the worker deduplicates by lease id, so if this
+         is instead a duplicated stale request, the re-grant is ignored. *)
+      l.l_deadline <- now +. t.timeout;
+      Grant { d_lease = l.l_id; d_lo = l.l_lo; d_hi = l.l_hi }
+    | None -> (
+      match pop_chunk t with
+      | Some (lo, hi) ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        t.leases <-
+          t.leases
+          @ [
+              {
+                l_id = id;
+                l_worker = worker;
+                l_lo = lo;
+                l_hi = hi;
+                l_deadline = now +. t.timeout;
+                l_steal_sent = false;
+              };
+            ];
+        Grant { d_lease = id; d_lo = lo; d_hi = hi }
+      | None -> (
+        (* nothing pending: poach from the fattest live lease that can spare
+           a trial and has no steal already in flight *)
+        let victim =
+          List.fold_left
+            (fun best l ->
+              if l.l_worker = worker || l.l_steal_sent then best
+              else
+                let rem = incomplete_in t l.l_lo l.l_hi in
+                if rem < 2 then best
+                else
+                  match best with
+                  | Some (_, brem) when brem >= rem -> best
+                  | _ -> Some (l, rem))
+            None t.leases
+        in
+        match victim with
+        | Some (l, _) ->
+          l.l_steal_sent <- true;
+          Steal_from { d_victim = l.l_worker; d_lease = l.l_id }
+        | None -> Wait))
+
+let drop_complete_leases t =
+  t.leases <- List.filter (fun l -> incomplete_in t l.l_lo l.l_hi > 0) t.leases
+
+let complete t ~index =
+  if index < 0 || index >= t.total || t.done_.(index) then Duplicate
+  else begin
+    t.done_.(index) <- true;
+    t.ndone <- t.ndone + 1;
+    drop_complete_leases t;
+    Fresh
+  end
+
+let steal_return t ~lease ~lo ~hi =
+  match List.find_opt (fun l -> l.l_id = lease) t.leases with
+  | None -> 0
+  | Some l ->
+    if lo = hi then begin
+      (* nothing to give — clear the flag so the lease can be asked again *)
+      l.l_steal_sent <- false;
+      0
+    end
+    else if lo >= l.l_lo && lo < hi && hi = l.l_hi then begin
+      (* the victim returned its current tail; a duplicated return no longer
+         matches l_hi after the shrink and falls through to the stale case *)
+      l.l_hi <- lo;
+      l.l_steal_sent <- false;
+      let n = requeue t lo hi in
+      if incomplete_in t l.l_lo l.l_hi = 0 then
+        t.leases <- List.filter (fun l' -> l'.l_id <> lease) t.leases;
+      n
+    end
+    else 0
+
+let expire t ~now =
+  let expired, kept = List.partition (fun l -> l.l_deadline < now) t.leases in
+  t.leases <- kept;
+  List.map
+    (fun l ->
+      ignore (requeue t l.l_lo l.l_hi);
+      (l.l_worker, l.l_id))
+    expired
+
+let touch t ~worker ~now =
+  List.iter
+    (fun l -> if l.l_worker = worker then l.l_deadline <- now +. t.timeout)
+    t.leases
+
+let worker_dead t ~worker ~requeued =
+  let mine, others = List.partition (fun l -> l.l_worker = worker) t.leases in
+  t.leases <- others;
+  let poisoned = ref [] in
+  List.iter
+    (fun l ->
+      for i = l.l_lo to l.l_hi - 1 do
+        if not t.done_.(i) then begin
+          t.deaths.(i) <- t.deaths.(i) + 1;
+          if t.deaths.(i) > t.max_deaths then poisoned := i :: !poisoned
+          else begin
+            ignore (requeue t i (i + 1));
+            requeued := i :: !requeued
+          end
+        end
+      done)
+    mine;
+  List.rev !poisoned
+
+let worker_leave t ~worker =
+  let mine, others = List.partition (fun l -> l.l_worker = worker) t.leases in
+  t.leases <- others;
+  List.fold_left (fun n l -> n + requeue t l.l_lo l.l_hi) 0 mine
+
+let finished t = t.ndone = t.total
+let completed t = t.ndone
+
+let pending_trials t =
+  List.fold_left (fun n (lo, hi) -> n + incomplete_in t lo hi) 0 t.pending
+
+let live_leases t = List.map (fun l -> (l.l_id, l.l_worker, l.l_lo, l.l_hi)) t.leases

@@ -138,6 +138,14 @@ let env_of cfg image hot =
     env_targeting = cfg.targeting;
   }
 
+(* Build the read-only per-process inputs of a campaign: the compiled image
+   and the profiled hot set, wrapped in a validated [Trial.env]. Pure in the
+   config, so every fabric worker process rebuilding it from the wire config
+   derives the same environment the controller (and a sequential run) uses. *)
+let environment cfg =
+  let image = Boot.build_image ~variant:cfg.variant cfg.arch in
+  env_of cfg image (hot_profile image cfg.arch)
+
 let run ?(progress = fun ~done_:_ ~total:_ -> ()) ?(executor = Executor.default)
     ?(tracer = Ferrite_trace.Tracer.telemetry_only) ?supervision cfg =
   (* plan → execute → merge: build shared read-only inputs once, decompose

@@ -93,6 +93,13 @@ let run_sequential ~progress ~trace ~supervisor env specs =
     cache = Trial.cache_stats cache;
   }
 
+(* Contiguous chunks keep per-worker scheduling overhead low; chunks smaller
+   than total/workers rebalance the long tail, because trial costs vary by
+   two orders of magnitude between a Not-Activated run and a watchdog Hang.
+   Shared by the in-process domain pool below and the distributed fabric's
+   lease table, so both shard one plan the same way. *)
+let chunk_size ~total ~workers = max 1 (total / (max 1 workers * 8))
+
 (* Chunked self-scheduling: workers atomically claim contiguous chunks of
    trials. Contiguous claims keep the per-worker chunk count (and hence
    scheduler overhead) low; chunks smaller than total/domains rebalance the
@@ -105,7 +112,7 @@ let run_parallel ~progress ~trace ~supervisor ~domains env specs =
   (* Never spin up a worker for fewer than ~4 trials: a worker's first act is
      a full boot, which only amortises over a handful of trials. *)
   let domains = max 1 (min domains (max 1 (total / 4))) in
-  let chunk = max 1 (total / (domains * 8)) in
+  let chunk = chunk_size ~total ~workers:domains in
   let results = Array.make total None in
   let next = Atomic.make 0 in
   (* [finished] is read and bumped inside the mutex: the progress callback

@@ -31,6 +31,14 @@ val auto : unit -> t
 val describe : t -> string
 (** ["sequential"] or ["parallel:N"], for logs and bench output. *)
 
+val chunk_size : total:int -> workers:int -> int
+(** The chunked-plan-iterator granularity both executors use:
+    [max 1 (total / (workers * 8))]. Small enough to rebalance the long tail
+    (trial costs vary ~100× between Not-Activated and Hang), large enough to
+    amortise claim overhead. The distributed fabric's lease table shards with
+    the same function, so a fabric campaign and a domain-pool campaign cut
+    one plan identically. *)
+
 type outcome = {
   records : Outcome.record array;
       (** one record per trial, indexed by {!Trial.spec.index} — already

@@ -186,6 +186,8 @@ let frame_bytes payload =
   Buffer.add_string buf payload;
   Buffer.contents buf
 
+let frame = frame_bytes
+
 (* ---------- recovery ---------- *)
 
 type recovery = {

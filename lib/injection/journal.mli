@@ -33,6 +33,12 @@ val crc32 : string -> int
 
 val header_size : int
 
+val frame : string -> string
+(** [frame payload] is the journal's on-disk framing of one payload —
+    [payload_len (4, LE) | crc32(payload) (4, LE) | payload]. Exposed so the
+    distributed fabric can reuse the exact same framing as its wire format:
+    a fabric [Result] message {e is} a journal frame in flight. *)
+
 type entry = {
   je_index : int;  (** trial index *)
   je_record : Outcome.record;
@@ -42,6 +48,14 @@ type entry = {
 (** Everything the executor merge needs, so a resumed campaign reproduces an
     uninterrupted run's records, collector stats, traces and telemetry
     byte for byte. *)
+
+val encode_entry : entry -> string
+(** The journal's payload encoding of one entry. The fabric's result channel
+    carries exactly these bytes, so a worker's checkpoint and the
+    controller's journal agree by construction. *)
+
+val decode_entry : string -> entry option
+(** Inverse of {!encode_entry}; [None] on any undecodable payload (torn). *)
 
 type recovery = {
   rc_entries : entry list;  (** longest valid prefix, in append order *)

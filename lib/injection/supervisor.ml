@@ -201,9 +201,15 @@ let note_retry t index attempt reason =
 (* A quarantined trial still yields a record (so trial indexing and the merge
    stay dense), a zero collector tally, and a synthesized trace whose events
    carry the failed attempts — that trace is where tl_retries/tl_quarantines
-   come from, and it is deterministic because chaos plans are. *)
-let quarantined_result t ~trace ~model (spec : Trial.spec) reasons =
+   come from, and it is deterministic because chaos plans are.
+
+   [quarantine_entry] is the pure synthesis half, shared with the distributed
+   fabric: a trial that keeps killing whole worker processes is quarantined
+   by the controller with exactly the record/trace shape the in-process
+   supervisor produces. *)
+let quarantine_entry ~trace ~model (spec : Trial.spec) reasons =
   let attempts = List.length reasons in
+  if attempts = 0 then invalid_arg "Supervisor.quarantine_entry: no failure reasons";
   let last_reason = List.nth reasons (attempts - 1) in
   let index = spec.Trial.index in
   let outcome =
@@ -239,12 +245,19 @@ let quarantined_result t ~trace ~model (spec : Trial.spec) reasons =
     Tracer.trial_of tracer ~index ~target:"<quarantined>"
       ~outcome:(Outcome.outcome_label outcome)
   in
+  (record, Collector.zero_stats, trial_trace, None)
+
+let quarantined_result t ~trace ~model (spec : Trial.spec) reasons =
+  let result = quarantine_entry ~trace ~model spec reasons in
+  let attempts = List.length reasons in
+  let last_reason = List.nth reasons (attempts - 1) in
+  let index = spec.Trial.index in
   Mutex.protect t.lock (fun () ->
       t.quarantined <-
         { q_index = index; q_attempts = attempts; q_reason = last_reason } :: t.quarantined;
       Tracer.record t.tracer zero_stamp
         (Event.Trial_quarantined { trial = index; attempts; reason = last_reason }));
-  (record, Collector.zero_stats, trial_trace, None)
+  result
 
 let run_trial t ~trace env cache (spec : Trial.spec) =
   let index = spec.Trial.index in

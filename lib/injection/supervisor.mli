@@ -115,6 +115,20 @@ val note_skip : t -> int -> unit
 val journal_append : t -> Journal.entry -> unit
 (** Append one completed trial to the journal (no-op without one). *)
 
+val quarantine_entry :
+  trace:Ferrite_trace.Tracer.config ->
+  model:Fault_model.t ->
+  Trial.spec ->
+  string list ->
+  Outcome.record * Collector.stats * Ferrite_trace.Tracer.trial * Crash_dump.t option
+(** Synthesize the quarantined result for a trial whose listed attempts all
+    failed (reasons in attempt order; must be non-empty): an
+    {!Outcome.Infrastructure_failure} record, a zero collector tally, and a
+    trace carrying the failed attempts. Pure — no supervisor bookkeeping —
+    so the distributed controller can quarantine a trial that keeps killing
+    worker processes with exactly the in-process record shape. Raises
+    [Invalid_argument] on an empty reason list. *)
+
 val run_trial :
   t ->
   trace:Ferrite_trace.Tracer.config ->

@@ -304,10 +304,20 @@ let read_all path =
   let rows, sc = fold path (fun acc r -> r :: acc) [] in
   (List.rev rows, sc)
 
-(* ---------- writing ---------- *)
+(* ---------- writing ----------
+
+   The writer is a raw [O_APPEND] file descriptor, and a block (frame header
+   + payload) goes to the kernel as ONE [write] call: POSIX appends are
+   atomic with respect to the file offset, so two processes appending blocks
+   concurrently interleave at block granularity — whole frames, never spliced
+   bytes. That is the store's concurrency contract: concurrent appenders are
+   safe as long as a block is what they interleave; row order across
+   processes is whatever the kernel serialized. (An out_channel would
+   buffer-split large blocks across multiple writes and could tear them
+   mid-frame.) *)
 
 type writer = {
-  oc : out_channel;
+  fd : Unix.file_descr;
   block_rows : int;
   mutable pending : row list;  (* newest first *)
   mutable npending : int;
@@ -316,6 +326,17 @@ type writer = {
 
 let default_block_rows = 4096
 
+(* One [Unix.write] per call in the common case; the EINTR retry never splits
+   a block in practice (regular-file writes of sane sizes complete fully). *)
+let write_string fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write_substring fd s !off (n - !off) with
+    | w -> off := !off + w
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
 let flush_block w =
   if w.npending > 0 then begin
     let payload = encode_block (List.rev w.pending) in
@@ -323,8 +344,7 @@ let flush_block w =
     put_u32 buf (String.length payload);
     put_u32 buf (crc32 payload);
     Buffer.add_string buf payload;
-    output_string w.oc (Buffer.contents buf);
-    flush w.oc;
+    write_string w.fd (Buffer.contents buf);
     w.written <- w.written + w.npending;
     w.pending <- [];
     w.npending <- 0
@@ -337,15 +357,15 @@ let append w row =
 
 let close w =
   flush_block w;
-  close_out w.oc
+  Unix.close w.fd
 
 let create ?(block_rows = default_block_rows) path =
   if block_rows <= 0 then invalid_arg "Store.create: block_rows must be positive";
-  let oc = open_out_bin path in
-  output_string oc magic;
-  output_char oc version;
-  flush oc;
-  { oc; block_rows; pending = []; npending = 0; written = 0 }
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_APPEND ] 0o644
+  in
+  write_string fd (magic ^ String.make 1 version);
+  { fd; block_rows; pending = []; npending = 0; written = 0 }
 
 (* Append to an existing store: validate the header, then truncate any torn
    tail so the new blocks butt up against the last valid one. A missing file
@@ -360,8 +380,8 @@ let open_append ?(block_rows = default_block_rows) path =
       Unix.ftruncate fd sc.sc_bytes;
       Unix.close fd
     end;
-    let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
-    { oc; block_rows; pending = []; npending = 0; written = sc.sc_rows }
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+    { fd; block_rows; pending = []; npending = 0; written = sc.sc_rows }
   end
 
 let rows_written w = w.written + w.npending

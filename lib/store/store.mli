@@ -32,7 +32,17 @@ exception Not_a_store of string
 (** Raised when a file lacks the store magic or has an unknown version. A
     torn tail is {e not} an error — readers stop at the first bad frame. *)
 
-(** {2 Writing} *)
+(** {2 Writing}
+
+    {b Concurrency contract.} A writer flushes each columnar block as a
+    single [write] to an [O_APPEND] descriptor, and POSIX appends are atomic
+    with respect to the file offset — so multiple processes appending to one
+    store concurrently interleave {e whole blocks}, never spliced bytes, and
+    every row survives exactly once. Cross-process row order is whatever the
+    kernel serialized (readers that care sort by [r_index]). What is {e not}
+    supported is sharing one [writer] value between threads without a lock
+    (its row buffer is unsynchronized), or calling {!create}/{!open_append}'s
+    truncation concurrently with live appenders. *)
 
 type writer
 

@@ -1,0 +1,414 @@
+(* Tests for the distributed campaign fabric: wire-codec roundtrips and
+   torn-frame recovery, the lease-table state machine, and full controller +
+   worker-fleet campaigns — plain, killed-and-rejoined, wire-chaos-drilled
+   and poison-trial-quarantined — every one of which must merge byte-identical
+   to a sequential run (quarantined trials excepted, and then only the way an
+   in-process quarantine differs). *)
+
+open Ferrite_injection
+open Ferrite_fabric
+open Fabric
+module Image = Ferrite_kir.Image
+module Tracer = Ferrite_trace.Tracer
+module Telemetry = Ferrite_trace.Telemetry
+module Cache_stats = Ferrite_machine.Cache_stats
+module Store = Ferrite_store.Store
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_cfg injections =
+  { (Campaign.default ~arch:Image.Cisc ~kind:Target.Stack ~injections) with
+    Campaign.seed = 0x2004L }
+
+let stamp =
+  { Ferrite_trace.Event.s_cycles = 0; s_instructions = 0; s_pc = 0; s_function = None }
+
+let mk_entry i =
+  let tracer = Tracer.create Tracer.default_config in
+  Tracer.record tracer stamp (Ferrite_trace.Event.Trial_begin { trial = i; target = "t" });
+  {
+    Journal.je_index = i;
+    je_record =
+      {
+        Outcome.r_target = Target.Data_target { addr = 4 * i; bit = i mod 8 };
+        r_outcome = (if i mod 2 = 0 then Outcome.Not_manifested else Outcome.Hang);
+        r_activated = true;
+        r_activation_cycle = Some (100 + i);
+        r_model = Fault_model.Single_bit_transient;
+      };
+    je_stats =
+      {
+        Collector.st_received = i;
+        st_lost = i mod 3;
+        st_retransmitted = 0;
+        st_gave_up = 0;
+        st_dup_dropped = 0;
+        st_by_model = (if i > 0 then [ ("single_bit", i) ] else []);
+      };
+    je_trace = Tracer.trial_of tracer ~index:i ~target:"t" ~outcome:"ok";
+  }
+
+(* ---------- wire codec ---------- *)
+
+let mk_welcome i =
+  {
+    Wire.w_worker = i;
+    w_total = 10 + i;
+    w_config = small_cfg (8 + i);
+    w_policy = (if i land 1 = 0 then Supervisor.default_policy else Supervisor.instant_policy);
+    w_chaos =
+      (if i land 2 = 0 then Supervisor.no_chaos
+       else Supervisor.drill_plan ~seed:7L ~injections:16);
+    w_tracer = (if i land 1 = 0 then Tracer.telemetry_only else Tracer.default_config);
+    w_wire_chaos =
+      (if i land 4 = 0 then None
+       else Some { Wire.wc_drop = 0.125; wc_dup = 0.0625; wc_reorder = 0.0625 });
+    w_wire_seed = Int64.of_int (i * 977);
+  }
+
+let mk_bye i =
+  {
+    Wire.by_reboots = i mod 5;
+    by_cache = Cache_stats.zero;
+    by_retransmitted = i mod 3;
+    by_leases = i mod 7;
+  }
+
+(* Deterministic message zoo indexed by a small int — every constructor,
+   including marshalled briefing/result/goodbye payloads. *)
+let mk_msg i =
+  match i mod 9 with
+  | 0 -> Wire.Hello { h_pid = 17 * i; h_protocol = Wire.protocol_version }
+  | 1 -> Wire.Welcome (mk_welcome (i mod 8))
+  | 2 -> Wire.Lease_request { lr_worker = i }
+  | 3 -> Wire.Lease_grant { lg_lease = i; lg_lo = 3 * i; lg_hi = (3 * i) + 7 }
+  | 4 -> Wire.Steal { st_lease = i }
+  | 5 -> Wire.Steal_return { sr_lease = i; sr_lo = i; sr_hi = i + (i mod 3) }
+  | 6 ->
+    Wire.Result
+      { rs_seq = i; rs_index = i mod 11; rs_entry = mk_entry (i mod 11); rs_dump = None }
+  | 7 -> Wire.Ack { ak_seq = i }
+  | _ -> Wire.Bye { bye_stats = (if i land 1 = 0 then None else Some (mk_bye i)) }
+
+let prop_codec_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"encode → decode is the identity for every message" ~count:200
+       QCheck.(small_list (int_range 0 80))
+       (fun picks ->
+         let msgs = List.map mk_msg picks in
+         (* each payload decodes alone… *)
+         List.for_all
+           (fun m -> Wire.decode_payload (Wire.encode_payload m) = Some m)
+           msgs
+         (* …and a concatenated stream decodes in order, fully consumed *)
+         &&
+         let bytes = String.concat "" (List.map Wire.encode msgs) in
+         Wire.decode_prefix bytes = (msgs, String.length bytes)))
+
+let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> []
+
+(* The torn-frame property, mirroring journal recovery: however the stream is
+   cut (mid-frame, mid-payload) and whatever garbage follows, decoding
+   returns the longest valid prefix and never raises. *)
+let prop_torn_stream =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"a torn stream decodes to its longest valid prefix" ~count:200
+       QCheck.(triple (small_list (int_range 0 80)) (int_range 0 10_000) (int_range 0 48))
+       (fun (picks, cut_frac, garbage) ->
+         let msgs = List.map mk_msg picks in
+         let frames = List.map Wire.encode msgs in
+         let bytes = String.concat "" frames in
+         let cut = cut_frac * String.length bytes / 10_000 in
+         let torn =
+           String.sub bytes 0 cut
+           ^ String.init garbage (fun i -> Char.chr (i * 37 mod 256))
+         in
+         (* how many whole frames survive the cut — stop at the first torn
+            one; later frames are unreachable even if they'd fit in [cut] *)
+         let expect, consumed =
+           let rec walk n off = function
+             | frame :: rest when off + String.length frame <= cut ->
+               walk (n + 1) (off + String.length frame) rest
+             | _ -> (n, off)
+           in
+           walk 0 0 frames
+         in
+         let decoded, used = Wire.decode_prefix torn in
+         (* Garbage may coincidentally restore the torn frame's missing tail
+            (it is deterministic, not adversarial), so with garbage the
+            decoder may legally get {e ahead} of [expect] — but only ever
+            along the true message sequence. Pure truncation is exact. *)
+         let n = List.length decoded in
+         decoded = take n msgs && n >= expect && used >= consumed
+         && (garbage > 0 || (n = expect && used = consumed))))
+
+let test_codec_rejects_bad_crc () =
+  let good = Wire.encode (Wire.Ack { ak_seq = 7 }) in
+  let bad = Bytes.of_string good in
+  Bytes.set bad (Bytes.length bad - 1) 'X';
+  check_bool "flipped byte stops the walk" true
+    (Wire.decode_prefix (Bytes.to_string bad) = ([], 0));
+  let d = Wire.decoder () in
+  Wire.feed d bad (Bytes.length bad);
+  check_bool "live decoder raises Corrupt" true
+    (match Wire.next d with
+    | exception Wire.Corrupt _ -> true
+    | _ -> false)
+
+let test_codec_carries_real_dump () =
+  (* a Result must carry a genuine crash dump intact: store rows are derived
+     from dump fields, so dump fidelity is part of store byte-identity *)
+  let r = Campaign.run (small_cfg 12) in
+  match List.find_opt Option.is_some r.Campaign.dumps with
+  | None -> Alcotest.fail "no crash dump in 12 stack injections (seed drift?)"
+  | Some dump ->
+    let msg =
+      Wire.Result { rs_seq = 3; rs_index = 5; rs_entry = mk_entry 5; rs_dump = dump }
+    in
+    check_bool "dump survives the codec" true
+      (Wire.decode_payload (Wire.encode_payload msg) = Some msg)
+
+(* ---------- lease table ---------- *)
+
+let test_lease_grant_and_drain () =
+  let t = Lease.create ~total:7 ~chunk:3 ~timeout:10.0 ~max_deaths:2 in
+  (match Lease.request t ~worker:0 ~now:0.0 with
+  | Lease.Grant { d_lease = 0; d_lo = 0; d_hi = 3 } -> ()
+  | _ -> Alcotest.fail "first grant should be [0,3)");
+  (* a repeated request re-issues the live lease verbatim *)
+  (match Lease.request t ~worker:0 ~now:0.1 with
+  | Lease.Grant { d_lease = 0; d_lo = 0; d_hi = 3 } -> ()
+  | _ -> Alcotest.fail "lost grant should be re-issued verbatim");
+  for i = 0 to 2 do
+    check_bool "fresh" true (Lease.complete t ~index:i = Lease.Fresh)
+  done;
+  check_bool "dup detected" true (Lease.complete t ~index:1 = Lease.Duplicate);
+  check_bool "out of range is dup" true (Lease.complete t ~index:99 = Lease.Duplicate);
+  (match Lease.request t ~worker:0 ~now:0.2 with
+  | Lease.Grant { d_lo = 3; d_hi = 6; _ } -> ()
+  | _ -> Alcotest.fail "second grant should be [3,6)");
+  (match Lease.request t ~worker:1 ~now:0.2 with
+  | Lease.Grant { d_lo = 6; d_hi = 7; _ } -> ()
+  | _ -> Alcotest.fail "tail grant should be [6,7)");
+  List.iter (fun i -> ignore (Lease.complete t ~index:i)) [ 3; 4; 5; 6 ];
+  check_bool "finished" true (Lease.finished t);
+  check_bool "drained" true (Lease.request t ~worker:1 ~now:0.3 = Lease.Drained)
+
+let test_lease_steal () =
+  let t = Lease.create ~total:10 ~chunk:10 ~timeout:10.0 ~max_deaths:2 in
+  let lease =
+    match Lease.request t ~worker:0 ~now:0.0 with
+    | Lease.Grant { d_lease; d_lo = 0; d_hi = 10 } -> d_lease
+    | _ -> Alcotest.fail "expected the whole plan in one lease"
+  in
+  (match Lease.request t ~worker:1 ~now:0.1 with
+  | Lease.Steal_from { d_victim = 0; d_lease } when d_lease = lease -> ()
+  | _ -> Alcotest.fail "idle worker should trigger a steal");
+  (* only one steal in flight per lease *)
+  check_bool "no double steal" true (Lease.request t ~worker:2 ~now:0.1 = Lease.Wait);
+  (* empty return clears the flag, next idler may try again *)
+  check_int "empty return requeues nothing" 0
+    (Lease.steal_return t ~lease ~lo:0 ~hi:0);
+  (match Lease.request t ~worker:1 ~now:0.2 with
+  | Lease.Steal_from _ -> ()
+  | _ -> Alcotest.fail "steal flag should have cleared");
+  (* victim returns the tail [4,10): requeued, lease shrunk *)
+  check_int "tail requeued" 6 (Lease.steal_return t ~lease ~lo:4 ~hi:10);
+  (* a duplicated return of the same tail no longer matches and is ignored *)
+  check_int "duplicate return ignored" 0 (Lease.steal_return t ~lease ~lo:4 ~hi:10);
+  (match Lease.request t ~worker:1 ~now:0.3 with
+  | Lease.Grant { d_lo = 4; d_hi = 10; _ } -> ()
+  | _ -> Alcotest.fail "stolen tail should be re-leased");
+  check_int "nothing left unleased" 0 (Lease.pending_trials t)
+
+let test_lease_expiry_keeps_stragglers () =
+  let t = Lease.create ~total:4 ~chunk:4 ~timeout:1.0 ~max_deaths:2 in
+  ignore (Lease.request t ~worker:0 ~now:0.0);
+  ignore (Lease.complete t ~index:0);
+  check_int "no premature expiry" 0 (List.length (Lease.expire t ~now:0.5));
+  (* touch pushes the deadline out *)
+  Lease.touch t ~worker:0 ~now:0.9;
+  check_int "touched lease survives" 0 (List.length (Lease.expire t ~now:1.5));
+  let expired = Lease.expire t ~now:3.0 in
+  check_int "lease expired" 1 (List.length expired);
+  check_int "incomplete trials requeued" 3 (Lease.pending_trials t);
+  (* the slow owner's results still land: exactly once each *)
+  check_bool "straggler accepted" true (Lease.complete t ~index:1 = Lease.Fresh);
+  (* and the re-leased range skips what the straggler delivered *)
+  (match Lease.request t ~worker:1 ~now:3.1 with
+  | Lease.Grant { d_lo = 2; d_hi = 4; _ } -> ()
+  | _ -> Alcotest.fail "regrant should skip completed trials");
+  check_bool "no death charged by expiry" true
+    (Lease.worker_dead t ~worker:99 ~requeued:(ref []) = [])
+
+let test_lease_death_poisons () =
+  let t = Lease.create ~total:3 ~chunk:1 ~timeout:10.0 ~max_deaths:1 in
+  ignore (Lease.request t ~worker:0 ~now:0.0);
+  let requeued = ref [] in
+  check_bool "first death only requeues" true
+    (Lease.worker_dead t ~worker:0 ~requeued = []);
+  check_int "trial 0 requeued" 1 (List.length !requeued);
+  ignore (Lease.request t ~worker:1 ~now:0.1);
+  (* chunk 1: worker 1 now holds trial 1?  No — pending is [1,3) then [0,1);
+     the requeued trial goes to the back, so worker 1 leased trial 1 *)
+  ignore (Lease.request t ~worker:2 ~now:0.1);
+  (* worker 2 leased trial 2; next lease would be the requeued trial 0 *)
+  ignore (Lease.request t ~worker:3 ~now:0.1);
+  let requeued = ref [] in
+  check_bool "second death poisons" true
+    (Lease.worker_dead t ~worker:3 ~requeued = [ 0 ]);
+  check_int "poisoned trial is not requeued" 0 (List.length !requeued);
+  (* the caller quarantines and completes it *)
+  check_bool "quarantine completes" true (Lease.complete t ~index:0 = Lease.Fresh);
+  ignore (Lease.complete t ~index:1);
+  ignore (Lease.complete t ~index:2);
+  check_bool "finished" true (Lease.finished t)
+
+(* ---------- full campaigns ---------- *)
+
+let boots_blind t = Telemetry.with_boots t 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* The store bytes a campaign result produces — tiny blocks so block framing
+   is exercised too. *)
+let store_bytes (r : Campaign.result) =
+  let path = Filename.temp_file "ferrite_fabric" ".fstore" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let w = Store.create ~block_rows:7 path in
+      Result_store.append_result w r;
+      Store.close w;
+      read_file path)
+
+let check_identical label (reference : Campaign.result) (r : Campaign.result) =
+  check_bool (label ^ ": records") true (r.Campaign.records = reference.Campaign.records);
+  check_bool (label ^ ": collector") true
+    (r.Campaign.collector = reference.Campaign.collector);
+  check_bool (label ^ ": traces") true (r.Campaign.traces = reference.Campaign.traces);
+  check_bool (label ^ ": dumps") true (r.Campaign.dumps = reference.Campaign.dumps);
+  check_bool (label ^ ": telemetry") true
+    (boots_blind r.Campaign.telemetry = boots_blind reference.Campaign.telemetry);
+  check_bool (label ^ ": store bytes") true (store_bytes r = store_bytes reference)
+
+let test_two_workers_identical () =
+  let cfg = small_cfg 24 in
+  let reference = Campaign.run cfg in
+  let r, report = run_campaign ~workers:2 cfg in
+  check_identical "2 workers" reference r;
+  check_int "no deaths" 0 report.fb_worker_deaths;
+  check_int "every trial merged fresh exactly once" 24 report.fb_results
+
+(* The golden resilience drill: four workers, one SIGKILLed mid-campaign, a
+   replacement joining late — the merge must not show a scar. *)
+let test_kill_and_rejoin () =
+  let cfg = small_cfg 80 in
+  let reference = Campaign.run cfg in
+  let t = Controller.create cfg in
+  let first = Controller.add_worker t in
+  for _ = 2 to 4 do
+    ignore (Controller.add_worker t)
+  done;
+  (* let the campaign get going, then kill without warning *)
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  while Controller.completed t < 4 && Unix.gettimeofday () < deadline do
+    Controller.step t ~timeout:0.05
+  done;
+  check_bool "the campaign was mid-flight" true
+    (Controller.completed t >= 4 && not (Controller.finished t));
+  (match Controller.worker_pid t first with
+  | Some pid -> Unix.kill pid Sys.sigkill
+  | None -> Alcotest.fail "forked worker has no pid");
+  let late = Controller.add_worker t in
+  check_bool "replacement got a fresh id" true (late > first);
+  let r, report = Controller.finish t in
+  check_int "exactly one death" 1 report.fb_worker_deaths;
+  check_int "nothing quarantined" 0 (List.length report.fb_quarantined);
+  check_int "five workers ever joined" 5 report.fb_workers;
+  check_identical "kill and rejoin" reference r
+
+(* Seeded wire chaos: drop/duplicate/reorder a fifth of the eligible traffic
+   in both directions. The campaign must converge with only the fabric's
+   bookkeeping counters moved — records and store bytes exactly sequential. *)
+let test_wire_chaos_converges () =
+  let cfg = small_cfg 30 in
+  let reference = Campaign.run cfg in
+  let wire_chaos = { Wire.wc_drop = 0.2; wc_dup = 0.1; wc_reorder = 0.1 } in
+  let r, report =
+    run_campaign ~workers:2 ~wire_chaos ~wire_seed:0xC4A05L ~lease_timeout:1.0 cfg
+  in
+  check_identical "chaos" reference r;
+  check_int "no deaths under pure message chaos" 0 report.fb_worker_deaths;
+  check_bool "the chaos left tracks in the counters" true
+    (report.fb_dup_results > 0 || report.fb_retransmitted > 0 || report.fb_expired > 0)
+
+(* A trial that kills every worker that touches it must not kill the
+   campaign: after max deaths it is quarantined exactly like an in-process
+   poison trial, and every other record stays byte-identical. *)
+let test_poison_trial_quarantined () =
+  let poison = 5 in
+  let cfg = small_cfg 12 in
+  let reference = Campaign.run cfg in
+  let t = Controller.create ~max_worker_deaths:1 ~chunk:1 cfg in
+  ignore (Controller.add_worker ~die_at:poison t);
+  ignore (Controller.add_worker ~die_at:poison t);
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  while
+    (not (Controller.finished t))
+    && Controller.workers_alive t > 0
+    && Unix.gettimeofday () < deadline
+  do
+    Controller.step t ~timeout:0.05
+  done;
+  (* both die-at workers are dead by now; a healthy late joiner mops up
+     whatever they left (usually nothing but the already-quarantined trial) *)
+  if not (Controller.finished t) then ignore (Controller.add_worker t);
+  let r, report = Controller.finish t in
+  check_int "two deaths" 2 report.fb_worker_deaths;
+  (match report.fb_quarantined with
+  | [ (i, _) ] -> check_int "the poison trial was quarantined" poison i
+  | q -> Alcotest.failf "expected one quarantined trial, got %d" (List.length q));
+  List.iteri
+    (fun i (record : Outcome.record) ->
+      let ref_record = List.nth reference.Campaign.records i in
+      if i = poison then
+        check_bool "poison trial is an infrastructure failure" true
+          (Outcome.is_infrastructure record.Outcome.r_outcome)
+      else
+        check_bool (Printf.sprintf "trial %d identical" i) true (record = ref_record))
+    r.Campaign.records
+
+let () =
+  Alcotest.run "ferrite_fabric"
+    [
+      ( "codec",
+        [
+          prop_codec_roundtrip;
+          prop_torn_stream;
+          Alcotest.test_case "bad crc" `Quick test_codec_rejects_bad_crc;
+          Alcotest.test_case "real dump roundtrip" `Quick test_codec_carries_real_dump;
+        ] );
+      ( "lease",
+        [
+          Alcotest.test_case "grant and drain" `Quick test_lease_grant_and_drain;
+          Alcotest.test_case "steal" `Quick test_lease_steal;
+          Alcotest.test_case "expiry keeps stragglers" `Quick
+            test_lease_expiry_keeps_stragglers;
+          Alcotest.test_case "death poisons" `Quick test_lease_death_poisons;
+        ] );
+      ( "campaigns",
+        [
+          Alcotest.test_case "2 workers byte-identical" `Quick test_two_workers_identical;
+          Alcotest.test_case "kill and rejoin" `Quick test_kill_and_rejoin;
+          Alcotest.test_case "wire chaos converges" `Quick test_wire_chaos_converges;
+          Alcotest.test_case "poison trial quarantined" `Quick
+            test_poison_trial_quarantined;
+        ] );
+    ]

@@ -112,6 +112,57 @@ let test_append_across_sessions () =
   check_int "no residual torn tail" 0 scan.Store.sc_truncated_bytes;
   Sys.remove path
 
+(* The concurrency contract (store.mli): concurrent appenders on one path
+   interleave whole blocks, never spliced bytes — every row survives exactly
+   once and each writer's rows keep their order. Two children open the store
+   before either appends (truncation must not race live appends), rendezvous
+   over pipes, then race 20 rows each through tiny 3-row blocks. *)
+let test_concurrent_append () =
+  let path = tmp_store () in
+  Store.close (Store.create path);
+  let rows_for base n =
+    List.init n (fun i ->
+        { (List.nth edge_rows (i mod 3)) with Store.r_index = base + i })
+  in
+  let spawn base n =
+    let ready_r, ready_w = Unix.pipe () in
+    let go_r, go_w = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+      Unix.close ready_r;
+      Unix.close go_w;
+      let w = Store.open_append ~block_rows:3 path in
+      ignore (Unix.write ready_w (Bytes.of_string "r") 0 1);
+      ignore (Unix.read go_r (Bytes.create 1) 0 1);
+      List.iter (Store.append w) (rows_for base n);
+      Store.close w;
+      Unix._exit 0
+    | pid ->
+      Unix.close ready_w;
+      Unix.close go_r;
+      ignore (Unix.read ready_r (Bytes.create 1) 0 1);
+      Unix.close ready_r;
+      (pid, go_w)
+  in
+  let a = spawn 0 20 in
+  let b = spawn 1000 20 in
+  List.iter (fun (_, go) -> ignore (Unix.write go (Bytes.of_string "g") 0 1)) [ a; b ];
+  List.iter
+    (fun (pid, go) ->
+      Unix.close go;
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "concurrent appender died")
+    [ a; b ];
+  let rows, scan = Store.read_all path in
+  check_int "every row survives exactly once" 40 (List.length rows);
+  check_int "no spliced or torn bytes" 0 scan.Store.sc_truncated_bytes;
+  check_int "fourteen whole blocks" 14 scan.Store.sc_blocks;
+  let by_writer base = List.filter (fun r -> r.Store.r_index >= base && r.Store.r_index < base + 1000) rows in
+  check_bool "writer A's rows keep their order" true (by_writer 0 = rows_for 0 20);
+  check_bool "writer B's rows keep their order" true (by_writer 1000 = rows_for 1000 20);
+  Sys.remove path
+
 let test_not_a_store () =
   let path = tmp_store () in
   write_file path "NOTASTOREFILE....";
@@ -233,6 +284,7 @@ let () =
           Alcotest.test_case "tiny blocks" `Quick test_tiny_blocks;
           Alcotest.test_case "torn tail" `Quick test_torn_tail_recovery;
           Alcotest.test_case "append across sessions" `Quick test_append_across_sessions;
+          Alcotest.test_case "concurrent appenders" `Quick test_concurrent_append;
           Alcotest.test_case "bad magic" `Quick test_not_a_store;
         ] );
       ( "campaigns",
