@@ -24,6 +24,7 @@ module Executor = Ferrite_injection.Executor
 module Crash_cause = Ferrite_injection.Crash_cause
 module Workload = Ferrite_workload.Workload
 module Runner = Ferrite_workload.Runner
+module Iofault = Ferrite_iofault.Iofault
 
 let scale =
   match Sys.getenv_opt "FERRITE_BENCH_SCALE" with
@@ -186,6 +187,58 @@ let run_campaign_throughput () =
     store_rows store_bytes
     (float_of_int store_bytes /. float_of_int (max 1 store_rows))
     scan_rate;
+  (* io-chaos: the fault shim's quiet cost and the counters from a
+     recoverable chaotic run of the same journaled campaign. The "shim
+     overhead" row arms a zero-rate plan so every journal/store syscall
+     pays the per-call fault draw but no fault ever fires — that delta over
+     the disarmed path is the price of leaving the layer compiled in. *)
+  let journaled () =
+    let path = Filename.temp_file "ferrite_bench" ".journal" in
+    Sys.remove path;
+    let sv =
+      {
+        Campaign.sv_policy = Ferrite_injection.Supervisor.default_policy;
+        sv_chaos = Ferrite_injection.Supervisor.no_chaos;
+        sv_journal = Some path;
+        sv_resume = false;
+      }
+    in
+    let r = Campaign.run ~supervision:sv cfg in
+    Sys.remove path;
+    r
+  in
+  let quiet_plan =
+    {
+      Iofault.pl_eintr = 0.0;
+      pl_eagain = 0.0;
+      pl_short_write = 0.0;
+      pl_short_read = 0.0;
+      pl_eio = 0.0;
+      pl_fsync_fail = 0.0;
+      pl_delay = 0.0;
+      pl_delay_s = 0.0;
+      pl_enospc_after = None;
+    }
+  in
+  let _, t_plain = time journaled in
+  Iofault.arm ~plan:quiet_plan ~seed:1L ();
+  let _, t_quiet = Fun.protect ~finally:Iofault.disarm (fun () -> time journaled) in
+  let shim_overhead_pct = (t_quiet -. t_plain) /. t_plain *. 100.0 in
+  let shim_ok = shim_overhead_pct < 2.0 in
+  let chaos_seed = 0x10FA17L in
+  Iofault.reset_stats ();
+  Iofault.arm ~plan:Iofault.recoverable_plan ~seed:chaos_seed ();
+  let r_chaos =
+    Fun.protect ~finally:Iofault.disarm (fun () -> journaled ())
+  in
+  let chaos_stats = Iofault.stats () in
+  let chaos_identical = r_chaos.Campaign.records = rs.Campaign.records in
+  Printf.printf
+    "io-chaos: armed-but-quiet shim overhead %+.2f%% (gate <2%%: %b); \
+     recoverable seed %Ld absorbed %d fault(s) via %d retries, records \
+     identical: %b\n"
+    shim_overhead_pct shim_ok chaos_seed chaos_stats.Iofault.st_faults
+    chaos_stats.Iofault.st_retries chaos_identical;
   let oc = open_out "BENCH_campaign.json" in
   (* [parallel_speedup] is reported only when the executor actually ran
      parallel: a clamped-to-sequential "parallel" row timing the same code
@@ -213,6 +266,7 @@ let run_campaign_throughput () =
   "records_identical": %b,
   "superblocks": { "sb_blocks": %d, "sb_insns_retired": %d, "sb_fallbacks": %d, "sb_hit_rate": %.4f },
   "store": { "rows": %d, "bytes": %d, "bytes_per_row": %.2f, "scan_seconds": %.4f, "scan_rows_per_sec": %.0f },
+  "io_chaos": { "shim_overhead_pct": %.2f, "shim_overhead_under_2pct": %b, "chaos_seed": %Ld, "faults": %d, "retries": %d, "eintr": %d, "eagain": %d, "short_writes": %d, "short_reads": %d, "delays": %d, "salvages": %d, "records_identical": %b },
   "cache": %s
 }
 |}
@@ -230,7 +284,12 @@ let run_campaign_throughput () =
     cache.Ferrite_machine.Cache_stats.cs_sb_fallbacks sb_hit_rate store_rows
     store_bytes
     (float_of_int store_bytes /. float_of_int (max 1 store_rows))
-    scan_time scan_rate
+    scan_time scan_rate shim_overhead_pct shim_ok chaos_seed
+    chaos_stats.Iofault.st_faults chaos_stats.Iofault.st_retries
+    chaos_stats.Iofault.st_eintr chaos_stats.Iofault.st_eagain
+    chaos_stats.Iofault.st_short_writes chaos_stats.Iofault.st_short_reads
+    chaos_stats.Iofault.st_delays chaos_stats.Iofault.st_salvages
+    chaos_identical
     (Ferrite_machine.Cache_stats.to_json cache);
   close_out oc;
   Printf.printf "wrote BENCH_campaign.json\n"

@@ -28,6 +28,7 @@ module Store = Ferrite_store.Store
 module Triage = Ferrite_injection.Triage
 module Fabric = Ferrite_fabric.Fabric
 module Wire = Ferrite_fabric.Wire
+module Iofault = Ferrite_iofault.Iofault
 
 let arch_conv =
   let parse = function
@@ -125,6 +126,64 @@ let wire_chaos_arg =
   in
   Arg.(value & opt (some wire_chaos_conv) None & info [ "wire-chaos" ] ~docv:"RATES" ~doc)
 
+(* --- seeded I/O fault layer (inject / suite / worker) --- *)
+
+let io_chaos_arg =
+  let doc =
+    "Arm the seeded I/O fault layer with seed $(docv): every journal, store, \
+     trace and fabric-wire descriptor is perturbed with EINTR/EAGAIN, short \
+     reads and writes, delays, and (on half the seeds) a disk-full onset \
+     drawn in [16 KiB, 64 KiB). Retriable faults are absorbed and the output \
+     stays byte-identical; ENOSPC/EIO degrade loudly to a reported salvage \
+     state. Deterministic: the same seed replays the same faults."
+  in
+  Arg.(value & opt (some int64) None & info [ "io-chaos" ] ~docv:"SEED" ~doc)
+
+let io_enospc_after_arg =
+  let doc =
+    "With --io-chaos, override the plan's disk-full onset: the global byte \
+     budget shared by all file writers is exhausted after $(docv) bytes \
+     (the ENOSPC-onset sweep knob from EXPERIMENTS.md)."
+  in
+  Arg.(value & opt (some int) None & info [ "io-enospc-after" ] ~docv:"BYTES" ~doc)
+
+let arm_io_chaos ~io_chaos ~io_enospc_after =
+  match (io_chaos, io_enospc_after) with
+  | None, None -> ()
+  | None, Some _ ->
+    Printf.eprintf "ferrite: --io-enospc-after needs --io-chaos\n";
+    exit 2
+  | Some seed, onset ->
+    let plan = Iofault.plan_of_seed seed in
+    let plan =
+      match onset with
+      | None -> plan
+      | Some n ->
+        if n < 0 then begin
+          Printf.eprintf "ferrite: --io-enospc-after must be non-negative\n";
+          exit 2
+        end;
+        { plan with Iofault.pl_enospc_after = Some n }
+    in
+    Iofault.arm ~plan ~seed ()
+
+(* Printed after any campaign that ran with --io-chaos: the fault/retry
+   counters, and — when any writer degraded — a loud salvage banner. The
+   banner is the invariant's second arm: either byte-identical completion,
+   or this. *)
+let print_io_chaos_report () =
+  match Iofault.armed_seed () with
+  | None -> ()
+  | Some seed ->
+    Printf.printf "io-chaos:        seed %Ld: %s\n" seed (Iofault.render_stats ());
+    (match Iofault.salvage_labels () with
+    | [] -> ()
+    | labels ->
+      Printf.printf
+        "  DEGRADED STATE: %s salvaged — on-disk artifacts are valid, explicitly \
+         partial prefixes; results above cover what completed\n"
+        (String.concat ", " labels))
+
 let print_fabric_report (rep : Fabric.report) =
   Printf.printf "fabric:          %d worker(s): %d fresh result(s), %d duplicate(s) dropped\n"
     rep.Fabric.fb_workers rep.Fabric.fb_results rep.Fabric.fb_dup_results;
@@ -134,6 +193,14 @@ let print_fabric_report (rep : Fabric.report) =
   if rep.Fabric.fb_worker_deaths > 0 || rep.Fabric.fb_left > 0 then
     Printf.printf "  fleet churn:   %d death(s) (%d trial(s) re-leased), %d orderly leave(s)\n"
       rep.Fabric.fb_worker_deaths rep.Fabric.fb_requeued rep.Fabric.fb_left;
+  if rep.Fabric.fb_hung > 0 then
+    Printf.printf "  hung workers:  %d declared dead past the heartbeat deadline\n"
+      rep.Fabric.fb_hung;
+  if rep.Fabric.fb_missing > 0 then
+    Printf.printf
+      "  SALVAGE STATE: %d trial(s) not merged (drained); percentages above cover the \
+       completed subset only\n"
+      rep.Fabric.fb_missing;
   if rep.Fabric.fb_retransmitted > 0 then
     Printf.printf "  retransmitted: %d result send(s) repeated\n" rep.Fabric.fb_retransmitted;
   List.iter
@@ -141,19 +208,32 @@ let print_fabric_report (rep : Fabric.report) =
     rep.Fabric.fb_quarantined
 
 (* Drive the controller by hand (rather than [Fabric.run_campaign]) so
-   --progress can watch trials merge. *)
-let run_fabric ~workers ~distributed ?policy ?chaos ~tracer ?wire_chaos ~progress cfg =
-  let c = Fabric.Controller.create ?policy ?chaos ~tracer ?wire_chaos cfg in
+   --progress can watch trials merge, and so SIGTERM/SIGINT can flip the
+   drain flag: the loop below exits, [finish] salvages what is merged, and
+   the process still prints a (partial) report and a valid journal. *)
+let run_fabric ~workers ~distributed ?policy ?chaos ~tracer ?wire_chaos ?journal ?resume
+    ?(worker_args = [||]) ~progress cfg =
+  let c =
+    Fabric.Controller.create ?policy ?chaos ~tracer ?wire_chaos ?journal ?resume cfg
+  in
+  let install signal =
+    try
+      ignore
+        (Sys.signal signal (Sys.Signal_handle (fun _ -> Fabric.Controller.request_drain c)))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  install Sys.sigterm;
+  install Sys.sigint;
   for _ = 1 to workers do
     if distributed then
       ignore
         (Fabric.Controller.add_exec_worker c ~prog:Sys.executable_name
-           ~args:[| Sys.executable_name; "worker" |])
+           ~args:(Array.append [| Sys.executable_name; "worker" |] worker_args))
     else ignore (Fabric.Controller.add_worker c)
   done;
   let total = cfg.Campaign.injections in
   let last = ref (-1) in
-  while not (Fabric.Controller.finished c) do
+  while (not (Fabric.Controller.finished c)) && not (Fabric.Controller.draining c) do
     Fabric.Controller.step c ~timeout:0.05;
     let done_ = Fabric.Controller.completed c in
     if progress && done_ <> !last && (done_ mod 100 = 0 || done_ = total) then begin
@@ -347,9 +427,9 @@ let dump_campaign_trace dir (res : Campaign.result) =
       (kind_name res.Campaign.cfg.Campaign.kind)
   in
   let jsonl = Filename.concat dir (stem ^ ".jsonl") in
-  let oc = open_out jsonl in
-  Ferrite_trace.Jsonl.write_trials oc res.Campaign.traces;
-  close_out oc;
+  let complete = Ferrite_trace.Jsonl.write_trials_path jsonl res.Campaign.traces in
+  if not complete then
+    Printf.eprintf "ferrite: %s is a partial trace (writer degraded)\n" jsonl;
   let telemetry = Filename.concat dir (stem ^ "-telemetry.json") in
   let oc = open_out telemetry in
   output_string oc (Ferrite_trace.Telemetry.to_json res.Campaign.telemetry);
@@ -383,9 +463,21 @@ let write_store ?(append = false) path results =
   let w = if append then Store.open_append path else Store.create path in
   List.iter (Result_store.append_result w) results;
   Store.close w;
-  let sc = Store.scan path in
-  Printf.eprintf "wrote %s (%d rows, %d blocks, %d bytes)\n" path sc.Store.sc_rows
-    sc.Store.sc_blocks sc.Store.sc_bytes
+  (* read after close: the final block flush may itself have degraded *)
+  let dropped = Store.rows_dropped w in
+  let degraded = Store.degraded w in
+  (match Store.scan path with
+  | sc ->
+    Printf.eprintf "wrote %s (%d rows, %d blocks, %d bytes)\n" path sc.Store.sc_rows
+      sc.Store.sc_blocks sc.Store.sc_bytes
+  | exception Store.Not_a_store _ when degraded ->
+    (* the header itself never landed: nothing scannable, by design *)
+    Printf.eprintf "wrote %s (no scannable prefix: the header write failed)\n" path);
+  if degraded then
+    Printf.eprintf
+      "ferrite: store %s DEGRADED: %d row(s) dropped after a write failure; what is \
+       on disk is a valid prefix\n"
+      path dropped
 
 let load_aggregates path =
   match Result_store.aggregate path with
@@ -450,21 +542,25 @@ let collector_retries_arg =
   in
   Arg.(value & opt (some int) None & info [ "collector-retries" ] ~docv:"N" ~doc)
 
+(* --journal/--resume resolve to one (path, resuming) pair: --resume names
+   the journal it keeps appending to. Shared by the in-process supervisor
+   and the fabric controller. *)
+let resolve_journal ~journal ~resume =
+  match (resume, journal) with
+  | Some r, Some j when r <> j ->
+    Printf.eprintf
+      "ferrite: --journal and --resume name different files; --resume %s already \
+       appends to the journal it resumes\n"
+      r;
+    exit 2
+  | Some r, _ -> (Some r, true)
+  | None, j -> (j, false)
+
 let supervision_of ~journal ~resume ~max_retries ~chaos ~seed ~injections =
   match (journal, resume, max_retries, chaos) with
   | None, None, None, false -> None
   | _ ->
-    let journal, resume_flag =
-      match (resume, journal) with
-      | Some r, Some j when r <> j ->
-        Printf.eprintf
-          "ferrite: --journal and --resume name different files; --resume %s already \
-           appends to the journal it resumes\n"
-          r;
-        exit 2
-      | Some r, _ -> (Some r, true)
-      | None, j -> (j, false)
-    in
+    let journal, resume_flag = resolve_journal ~journal ~resume in
     let policy =
       match max_retries with
       | None -> Supervisor.default_policy
@@ -481,11 +577,28 @@ let supervision_of ~journal ~resume ~max_retries ~chaos ~seed ~injections =
         sv_resume = resume_flag;
       }
 
+(* Both the in-process supervisor and the fabric controller recover a
+   --resume journal; the refusal messages are identical either way. *)
+let with_journal_errors f =
+  try f () with
+  | Journal.Header_mismatch { hm_path; hm_expected; hm_found } ->
+    Printf.eprintf
+      "ferrite: %s was written for a different campaign plan (journal hash %Lx, \
+       this plan %Lx); refusing to mix campaigns. Re-run with matching \
+       --arch/--kind/-n/--seed/... flags, or start a fresh journal with \
+       --journal.\n"
+      hm_path hm_found hm_expected;
+    exit 2
+  | Journal.Not_a_journal path ->
+    Printf.eprintf "ferrite: %s is not a ferrite journal; refusing to touch it\n" path;
+    exit 2
+
 let inject_cmd =
   let run arch kind n seed progress jobs no_superblocks trace_dir journal resume
       max_retries chaos collector_loss collector_retries fault_model targeting store
-      store_append workers distributed wire_chaos =
+      store_append workers distributed wire_chaos io_chaos io_enospc_after =
     apply_superblocks no_superblocks;
+    arm_io_chaos ~io_chaos ~io_enospc_after;
     let cfg =
       {
         (Campaign.default ~arch ~kind ~injections:n) with
@@ -511,13 +624,7 @@ let inject_cmd =
     in
     let res, fabric_report =
       if workers > 0 || distributed then begin
-        if journal <> None || resume <> None then begin
-          Printf.eprintf
-            "ferrite: --journal/--resume belong to the in-process supervisor and are \
-             not available with --workers/--distributed (the fabric's result channel \
-             is its own checkpoint stream)\n";
-          exit 2
-        end;
+        let fab_journal, fab_resume = resolve_journal ~journal ~resume in
         let policy =
           Option.map
             (fun r -> { Supervisor.default_policy with Supervisor.sp_max_retries = r })
@@ -527,10 +634,25 @@ let inject_cmd =
           if chaos then Some (Supervisor.drill_plan ~seed:cfg.Campaign.seed ~injections:n)
           else None
         in
+        (* exec'd workers are fresh processes: the fault plan must ride the
+           argv (forked workers inherit the armed state) *)
+        let worker_args =
+          match io_chaos with
+          | None -> [||]
+          | Some s ->
+            Array.of_list
+              ([ "--io-chaos"; Int64.to_string s ]
+              @
+              match io_enospc_after with
+              | None -> []
+              | Some b -> [ "--io-enospc-after"; string_of_int b ])
+        in
         let r, rep =
-          run_fabric
-            ~workers:(if workers > 0 then workers else 2)
-            ~distributed ?policy ?chaos ~tracer ?wire_chaos ~progress cfg
+          with_journal_errors (fun () ->
+              run_fabric
+                ~workers:(if workers > 0 then workers else 2)
+                ~distributed ?policy ?chaos ~tracer ?wire_chaos ?journal:fab_journal
+                ~resume:fab_resume ~worker_args ~progress cfg)
         in
         (r, Some rep)
       end
@@ -548,22 +670,9 @@ let inject_cmd =
             Printf.eprintf "\r%d/%d%!" done_ total
         in
         let res =
-          try
-            Campaign.run ~progress:progress_fn ~executor:(executor_of_jobs jobs) ~tracer
-              ?supervision cfg
-          with
-          | Journal.Header_mismatch { hm_path; hm_expected; hm_found } ->
-            Printf.eprintf
-              "ferrite: %s was written for a different campaign plan (journal hash %Lx, \
-               this plan %Lx); refusing to mix campaigns. Re-run with matching \
-               --arch/--kind/-n/--seed/... flags, or start a fresh journal with \
-               --journal.\n"
-              hm_path hm_found hm_expected;
-            exit 2
-          | Journal.Not_a_journal path ->
-            Printf.eprintf "ferrite: %s is not a ferrite journal; refusing to touch it\n"
-              path;
-            exit 2
+          with_journal_errors (fun () ->
+              Campaign.run ~progress:progress_fn ~executor:(executor_of_jobs jobs)
+                ~tracer ?supervision cfg)
         in
         (res, None)
       end
@@ -579,7 +688,9 @@ let inject_cmd =
       print_endline (Ferrite.Report.model_breakout res)
     end;
     Option.iter (fun dir -> dump_campaign_trace dir res) trace_dir;
-    Option.iter (fun path -> write_store ~append:store_append path [ res ]) store
+    Option.iter (fun path -> write_store ~append:store_append path [ res ]) store;
+    (* last: the store/trace writers above may add salvage labels *)
+    print_io_chaos_report ()
   in
   Cmd.v (Cmd.info "inject" ~doc:"Run one error-injection campaign")
     Term.(
@@ -587,7 +698,7 @@ let inject_cmd =
       $ no_superblocks_arg $ trace_dir_arg $ journal_arg $ resume_arg $ max_retries_arg
       $ chaos_arg $ collector_loss_arg $ collector_retries_arg $ fault_model_arg
       $ targeting_arg $ store_arg $ store_append_arg $ workers_arg $ distributed_arg
-      $ wire_chaos_arg)
+      $ wire_chaos_arg $ io_chaos_arg $ io_enospc_after_arg)
 
 (* --- matrix --- *)
 
@@ -694,8 +805,10 @@ let suite_campaigns (suite : Ferrite.Suite.t) =
   ]
 
 let suite_cmd =
-  let run arch scale seed progress jobs no_superblocks store store_append =
+  let run arch scale seed progress jobs no_superblocks store store_append io_chaos
+      io_enospc_after =
     apply_superblocks no_superblocks;
+    arm_io_chaos ~io_chaos ~io_enospc_after;
     let sc = Ferrite.Suite.scaled arch scale in
     let suite =
       Ferrite.Suite.run ~seed:(Int64.of_int seed) ~progress:(progress_fn progress arch)
@@ -709,12 +822,14 @@ let suite_cmd =
     print_newline ();
     Option.iter
       (fun path -> write_store ~append:store_append path (suite_campaigns suite))
-      store
+      store;
+    print_io_chaos_report ()
   in
   Cmd.v (Cmd.info "suite" ~doc:"Run the four campaigns of Table 5/6 for one platform")
     Term.(
       const run $ arch_arg $ scale_arg $ seed_arg $ progress_arg $ jobs_arg
-      $ no_superblocks_arg $ store_arg $ store_append_arg)
+      $ no_superblocks_arg $ store_arg $ store_append_arg $ io_chaos_arg
+      $ io_enospc_after_arg)
 
 let from_store_arg =
   let doc =
@@ -1017,7 +1132,8 @@ let fuzz_cmd =
 (* --- worker --- *)
 
 let worker_cmd =
-  let run () =
+  let run io_chaos io_enospc_after =
+    arm_io_chaos ~io_chaos ~io_enospc_after;
     (* stdout is the wire: nothing in the serve path may print to it *)
     Fabric.Worker.serve ~input:Unix.stdin ~output:Unix.stdout ()
   in
@@ -1026,8 +1142,11 @@ let worker_cmd =
        ~doc:
          "Serve one campaign as a distributed-fabric worker: speak the fabric \
           protocol over stdin/stdout until the controller says goodbye. \
-          Normally spawned by 'ferrite inject --distributed', not by hand.")
-    Term.(const run $ const ())
+          Normally spawned by 'ferrite inject --distributed', not by hand. \
+          --io-chaos arms the same seeded fault layer the controller runs \
+          under (exec'd workers do not inherit it, so the controller passes \
+          the flag along).")
+    Term.(const run $ io_chaos_arg $ io_enospc_after_arg)
 
 (* --- disasm --- *)
 

@@ -10,6 +10,7 @@ module Tracer = Ferrite_trace.Tracer
 module Telemetry = Ferrite_trace.Telemetry
 module Rng = Ferrite_machine.Rng
 module Cache_stats = Ferrite_machine.Cache_stats
+module Iofault = Ferrite_iofault.Iofault
 
 type report = {
   fb_workers : int;
@@ -20,8 +21,10 @@ type report = {
   fb_steal_returns : int;
   fb_expired : int;
   fb_worker_deaths : int;
+  fb_hung : int;
   fb_requeued : int;
   fb_left : int;
+  fb_missing : int;
   fb_quarantined : (int * string) list;
 }
 
@@ -34,24 +37,20 @@ let ignore_sigpipe () =
 
 exception Link_dead
 
-let write_all fd s =
-  let n = String.length s in
-  let off = ref 0 in
-  (try
-     while !off < n do
-       match Unix.write_substring fd s !off (n - !off) with
-       | written -> off := !off + written
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-     done
-   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
-     raise Link_dead)
+(* Wire descriptors go through the seeded I/O fault layer: [write_fully]
+   absorbs EINTR/EAGAIN/short writes with bounded backoff, so an armed
+   recoverable fault plan perturbs timing but never frame bytes. *)
+let write_all io s =
+  try Iofault.write_fully io s
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) -> raise Link_dead
 
 (* [None] = EOF (or the connection reset under us — same thing). *)
-let read_some fd buf =
-  match Unix.read fd buf 0 (Bytes.length buf) with
+let read_some io buf =
+  match Iofault.read io buf 0 (Bytes.length buf) with
   | 0 -> None
   | n -> Some n
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> Some 0
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Some 0
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> None
 
 let readable ?(timeout = 0.0) fds =
@@ -68,7 +67,7 @@ let readable ?(timeout = 0.0) fds =
 
 module Link = struct
   type t = {
-    lk_fd : Unix.file_descr;
+    lk_io : Iofault.t;
     lk_chaos : Wire.wire_chaos option;
     lk_rng : Rng.t;
     mutable lk_holdback : Wire.msg option;  (* one message awaiting reorder *)
@@ -79,7 +78,7 @@ module Link = struct
 
   let create ?chaos ~seed fd =
     {
-      lk_fd = fd;
+      lk_io = Iofault.wrap_stream ~label:"wire-tx" fd;
       lk_chaos = Option.map Wire.validated_chaos chaos;
       lk_rng = Rng.create ~seed;
       lk_holdback = None;
@@ -88,7 +87,7 @@ module Link = struct
       lk_reordered = 0;
     }
 
-  let transmit t msg = write_all t.lk_fd (Wire.encode msg)
+  let transmit t msg = write_all t.lk_io (Wire.encode msg)
 
   let flush_holdback t =
     match t.lk_holdback with
@@ -132,10 +131,17 @@ let link_seed ~wire_seed ~link_id = Rng.derive ~seed:wire_seed ~index:link_id
 
 (* {2 Worker} *)
 
+(* Workers heartbeat between trials at this cadence; the controller's
+   [heartbeat_timeout] is two orders of magnitude larger, so only a worker
+   that is genuinely wedged (spinning, swapped out, deadlocked) goes silent
+   long enough to be declared hung. *)
+let heartbeat_every = 0.25
+
 module Worker = struct
   type state = {
     ws_link : Link.t;
-    ws_input : Unix.file_descr;
+    ws_input : Unix.file_descr;  (* raw fd for select *)
+    ws_in_io : Iofault.t;  (* the same fd, fault-routed for reads *)
     ws_dec : Wire.decoder;
     ws_worker : int;
     (* current lease: id, next unstarted index, exclusive end (shrinks when
@@ -171,7 +177,7 @@ module Worker = struct
         Link.send st.ws_link (Wire.Steal_return { sr_lease = st_lease; sr_lo = 0; sr_hi = 0 }))
     | Wire.Bye _ -> st.ws_controller_bye <- true
     | Wire.Hello _ | Wire.Welcome _ | Wire.Lease_request _ | Wire.Result _
-    | Wire.Steal_return _ ->
+    | Wire.Steal_return _ | Wire.Heartbeat _ ->
       (* controller never sends these; a confused frame is ignored, the
          protocol is built on retransmission anyway *)
       ()
@@ -181,7 +187,7 @@ module Worker = struct
     | [] -> false
     | _ :: _ ->
       let buf = Bytes.create 65536 in
-      (match read_some st.ws_input buf with
+      (match read_some st.ws_in_io buf with
       | None -> raise Link_dead
       | Some n -> Wire.feed st.ws_dec buf n);
       let rec pump () =
@@ -225,14 +231,14 @@ module Worker = struct
     done;
     Link.send st.ws_link (Wire.Bye { bye_stats = Some (stats_of st ~cache) })
 
-  let wait_welcome dec input =
+  let wait_welcome dec in_io =
     let buf = Bytes.create 65536 in
     let rec go () =
       match Wire.next dec with
       | Some (Wire.Welcome w) -> w
       | Some _ -> go ()
       | None -> (
-        match read_some input buf with
+        match read_some in_io buf with
         | None -> failwith "fabric worker: controller hung up before Welcome"
         | Some n ->
           Wire.feed dec buf n;
@@ -240,13 +246,24 @@ module Worker = struct
     in
     go ()
 
-  let serve ?die_at ?max_leases ~input ~output () =
+  let serve ?die_at ?max_leases ?(handle_signals = true) ~input ~output () =
     ignore_sigpipe ();
-    write_all output
+    (* SIGTERM/SIGINT mean drain, not die: finish the in-flight trial,
+       flush unacked results, say Bye. A worker that must die NOW is
+       SIGKILLed, and the lease-expiry/death machinery covers that. *)
+    let stop = ref false in
+    if handle_signals then begin
+      let h = Sys.Signal_handle (fun _ -> stop := true) in
+      (try Sys.set_signal Sys.sigterm h with Invalid_argument _ | Sys_error _ -> ());
+      try Sys.set_signal Sys.sigint h with Invalid_argument _ | Sys_error _ -> ()
+    end;
+    let in_io = Iofault.wrap_stream ~label:"wire-rx" input in
+    write_all
+      (Iofault.wrap_stream ~label:"wire-tx-hello" output)
       (Wire.encode
          (Wire.Hello { h_pid = Unix.getpid (); h_protocol = Wire.protocol_version }));
     let dec = Wire.decoder () in
-    let w = wait_welcome dec input in
+    let w = wait_welcome dec in_io in
     let link =
       Link.create ?chaos:w.Wire.w_wire_chaos
         ~seed:(link_seed ~wire_seed:w.Wire.w_wire_seed ~link_id:w.Wire.w_worker)
@@ -256,6 +273,7 @@ module Worker = struct
       {
         ws_link = link;
         ws_input = input;
+        ws_in_io = in_io;
         ws_dec = dec;
         ws_worker = w.Wire.w_worker;
         ws_cur = None;
@@ -274,10 +292,16 @@ module Worker = struct
     let sv = Supervisor.create ~policy:w.Wire.w_policy ~chaos:w.Wire.w_chaos () in
     let cache = Trial.cache_create () in
     let leaving = ref false in
+    let last_hb = ref (Unix.gettimeofday ()) in
     (try
-       while not st.ws_controller_bye do
+       while (not st.ws_controller_bye) && not !stop do
+         let now = Unix.gettimeofday () in
+         if now -. !last_hb >= heartbeat_every then begin
+           last_hb := now;
+           Link.send st.ws_link (Wire.Heartbeat { hb_worker = st.ws_worker })
+         end;
          ignore (drain st);
-         if not st.ws_controller_bye then begin
+         if (not st.ws_controller_bye) && not !stop then begin
            match st.ws_cur with
            | Some (_, next, hi) when !next < !hi ->
              let i = !next in
@@ -327,9 +351,14 @@ module Worker = struct
              if not (drain ~timeout:0.03 st) then retransmit st
          end
        done;
-       (* controller said Bye: every trial is merged, so anything unacked
-          here was a duplicate — just answer with our diagnostics *)
-       Link.send st.ws_link (Wire.Bye { bye_stats = Some (stats_of st ~cache) })
+       if !stop && not st.ws_controller_bye then
+         (* signalled: the controller has not merged everything — land our
+            unacked results before leaving or they are re-run elsewhere *)
+         flush_and_leave st ~cache
+       else
+         (* controller said Bye: every trial is merged, so anything unacked
+            here was a duplicate — just answer with our diagnostics *)
+         Link.send st.ws_link (Wire.Bye { bye_stats = Some (stats_of st ~cache) })
      with
     | Exit -> ()
     | Link_dead -> ())
@@ -340,12 +369,14 @@ end
 module Controller = struct
   type conn = {
     c_worker : int;
-    c_fd : Unix.file_descr;
+    c_fd : Unix.file_descr;  (* raw fd for select *)
+    c_in_io : Iofault.t;  (* the same fd, fault-routed for reads *)
     mutable c_pid : int option;
     c_link : Link.t;
     c_dec : Wire.decoder;
     mutable c_alive : bool;
     mutable c_bye : bool;  (* said goodbye: a later EOF is not a death *)
+    mutable c_last_heard : float;  (* liveness clock for the hung-worker deadline *)
     mutable c_stats : Wire.bye_stats option;
   }
 
@@ -358,18 +389,22 @@ module Controller = struct
     t_wire_chaos : Wire.wire_chaos option;
     t_wire_seed : int64;
     t_max_deaths : int;
+    t_heartbeat : float;
+    t_journal : Journal.writer option;
     t_lease : Lease.t;
     t_entries : Journal.entry option array;
     t_dumps : Crash_dump.t option array;
     mutable t_conns : conn list;
     mutable t_next_worker : int;
     mutable t_finishing : bool;
+    mutable t_draining : bool;
     mutable t_results : int;
     mutable t_dup_results : int;
     mutable t_steals : int;
     mutable t_steal_returns : int;
     mutable t_expired : int;
     mutable t_deaths : int;
+    mutable t_hung : int;
     mutable t_requeued : int;
     mutable t_left : int;
     mutable t_quarantined : (int * string) list;
@@ -377,11 +412,14 @@ module Controller = struct
 
   let create ?(policy = Supervisor.default_policy) ?(chaos = Supervisor.no_chaos)
       ?(tracer = Tracer.telemetry_only) ?wire_chaos ?(wire_seed = 0xFAB71CL) ?chunk
-      ?(lease_timeout = 5.0) ?(max_worker_deaths = 2) cfg =
+      ?(lease_timeout = 5.0) ?(max_worker_deaths = 2) ?(heartbeat_timeout = 30.0) ?journal
+      ?(resume = false) cfg =
     ignore_sigpipe ();
     let specs = Campaign.plan cfg in
     let total = Array.length specs in
     if total = 0 then invalid_arg "Fabric.Controller.create: empty campaign";
+    if heartbeat_timeout <= 0.0 then
+      invalid_arg "Fabric.Controller.create: non-positive heartbeat_timeout";
     let chunk =
       match chunk with
       | Some c ->
@@ -389,31 +427,71 @@ module Controller = struct
         c
       | None -> Executor.chunk_size ~total ~workers:4
     in
-    {
-      t_cfg = cfg;
-      t_specs = specs;
-      t_policy = Supervisor.validated_policy policy;
-      t_chaos = chaos;
-      t_tracer = Tracer.validated tracer;
-      t_wire_chaos = Option.map Wire.validated_chaos wire_chaos;
-      t_wire_seed = wire_seed;
-      t_max_deaths = max_worker_deaths;
-      t_lease = Lease.create ~total ~chunk ~timeout:lease_timeout ~max_deaths:max_worker_deaths;
-      t_entries = Array.make total None;
-      t_dumps = Array.make total None;
-      t_conns = [];
-      t_next_worker = 0;
-      t_finishing = false;
-      t_results = 0;
-      t_dup_results = 0;
-      t_steals = 0;
-      t_steal_returns = 0;
-      t_expired = 0;
-      t_deaths = 0;
-      t_requeued = 0;
-      t_left = 0;
-      t_quarantined = [];
-    }
+    (* The controller's journal mirrors the in-process supervisor's: every
+       merged entry is appended as it lands, so a drained (SIGTERM) or
+       degraded campaign leaves a valid journal any later run can resume. *)
+    let writer, recovered =
+      match journal with
+      | None -> (None, [])
+      | Some path ->
+        (* hash with the supervision fingerprint the in-process supervisor
+           would use under the same policy/chaos, so fabric journals and
+           supervisor journals resume each other *)
+        let sv =
+          {
+            Campaign.sv_policy = policy;
+            sv_chaos = chaos;
+            sv_journal = Some path;
+            sv_resume = resume;
+          }
+        in
+        let hash =
+          Journal.plan_hash_of_string (Campaign.plan_fingerprint ~supervision:sv cfg)
+        in
+        if (not resume) && Sys.file_exists path then Sys.remove path;
+        let w, rc = Journal.open_for_append ~path ~plan_hash:hash in
+        (Some w, if resume then rc.Journal.rc_entries else [])
+    in
+    let t =
+      {
+        t_cfg = cfg;
+        t_specs = specs;
+        t_policy = Supervisor.validated_policy policy;
+        t_chaos = chaos;
+        t_tracer = Tracer.validated tracer;
+        t_wire_chaos = Option.map Wire.validated_chaos wire_chaos;
+        t_wire_seed = wire_seed;
+        t_max_deaths = max_worker_deaths;
+        t_heartbeat = heartbeat_timeout;
+        t_journal = writer;
+        t_lease = Lease.create ~total ~chunk ~timeout:lease_timeout ~max_deaths:max_worker_deaths;
+        t_entries = Array.make total None;
+        t_dumps = Array.make total None;
+        t_conns = [];
+        t_next_worker = 0;
+        t_finishing = false;
+        t_draining = false;
+        t_results = 0;
+        t_dup_results = 0;
+        t_steals = 0;
+        t_steal_returns = 0;
+        t_expired = 0;
+        t_deaths = 0;
+        t_hung = 0;
+        t_requeued = 0;
+        t_left = 0;
+        t_quarantined = [];
+      }
+    in
+    List.iter
+      (fun (e : Journal.entry) ->
+        let i = e.Journal.je_index in
+        if i >= 0 && i < total && t.t_entries.(i) = None then begin
+          t.t_entries.(i) <- Some e;
+          ignore (Lease.complete t.t_lease ~index:i)
+        end)
+      recovered;
+    t
 
   let welcome t ~worker =
     Wire.Welcome
@@ -445,11 +523,13 @@ module Controller = struct
       {
         c_worker = worker;
         c_fd = fd;
+        c_in_io = Iofault.wrap_stream ~label:"wire-rx" fd;
         c_pid = pid;
         c_link = link;
         c_dec = Wire.decoder ();
         c_alive = true;
         c_bye = false;
+        c_last_heard = Unix.gettimeofday ();
         c_stats = None;
       }
     in
@@ -493,8 +573,11 @@ module Controller = struct
         ~model:(Fault_model.validated t.t_cfg.Campaign.fault_model)
         t.t_specs.(index) reasons
     in
-    t.t_entries.(index) <-
-      Some { Journal.je_index = index; je_record = record; je_stats = stats; je_trace = trace };
+    let entry =
+      { Journal.je_index = index; je_record = record; je_stats = stats; je_trace = trace }
+    in
+    t.t_entries.(index) <- Some entry;
+    Option.iter (fun w -> Journal.append w entry) t.t_journal;
     t.t_dumps.(index) <- dump;
     t.t_quarantined <- t.t_quarantined @ [ (index, List.nth reasons (deaths - 1)) ];
     ignore (Lease.complete t.t_lease ~index)
@@ -513,11 +596,49 @@ module Controller = struct
       List.iter (quarantine t) poisoned
     end
 
-  let send_to t conn msg =
-    try Link.send conn.c_link msg with Link_dead -> on_death t conn
+  (* A failed send can race an orderly goodbye: the worker may have written
+     its final results and Bye and exited before our Ack hit the (now
+     half-closed) socket. Counting that EPIPE as a death would requeue
+     trials the Bye already settled — so before judging, suppress further
+     sends, absorb whatever the worker left on the wire (late results, the
+     Bye itself), and only then run the death path, whose [c_bye] check now
+     sees the goodbye if there was one. *)
+  let rec send_to t conn msg =
+    if conn.c_alive then (
+      try Link.send conn.c_link msg
+      with Link_dead ->
+        conn.c_alive <- false;
+        absorb_tail t conn;
+        conn.c_alive <- true;
+        on_death t conn)
 
-  let handle t conn ~now msg =
+  and absorb_tail t conn =
+    let buf = Bytes.create 65536 in
+    let rec pump () =
+      match Wire.next conn.c_dec with
+      | Some m ->
+        handle t conn ~now:(Unix.gettimeofday ()) m;
+        pump ()
+      | None -> ()
+      | exception Wire.Corrupt _ -> ()
+    in
+    let rec go budget =
+      if budget > 0 then
+        match readable ~timeout:0.0 [ conn.c_fd ] with
+        | [] -> ()
+        | _ -> (
+          match read_some conn.c_in_io buf with
+          | None | Some 0 -> ()
+          | Some n ->
+            Wire.feed conn.c_dec buf n;
+            go (budget - 1))
+    in
+    go 64;
+    pump ()
+
+  and handle t conn ~now msg =
     Lease.touch t.t_lease ~worker:conn.c_worker ~now;
+    conn.c_last_heard <- now;
     match msg with
     | Wire.Hello { h_pid; h_protocol } ->
       if h_protocol <> Wire.protocol_version then
@@ -544,6 +665,7 @@ module Controller = struct
         match Lease.complete t.t_lease ~index:rs_index with
         | Lease.Fresh ->
           t.t_entries.(rs_index) <- Some rs_entry;
+          Option.iter (fun w -> Journal.append w rs_entry) t.t_journal;
           t.t_dumps.(rs_index) <- rs_dump;
           t.t_results <- t.t_results + 1
         | Lease.Duplicate -> t.t_dup_results <- t.t_dup_results + 1)
@@ -554,16 +676,35 @@ module Controller = struct
         t.t_left <- t.t_left + 1;
         ignore (Lease.worker_leave t.t_lease ~worker:conn.c_worker)
       end
+    | Wire.Heartbeat _ ->
+      (* liveness only; [c_last_heard] and [Lease.touch] above did the work *)
+      ()
     | Wire.Welcome _ | Wire.Lease_grant _ | Wire.Steal _ | Wire.Ack _ ->
       (* workers never send these *)
       ()
 
   let alive_conns t = List.filter (fun c -> c.c_alive) t.t_conns
 
+  (* A worker silent past the heartbeat deadline is {e hung}: the process
+     may well be alive (spinning, deadlocked, stopped), but it is not doing
+     campaign work, so its leases must move. Treat it exactly like a death —
+     [on_death] reclaims leases exactly once ([c_alive] guards re-entry) and
+     closing our end of the socket makes the worker's next send EPIPE, so a
+     worker that un-wedges later exits instead of double-reporting. *)
+  let expire_hung t ~now =
+    List.iter
+      (fun c ->
+        if c.c_alive && (not c.c_bye) && now -. c.c_last_heard > t.t_heartbeat then begin
+          t.t_hung <- t.t_hung + 1;
+          on_death t c
+        end)
+      t.t_conns
+
   let step t ~timeout =
     let now = Unix.gettimeofday () in
     let expired = Lease.expire t.t_lease ~now in
     t.t_expired <- t.t_expired + List.length expired;
+    expire_hung t ~now;
     let conns = alive_conns t in
     if conns = [] then (if timeout > 0.0 then ignore (readable ~timeout []))
     else begin
@@ -573,9 +714,10 @@ module Controller = struct
       List.iter
         (fun c ->
           if List.memq c.c_fd ready then
-            match read_some c.c_fd buf with
+            match read_some c.c_in_io buf with
             | None -> on_death t c
             | Some n -> (
+              if n > 0 then c.c_last_heard <- now;
               Wire.feed c.c_dec buf n;
               try
                 let rec pump () =
@@ -621,26 +763,31 @@ module Controller = struct
           wait ())
       t.t_conns
 
-  let merge t =
+  (* The completed-only merge. On a finished campaign every entry is present
+     and this is exactly the sequential executor's fold; on a drained one it
+     folds the completed prefix-subset in trial-index order — the salvage
+     state: partial but internally consistent Tables 5/6, never a mix of
+     real and invented trials. *)
+  let merge_present t =
     let entries =
-      Array.mapi
-        (fun i e ->
-          match e with
-          | Some e -> e
-          | None -> invalid_arg (Printf.sprintf "fabric merge: trial %d missing" i))
-        t.t_entries
+      Array.to_list t.t_entries |> List.filteri (fun _ e -> e <> None) |> List.map Option.get
     in
-    let records = Array.to_list (Array.map (fun e -> e.Journal.je_record) entries) in
-    let traces = Array.to_list (Array.map (fun e -> e.Journal.je_trace) entries) in
+    let present_dumps =
+      Array.to_list t.t_entries
+      |> List.mapi (fun i e -> (i, e))
+      |> List.filter_map (fun (i, e) -> if e = None then None else Some t.t_dumps.(i))
+    in
+    let records = List.map (fun e -> e.Journal.je_record) entries in
+    let traces = List.map (fun e -> e.Journal.je_trace) entries in
     (* identical folds to the sequential executor: collector stats and
        telemetry accumulate in trial-index order from the same zeros *)
     let collector =
-      Array.fold_left
+      List.fold_left
         (fun acc e -> Collector.merge_stats acc e.Journal.je_stats)
         Collector.zero_stats entries
     in
     let telemetry =
-      Array.fold_left
+      List.fold_left
         (fun acc e -> Telemetry.merge acc e.Journal.je_trace.Tracer.tr_telemetry)
         Telemetry.zero entries
     in
@@ -657,7 +804,7 @@ module Controller = struct
       Campaign.cfg = t.t_cfg;
       records;
       traces;
-      dumps = Array.to_list t.t_dumps;
+      dumps = present_dumps;
       telemetry = Telemetry.with_boots telemetry reboots;
       hot_profile = env.Trial.env_hot;
       reboots;
@@ -665,6 +812,8 @@ module Controller = struct
       cache;
       supervision = None;
     }
+
+  let missing t = Array.fold_left (fun n e -> if e = None then n + 1 else n) 0 t.t_entries
 
   let report t =
     let retransmitted =
@@ -682,13 +831,21 @@ module Controller = struct
       fb_steal_returns = t.t_steal_returns;
       fb_expired = t.t_expired;
       fb_worker_deaths = t.t_deaths;
+      fb_hung = t.t_hung;
       fb_requeued = t.t_requeued;
       fb_left = t.t_left;
+      fb_missing = missing t;
       fb_quarantined = t.t_quarantined;
     }
 
+  (* SIGTERM/SIGINT entry point: stop waiting for completion and salvage.
+     Safe to call from a signal handler — it only flips a flag that
+     [finish]'s loop reads. *)
+  let request_drain t = t.t_draining <- true
+  let draining t = t.t_draining
+
   let finish t =
-    while not (finished t) do
+    while (not (finished t)) && not t.t_draining do
       if workers_alive t = 0 then
         failwith
           (Printf.sprintf "fabric: %d trials remain and every worker is gone"
@@ -697,6 +854,9 @@ module Controller = struct
     done;
     t.t_finishing <- true;
     List.iter (fun c -> send_to t c (Wire.Bye { bye_stats = None })) (alive_conns t);
+    (* the straggler window doubles as the drain window: workers finish the
+       in-flight trial, flush unacked results (merged and journaled here),
+       then answer Bye *)
     let deadline = Unix.gettimeofday () +. 2.0 in
     while
       List.exists (fun c -> c.c_alive && not c.c_bye) t.t_conns
@@ -712,11 +872,14 @@ module Controller = struct
         end)
       t.t_conns;
     reap t;
-    (merge t, report t)
+    Option.iter Journal.close t.t_journal;
+    let left_out = missing t in
+    if left_out > 0 then Iofault.note_salvage "drain";
+    (merge_present t, report t)
 end
 
 let run_campaign ?(workers = 2) ?policy ?chaos ?tracer ?wire_chaos ?wire_seed ?chunk
-    ?lease_timeout ?max_worker_deaths cfg =
+    ?lease_timeout ?max_worker_deaths ?heartbeat_timeout ?journal ?resume cfg =
   let chunk =
     match chunk with
     | Some _ -> chunk
@@ -725,7 +888,7 @@ let run_campaign ?(workers = 2) ?policy ?chaos ?tracer ?wire_chaos ?wire_seed ?c
   in
   let t =
     Controller.create ?policy ?chaos ?tracer ?wire_chaos ?wire_seed ?chunk ?lease_timeout
-      ?max_worker_deaths cfg
+      ?max_worker_deaths ?heartbeat_timeout ?journal ?resume cfg
   in
   for _ = 1 to max 1 workers do
     ignore (Controller.add_worker t)

@@ -34,9 +34,13 @@ type report = {
   fb_steals : int;  (** steal requests sent to victims *)
   fb_steal_returns : int;  (** non-empty steal returns *)
   fb_expired : int;  (** leases reclaimed by timeout *)
-  fb_worker_deaths : int;  (** links that died without a goodbye *)
+  fb_worker_deaths : int;  (** links that died without a goodbye (hung included) *)
+  fb_hung : int;  (** of those deaths, workers declared hung: alive but silent past the heartbeat deadline *)
   fb_requeued : int;  (** trials re-leased after a death *)
   fb_left : int;  (** orderly mid-campaign departures *)
+  fb_missing : int;
+      (** trials not merged — 0 on a completed campaign, positive only after
+          a drain ({!Controller.request_drain}): the salvage state *)
   fb_quarantined : (int * string) list;
       (** poisoned trials (index, reason) — these are the only records that
           may differ from a sequential run, and they differ the same way an
@@ -50,6 +54,7 @@ module Worker : sig
   val serve :
     ?die_at:int ->
     ?max_leases:int ->
+    ?handle_signals:bool ->
     input:Unix.file_descr ->
     output:Unix.file_descr ->
     unit ->
@@ -59,6 +64,10 @@ module Worker : sig
       rebuilds the plan and environment locally from the wire config, then
       leases, executes and streams results until the controller says [Bye]
       (or [max_leases] leases are done — the orderly mid-campaign leave).
+      Sends a {!Wire.Heartbeat} between trials so the controller can tell a
+      hung worker from a busy one. Unless [handle_signals] is [false],
+      SIGTERM/SIGINT mean {e drain}: finish the in-flight trial, flush
+      unacked results, send [Bye] with diagnostics, exit cleanly.
       [die_at] is the crash test hook: the process exits without warning
       just before executing that trial index. *)
 end
@@ -75,6 +84,9 @@ module Controller : sig
     ?chunk:int ->
     ?lease_timeout:float ->
     ?max_worker_deaths:int ->
+    ?heartbeat_timeout:float ->
+    ?journal:string ->
+    ?resume:bool ->
     Campaign.config ->
     t
   (** A controller with no workers yet. [chunk] defaults to
@@ -83,7 +95,18 @@ module Controller : sig
       messages and silent workers; a trial orphaned by more than
       [max_worker_deaths] (default 2) deaths is quarantined. [wire_chaos]
       arms seeded message drop/duplication/reordering on {e every} link, in
-      both directions. *)
+      both directions.
+
+      A worker silent for more than [heartbeat_timeout] seconds (default
+      30; workers heartbeat every 0.25 s between trials) is declared hung
+      and treated as dead — leases reclaimed, trials re-granted — even if
+      its process is still running.
+
+      [journal] appends every merged entry (results and quarantines) to a
+      campaign journal as it lands, bound to the plan fingerprint exactly
+      like the in-process supervisor's; with [resume] the journal's valid
+      prefix is recovered first and those trials are never re-granted. An
+      existing journal without [resume] is replaced. *)
 
   val add_worker : ?die_at:int -> ?max_leases:int -> t -> int
   (** Fork a worker process connected over a socketpair and brief it;
@@ -109,6 +132,12 @@ module Controller : sig
   val worker_pid : t -> int -> int option
   (** The OS pid behind a worker id (kill tests aim here). *)
 
+  val request_drain : t -> unit
+  (** Ask {!finish} to stop granting work and salvage what is merged — the
+      SIGTERM/SIGINT path. Only flips a flag; safe from a signal handler. *)
+
+  val draining : t -> bool
+
   val finish : t -> Campaign.result * report
   (** Drive {!step} until every trial is merged, then exchange goodbyes,
       reap the fleet and build the campaign result. The result's [records],
@@ -117,7 +146,13 @@ module Controller : sig
       [supervision] is [None]; fabric bookkeeping lives in the returned
       {!report}. Raises [Failure] if every worker is gone and trials remain
       (the caller controls the fleet, so an empty fleet is its bug, not a
-      hang). *)
+      hang).
+
+      After {!request_drain}, stops waiting instead: workers get [Bye]
+      immediately, the straggler window lands in-flight results, and the
+      result is the {e salvage state} — the completed subset merged in
+      trial-index order, [fb_missing] counting what was left behind. With a
+      [journal] the file is a valid resumable prefix either way. *)
 end
 
 val run_campaign :
@@ -130,6 +165,9 @@ val run_campaign :
   ?chunk:int ->
   ?lease_timeout:float ->
   ?max_worker_deaths:int ->
+  ?heartbeat_timeout:float ->
+  ?journal:string ->
+  ?resume:bool ->
   Campaign.config ->
   Campaign.result * report
 (** Create a controller, fork [workers] (default 2) workers, run to

@@ -3,7 +3,7 @@ module Campaign = Ferrite_injection.Campaign
 module Supervisor = Ferrite_injection.Supervisor
 module Crash_dump = Ferrite_injection.Crash_dump
 
-let protocol_version = 1
+let protocol_version = 2
 
 (* Same ceiling as the journal's frame walk: a length field beyond this is
    garbage, not a message we have not finished receiving. *)
@@ -55,6 +55,7 @@ type msg =
       rs_dump : Crash_dump.t option;
     }
   | Ack of { ak_seq : int }
+  | Heartbeat of { hb_worker : int }
   | Bye of { bye_stats : bye_stats option }
 
 (* The handshake and goodbye are exempt: chaos starts only once the retry
@@ -62,7 +63,9 @@ type msg =
    it is live. *)
 let chaos_eligible = function
   | Hello _ | Welcome _ | Bye _ -> false
-  | Lease_request _ | Lease_grant _ | Steal _ | Steal_return _ | Result _ | Ack _ -> true
+  | Lease_request _ | Lease_grant _ | Steal _ | Steal_return _ | Result _ | Ack _
+  | Heartbeat _ ->
+    true
 
 (* {2 Encoding} *)
 
@@ -117,6 +120,9 @@ let encode_payload msg =
   | Ack { ak_seq } ->
     Buffer.add_char b 'A';
     put_u32 b ak_seq
+  | Heartbeat { hb_worker } ->
+    Buffer.add_char b 'K';
+    put_u32 b hb_worker
   | Bye { bye_stats } ->
     Buffer.add_char b 'B';
     Buffer.add_string b (Marshal.to_string bye_stats []));
@@ -167,6 +173,7 @@ let decode_payload s =
             | Some rs_dump ->
               Some (Result { rs_seq = get_u32 s 1; rs_index = get_u32 s 5; rs_entry; rs_dump })))
     | 'A' -> fixed 4 (fun () -> Some (Ack { ak_seq = get_u32 s 1 }))
+    | 'K' -> fixed 4 (fun () -> Some (Heartbeat { hb_worker = get_u32 s 1 }))
     | 'B' -> (
       match (unmarshal_from s 1 : bye_stats option option) with
       | Some bye_stats -> Some (Bye { bye_stats })

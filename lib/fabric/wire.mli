@@ -85,14 +85,21 @@ type msg =
               so the wire carries what the file format cannot *)
     }  (** worker → controller, retransmitted unboundedly until acked *)
   | Ack of { ak_seq : int }  (** controller → worker, per received {!Result} *)
+  | Heartbeat of { hb_worker : int }
+      (** worker → controller: I am alive and making progress. Sent on a
+          timer between trials; a worker silent past the controller's
+          heartbeat deadline is declared {e hung} and treated exactly like a
+          dead one (leases reclaimed, trials re-granted), even if the
+          process still exists — a spin-looped worker must not stall the
+          campaign. *)
   | Bye of { bye_stats : bye_stats option }
       (** orderly shutdown. Controller → worker carries [None] (campaign
           drained); worker → controller carries [Some] diagnostics. *)
 
 val chaos_eligible : msg -> bool
 (** Messages the chaos {!Link} may drop/duplicate/reorder: lease, steal,
-    result and ack traffic — everything the retry protocol is built to
-    survive. {!Hello}, {!Welcome} and {!Bye} are exempt: the handshake runs
+    result, ack and heartbeat traffic — everything the retry protocol is
+    built to survive. {!Hello}, {!Welcome} and {!Bye} are exempt: the handshake runs
     before any retransmission machinery exists, and a worker that dies
     instead of saying [Bye] is already covered by the lease-expiry path. *)
 

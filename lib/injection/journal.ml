@@ -1,3 +1,5 @@
+module Iofault = Ferrite_iofault.Iofault
+
 (* Append-only, CRC-framed campaign journal (checkpoint/resume).
 
    Layout:
@@ -253,7 +255,33 @@ let recover ~path ~plan_hash =
 
 (* ---------- writer ---------- *)
 
-type writer = { w_path : string; w_oc : out_channel }
+(* Writes go through the seeded I/O fault layer. Retriable faults (EINTR,
+   EAGAIN, short writes) are absorbed by [Iofault.write_fully], so under a
+   recoverable fault plan the file is byte-identical to a fault-free run.
+   ENOSPC/EIO flip the writer into a degraded mode: the campaign keeps
+   running, entries are counted instead of persisted, and whatever frames
+   made it to disk remain a valid recoverable prefix for [--resume]. *)
+type writer = {
+  w_path : string;
+  w_io : Iofault.t;
+  mutable w_degraded : bool;
+  mutable w_dropped : int;
+}
+
+let degraded w = w.w_degraded
+let dropped_entries w = w.w_dropped
+
+let degrade w op =
+  if not w.w_degraded then begin
+    w.w_degraded <- true;
+    Iofault.note_salvage "journal";
+    Printf.eprintf
+      "ferrite: journal %s: %s; persisting stopped — the campaign continues and the \
+       on-disk prefix stays resumable\n\
+       %!"
+      w.w_path op
+  end;
+  w.w_dropped <- w.w_dropped + 1
 
 let open_for_append ~path ~plan_hash =
   let rc = recover ~path ~plan_hash in
@@ -269,7 +297,12 @@ let open_for_append ~path ~plan_hash =
        output_string oc (header_bytes ~plan_hash);
        List.iter (fun e -> output_string oc (frame_bytes (encode_entry e))) rc.rc_entries;
        flush oc;
-       Unix.fsync (Unix.descr_of_out_channel oc);
+       (* An injected fsync failure is a durability downgrade, not data
+          loss: the rename still lands the complete rewrite, it just isn't
+          guaranteed to survive a power cut. Report it and carry on. *)
+       (try Iofault.fsync (Iofault.wrap_file ~label:"journal-migrate" (Unix.descr_of_out_channel oc))
+        with Unix.Unix_error (Unix.EIO, _, _) ->
+          Printf.eprintf "ferrite: journal %s: fsync failed during v1 migration (durability downgrade)\n%!" path);
        close_out oc
      with e ->
        close_out_noerr oc;
@@ -281,17 +314,21 @@ let open_for_append ~path ~plan_hash =
     (* chop the torn tail before appending; [rc_valid_bytes] is 0 when the
        header itself was torn, in which case the file restarts from scratch *)
     Unix.truncate path rc.rc_valid_bytes;
-  let oc =
-    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
-  in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 in
+  let w = { w_path = path; w_io = Iofault.wrap_file ~label:"journal" fd; w_degraded = false; w_dropped = 0 } in
   if rc.rc_format = 2 && rc.rc_valid_bytes = 0 then begin
-    output_string oc (header_bytes ~plan_hash);
-    flush oc
+    try Iofault.write_fully w.w_io (header_bytes ~plan_hash)
+    with Unix.Unix_error ((Unix.ENOSPC | Unix.EIO), _, _) -> degrade w "header write failed"
   end;
-  ({ w_path = path; w_oc = oc }, rc)
+  (w, rc)
 
 let append w entry =
-  output_string w.w_oc (frame_bytes (encode_entry entry));
-  flush w.w_oc
+  if w.w_degraded then w.w_dropped <- w.w_dropped + 1
+  else
+    try Iofault.write_fully w.w_io (frame_bytes (encode_entry entry))
+    with Unix.Unix_error ((Unix.ENOSPC as e), _, _) | Unix.Unix_error ((Unix.EIO as e), _, _)
+    ->
+      degrade w
+        (if e = Unix.ENOSPC then "out of space (ENOSPC)" else "write failed (EIO)")
 
-let close w = close_out_noerr w.w_oc
+let close w = try Iofault.close w.w_io with Unix.Unix_error _ -> ()

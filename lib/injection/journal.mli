@@ -91,6 +91,13 @@ val open_for_append : path:string -> plan_hash:int64 -> writer * recovery
     first — v2 header, upgraded entries re-encoded — so appended frames are
     always v2. *)
 
+val degraded : writer -> bool
+(** The writer hit ENOSPC/EIO and stopped persisting; the on-disk prefix is
+    still a valid, resumable journal. *)
+
+val dropped_entries : writer -> int
+(** Entries accepted after degradation (counted, not persisted). *)
+
 val append : writer -> entry -> unit
 (** Frame, write and flush one entry, so a kill after [append] returns never
     loses that trial. *)

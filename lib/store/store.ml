@@ -1,3 +1,5 @@
+module Iofault = Ferrite_iofault.Iofault
+
 (* Columnar on-disk result store.
 
    File layout (all integers little-endian or LEB128 varints):
@@ -317,35 +319,55 @@ let read_all path =
    mid-frame.) *)
 
 type writer = {
-  fd : Unix.file_descr;
+  io : Iofault.t;
+  path : string;
   block_rows : int;
   mutable pending : row list;  (* newest first *)
   mutable npending : int;
   mutable written : int;  (* rows flushed to disk *)
+  mutable degraded : bool;  (* ENOSPC/EIO: stop persisting, keep counting *)
+  mutable dropped : int;  (* rows accepted after degradation *)
 }
 
 let default_block_rows = 4096
 
-(* One [Unix.write] per call in the common case; the EINTR retry never splits
-   a block in practice (regular-file writes of sane sizes complete fully). *)
-let write_string fd s =
-  let n = String.length s in
-  let off = ref 0 in
-  while !off < n do
-    match Unix.write_substring fd s !off (n - !off) with
-    | w -> off := !off + w
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done
+(* One [write] per call in the common case; [Iofault.write_fully] retries
+   EINTR/EAGAIN/short writes with bounded backoff, and under a recoverable
+   fault plan produces the same bytes a fault-free run would. Faults that
+   split a block across writes forfeit the multi-process interleaving
+   guarantee for that block only — fault plans are a single-process test
+   mode, never armed on shared production stores. *)
+let write_string io s = Iofault.write_fully io s
+
+let degrade w op =
+  if not w.degraded then begin
+    w.degraded <- true;
+    Iofault.note_salvage "store";
+    Printf.eprintf
+      "ferrite: store %s: %s; persisting stopped — rows are counted, the on-disk prefix \
+       stays scannable\n\
+       %!"
+      w.path op
+  end
 
 let flush_block w =
   if w.npending > 0 then begin
-    let payload = encode_block (List.rev w.pending) in
-    let buf = Buffer.create (String.length payload + 8) in
-    put_u32 buf (String.length payload);
-    put_u32 buf (crc32 payload);
-    Buffer.add_string buf payload;
-    write_string w.fd (Buffer.contents buf);
-    w.written <- w.written + w.npending;
+    if not w.degraded then begin
+      let payload = encode_block (List.rev w.pending) in
+      let buf = Buffer.create (String.length payload + 8) in
+      put_u32 buf (String.length payload);
+      put_u32 buf (crc32 payload);
+      Buffer.add_string buf payload;
+      try
+        write_string w.io (Buffer.contents buf);
+        w.written <- w.written + w.npending
+      with Unix.Unix_error ((Unix.ENOSPC as e), _, _) | Unix.Unix_error ((Unix.EIO as e), _, _)
+      ->
+        degrade w
+          (if e = Unix.ENOSPC then "out of space (ENOSPC)" else "write failed (EIO)");
+        w.dropped <- w.dropped + w.npending
+    end
+    else w.dropped <- w.dropped + w.npending;
     w.pending <- [];
     w.npending <- 0
   end
@@ -357,15 +379,29 @@ let append w row =
 
 let close w =
   flush_block w;
-  Unix.close w.fd
+  Iofault.close w.io
+
+let mk_writer ~block_rows ~path ~written fd =
+  {
+    io = Iofault.wrap_file ~label:"store" fd;
+    path;
+    block_rows;
+    pending = [];
+    npending = 0;
+    written;
+    degraded = false;
+    dropped = 0;
+  }
 
 let create ?(block_rows = default_block_rows) path =
   if block_rows <= 0 then invalid_arg "Store.create: block_rows must be positive";
   let fd =
     Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_APPEND ] 0o644
   in
-  write_string fd (magic ^ String.make 1 version);
-  { fd; block_rows; pending = []; npending = 0; written = 0 }
+  let w = mk_writer ~block_rows ~path ~written:0 fd in
+  (try write_string w.io (magic ^ String.make 1 version)
+   with Unix.Unix_error ((Unix.ENOSPC | Unix.EIO), _, _) -> degrade w "header write failed");
+  w
 
 (* Append to an existing store: validate the header, then truncate any torn
    tail so the new blocks butt up against the last valid one. A missing file
@@ -381,7 +417,9 @@ let open_append ?(block_rows = default_block_rows) path =
       Unix.close fd
     end;
     let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
-    { fd; block_rows; pending = []; npending = 0; written = sc.sc_rows }
+    mk_writer ~block_rows ~path ~written:sc.sc_rows fd
   end
 
-let rows_written w = w.written + w.npending
+let rows_written w = w.written + w.npending + w.dropped
+let degraded w = w.degraded
+let rows_dropped w = w.dropped

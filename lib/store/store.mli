@@ -65,7 +65,15 @@ val close : writer -> unit
 
 val rows_written : writer -> int
 (** Rows accepted so far (including rows already in the file when the writer
-    was opened with {!open_append}, and rows still buffered). *)
+    was opened with {!open_append}, rows still buffered, and — in the
+    degraded mode below — rows counted but not persisted). *)
+
+val degraded : writer -> bool
+(** The writer hit ENOSPC/EIO and stopped persisting. The campaign keeps
+    running; the on-disk prefix stays a valid, scannable store. *)
+
+val rows_dropped : writer -> int
+(** Rows accepted after degradation (counted, not persisted). *)
 
 (** {2 Reading} *)
 

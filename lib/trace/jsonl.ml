@@ -94,3 +94,39 @@ let write_trials oc trials =
           output_char oc '\n')
         (trial_lines tr))
     trials
+
+(* Path-based variant routed through the seeded I/O fault layer: retriable
+   faults are absorbed, ENOSPC/EIO degrade to counting (the file keeps its
+   newline-terminated prefix, the campaign keeps running). *)
+let write_trials_path path trials =
+  let module Iofault = Ferrite_iofault.Iofault in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let io = Iofault.wrap_file ~label:"jsonl" fd in
+  let degraded = ref false in
+  let buf = Buffer.create 65536 in
+  let flush_buf () =
+    if (not !degraded) && Buffer.length buf > 0 then begin
+      try Iofault.write_fully io (Buffer.contents buf)
+      with Unix.Unix_error ((Unix.ENOSPC | Unix.EIO), _, _) ->
+        degraded := true;
+        Iofault.note_salvage "trace";
+        Printf.eprintf
+          "ferrite: trace %s: write failed; remaining lines dropped, the prefix on disk \
+           is complete lines only\n\
+           %!"
+          path
+    end;
+    Buffer.clear buf
+  in
+  List.iter
+    (fun tr ->
+      List.iter
+        (fun line ->
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n';
+          if Buffer.length buf >= 65536 then flush_buf ())
+        (trial_lines tr))
+    trials;
+  flush_buf ();
+  Iofault.close io;
+  not !degraded

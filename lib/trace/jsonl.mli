@@ -13,3 +13,11 @@ val trial_lines : Tracer.trial -> string list
 
 val write_trials : out_channel -> Tracer.trial list -> unit
 (** Write every trial's lines, newline-terminated, in trial order. *)
+
+val write_trials_path : string -> Tracer.trial list -> bool
+(** Like {!write_trials} but opening [path] itself and routing the bytes
+    through the seeded I/O fault layer ({!Ferrite_iofault.Iofault}):
+    retriable faults are absorbed and the file is byte-identical to a
+    fault-free run; ENOSPC/EIO degrade to dropping the remaining lines
+    (the on-disk prefix is whole lines only). Returns [false] iff the
+    writer degraded. *)

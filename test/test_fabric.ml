@@ -78,7 +78,7 @@ let mk_bye i =
 (* Deterministic message zoo indexed by a small int — every constructor,
    including marshalled briefing/result/goodbye payloads. *)
 let mk_msg i =
-  match i mod 9 with
+  match i mod 10 with
   | 0 -> Wire.Hello { h_pid = 17 * i; h_protocol = Wire.protocol_version }
   | 1 -> Wire.Welcome (mk_welcome (i mod 8))
   | 2 -> Wire.Lease_request { lr_worker = i }
@@ -89,6 +89,7 @@ let mk_msg i =
     Wire.Result
       { rs_seq = i; rs_index = i mod 11; rs_entry = mk_entry (i mod 11); rs_dump = None }
   | 7 -> Wire.Ack { ak_seq = i }
+  | 8 -> Wire.Heartbeat { hb_worker = i }
   | _ -> Wire.Bye { bye_stats = (if i land 1 = 0 then None else Some (mk_bye i)) }
 
 let prop_codec_roundtrip =
@@ -385,6 +386,127 @@ let test_poison_trial_quarantined () =
         check_bool (Printf.sprintf "trial %d identical" i) true (record = ref_record))
     r.Campaign.records
 
+(* A worker that is alive but silent — SIGSTOPped, the moral equivalent of a
+   spin loop — must be declared hung once the heartbeat deadline passes, its
+   lease reclaimed and re-granted exactly once, and the campaign must still
+   merge byte-identical. The lease timeout is set far out so only heartbeat
+   detection can reclaim the work. *)
+let test_hung_worker_declared_dead () =
+  let cfg = small_cfg 40 in
+  let reference = Campaign.run cfg in
+  (* one worker holding the whole campaign as a single lease, so the wedge
+     below is guaranteed to strand unfinished leased trials; the lease
+     timeout is set far out so only heartbeat detection can reclaim them *)
+  let t = Controller.create ~heartbeat_timeout:1.0 ~lease_timeout:120.0 ~chunk:40 cfg in
+  let first = Controller.add_worker t in
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  while Controller.completed t < 2 && Unix.gettimeofday () < deadline do
+    Controller.step t ~timeout:0.05
+  done;
+  let pid =
+    match Controller.worker_pid t first with
+    | Some pid -> pid
+    | None -> Alcotest.fail "forked worker has no pid"
+  in
+  (* wedge it: the process stays alive but heartbeats stop *)
+  Unix.kill pid Sys.sigstop;
+  ignore (Controller.add_worker t);
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  while Controller.workers_alive t > 1 && Unix.gettimeofday () < deadline do
+    Controller.step t ~timeout:0.05
+  done;
+  (* declared dead while the process still exists (reap kills it later) *)
+  check_bool "the wedged process is still alive" true
+    (match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ -> true
+    | _ -> false
+    | exception Unix.Unix_error _ -> false);
+  let r, report = Controller.finish t in
+  check_int "declared hung" 1 report.fb_hung;
+  check_int "a hung worker is a dead worker" 1 report.fb_worker_deaths;
+  check_bool "its trials were re-leased" true (report.fb_requeued > 0);
+  check_int "every trial merged exactly once" 40 report.fb_results;
+  check_int "no duplicates" 0 report.fb_dup_results;
+  check_identical "hung worker" reference r
+
+(* The graceful-drain golden test: SIGTERM a journalled fabric campaign
+   mid-flight. The controller must exit its loop cleanly, salvage the
+   completed subset, and leave a valid journal whose entries match the
+   reference records — and a later --resume must finish the campaign
+   byte-identical. *)
+let test_sigterm_drains_to_valid_journal () =
+  let cfg = small_cfg 200 in
+  let reference = Campaign.run cfg in
+  let path = Filename.temp_file "ferrite_drain" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      (match Unix.fork () with
+      | 0 ->
+        (* child: the CLI's drain loop in miniature *)
+        (try
+           let t = Controller.create ~journal:path cfg in
+           Sys.set_signal Sys.sigterm
+             (Sys.Signal_handle (fun _ -> Controller.request_drain t));
+           ignore (Controller.add_worker t);
+           ignore (Controller.add_worker t);
+           while (not (Controller.finished t)) && not (Controller.draining t) do
+             Controller.step t ~timeout:0.05
+           done;
+           let _r, rep = Controller.finish t in
+           Unix._exit (if rep.fb_missing > 0 then 42 else 0)
+         with _ -> Unix._exit 1)
+      | pid ->
+        (* wait for a few journalled frames, then ask for the drain *)
+        let deadline = Unix.gettimeofday () +. 60.0 in
+        let rec poll () =
+          let sz =
+            try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+          in
+          if sz <= Journal.header_size + 64 && Unix.gettimeofday () < deadline then begin
+            Unix.sleepf 0.01;
+            poll ()
+          end
+        in
+        poll ();
+        Unix.kill pid Sys.sigterm;
+        let _, status = Unix.waitpid [] pid in
+        check_bool "the drain exited cleanly" true
+          (status = Unix.WEXITED 42 || status = Unix.WEXITED 0));
+      (* the journal is a valid prefix bound to this plan, and every entry
+         matches the reference record at its index *)
+      let sv =
+        {
+          Campaign.sv_policy = Supervisor.default_policy;
+          sv_chaos = Supervisor.no_chaos;
+          sv_journal = Some path;
+          sv_resume = true;
+        }
+      in
+      let hash =
+        Journal.plan_hash_of_string (Campaign.plan_fingerprint ~supervision:sv cfg)
+      in
+      let rc = Journal.recover ~path ~plan_hash:hash in
+      check_int "no torn tail after a drain" 0 rc.Journal.rc_truncated_bytes;
+      check_bool "something was salvaged" true (rc.Journal.rc_entries <> []);
+      List.iter
+        (fun (e : Journal.entry) ->
+          check_bool
+            (Printf.sprintf "salvaged entry %d matches the reference" e.Journal.je_index)
+            true
+            (e.Journal.je_record
+            = List.nth reference.Campaign.records e.Journal.je_index))
+        rc.Journal.rc_entries;
+      (* and the salvage state resumes to the full campaign *)
+      let r, _ = run_campaign ~workers:2 ~journal:path ~resume:true cfg in
+      check_bool "resume completes the drained campaign: records" true
+        (r.Campaign.records = reference.Campaign.records);
+      check_bool "resume completes the drained campaign: collector" true
+        (r.Campaign.collector = reference.Campaign.collector);
+      check_bool "resume completes the drained campaign: telemetry" true
+        (boots_blind r.Campaign.telemetry = boots_blind reference.Campaign.telemetry))
+
 let () =
   Alcotest.run "ferrite_fabric"
     [
@@ -410,5 +532,9 @@ let () =
           Alcotest.test_case "wire chaos converges" `Quick test_wire_chaos_converges;
           Alcotest.test_case "poison trial quarantined" `Quick
             test_poison_trial_quarantined;
+          Alcotest.test_case "hung worker declared dead" `Quick
+            test_hung_worker_declared_dead;
+          Alcotest.test_case "sigterm drains to a valid journal" `Quick
+            test_sigterm_drains_to_valid_journal;
         ] );
     ]
